@@ -1,0 +1,30 @@
+"""Shared benchmark fixtures.
+
+Benchmarks run the experiment harnesses at *quick* scale: large enough to
+show every paper shape, small enough that ``pytest benchmarks/
+--benchmark-only`` completes in minutes.  EXPERIMENTS.md records the
+full-scale numbers produced by ``pas-repro --scale full``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.context import ExperimentContext, ScaleConfig
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    context = ExperimentContext(scale=ScaleConfig.quick(), seed=0)
+    # Pre-build the shared artifacts so per-bench timings measure the
+    # experiment itself, not the first-touch dataset construction.
+    context.curated_dataset
+    context.raw_dataset
+    context.pas
+    context.bpo
+    return context
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

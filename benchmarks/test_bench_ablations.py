@@ -1,0 +1,176 @@
+"""Ablation benches for the design choices called out in DESIGN.md §5.
+
+A1 — dedup off: duplicates survive into the training mix.
+A2 — k-NN neighbourhood size: predictor accuracy across k.
+A3 — regeneration cap: marginal value of each critic round.
+A4 — critic quality: how good must IsCorrectPair be to earn its keep?
+A5 — HNSW ef-search: recall/latency trade-off vs exact search.
+"""
+
+import numpy as np
+import pytest
+from conftest import run_once
+
+from repro.ann.bruteforce import BruteForceIndex
+from repro.ann.hnsw import HnswIndex
+from repro.core.golden import build_golden_data
+from repro.llm.engine import SimulatedLLM
+from repro.llm.profiles import CapabilityProfile
+from repro.llm.sft import SftConfig, SftDirectivePredictor
+from repro.pipeline.collect import CollectionConfig, PromptCollector, SelectedPrompt
+from repro.pipeline.generate import GenerationConfig, PairGenerator
+from repro.world.prompts import CorpusConfig, PromptFactory
+
+
+def _selected_prompts(n=150, seed=0):
+    factory = PromptFactory(rng=np.random.default_rng(seed))
+    out = []
+    for _ in range(n):
+        p = factory.make_prompt()
+        out.append(SelectedPrompt(prompt=p, predicted_category=p.category, quality=1.0))
+    return out
+
+
+class TestA1DedupOff:
+    def test_dedup_removes_duplicate_mass(self, benchmark):
+        factory = PromptFactory(rng=np.random.default_rng(1))
+        corpus = factory.make_corpus(CorpusConfig(n_prompts=300))
+
+        def run():
+            with_dedup = PromptCollector(seed=1).collect(corpus)
+            without = PromptCollector(
+                config=CollectionConfig(skip_dedup=True), seed=1
+            ).collect(corpus)
+            return with_dedup, without
+
+        with_dedup, without = run_once(benchmark, run)
+        from repro.pipeline.diagnostics import dedup_report
+
+        on = dedup_report(corpus, with_dedup)
+        off = dedup_report(corpus, without)
+        print(
+            f"\nA1: duplicate pairs collapsed — dedup on: {on.recall:.2f} recall, "
+            f"off: {off.recall:.2f} recall"
+        )
+        assert on.recall > off.recall
+
+
+class TestA2KnnWidth:
+    @pytest.mark.parametrize("k", [1, 3, 5, 9, 15])
+    def test_k_sweep(self, benchmark, ctx, k):
+        predictor = SftDirectivePredictor(
+            base_model="qwen2-7b-chat", config=SftConfig(k_neighbors=k), seed=0
+        )
+        predictor.fit(ctx.curated_dataset.training_texts())
+        factory = PromptFactory(rng=np.random.default_rng(2))
+        test = [(p.text, frozenset(p.needs)) for p in (factory.make_prompt() for _ in range(120))]
+        accuracy = run_once(benchmark, predictor.label_accuracy, test)
+        print(f"\nA2: k={k} label accuracy {accuracy:.3f}")
+        assert accuracy > 0.15
+
+
+class TestA3RegenerationCap:
+    @pytest.mark.parametrize("max_rounds", [0, 1, 3, 5])
+    def test_round_cap_sweep(self, benchmark, max_rounds):
+        selected = _selected_prompts(n=120, seed=3)
+        generator = PairGenerator(
+            config=GenerationConfig(curate=True, max_rounds=max_rounds)
+        )
+        dataset = run_once(benchmark, generator.build_dataset, selected)
+        print(
+            f"\nA3: max_rounds={max_rounds} kept {len(dataset)} "
+            f"dropped {dataset.n_dropped} labelq {dataset.mean_label_quality():.3f}"
+        )
+        # More regeneration rounds keep more pairs without losing quality.
+        assert len(dataset) + dataset.n_dropped == 120
+
+    def test_more_rounds_keep_more_pairs(self, benchmark):
+        selected = _selected_prompts(n=120, seed=3)
+
+        def sweep():
+            kept = {}
+            for rounds in (0, 5):
+                generator = PairGenerator(
+                    config=GenerationConfig(curate=True, max_rounds=rounds)
+                )
+                kept[rounds] = len(generator.build_dataset(selected))
+            return kept
+
+        kept = run_once(benchmark, sweep)
+        assert kept[5] > kept[0]
+
+
+class TestA4CriticQuality:
+    @pytest.mark.parametrize("critic_sensitivity", [0.3, 0.6, 0.9])
+    def test_critic_sweep(self, benchmark, critic_sensitivity):
+        critic = SimulatedLLM(
+            CapabilityProfile(
+                f"critic-{critic_sensitivity}",
+                cue_sensitivity=critic_sensitivity,
+                instruction_following=0.9,
+                error_rate=0.05,
+                verbosity=1.0,
+            )
+        )
+        generator = PairGenerator(
+            critic=critic,
+            golden=build_golden_data(seed=4),
+            config=GenerationConfig(curate=True),
+        )
+        dataset = run_once(benchmark, generator.build_dataset, _selected_prompts(100, seed=4))
+        print(
+            f"\nA4: critic sensitivity {critic_sensitivity}: "
+            f"kept {len(dataset)} labelq {dataset.mean_label_quality():.3f}"
+        )
+        assert len(dataset) > 0
+
+    def test_sharper_critic_cleaner_labels(self, benchmark):
+        selected = _selected_prompts(100, seed=5)
+
+        def sweep():
+            quality = {}
+            for sens in (0.3, 0.95):
+                critic = SimulatedLLM(
+                    CapabilityProfile(f"c{sens}", sens, 0.9, 0.05, 1.0)
+                )
+                generator = PairGenerator(
+                    critic=critic,
+                    golden=build_golden_data(seed=5),
+                    config=GenerationConfig(curate=True),
+                )
+                quality[sens] = generator.build_dataset(selected).mean_label_quality()
+            return quality
+
+        quality = run_once(benchmark, sweep)
+        assert quality[0.95] >= quality[0.3] - 0.02
+
+
+class TestA5HnswEf:
+    @pytest.mark.parametrize("ef", [8, 32, 128])
+    def test_ef_recall_latency(self, benchmark, ef):
+        rng = np.random.default_rng(6)
+        points = rng.normal(size=(800, 32))
+        hnsw = HnswIndex(dim=32, ef_search=ef, seed=0)
+        brute = BruteForceIndex(dim=32)
+        for i, p in enumerate(points):
+            hnsw.add(p, key=i)
+            brute.add(p, key=i)
+        queries = rng.normal(size=(40, 32))
+        exact = [{k for k, _ in brute.search(q, 10)} for q in queries]
+
+        def search_all():
+            return [hnsw.search(q, 10, ef=ef) for q in queries]
+
+        results = benchmark(search_all)
+        recall = float(
+            np.mean(
+                [
+                    len({k for k, _ in hits} & ref) / 10
+                    for hits, ref in zip(results, exact)
+                ]
+            )
+        )
+        print(f"\nA5: ef={ef} recall@10 {recall:.3f}")
+        assert recall > 0.5
+        if ef >= 128:
+            assert recall > 0.95

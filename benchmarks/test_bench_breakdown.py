@@ -1,0 +1,18 @@
+"""Bench — per-category breakdown of PAS's gains (analysis extension)."""
+
+from conftest import run_once
+
+from repro.experiments import breakdown
+
+
+def test_breakdown(benchmark, ctx):
+    result = run_once(benchmark, breakdown.run, ctx)
+    print()
+    print(breakdown.render(result))
+    # PAS should lead in the majority of categories, and the trap-heavy
+    # ones should be among its best.
+    assert result.n_categories_ahead > len(result.categories) / 2
+    top_three = sorted(result.categories, key=lambda c: -c.pas_win_rate)[:3]
+    assert {"reasoning", "math", "coding", "extraction", "knowledge", "analysis"} & {
+        c.category for c in top_three
+    }

@@ -1,0 +1,16 @@
+"""Bench E8 — regenerate the case studies (Figures 2, 8, 9)."""
+
+from conftest import run_once
+
+from repro.experiments import casestudies
+
+
+def test_casestudies(benchmark, ctx):
+    result = run_once(benchmark, casestudies.run, ctx)
+    print()
+    print(casestudies.render(result))
+    assert result.mean_improvement > 0.0
+    trap = result.cases[0]
+    # Case study 1's point: PAS flips the trap from blunder to careful.
+    assert trap.assessment_without.flaw_count >= 2
+    assert trap.assessment_with.flaw_count < trap.assessment_without.flaw_count

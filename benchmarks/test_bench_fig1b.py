@@ -1,0 +1,14 @@
+"""Bench E4b — regenerate Figure 1(b) (GSB win shares per scenario)."""
+
+from conftest import run_once
+
+from repro.experiments import fig1b
+
+
+def test_fig1b(benchmark, ctx):
+    result = run_once(benchmark, fig1b.run, ctx)
+    print()
+    print(fig1b.render(result))
+    # Paper shape: PAS wins the majority of decisive judgements (58-64%).
+    assert result.mean_win_share > 50.0
+    assert len(result.scenarios) == 8

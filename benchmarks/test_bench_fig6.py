@@ -1,0 +1,15 @@
+"""Bench E6 — regenerate Figure 6 (dataset category distribution)."""
+
+from conftest import run_once
+
+from repro.experiments import fig6
+
+
+def test_fig6(benchmark, ctx):
+    result = run_once(benchmark, fig6.run, ctx)
+    print()
+    print(fig6.render(result))
+    # Paper shape: 14 categories, Q&A/coding among the largest.
+    assert result.n_categories == 14
+    top_three = list(result.counts)[:3]
+    assert {"question_answering", "coding"} & set(top_three)

@@ -1,0 +1,19 @@
+"""Bench E7 — regenerate Figure 7 (data-efficiency comparison)."""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import fig7
+
+
+def test_fig7(benchmark, ctx):
+    result = run_once(benchmark, fig7.run, ctx)
+    print()
+    print(fig7.render(result))
+    # These are exact reproductions (dataset sizes, not measurements).
+    assert result.paper_sizes == {"pas": 9000, "bpo": 14000, "ppo": 77000, "dpo": 170000}
+    assert result.efficiency["bpo"] == pytest.approx(1.56, abs=0.01)
+    assert result.efficiency["ppo"] == pytest.approx(8.56, abs=0.01)
+    assert result.efficiency["dpo"] == pytest.approx(18.89, abs=0.01)
+    # The demo corpus builders must actually run.
+    assert all(result.demo_built[m] > 0 for m in ("pas", "bpo", "ppo", "dpo"))

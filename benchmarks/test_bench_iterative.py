@@ -1,0 +1,33 @@
+"""Bench — iterative-PAS rounds ablation (extension beyond the paper).
+
+Measures the marginal oracle-quality value of response-feedback rounds on
+a weak target model, where visible gaps are most common.
+"""
+
+import numpy as np
+import pytest
+from conftest import run_once
+
+from repro.core.iterative import IterativePas
+from repro.llm.engine import SimulatedLLM
+from repro.world.prompts import PromptFactory
+from repro.world.quality import assess_response
+
+
+@pytest.mark.parametrize("rounds", [1, 2, 3])
+def test_iterative_rounds(benchmark, ctx, rounds):
+    iterative = IterativePas(pas=ctx.pas, max_rounds=rounds)
+    target = SimulatedLLM("gpt-3.5-turbo-1106")
+    factory = PromptFactory(rng=np.random.default_rng(70))
+    prompts = [factory.make_prompt(cue_rate=1.0) for _ in range(60)]
+
+    def run():
+        scores = [
+            assess_response(p, iterative.ask(target, p.text).final_response).score
+            for p in prompts
+        ]
+        return float(np.mean(scores))
+
+    mean_quality = run_once(benchmark, run)
+    print(f"\niterative rounds={rounds}: mean oracle quality {mean_quality:.3f}")
+    assert mean_quality > 2.0

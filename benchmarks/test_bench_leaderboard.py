@@ -1,0 +1,50 @@
+"""Bench — Arena-style Bradley-Terry leaderboard, with and without PAS.
+
+The headline demo: plugging PAS into a mid-tier model moves it up the
+model leaderboard, past models it loses to unaided.
+"""
+
+from conftest import run_once
+
+from repro.judge.common import respond_with_method
+from repro.judge.rating import leaderboard
+
+
+def test_pas_moves_model_up_leaderboard(benchmark, ctx):
+    target = "gpt-4-0613"
+    rivals = ["gpt-4-turbo-2024-04-09", "qwen2-72b-chat", "gpt-3.5-turbo-1106"]
+    judge = ctx.arena_hard.judge
+    prompts = list(ctx.arena_hard.suite)[:40]
+
+    def build_boards():
+        boards = {}
+        for label, method in (("plain", ctx.method_none()), ("with-pas", ctx.method_pas())):
+            outcomes = []
+            target_responses = [
+                respond_with_method(ctx.engine(target), method, p) for p in prompts
+            ]
+            for rival in rivals:
+                rival_responses = [
+                    respond_with_method(ctx.engine(rival), ctx.method_none(), p)
+                    for p in prompts
+                ]
+                for prompt, rt, rr in zip(prompts, target_responses, rival_responses):
+                    outcomes.append((target, rival, judge.pairwise(prompt, rt, rr).outcome))
+            boards[label] = leaderboard([target, *rivals], outcomes)
+        return boards
+
+    boards = run_once(benchmark, build_boards)
+    for label, board in boards.items():
+        print(f"\n{label} leaderboard:")
+        for entry in board:
+            print(f"  {entry.name:26s} {entry.rating:7.1f} ({entry.n_comparisons} games)")
+
+    def rank(board, name):
+        return [e.name for e in board].index(name)
+
+    plain_rank = rank(boards["plain"], target)
+    pas_rank = rank(boards["with-pas"], target)
+    assert pas_rank <= plain_rank  # PAS never drops the model
+    plain_rating = {e.name: e.rating for e in boards["plain"]}[target]
+    pas_rating = {e.name: e.rating for e in boards["with-pas"]}[target]
+    assert pas_rating > plain_rating

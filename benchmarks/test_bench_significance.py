@@ -1,0 +1,16 @@
+"""Bench — paired significance of the Table 1 comparisons."""
+
+from conftest import run_once
+
+from repro.experiments import significance
+
+
+def test_significance(benchmark, ctx):
+    result = run_once(benchmark, significance.run, ctx)
+    print()
+    print(significance.render(result))
+    # PAS's gain over no-APE should be statistically solid on most models
+    # even at bench scale; vs BPO the gap is smaller, so just require the
+    # machinery produced sane p-values.
+    assert result.n_significant("none") >= 4
+    assert all(0.0 <= c.p_value <= 1.0 for c in result.comparisons)

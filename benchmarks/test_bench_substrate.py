@@ -1,0 +1,79 @@
+"""Microbenchmarks of the substrate layers (throughput, not paper shapes)."""
+
+import numpy as np
+
+from repro.embedding.model import EmbeddingModel
+from repro.ann.hnsw import HnswIndex
+from repro.llm.engine import SimulatedLLM
+from repro.text.ngram import NgramLanguageModel
+from repro.world.prompts import CorpusConfig, PromptFactory
+
+
+def _texts(n=100, seed=0):
+    factory = PromptFactory(rng=np.random.default_rng(seed))
+    return [factory.make_prompt().text for _ in range(n)]
+
+
+def test_embedding_throughput(benchmark):
+    model = EmbeddingModel()
+    texts = _texts(100)
+    result = benchmark(model.embed_batch, texts)
+    assert result.shape[0] == 100
+
+
+def test_hnsw_build(benchmark):
+    points = np.random.default_rng(1).normal(size=(500, 64))
+
+    def build():
+        index = HnswIndex(dim=64, seed=0)
+        for i, p in enumerate(points):
+            index.add(p, key=i)
+        return index
+
+    index = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert len(index) == 500
+
+
+def test_hnsw_query_throughput(benchmark):
+    points = np.random.default_rng(2).normal(size=(800, 64))
+    index = HnswIndex(dim=64, seed=0)
+    for i, p in enumerate(points):
+        index.add(p, key=i)
+    queries = np.random.default_rng(3).normal(size=(50, 64))
+
+    def search_all():
+        return [index.search(q, 10) for q in queries]
+
+    results = benchmark(search_all)
+    assert len(results) == 50
+
+
+def test_engine_respond_throughput(benchmark):
+    engine = SimulatedLLM("gpt-4-0613")
+    texts = _texts(50, seed=4)
+
+    def respond_all():
+        return [engine.respond(t) for t in texts]
+
+    responses = benchmark(respond_all)
+    assert all(responses)
+
+
+def test_ngram_fit_and_score(benchmark):
+    texts = _texts(200, seed=5)
+
+    def fit_and_score():
+        lm = NgramLanguageModel(order=3).fit(texts)
+        return [lm.fluency(t) for t in texts[:50]]
+
+    scores = benchmark.pedantic(fit_and_score, rounds=1, iterations=1)
+    assert all(0.0 < s <= 1.0 for s in scores)
+
+
+def test_corpus_generation(benchmark):
+    def build():
+        factory = PromptFactory(rng=np.random.default_rng(6))
+        return factory.make_corpus(CorpusConfig(n_prompts=500))
+
+    corpus = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert len(corpus) == 500

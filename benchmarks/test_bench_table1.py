@@ -1,0 +1,18 @@
+"""Bench E1 — regenerate Table 1 (PAS vs BPO vs none, six target LLMs)."""
+
+from conftest import run_once
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, ctx):
+    result = run_once(benchmark, table1.run, ctx)
+    print()
+    print(table1.render(result))
+    # Paper shapes: PAS beats the baseline by ~8 points and BPO by ~6.
+    assert result.pas_gain_over_none > 2.0
+    assert result.pas_gain_over_bpo > 0.0
+    # Every single model must improve under PAS vs no APE (Table 1 rows).
+    baseline = {r.model: r.average for r in result.method_rows("none")}
+    for row in result.method_rows("pas"):
+        assert row.average > baseline[row.model] - 1.0

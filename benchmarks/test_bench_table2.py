@@ -1,0 +1,13 @@
+"""Bench E2 — regenerate Table 2 (PAS vs BPO on the same LLaMA-2-7B base)."""
+
+from conftest import run_once
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark, ctx):
+    result = run_once(benchmark, table2.run, ctx)
+    print()
+    print(table2.render(result))
+    # Paper shape: even on BPO's own base model, PAS wins on average (+3.41).
+    assert result.pas_gain_over_bpo > 0.0

@@ -1,0 +1,14 @@
+"""Bench E3 — regenerate Table 3 (flexibility matrix)."""
+
+from conftest import run_once
+
+from repro.experiments import table3
+
+
+def test_table3(benchmark, ctx):
+    result = run_once(benchmark, table3.run, ctx)
+    print()
+    print(table3.render(result))
+    # Paper shape: PAS is the only method satisfying all three criteria.
+    satisfying = [p.method for p in result.profiles if p.satisfies_all]
+    assert satisfying == ["pas"]

@@ -1,0 +1,15 @@
+"""Bench E4a — regenerate Table 4 (human evaluation metrics)."""
+
+from conftest import run_once
+
+from repro.experiments import table4
+
+
+def test_table4(benchmark, ctx):
+    result = run_once(benchmark, table4.run, ctx)
+    print()
+    print(table4.render(result))
+    # Paper shape: PAS improves all three panel metrics on average.
+    assert result.average_gain("average_score") > 0.0
+    assert result.average_gain("full_mark_pct") >= 0.0
+    assert result.average_gain("availability_pct") >= 0.0

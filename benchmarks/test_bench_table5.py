@@ -1,0 +1,14 @@
+"""Bench E5 — regenerate Table 5 (selection/regeneration ablation)."""
+
+from conftest import run_once
+
+from repro.experiments import table5
+
+
+def test_table5(benchmark, ctx):
+    result = run_once(benchmark, table5.run, ctx)
+    print()
+    print(table5.render(result))
+    # Paper shape: removing selection + regeneration costs ~3.8 points.
+    assert result.ablation_drop > 0.0
+    assert result.curated_label_quality > result.raw_label_quality

@@ -1,0 +1,42 @@
+"""Reproduce the Table 5 ablation at example scale.
+
+Trains two PAS models from the same collected prompts — one on the curated
+dataset (Algorithm 1 with selection + regeneration), one on the raw
+generated dataset — and compares both the training-label quality and the
+downstream benchmark scores.
+
+Run:  python examples/ablation.py
+"""
+
+from __future__ import annotations
+
+from repro import PasModel, build_default_dataset
+from repro.core.plug import PasApe
+from repro.judge.arena_hard import ArenaHardBenchmark
+from repro.judge.suites import build_arena_hard_suite
+from repro.llm.engine import SimulatedLLM
+
+
+def main() -> None:
+    curated = build_default_dataset(n_prompts=700, seed=2, curate=True)
+    raw = build_default_dataset(n_prompts=700, seed=2, curate=False)
+    print("training data:")
+    print(f"  curated: {len(curated)} pairs, label quality {curated.mean_label_quality():.3f}"
+          f" ({curated.n_dropped} dropped by the critic)")
+    print(f"  raw:     {len(raw)} pairs, label quality {raw.mean_label_quality():.3f}\n")
+
+    pas = PasModel(seed=2).train(curated)
+    pas_raw = PasModel(seed=2).train(raw)
+
+    bench = ArenaHardBenchmark(build_arena_hard_suite(120, seed=21))
+    print(f"{'target':24s} {'PAS':>7s} {'wo selection':>13s} {'drop':>7s}")
+    for name in ("gpt-4-0613", "qwen2-72b-chat", "llama-3-70b-instruct"):
+        engine = SimulatedLLM(name)
+        with_sel = bench.evaluate(engine, PasApe(pas)).score
+        without = bench.evaluate(engine, PasApe(pas_raw, name="pas-raw")).score
+        print(f"{name:24s} {with_sel:6.1f}% {without:12.1f}% {without - with_sel:+6.1f}")
+    print("\n(the paper's Table 5 reports an average drop of -3.8 points)")
+
+
+if __name__ == "__main__":
+    main()

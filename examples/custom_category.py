@@ -1,0 +1,62 @@
+"""Domain-specialised PAS (paper §3.3: the pipeline "allows us to control
+the categories of the generated data ... to enhance prompt capabilities in
+specific domains").
+
+Builds a coding-only complementary dataset, trains a specialist PAS, and
+compares it against the general-purpose PAS on a coding-heavy suite and on
+an out-of-domain suite — specialisation helps in-domain and costs a little
+out-of-domain.
+
+Run:  python examples/custom_category.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import PasModel, build_default_dataset
+from repro.core.plug import PasApe
+from repro.judge.alpaca_eval import AlpacaEvalBenchmark
+from repro.judge.suites import BenchmarkSuite
+from repro.llm.engine import SimulatedLLM
+from repro.pipeline.collect import PromptCollector
+from repro.pipeline.generate import GenerationConfig, PairGenerator
+from repro.world.prompts import PromptFactory
+
+
+def build_category_dataset(category: str, n_prompts: int, seed: int):
+    """Targeted generation: feed the pipeline prompts of one category only."""
+    factory = PromptFactory(rng=np.random.default_rng(seed))
+    corpus = [factory.make_prompt(category=category) for _ in range(n_prompts)]
+    collected = PromptCollector(seed=seed).collect(corpus)
+    generator = PairGenerator(config=GenerationConfig(curate=True))
+    return generator.build_dataset(collected.selected)
+
+
+def category_suite(category: str, n: int, seed: int) -> BenchmarkSuite:
+    factory = PromptFactory(rng=np.random.default_rng(seed))
+    prompts = tuple(factory.make_prompt(category=category) for _ in range(n))
+    return BenchmarkSuite(name=f"{category}-suite", prompts=prompts)
+
+
+def main() -> None:
+    coding_dataset = build_category_dataset("coding", n_prompts=500, seed=5)
+    general_dataset = build_default_dataset(n_prompts=700, seed=5)
+    print(f"specialist dataset: {len(coding_dataset)} coding pairs")
+    print(f"generalist dataset: {len(general_dataset)} mixed pairs\n")
+
+    specialist = PasModel(seed=5).train(coding_dataset)
+    generalist = PasModel(seed=5).train(general_dataset)
+
+    engine = SimulatedLLM("gpt-4-0613")
+    for suite_category in ("coding", "writing"):
+        suite = category_suite(suite_category, 100, seed=31)
+        bench = AlpacaEvalBenchmark(suite)
+        spec = bench.evaluate(engine, PasApe(specialist, name="specialist")).win_rate
+        gen = bench.evaluate(engine, PasApe(generalist, name="generalist")).win_rate
+        print(f"{suite_category:10s} suite: specialist {spec:5.1f}%  generalist {gen:5.1f}%")
+    print("\nspecialisation should lead in-domain (coding) and trail out-of-domain.")
+
+
+if __name__ == "__main__":
+    main()

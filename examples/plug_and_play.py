@@ -1,0 +1,49 @@
+"""Plug one trained PAS model into many target LLMs (paper §3.4, Table 1).
+
+The same PAS instance augments an API-served model (via ChatClient, with
+usage accounting and simulated transient failures) and open-weight models
+(direct engine calls), and a mini-benchmark shows the win-rate lift per
+target — the LLM-agnostic claim of Table 3 in action.
+
+Run:  python examples/plug_and_play.py
+"""
+
+from __future__ import annotations
+
+from repro import ChatClient, PasEnhancedLLM, SimulatedLLM, build_default_pas
+from repro.baselines.base import NoApe
+from repro.core.plug import PasApe
+from repro.judge.alpaca_eval import AlpacaEvalBenchmark
+from repro.judge.suites import build_alpaca_suite
+
+TARGETS = ("gpt-4-0613", "gpt-3.5-turbo-1106", "qwen2-72b-chat")
+
+
+def main() -> None:
+    pas = build_default_pas(n_prompts=600, seed=0)
+    print(f"one PAS model ({pas.base_model_name}), {pas.n_training_pairs} pairs\n")
+
+    # 1. API-style usage with accounting and retries.
+    client = ChatClient(
+        engine=SimulatedLLM("gpt-4-0613"), failure_rate=0.2, max_retries=5
+    )
+    enhanced = PasEnhancedLLM(pas=pas, target=client)
+    enhanced.ask("How do I implement rate limiting for high traffic? Show me how to approach this.")
+    usage = client.usage
+    print("API usage after one augmented call:")
+    print(f"  requests={usage.requests} prompt_tokens={usage.prompt_tokens} "
+          f"completion_tokens={usage.completion_tokens} transient_failures={usage.failures}\n")
+
+    # 2. The same PAS across several targets: AlpacaEval win-rate lift.
+    suite = build_alpaca_suite(100, seed=11)
+    bench = AlpacaEvalBenchmark(suite)
+    print(f"{'target':24s} {'baseline':>9s} {'with PAS':>9s} {'lift':>7s}")
+    for name in TARGETS:
+        engine = SimulatedLLM(name)
+        base = bench.evaluate(engine, NoApe()).win_rate
+        augmented = bench.evaluate(engine, PasApe(pas)).win_rate
+        print(f"{name:24s} {base:8.1f}% {augmented:8.1f}% {augmented - base:+6.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 517 editable
+installs cannot build.  With this shim (and no ``[build-system]`` table in
+pyproject.toml), ``pip install -e .`` falls back to ``setup.py develop``,
+which works with plain setuptools.
+"""
+
+from setuptools import setup
+
+setup()

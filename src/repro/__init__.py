@@ -1,0 +1,78 @@
+"""repro — reproduction of "PAS: Data-Efficient Plug-and-Play Prompt
+Augmentation System" (ICDE 2025).
+
+Public API quick tour::
+
+    from repro import build_default_pas, PasEnhancedLLM, SimulatedLLM
+
+    pas = build_default_pas(seed=0)                  # data pipeline + SFT
+    target = SimulatedLLM("gpt-4-0613")
+    enhanced = PasEnhancedLLM(pas=pas, target=target)
+    print(enhanced.ask("How do I implement an lru cache in python?"))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pas import PasModel
+from repro.core.plug import PasEnhancedLLM
+from repro.llm.api import ChatClient
+from repro.llm.engine import SimulatedLLM
+from repro.pipeline.collect import CollectionConfig, PromptCollector
+from repro.pipeline.dataset import PromptPairDataset
+from repro.pipeline.generate import GenerationConfig, PairGenerator
+from repro.serve.gateway import PasGateway
+from repro.world.prompts import CorpusConfig, PromptFactory
+
+__all__ = [
+    "PasModel",
+    "PasEnhancedLLM",
+    "ChatClient",
+    "SimulatedLLM",
+    "PromptCollector",
+    "CollectionConfig",
+    "PairGenerator",
+    "GenerationConfig",
+    "PromptPairDataset",
+    "PromptFactory",
+    "PasGateway",
+    "CorpusConfig",
+    "build_default_dataset",
+    "build_default_pas",
+]
+
+__version__ = "0.1.0"
+
+
+def build_default_dataset(
+    n_prompts: int = 1200,
+    seed: int = 0,
+    curate: bool = True,
+) -> PromptPairDataset:
+    """Run the full data pipeline (§3.1 + §3.2) with default settings.
+
+    Generates a raw synthetic corpus, collects (dedup → quality filter →
+    classify), then generates complementary prompts with selection and
+    regeneration (disable via ``curate=False`` for the Table 5 ablation).
+    """
+    factory = PromptFactory(rng=np.random.default_rng(seed))
+    corpus = factory.make_corpus(CorpusConfig(n_prompts=n_prompts))
+    collector = PromptCollector(seed=seed)
+    collected = collector.collect(corpus)
+    generator = PairGenerator(config=GenerationConfig(curate=curate))
+    return generator.build_dataset(collected.selected)
+
+
+def build_default_pas(
+    n_prompts: int = 1200,
+    seed: int = 0,
+    base_model: str = "qwen2-7b-chat",
+    curate: bool = True,
+) -> PasModel:
+    """End-to-end convenience: pipeline + SFT, returning a trained PAS."""
+    dataset = build_default_dataset(n_prompts=n_prompts, seed=seed, curate=curate)
+    return PasModel(base_model=base_model, seed=seed).train(dataset)

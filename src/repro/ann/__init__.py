@@ -1,0 +1,7 @@
+"""Approximate nearest-neighbour indexes (HNSW, paper §3.1)."""
+
+from repro.ann.bruteforce import BruteForceIndex
+from repro.ann.hnsw import HnswIndex
+from repro.ann.ivf import IvfFlatIndex
+
+__all__ = ["HnswIndex", "BruteForceIndex", "IvfFlatIndex"]

@@ -1,0 +1,59 @@
+"""Exact nearest-neighbour index used as ground truth in recall tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import IndexError_
+
+__all__ = ["BruteForceIndex"]
+
+
+class BruteForceIndex:
+    """Exact k-NN via a full distance scan.
+
+    Distances follow the same convention as :class:`repro.ann.hnsw.HnswIndex`:
+    cosine *distance* (``1 - cosine similarity``) or squared L2.
+    """
+
+    def __init__(self, dim: int, metric: str = "cosine"):
+        if dim <= 0:
+            raise IndexError_(f"dim must be positive, got {dim}")
+        if metric not in ("cosine", "l2"):
+            raise IndexError_(f"unknown metric {metric!r}")
+        self.dim = dim
+        self.metric = metric
+        self._vectors: list[np.ndarray] = []
+        self._keys: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def add(self, vector: np.ndarray, key: int) -> None:
+        vec = np.asarray(vector, dtype=np.float64).reshape(-1)
+        if vec.shape[0] != self.dim:
+            raise IndexError_(f"expected dim {self.dim}, got {vec.shape[0]}")
+        self._vectors.append(vec)
+        self._keys.append(int(key))
+
+    def _distances(self, query: np.ndarray) -> np.ndarray:
+        mat = np.vstack(self._vectors)
+        if self.metric == "l2":
+            diff = mat - query
+            return np.einsum("ij,ij->i", diff, diff)
+        qn = np.linalg.norm(query)
+        mn = np.linalg.norm(mat, axis=1)
+        denom = np.where(mn * qn < 1e-12, 1.0, mn * qn)
+        return 1.0 - (mat @ query) / denom
+
+    def search(self, query: np.ndarray, k: int) -> list[tuple[int, float]]:
+        """Return up to ``k`` ``(key, distance)`` pairs, nearest first."""
+        if not self._keys:
+            return []
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        if query.shape[0] != self.dim:
+            raise IndexError_(f"expected dim {self.dim}, got {query.shape[0]}")
+        dists = self._distances(query)
+        k = min(k, len(self._keys))
+        order = np.argsort(dists, kind="stable")[:k]
+        return [(self._keys[i], float(dists[i])) for i in order]

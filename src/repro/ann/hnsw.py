@@ -1,0 +1,274 @@
+"""Hierarchical Navigable Small World graphs, implemented from scratch.
+
+This is the index the paper uses to cluster prompt embeddings before
+deduplication (§3.1).  The implementation follows Malkov & Yashunin (2016):
+
+* each element is inserted at a geometrically distributed maximum layer;
+* greedy search descends from the top layer to layer 0;
+* ``SEARCH-LAYER`` maintains a dynamic candidate list of size ``ef``;
+* neighbours are chosen with the diversity heuristic (``SELECT-NEIGHBORS-
+  HEURISTIC``), which keeps the graph navigable in clustered data — the
+  regime our prompt corpus is explicitly constructed to be in.
+
+Only the features the pipeline needs are implemented (add + k-NN search);
+there is no deletion.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+import numpy as np
+
+from repro.errors import IndexError_
+
+__all__ = ["HnswIndex"]
+
+
+class _Node:
+    """One indexed element: its vector and per-layer adjacency lists."""
+
+    __slots__ = ("key", "vector", "neighbors")
+
+    def __init__(self, key: int, vector: np.ndarray, max_layer: int):
+        self.key = key
+        self.vector = vector
+        # neighbors[layer] -> list of node ids (positions in the node table)
+        self.neighbors: list[list[int]] = [[] for _ in range(max_layer + 1)]
+
+    @property
+    def max_layer(self) -> int:
+        return len(self.neighbors) - 1
+
+
+class HnswIndex:
+    """HNSW approximate nearest-neighbour index.
+
+    Parameters
+    ----------
+    dim:
+        Vector dimensionality.
+    m:
+        Target out-degree on layers > 0 (layer 0 allows ``2 * m``).
+    ef_construction:
+        Candidate-list width during insertion.
+    ef_search:
+        Default candidate-list width during queries (>= k is enforced).
+    metric:
+        ``"cosine"`` (distance = 1 - cosine similarity) or ``"l2"``
+        (squared Euclidean).
+    seed:
+        Seed for the level-assignment RNG; fixes the graph shape.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        m: int = 16,
+        ef_construction: int = 200,
+        ef_search: int = 50,
+        metric: str = "cosine",
+        seed: int = 0,
+    ):
+        if dim <= 0:
+            raise IndexError_(f"dim must be positive, got {dim}")
+        if m < 2:
+            raise IndexError_(f"m must be >= 2, got {m}")
+        if ef_construction < 1 or ef_search < 1:
+            raise IndexError_("ef parameters must be >= 1")
+        if metric not in ("cosine", "l2"):
+            raise IndexError_(f"unknown metric {metric!r}")
+        self.dim = dim
+        self.m = m
+        self.m0 = 2 * m
+        self.ef_construction = ef_construction
+        self.ef_search = ef_search
+        self.metric = metric
+        self._level_mult = 1.0 / math.log(m)
+        self._rng = np.random.default_rng(seed)
+        self._nodes: list[_Node] = []
+        self._entry: int | None = None  # node id of the entry point
+        self._keys_seen: set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    # basic plumbing
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def _distance(self, a: np.ndarray, b: np.ndarray) -> float:
+        if self.metric == "l2":
+            diff = a - b
+            return float(diff @ diff)
+        na = float(np.linalg.norm(a))
+        nb = float(np.linalg.norm(b))
+        if na < 1e-12 or nb < 1e-12:
+            return 1.0
+        return 1.0 - float(a @ b) / (na * nb)
+
+    def _draw_level(self) -> int:
+        u = float(self._rng.random())
+        u = max(u, 1e-12)
+        return int(-math.log(u) * self._level_mult)
+
+    # ------------------------------------------------------------------ #
+    # core graph routines
+    # ------------------------------------------------------------------ #
+
+    def _search_layer(
+        self, query: np.ndarray, entry_ids: list[int], ef: int, layer: int
+    ) -> list[tuple[float, int]]:
+        """Beam search on one layer; returns (distance, node_id), unsorted."""
+        visited = set(entry_ids)
+        # candidates: min-heap by distance; results: max-heap via negation
+        candidates: list[tuple[float, int]] = []
+        results: list[tuple[float, int]] = []
+        for nid in entry_ids:
+            d = self._distance(query, self._nodes[nid].vector)
+            heapq.heappush(candidates, (d, nid))
+            heapq.heappush(results, (-d, nid))
+        while candidates:
+            d_cand, nid = heapq.heappop(candidates)
+            d_worst = -results[0][0]
+            if d_cand > d_worst and len(results) >= ef:
+                break
+            for nb in self._nodes[nid].neighbors[layer]:
+                if nb in visited:
+                    continue
+                visited.add(nb)
+                d = self._distance(query, self._nodes[nb].vector)
+                if len(results) < ef or d < -results[0][0]:
+                    heapq.heappush(candidates, (d, nb))
+                    heapq.heappush(results, (-d, nb))
+                    if len(results) > ef:
+                        heapq.heappop(results)
+        return [(-nd, nid) for nd, nid in results]
+
+    def _select_neighbors(
+        self, candidates: list[tuple[float, int]], m: int
+    ) -> list[int]:
+        """Diversity heuristic: keep a candidate only if it is closer to the
+        query than to every already-selected neighbour."""
+        selected: list[tuple[float, int]] = []
+        for d, nid in sorted(candidates):
+            if len(selected) >= m:
+                break
+            vec = self._nodes[nid].vector
+            dominated = any(
+                self._distance(vec, self._nodes[sid].vector) < d
+                for _, sid in selected
+            )
+            if not dominated:
+                selected.append((d, nid))
+        if len(selected) < m:  # backfill with nearest remaining candidates
+            chosen = {nid for _, nid in selected}
+            for d, nid in sorted(candidates):
+                if len(selected) >= m:
+                    break
+                if nid not in chosen:
+                    selected.append((d, nid))
+                    chosen.add(nid)
+        return [nid for _, nid in selected]
+
+    def _link(self, source: int, target: int, layer: int, cap: int) -> None:
+        """Add a directed edge, shrinking with the heuristic if over capacity."""
+        nbrs = self._nodes[source].neighbors[layer]
+        if target == source or target in nbrs:
+            return
+        nbrs.append(target)
+        if len(nbrs) > cap:
+            src_vec = self._nodes[source].vector
+            cands = [(self._distance(src_vec, self._nodes[n].vector), n) for n in nbrs]
+            self._nodes[source].neighbors[layer] = self._select_neighbors(cands, cap)
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+
+    def add(self, vector: np.ndarray, key: int) -> None:
+        """Insert a vector under an application-level integer key."""
+        vec = np.asarray(vector, dtype=np.float64).reshape(-1)
+        if vec.shape[0] != self.dim:
+            raise IndexError_(f"expected dim {self.dim}, got {vec.shape[0]}")
+        key = int(key)
+        if key in self._keys_seen:
+            raise IndexError_(f"duplicate key {key}")
+        self._keys_seen.add(key)
+
+        level = self._draw_level()
+        node = _Node(key, vec, level)
+        node_id = len(self._nodes)
+        self._nodes.append(node)
+
+        if self._entry is None:
+            self._entry = node_id
+            return
+
+        entry = self._entry
+        top = self._nodes[entry].max_layer
+
+        # 1. greedy descent through layers above the new node's level
+        curr = entry
+        for layer in range(top, level, -1):
+            improved = True
+            while improved:
+                improved = False
+                d_curr = self._distance(vec, self._nodes[curr].vector)
+                for nb in self._nodes[curr].neighbors[layer]:
+                    if self._distance(vec, self._nodes[nb].vector) < d_curr:
+                        curr = nb
+                        d_curr = self._distance(vec, self._nodes[curr].vector)
+                        improved = True
+
+        # 2. insert on each layer from min(level, top) down to 0
+        entries = [curr]
+        for layer in range(min(level, top), -1, -1):
+            found = self._search_layer(vec, entries, self.ef_construction, layer)
+            cap = self.m0 if layer == 0 else self.m
+            neighbors = self._select_neighbors(found, self.m)
+            node.neighbors[layer] = list(neighbors)
+            for nb in neighbors:
+                self._link(nb, node_id, layer, cap)
+            entries = [nid for _, nid in sorted(found)[: self.ef_construction]]
+
+        if level > top:
+            self._entry = node_id
+
+    def search(
+        self, query: np.ndarray, k: int, ef: int | None = None
+    ) -> list[tuple[int, float]]:
+        """Return up to ``k`` ``(key, distance)`` pairs, nearest first."""
+        if k < 1:
+            raise IndexError_(f"k must be >= 1, got {k}")
+        if self._entry is None:
+            return []
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        if query.shape[0] != self.dim:
+            raise IndexError_(f"expected dim {self.dim}, got {query.shape[0]}")
+        ef = max(ef if ef is not None else self.ef_search, k)
+
+        curr = self._entry
+        for layer in range(self._nodes[curr].max_layer, 0, -1):
+            improved = True
+            while improved:
+                improved = False
+                d_curr = self._distance(query, self._nodes[curr].vector)
+                for nb in self._nodes[curr].neighbors[layer]:
+                    if self._distance(query, self._nodes[nb].vector) < d_curr:
+                        curr = nb
+                        d_curr = self._distance(query, self._nodes[curr].vector)
+                        improved = True
+
+        found = self._search_layer(query, [curr], ef, 0)
+        found.sort()
+        return [(self._nodes[nid].key, d) for d, nid in found[:k]]
+
+    def knn_graph(self, k: int, ef: int | None = None) -> dict[int, list[tuple[int, float]]]:
+        """k-NN lists for every indexed element (self-match excluded)."""
+        out: dict[int, list[tuple[int, float]]] = {}
+        for node in self._nodes:
+            hits = self.search(node.vector, k + 1, ef=ef)
+            out[node.key] = [(key, d) for key, d in hits if key != node.key][:k]
+        return out

@@ -1,0 +1,119 @@
+"""IVF-flat approximate nearest-neighbour index.
+
+An inverted-file index: a k-means coarse quantizer partitions the corpus
+into lists; a query scans only the ``n_probe`` nearest lists.  Included as
+the classical alternative to HNSW so the ANN layer can be ablated
+(recall/latency trade-offs differ: IVF degrades gracefully with ``n_probe``,
+HNSW with ``ef``).
+
+API mirrors :class:`repro.ann.hnsw.HnswIndex` (add / search with
+``(key, distance)`` results) except that IVF requires an explicit
+:meth:`train` step — also true of the real FAISS counterpart.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.kmeans import kmeans
+from repro.errors import IndexError_, NotFittedError
+
+__all__ = ["IvfFlatIndex"]
+
+
+class IvfFlatIndex:
+    """Inverted-file flat index over L2 or cosine distance."""
+
+    def __init__(
+        self,
+        dim: int,
+        n_lists: int = 16,
+        n_probe: int = 4,
+        metric: str = "cosine",
+        seed: int = 0,
+    ):
+        if dim <= 0:
+            raise IndexError_(f"dim must be positive, got {dim}")
+        if n_lists < 1:
+            raise IndexError_(f"n_lists must be >= 1, got {n_lists}")
+        if n_probe < 1:
+            raise IndexError_(f"n_probe must be >= 1, got {n_probe}")
+        if metric not in ("cosine", "l2"):
+            raise IndexError_(f"unknown metric {metric!r}")
+        self.dim = dim
+        self.n_lists = n_lists
+        self.n_probe = n_probe
+        self.metric = metric
+        self.seed = int(seed)
+        self._centroids: np.ndarray | None = None
+        self._lists: list[list[int]] = []
+        self._vectors: list[np.ndarray] = []
+        self._keys: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    @property
+    def is_trained(self) -> bool:
+        return self._centroids is not None
+
+    def _prep(self, vector: np.ndarray) -> np.ndarray:
+        vec = np.asarray(vector, dtype=np.float64).reshape(-1)
+        if vec.shape[0] != self.dim:
+            raise IndexError_(f"expected dim {self.dim}, got {vec.shape[0]}")
+        if self.metric == "cosine":
+            norm = float(np.linalg.norm(vec))
+            if norm > 1e-12:
+                vec = vec / norm
+        return vec
+
+    def train(self, sample: np.ndarray) -> "IvfFlatIndex":
+        """Fit the coarse quantizer on a (representative) sample."""
+        matrix = np.atleast_2d(np.asarray(sample, dtype=np.float64))
+        if matrix.shape[0] == 0:
+            raise IndexError_("cannot train on an empty sample")
+        prepared = np.vstack([self._prep(row) for row in matrix])
+        k = min(self.n_lists, prepared.shape[0])
+        result = kmeans(prepared, k, seed=self.seed)
+        self._centroids = result.centroids
+        self._lists = [[] for _ in range(result.k)]
+        return self
+
+    def _nearest_lists(self, vec: np.ndarray, n: int) -> np.ndarray:
+        assert self._centroids is not None
+        dists = np.sum((self._centroids - vec) ** 2, axis=1)
+        n = min(n, dists.shape[0])
+        return np.argsort(dists, kind="stable")[:n]
+
+    def add(self, vector: np.ndarray, key: int) -> None:
+        if not self.is_trained:
+            raise NotFittedError("IvfFlatIndex.add() before train()")
+        vec = self._prep(vector)
+        slot = len(self._keys)
+        self._vectors.append(vec)
+        self._keys.append(int(key))
+        list_id = int(self._nearest_lists(vec, 1)[0])
+        self._lists[list_id].append(slot)
+
+    def search(
+        self, query: np.ndarray, k: int, n_probe: int | None = None
+    ) -> list[tuple[int, float]]:
+        """Scan the ``n_probe`` closest lists; return (key, distance)."""
+        if not self.is_trained:
+            raise NotFittedError("IvfFlatIndex.search() before train()")
+        if k < 1:
+            raise IndexError_(f"k must be >= 1, got {k}")
+        if not self._keys:
+            return []
+        vec = self._prep(query)
+        probes = self._nearest_lists(vec, n_probe or self.n_probe)
+        candidates = [slot for lid in probes for slot in self._lists[lid]]
+        if not candidates:
+            return []
+        matrix = np.vstack([self._vectors[slot] for slot in candidates])
+        if self.metric == "l2":
+            dists = np.sum((matrix - vec) ** 2, axis=1)
+        else:
+            dists = 1.0 - matrix @ vec
+        order = np.argsort(dists, kind="stable")[: min(k, len(candidates))]
+        return [(self._keys[candidates[i]], float(dists[i])) for i in order]

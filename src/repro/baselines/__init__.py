@@ -1,0 +1,24 @@
+"""APE baselines the paper compares against (Tables 1-3, Figure 7)."""
+
+from repro.baselines.ape_zhou import ApeInduction
+from repro.baselines.base import ApeMethod, FlexibilityProfile, NoApe
+from repro.baselines.bpo import BpoModel, build_bpo_preference_corpus
+from repro.baselines.cot import ZeroShotCot
+from repro.baselines.dpo import DpoComparator
+from repro.baselines.opro import OproOptimizer
+from repro.baselines.ppo import PpoComparator
+from repro.baselines.protegi import ProtegiOptimizer
+
+__all__ = [
+    "ApeInduction",
+    "ApeMethod",
+    "FlexibilityProfile",
+    "NoApe",
+    "BpoModel",
+    "build_bpo_preference_corpus",
+    "ZeroShotCot",
+    "DpoComparator",
+    "OproOptimizer",
+    "PpoComparator",
+    "ProtegiOptimizer",
+]

@@ -1,0 +1,128 @@
+"""APE — Automatic Prompt Engineer (Zhou et al. 2022), instruction induction.
+
+The original APE induces a natural-language instruction from input/output
+demonstrations, then selects the candidate with the best score on held-out
+demonstrations.  The stand-in follows the same two phases per category:
+
+1. **Induction** — candidate instructions are the directive-aspect sets
+   observed in that category's golden exemplars (what a proposal model
+   would infer from demonstrations);
+2. **Selection** — each candidate is scored by the oracle quality of the
+   target model's responses on the exemplar prompts; the argmax wins.
+
+At serve time a category classifier routes each prompt to its induced
+instruction.  Like OPRO/ProTeGi, the result is tied to the scoring model —
+not LLM-agnostic — and needs labelled demonstrations per task.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.baselines.base import ApeMethod, FlexibilityProfile
+from repro.classify.model import CategoryClassifier
+from repro.core.golden import GoldenData, build_golden_data, render_complement
+from repro.errors import NotFittedError
+from repro.llm.engine import SimulatedLLM
+from repro.world.aspects import parse_directives
+from repro.world.quality import assess_response
+
+__all__ = ["ApeInduction"]
+
+
+class ApeInduction(ApeMethod):
+    """Per-category induced instructions with demonstration-based selection."""
+
+    name = "ape-induction"
+
+    def __init__(
+        self,
+        target_model: str = "gpt-3.5-turbo-1106",
+        golden: GoldenData | None = None,
+        classifier: CategoryClassifier | None = None,
+        max_directives: int = 3,
+        seed: int = 41,
+    ):
+        self._engine = SimulatedLLM(target_model, seed=seed)
+        self.golden = golden or build_golden_data(seed=seed)
+        self.max_directives = max_directives
+        self.seed = int(seed)
+        self._classifier = classifier
+        self._instructions: dict[str, str] | None = None
+
+    def _candidates(self, category: str) -> list[frozenset[str]]:
+        """Aspect sets a proposal model would induce from the exemplars."""
+        exemplar_sets = [
+            frozenset(parse_directives(pair.complement))
+            for pair in self.golden.exemplars(category)
+        ]
+        candidates = {s for s in exemplar_sets if s}
+        # Sub-combinations of the union act as additional proposals.
+        union = sorted(set().union(*exemplar_sets)) if exemplar_sets else []
+        for size in (1, 2):
+            for combo in combinations(union, min(size, len(union))):
+                candidates.add(frozenset(combo))
+        return sorted(candidates, key=lambda s: (len(s), sorted(s)))
+
+    def _score(self, category: str, aspects: frozenset[str]) -> float:
+        instruction = (
+            render_complement(set(aspects), salt=f"ape␞{category}") if aspects else None
+        )
+        scores = [
+            assess_response(
+                pair.prompt,
+                self._engine.respond(pair.prompt.text, supplement=instruction),
+            ).score
+            for pair in self.golden.exemplars(category)
+        ]
+        return float(np.mean(scores)) if scores else 0.0
+
+    def induce(self) -> dict[str, str]:
+        """Run induction + selection for every golden category."""
+        instructions: dict[str, str] = {}
+        for category in self.golden.categories():
+            best_set: frozenset[str] = frozenset()
+            best_score = self._score(category, best_set)
+            for candidate in self._candidates(category):
+                if len(candidate) > self.max_directives:
+                    continue
+                score = self._score(category, candidate)
+                if score > best_score + 1e-9:
+                    best_set, best_score = candidate, score
+            instructions[category] = (
+                render_complement(set(best_set), salt=f"ape␞{category}")
+                if best_set
+                else ""
+            )
+        self._instructions = instructions
+        return instructions
+
+    @property
+    def instructions(self) -> dict[str, str]:
+        if self._instructions is None:
+            raise NotFittedError("ApeInduction used before induce()")
+        return dict(self._instructions)
+
+    def _route(self, prompt_text: str) -> str:
+        if self._classifier is None:
+            self._classifier = CategoryClassifier().fit_synthetic(seed=self.seed + 1)
+        return self._classifier.predict(prompt_text)
+
+    def transform(self, prompt_text: str) -> tuple[str, str | None]:
+        if self._instructions is None:
+            raise NotFittedError("ApeInduction used before induce()")
+        category = self._route(prompt_text)
+        instruction = self._instructions.get(category, "")
+        return prompt_text, (instruction or None)
+
+    @property
+    def flexibility(self) -> FlexibilityProfile:
+        return FlexibilityProfile(
+            method="ape-induction",
+            needs_human_labor=True,  # demonstrations per task
+            llm_agnostic=False,
+            task_agnostic=False,
+            training_examples=None,
+        )

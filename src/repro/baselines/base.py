@@ -1,0 +1,68 @@
+"""Common interface for prompt-side methods (PAS and every baseline).
+
+Every method is a *prompt transformer*: it receives the user prompt and
+produces ``(prompt_for_model, supplement)``.  Complement-style methods keep
+the prompt intact and return a supplement; rewrite-style methods replace the
+prompt and return no supplement.  The evaluation harness treats both shapes
+uniformly.
+
+Each method also carries a :class:`FlexibilityProfile` — the three columns
+of the paper's Table 3 (human labour, LLM-agnostic, task-agnostic) plus the
+training-data consumption used by Figure 7.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+__all__ = ["FlexibilityProfile", "ApeMethod", "NoApe"]
+
+
+@dataclass(frozen=True)
+class FlexibilityProfile:
+    """One row of Table 3 plus the Figure 7 data-consumption figure."""
+
+    method: str
+    needs_human_labor: bool
+    llm_agnostic: bool
+    task_agnostic: bool
+    training_examples: int | None = None
+
+    @property
+    def satisfies_all(self) -> bool:
+        return not self.needs_human_labor and self.llm_agnostic and self.task_agnostic
+
+
+class ApeMethod(ABC):
+    """A prompt-side method that can be plugged into the evaluation loop."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def transform(self, prompt_text: str) -> tuple[str, str | None]:
+        """Map a user prompt to ``(prompt_for_model, supplement)``."""
+
+    @property
+    @abstractmethod
+    def flexibility(self) -> FlexibilityProfile:
+        """The method's Table-3 row."""
+
+
+class NoApe(ApeMethod):
+    """The paper's "None" arm: pass the prompt through untouched."""
+
+    name = "none"
+
+    def transform(self, prompt_text: str) -> tuple[str, str | None]:
+        return prompt_text, None
+
+    @property
+    def flexibility(self) -> FlexibilityProfile:
+        return FlexibilityProfile(
+            method="none",
+            needs_human_labor=False,
+            llm_agnostic=True,
+            task_agnostic=True,
+            training_examples=0,
+        )

@@ -1,0 +1,34 @@
+"""Zero-shot chain-of-thought (Kojima et al. 2022) as an APE arm.
+
+"Let's think step by step" is the canonical hand-crafted prompt
+augmentation; in this world it maps to unconditionally appending the
+``step_by_step`` directive.  It needs no training at all, but it is also
+blind: it supplements every prompt the same way, spurious or not — the
+contrast that motivates *learned* augmentation.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import ApeMethod, FlexibilityProfile
+from repro.world.aspects import render_directive
+
+__all__ = ["ZeroShotCot"]
+
+
+class ZeroShotCot(ApeMethod):
+    """Append a fixed step-by-step directive to every prompt."""
+
+    name = "zero-shot-cot"
+
+    def transform(self, prompt_text: str) -> tuple[str, str | None]:
+        return prompt_text, render_directive("step_by_step", variant=0)
+
+    @property
+    def flexibility(self) -> FlexibilityProfile:
+        return FlexibilityProfile(
+            method="zero-shot-cot",
+            needs_human_labor=False,
+            llm_agnostic=True,
+            task_agnostic=True,
+            training_examples=0,
+        )

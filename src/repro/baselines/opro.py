@@ -1,0 +1,138 @@
+"""OPRO — LLMs as optimizers (Yang et al. 2023).
+
+OPRO searches for a single task-level instruction by iteratively proposing
+candidates and scoring them on a *training set with known answers* — an
+objective the paper points out is unavailable in deployment, and the reason
+Table 3 marks OPRO as neither LLM- nor task-agnostic: the optimized
+instruction is specific to one (task, model) pair.
+
+Here the search space is sets of up to three directives; the objective is
+mean oracle quality of the target model's responses on the training
+prompts; the optimizer is a deterministic hill climb with restarts (a
+faithful stand-in for the LLM-proposes/score-selects loop).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.baselines.base import ApeMethod, FlexibilityProfile
+from repro.core.golden import render_complement
+from repro.errors import NotFittedError
+from repro.llm.engine import SimulatedLLM
+from repro.world.aspects import aspect_names
+from repro.world.prompts import SyntheticPrompt
+from repro.world.quality import assess_response
+
+__all__ = ["OproOptimizer"]
+
+
+class OproOptimizer(ApeMethod):
+    """Per-task instruction optimizer.
+
+    Parameters
+    ----------
+    target_model:
+        The specific LLM the instruction is optimized for.
+    max_directives:
+        Instruction size cap (mirrors the golden-data cap).
+    n_restarts:
+        Independent hill-climb restarts; the best wins.
+    """
+
+    name = "opro"
+
+    def __init__(
+        self,
+        target_model: str = "gpt-3.5-turbo-1106",
+        max_directives: int = 3,
+        n_restarts: int = 3,
+        seed: int = 23,
+    ):
+        self._engine = SimulatedLLM(target_model, seed=seed)
+        self.max_directives = max_directives
+        self.n_restarts = n_restarts
+        self.seed = int(seed)
+        self._instruction: str | None = None
+        self._history: list[tuple[frozenset[str], float]] = []
+
+    @property
+    def instruction(self) -> str:
+        if self._instruction is None:
+            raise NotFittedError("OproOptimizer used before optimize()")
+        return self._instruction
+
+    @property
+    def history(self) -> list[tuple[frozenset[str], float]]:
+        """(candidate, objective) trace of the optimization run."""
+        return list(self._history)
+
+    def _objective(
+        self, aspects: frozenset[str], train_prompts: list[SyntheticPrompt]
+    ) -> float:
+        instruction = render_complement(set(aspects), salt="opro") if aspects else None
+        scores = [
+            assess_response(p, self._engine.respond(p.text, supplement=instruction)).score
+            for p in train_prompts
+        ]
+        return float(np.mean(scores)) if scores else 0.0
+
+    def optimize(self, train_prompts: list[SyntheticPrompt]) -> str:
+        """Hill-climb an instruction against the training objective."""
+        if not train_prompts:
+            raise ValueError("OPRO needs a non-empty training set")
+        rng = np.random.default_rng(self.seed)
+        names = aspect_names()
+        self._history = []
+        best_set: frozenset[str] = frozenset()
+        best_score = self._objective(best_set, train_prompts)
+        self._history.append((best_set, best_score))
+
+        for _ in range(self.n_restarts):
+            current = frozenset({str(rng.choice(names))})
+            current_score = self._objective(current, train_prompts)
+            self._history.append((current, current_score))
+            improved = True
+            while improved:
+                improved = False
+                for candidate in self._neighbors(current, names):
+                    score = self._objective(candidate, train_prompts)
+                    self._history.append((candidate, score))
+                    if score > current_score + 1e-9:
+                        current, current_score = candidate, score
+                        improved = True
+                        break
+            if current_score > best_score:
+                best_set, best_score = current, current_score
+
+        self._instruction = (
+            render_complement(set(best_set), salt="opro") if best_set else ""
+        )
+        return self._instruction
+
+    def _neighbors(
+        self, current: frozenset[str], names: list[str]
+    ) -> itertools.chain:
+        """Add-one and remove-one moves in the directive-set space."""
+        additions = (
+            current | {name}
+            for name in names
+            if name not in current and len(current) < self.max_directives
+        )
+        removals = (current - {name} for name in sorted(current))
+        return itertools.chain(additions, removals)
+
+    def transform(self, prompt_text: str) -> tuple[str, str | None]:
+        return prompt_text, self.instruction or None
+
+    @property
+    def flexibility(self) -> FlexibilityProfile:
+        return FlexibilityProfile(
+            method="opro",
+            needs_human_labor=True,  # needs a labelled training set per task
+            llm_agnostic=False,
+            task_agnostic=False,
+            training_examples=None,  # excluded from Figure 7, as in the paper
+        )

@@ -1,0 +1,80 @@
+"""PPO-based RLHF alignment (Ouyang et al. 2022) as a data-efficiency
+comparator.
+
+The paper's Figure 7 compares *data consumption*: PPO-style alignment needs
+77k human-labelled examples versus PAS's 9k machine-generated pairs, and
+Table 3 marks it as needing human labour and being tied to one LLM.  The
+comparator here carries those facts and can synthesise a correspondingly
+shaped training corpus (prompt, response, scalar reward) so the Figure 7
+bench constructs every corpus it reports on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.base import ApeMethod, FlexibilityProfile
+from repro.llm.engine import SimulatedLLM
+from repro.world.prompts import PromptFactory
+from repro.world.quality import assess_response
+
+__all__ = ["PpoComparator", "PPO_PAPER_DATA_SIZE"]
+
+#: Human-labelled examples reported for InstructGPT-style PPO in Figure 7.
+PPO_PAPER_DATA_SIZE = 77_000
+
+
+@dataclass(frozen=True)
+class RewardRecord:
+    """One RLHF training record: a response with its human reward."""
+
+    prompt_text: str
+    response_text: str
+    reward: float
+
+
+class PpoComparator(ApeMethod):
+    """Stands in for an RLHF-aligned model in flexibility/efficiency tables.
+
+    As an APE arm it is a pass-through (alignment changes the model, not
+    the prompt); its value in the reproduction is its metadata and its
+    corpus builder.
+    """
+
+    name = "ppo"
+
+    def __init__(self, labeling_model: str = "qwen2-7b-chat", seed: int = 11):
+        self._engine = SimulatedLLM(labeling_model, seed=seed)
+        self.seed = int(seed)
+
+    def transform(self, prompt_text: str) -> tuple[str, str | None]:
+        return prompt_text, None
+
+    def build_training_corpus(self, n_records: int = 770) -> list[RewardRecord]:
+        """Synthesise a (scaled-down) PPO reward-model corpus.
+
+        Rewards come from the quality oracle — the stand-in for the human
+        annotators whose labour Table 3 charges PPO with.
+        """
+        if n_records < 1:
+            raise ValueError(f"n_records must be >= 1, got {n_records}")
+        factory = PromptFactory(rng=np.random.default_rng(self.seed))
+        records = []
+        for _ in range(n_records):
+            prompt = factory.make_prompt()
+            response = self._engine.respond(prompt.text)
+            reward = assess_response(prompt, response).score / 5.0
+            records.append(RewardRecord(prompt.text, response, reward))
+        return records
+
+    @property
+    def flexibility(self) -> FlexibilityProfile:
+        return FlexibilityProfile(
+            method="ppo",
+            needs_human_labor=True,
+            llm_agnostic=False,  # the aligned weights are one specific model
+            task_agnostic=True,
+            training_examples=PPO_PAPER_DATA_SIZE,
+        )

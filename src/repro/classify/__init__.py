@@ -1,0 +1,6 @@
+"""Prompt-category classification (paper §3.1, step 3)."""
+
+from repro.classify.model import CategoryClassifier
+from repro.classify.naive_bayes import MultinomialNaiveBayes
+
+__all__ = ["CategoryClassifier", "MultinomialNaiveBayes"]

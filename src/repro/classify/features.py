@@ -1,0 +1,39 @@
+"""Hashed bag-of-n-grams feature extraction for classification."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils import textproc
+from repro.utils.rng import stable_hash
+
+__all__ = ["FeatureHasher"]
+
+
+class FeatureHasher:
+    """Map text to sparse count features by hashing word uni/bigrams.
+
+    Unlike the embedding model (which is signed, for cosine geometry),
+    classification features are plain non-negative counts, which is what a
+    multinomial Naive Bayes likelihood expects.
+    """
+
+    def __init__(self, n_features: int = 4096):
+        if n_features <= 0:
+            raise ValueError(f"n_features must be positive, got {n_features}")
+        self.n_features = n_features
+
+    def transform(self, text: str) -> np.ndarray:
+        """Dense count vector of hashed uni+bigram features."""
+        vec = np.zeros(self.n_features, dtype=np.float64)
+        toks = textproc.words(text)
+        for tok in toks:
+            vec[stable_hash(f"u|{tok}") % self.n_features] += 1.0
+        for gram in textproc.word_ngrams(toks, 2):
+            vec[stable_hash(f"b|{gram[0]} {gram[1]}") % self.n_features] += 1.0
+        return vec
+
+    def transform_batch(self, texts: list[str]) -> np.ndarray:
+        if not texts:
+            return np.zeros((0, self.n_features), dtype=np.float64)
+        return np.vstack([self.transform(t) for t in texts])

@@ -1,0 +1,67 @@
+"""Multinomial Naive Bayes on dense count features."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EmptyDatasetError, NotFittedError
+
+__all__ = ["MultinomialNaiveBayes"]
+
+
+class MultinomialNaiveBayes:
+    """Multinomial NB with Lidstone smoothing.
+
+    Works on any non-negative count matrix; labels are arbitrary hashable
+    values and come back as given.
+    """
+
+    def __init__(self, alpha: float = 0.5):
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        self.alpha = alpha
+        self._classes: list = []
+        self._log_prior: np.ndarray | None = None
+        self._log_likelihood: np.ndarray | None = None
+
+    @property
+    def classes(self) -> list:
+        return list(self._classes)
+
+    def fit(self, features: np.ndarray, labels: list) -> "MultinomialNaiveBayes":
+        matrix = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        if matrix.shape[0] == 0:
+            raise EmptyDatasetError("cannot fit NB on an empty feature matrix")
+        if matrix.shape[0] != len(labels):
+            raise ValueError(
+                f"features ({matrix.shape[0]}) and labels ({len(labels)}) disagree"
+            )
+        if (matrix < 0).any():
+            raise ValueError("multinomial NB requires non-negative counts")
+        self._classes = sorted(set(labels), key=str)
+        class_index = {c: i for i, c in enumerate(self._classes)}
+        n_classes = len(self._classes)
+        n_features = matrix.shape[1]
+        counts = np.zeros((n_classes, n_features), dtype=np.float64)
+        class_counts = np.zeros(n_classes, dtype=np.float64)
+        for row, label in zip(matrix, labels, strict=True):
+            idx = class_index[label]
+            counts[idx] += row
+            class_counts[idx] += 1
+        self._log_prior = np.log(class_counts / class_counts.sum())
+        smoothed = counts + self.alpha
+        self._log_likelihood = np.log(smoothed / smoothed.sum(axis=1, keepdims=True))
+        return self
+
+    def log_posterior(self, features: np.ndarray) -> np.ndarray:
+        if self._log_prior is None or self._log_likelihood is None:
+            raise NotFittedError("MultinomialNaiveBayes used before fit()")
+        matrix = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        return matrix @ self._log_likelihood.T + self._log_prior
+
+    def predict(self, features: np.ndarray) -> list:
+        scores = self.log_posterior(features)
+        return [self._classes[i] for i in np.argmax(scores, axis=1)]
+
+    def predict_one(self, feature_vector: np.ndarray):
+        return self.predict(np.atleast_2d(feature_vector))[0]

@@ -1,0 +1,7 @@
+"""Clustering and diversity selection over prompt embeddings."""
+
+from repro.cluster.dedup import DedupResult, deduplicate
+from repro.cluster.kcenter import k_center_greedy
+from repro.cluster.kmeans import KMeansResult, kmeans
+
+__all__ = ["DedupResult", "deduplicate", "k_center_greedy", "KMeansResult", "kmeans"]

@@ -1,0 +1,98 @@
+"""Near-duplicate grouping via HNSW neighbour graphs (paper §3.1, step 1).
+
+The paper embeds prompts, clusters them with HNSW, and keeps a small number
+of representatives per cluster.  Here: build an HNSW index over the
+embeddings, take each element's k nearest neighbours, union every pair whose
+cosine similarity exceeds a threshold, and keep up to ``keep_per_group``
+representatives (lowest original index first, so results are stable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ann.hnsw import HnswIndex
+from repro.utils.unionfind import UnionFind
+
+__all__ = ["DedupResult", "deduplicate"]
+
+
+@dataclass(frozen=True)
+class DedupResult:
+    """Outcome of a deduplication pass.
+
+    Attributes
+    ----------
+    kept:
+        Indices of retained elements, in ascending original order.
+    groups:
+        Each duplicate group as a sorted list of original indices
+        (singletons included).
+    representative_of:
+        Maps every original index to its group's representative (the group
+        member with the lowest original index).
+    """
+
+    kept: list[int]
+    groups: list[list[int]] = field(repr=False)
+    representative_of: dict[int, int] = field(repr=False)
+
+    @property
+    def n_duplicates_removed(self) -> int:
+        return len(self.representative_of) - len(self.kept)
+
+
+def deduplicate(
+    embeddings: np.ndarray,
+    threshold: float = 0.9,
+    k_neighbors: int = 8,
+    keep_per_group: int = 1,
+    ef_search: int = 64,
+    seed: int = 0,
+) -> DedupResult:
+    """Group near-duplicate embeddings and pick representatives.
+
+    Parameters
+    ----------
+    embeddings:
+        ``(n, dim)`` matrix of (ideally L2-normalised) vectors.
+    threshold:
+        Cosine similarity above which two elements count as duplicates.
+    k_neighbors:
+        Neighbours examined per element when proposing duplicate pairs.
+    keep_per_group:
+        Representatives retained per duplicate group (paper keeps "a small
+        amount of data" per cluster).
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+    if keep_per_group < 1:
+        raise ValueError(f"keep_per_group must be >= 1, got {keep_per_group}")
+    matrix = np.atleast_2d(np.asarray(embeddings, dtype=np.float64))
+    n = matrix.shape[0]
+    if n == 0:
+        return DedupResult(kept=[], groups=[], representative_of={})
+
+    index = HnswIndex(dim=matrix.shape[1], ef_search=ef_search, seed=seed)
+    for i in range(n):
+        index.add(matrix[i], key=i)
+
+    uf = UnionFind(n)
+    max_distance = 1.0 - threshold  # cosine distance equivalent
+    for key, hits in index.knn_graph(k_neighbors, ef=ef_search).items():
+        for other, dist in hits:
+            if dist <= max_distance:
+                uf.union(key, other)
+
+    groups = sorted(uf.groups().values(), key=lambda g: g[0])
+    kept: list[int] = []
+    representative_of: dict[int, int] = {}
+    for group in groups:
+        group.sort()
+        kept.extend(group[:keep_per_group])
+        for member in group:
+            representative_of[member] = group[0]
+    kept.sort()
+    return DedupResult(kept=kept, groups=groups, representative_of=representative_of)

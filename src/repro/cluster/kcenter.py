@@ -1,0 +1,46 @@
+"""k-center greedy diversity selection.
+
+Referenced by the paper's related work on data selection (Du et al. — score
+then k-center-greedy for diversity); the collection pipeline offers it as an
+optional diversity stage after quality filtering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["k_center_greedy"]
+
+
+def k_center_greedy(
+    embeddings: np.ndarray,
+    k: int,
+    first: int | None = None,
+) -> list[int]:
+    """Select ``k`` indices that greedily maximise pairwise coverage.
+
+    Starting from ``first`` (default: the point closest to the centroid),
+    repeatedly add the point farthest (in Euclidean distance) from the
+    current selection.  Returns the selected indices in pick order.
+    """
+    matrix = np.atleast_2d(np.asarray(embeddings, dtype=np.float64))
+    n = matrix.shape[0]
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    if k == 0 or n == 0:
+        return []
+    k = min(k, n)
+
+    if first is None:
+        centroid = matrix.mean(axis=0)
+        first = int(np.argmin(np.linalg.norm(matrix - centroid, axis=1)))
+    elif not 0 <= first < n:
+        raise ValueError(f"first index {first} out of range [0, {n})")
+
+    selected = [first]
+    min_dist = np.linalg.norm(matrix - matrix[first], axis=1)
+    while len(selected) < k:
+        nxt = int(np.argmax(min_dist))
+        selected.append(nxt)
+        min_dist = np.minimum(min_dist, np.linalg.norm(matrix - matrix[nxt], axis=1))
+    return selected

@@ -1,0 +1,102 @@
+"""Lloyd's k-means with k-means++ seeding, from scratch.
+
+Used as the coarse quantizer of the IVF index and available directly for
+corpus exploration.  Deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["KMeansResult", "kmeans"]
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Fitted centroids plus assignments and inertia."""
+
+    centroids: np.ndarray
+    assignments: np.ndarray
+    inertia: float
+    n_iterations: int
+
+    @property
+    def k(self) -> int:
+        return self.centroids.shape[0]
+
+
+def _plus_plus_init(
+    points: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids by squared distance."""
+    n = points.shape[0]
+    centroids = [points[int(rng.integers(n))]]
+    for _ in range(1, k):
+        dists = np.min(
+            [np.sum((points - c) ** 2, axis=1) for c in centroids], axis=0
+        )
+        total = float(dists.sum())
+        if total <= 1e-12:
+            centroids.append(points[int(rng.integers(n))])
+            continue
+        probs = dists / total
+        centroids.append(points[int(rng.choice(n, p=probs))])
+    return np.array(centroids)
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    max_iterations: int = 50,
+    seed: int = 0,
+    tol: float = 1e-6,
+) -> KMeansResult:
+    """Cluster ``points`` into ``k`` groups.
+
+    Empty clusters are re-seeded with the point farthest from its centroid,
+    so the result always has exactly ``k`` non-degenerate centroids (when
+    ``k <= n``).
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    n = points.shape[0]
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if n == 0:
+        raise ValueError("cannot cluster an empty point set")
+    k = min(k, n)
+    rng = np.random.default_rng(seed)
+    centroids = _plus_plus_init(points, k, rng)
+
+    assignments = np.zeros(n, dtype=np.int64)
+    inertia = float("inf")
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        dists = np.stack(
+            [np.sum((points - c) ** 2, axis=1) for c in centroids], axis=1
+        )
+        assignments = np.argmin(dists, axis=1)
+        new_inertia = float(dists[np.arange(n), assignments].sum())
+
+        new_centroids = centroids.copy()
+        for idx in range(k):
+            members = points[assignments == idx]
+            if members.shape[0] == 0:
+                farthest = int(np.argmax(dists[np.arange(n), assignments]))
+                new_centroids[idx] = points[farthest]
+            else:
+                new_centroids[idx] = members.mean(axis=0)
+
+        converged = abs(inertia - new_inertia) <= tol * max(inertia, 1.0)
+        centroids = new_centroids
+        inertia = new_inertia
+        if converged:
+            break
+
+    return KMeansResult(
+        centroids=centroids,
+        assignments=assignments,
+        inertia=inertia,
+        n_iterations=iteration,
+    )

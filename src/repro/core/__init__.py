@@ -1,0 +1,19 @@
+"""The paper's primary contribution: the PAS model and its plug-in wrapper."""
+
+from repro.core.golden import GoldenData, GoldenPair, build_golden_data, render_complement
+from repro.core.iterative import IterationTrace, IterativePas
+from repro.core.pas import PAS_PAPER_DATA_SIZE, PasModel
+from repro.core.plug import PasApe, PasEnhancedLLM
+
+__all__ = [
+    "PAS_PAPER_DATA_SIZE",
+    "IterationTrace",
+    "IterativePas",
+    "PasApe",
+    "GoldenData",
+    "GoldenPair",
+    "build_golden_data",
+    "render_complement",
+    "PasModel",
+    "PasEnhancedLLM",
+]

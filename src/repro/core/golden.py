@@ -1,0 +1,92 @@
+"""Golden few-shot exemplars (paper §3.2, ``D_golden``).
+
+The paper seeds generation with 4–5 curated (prompt, complementary prompt)
+pairs per category from BaiChuan.  Here golden pairs are manufactured from
+ground truth: a clean prompt (every need cued) paired with directives that
+address exactly its needs.  These are the only "hand-labelled" items in the
+whole pipeline, matching the paper's tiny golden footprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import stable_hash
+from repro.world.aspects import ASPECTS, render_directive
+from repro.world.categories import category_names
+from repro.world.prompts import PromptFactory, SyntheticPrompt
+
+__all__ = ["GoldenPair", "GoldenData", "build_golden_data", "render_complement"]
+
+#: Figure 4 limits complements to ~30 words; three directives fit.
+MAX_DIRECTIVES = 3
+
+
+@dataclass(frozen=True)
+class GoldenPair:
+    """One exemplar: a prompt and its ideal complementary prompt."""
+
+    prompt: SyntheticPrompt
+    complement: str
+
+
+def render_complement(aspects: set[str], salt: str = "") -> str:
+    """Render directive sentences for a set of aspects (capped, weighted).
+
+    When more than :data:`MAX_DIRECTIVES` aspects are requested, the
+    highest-weight aspects win — the ones whose omission costs the most
+    response quality.
+    """
+    ranked = sorted(aspects, key=lambda a: (-ASPECTS[a].weight, a))[:MAX_DIRECTIVES]
+    parts = []
+    for aspect in ranked:
+        variant = stable_hash(f"{salt}␞{aspect}") % len(ASPECTS[aspect].directive_templates)
+        parts.append(render_directive(aspect, variant))
+    return " ".join(parts)
+
+
+class GoldenData:
+    """Per-category golden exemplars."""
+
+    def __init__(self, pairs_by_category: dict[str, list[GoldenPair]]):
+        if not pairs_by_category:
+            raise ValueError("golden data must cover at least one category")
+        self._by_category = pairs_by_category
+
+    def categories(self) -> list[str]:
+        return sorted(self._by_category)
+
+    def exemplars(self, category: str) -> list[GoldenPair]:
+        """Exemplars for a category (empty list for unknown categories)."""
+        return list(self._by_category.get(category, []))
+
+    def all_pairs(self) -> list[GoldenPair]:
+        return [p for pairs in self._by_category.values() for p in pairs]
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._by_category.values())
+
+
+def build_golden_data(seed: int = 99, per_category: int = 5) -> GoldenData:
+    """Manufacture golden exemplars for every category.
+
+    Golden prompts are generated with ``cue_rate=1.0`` (every need is
+    explicitly cued) and no misleading cues, so their complements can be
+    derived exactly.
+    """
+    if per_category < 1:
+        raise ValueError(f"per_category must be >= 1, got {per_category}")
+    factory = PromptFactory(rng=np.random.default_rng(seed))
+    by_category: dict[str, list[GoldenPair]] = {}
+    for category in category_names():
+        pairs = []
+        for i in range(per_category):
+            prompt = factory.make_prompt(
+                category=category, cue_rate=1.0, misleading_cue_rate=0.0
+            )
+            complement = render_complement(set(prompt.needs), salt=f"golden␞{category}␞{i}")
+            pairs.append(GoldenPair(prompt=prompt, complement=complement))
+        by_category[category] = pairs
+    return GoldenData(by_category)

@@ -1,0 +1,102 @@
+"""Iterative PAS — a feedback round on top of the plug-and-play loop.
+
+The paper's pipeline complements once.  Its critic machinery (Figure 5)
+suggests an obvious extension the conclusion gestures at: *inspect the
+response and complement again*.  ``IterativePas`` runs up to ``max_rounds``
+of a fully text-level loop:
+
+1. augment the prompt and get a response;
+2. a reviewer LLM compares the needs it can read off the prompt with the
+   aspects the response actually evidences (marker phrases);
+3. if something is visibly missing, add directives for the gap and retry;
+4. keep whichever response covered more.
+
+Everything is done through public faculties — cue reading, marker reading,
+directive rendering — so the loop composes with any target engine, like
+the base system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.golden import render_complement
+from repro.core.pas import PasModel
+from repro.llm.engine import SimulatedLLM
+from repro.world.aspects import find_markers, parse_directives
+
+__all__ = ["IterationTrace", "IterativePas"]
+
+
+@dataclass(frozen=True)
+class IterationTrace:
+    """What happened across the rounds of one request."""
+
+    rounds: int
+    complements: tuple[str, ...]
+    responses: tuple[str, ...]
+    final_response: str
+    gaps_closed: frozenset[str]
+
+
+@dataclass
+class IterativePas:
+    """PAS with response-feedback rounds.
+
+    Parameters
+    ----------
+    pas:
+        The trained one-shot augmenter (round 1 uses it unchanged).
+    reviewer:
+        The LLM that reads prompts/responses between rounds; the paper's
+        critic model is the natural choice.
+    max_rounds:
+        Total response rounds (1 = plain PAS).
+    """
+
+    pas: PasModel
+    reviewer: SimulatedLLM = field(default_factory=lambda: SimulatedLLM("teacher-gpt-4"))
+    max_rounds: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {self.max_rounds}")
+
+    def _gaps(self, prompt_text: str, response_text: str, demanded: set[str]) -> set[str]:
+        """Needs the reviewer can see that the response does not evidence."""
+        visible_needs = self.reviewer.infer_needs(prompt_text)
+        evidenced = find_markers(response_text)
+        return (visible_needs | demanded) - evidenced
+
+    def ask(self, target: SimulatedLLM, prompt_text: str) -> IterationTrace:
+        """Run the iterative loop against one target engine."""
+        complement = self.pas.augment(prompt_text)
+        response = target.respond(prompt_text, supplement=complement or None)
+        complements = [complement]
+        responses = [response]
+        demanded = parse_directives(complement)
+        closed: set[str] = set()
+
+        for _ in range(self.max_rounds - 1):
+            gaps = self._gaps(prompt_text, response, demanded)
+            if not gaps:
+                break
+            demanded = demanded | gaps
+            complement = render_complement(demanded, salt=f"iter␞{prompt_text}")
+            retry = target.respond(prompt_text, supplement=complement or None)
+            complements.append(complement)
+            responses.append(retry)
+            before = find_markers(response)
+            after = find_markers(retry)
+            # keep the better-covered response
+            if len(after & demanded) >= len(before & demanded):
+                closed |= (after - before) & gaps
+                response = retry
+
+        return IterationTrace(
+            rounds=len(responses),
+            complements=tuple(complements),
+            responses=tuple(responses),
+            final_response=response,
+            gaps_closed=frozenset(closed),
+        )

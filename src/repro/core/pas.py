@@ -1,0 +1,110 @@
+"""The PAS model: ``M_p <- SFT(M; D_generated)`` (paper §3.4).
+
+``PasModel`` is the fine-tuned prompt-complementary model.  Training fits an
+:class:`~repro.llm.sft.SftDirectivePredictor` on the generated dataset;
+inference maps a user prompt to a complementary prompt *without altering the
+original input* — the defining difference from rewrite-style APE (BPO).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.golden import render_complement
+from repro.embedding.model import EmbeddingModel
+from repro.errors import NotFittedError
+from repro.llm.persist import load_predictor, save_predictor
+from repro.llm.profiles import CapabilityProfile
+from repro.llm.sft import SftConfig, SftDirectivePredictor
+from repro.pipeline.dataset import PromptPairDataset
+
+__all__ = ["PasModel", "PAS_PAPER_DATA_SIZE"]
+
+#: Pairs in the paper's released dataset (§3.3) — the Figure 7 anchor.
+PAS_PAPER_DATA_SIZE = 9_000
+
+
+class PasModel:
+    """A trained plug-and-play prompt augmenter.
+
+    Parameters
+    ----------
+    base_model:
+        The base LLM being fine-tuned (``qwen2-7b-chat`` in the paper's
+        main setup, ``llama-2-7b-instruct`` in the BPO-parity setup).
+    embedder:
+        Sentence encoder; defaults to the library-wide hashed n-gram model.
+    sft_config:
+        Fit hyper-parameters (k-NN width, vote threshold).
+    seed:
+        Training-run salt.
+    """
+
+    def __init__(
+        self,
+        base_model: str | CapabilityProfile = "qwen2-7b-chat",
+        embedder: EmbeddingModel | None = None,
+        sft_config: SftConfig | None = None,
+        seed: int = 0,
+    ):
+        self.predictor = SftDirectivePredictor(
+            base_model=base_model,
+            embedder=embedder,
+            config=sft_config,
+            seed=seed,
+        )
+        self._trained_on: int = 0
+
+    @property
+    def base_model_name(self) -> str:
+        return self.predictor.base_profile.name
+
+    @property
+    def is_trained(self) -> bool:
+        return self.predictor.is_fitted
+
+    @property
+    def n_training_pairs(self) -> int:
+        return self._trained_on
+
+    def train(self, dataset: PromptPairDataset) -> "PasModel":
+        """Fine-tune on a prompt-complementary dataset."""
+        pairs = dataset.training_texts()
+        self.predictor.fit(pairs)
+        self._trained_on = len(pairs)
+        return self
+
+    def augment(self, prompt_text: str) -> str:
+        """Produce the complementary prompt ``p_c = M_p(p)``.
+
+        Returns an empty string when the model predicts no directive —
+        plugging PAS in never degrades a prompt it has nothing to add to.
+        """
+        if not self.is_trained:
+            raise NotFittedError("PasModel must be trained before augment()")
+        aspects = self.predictor.predict_aspects(prompt_text)
+        if not aspects:
+            return ""
+        return render_complement(aspects, salt=f"pas␞{self.base_model_name}␞{prompt_text}")
+
+    def enhance(self, prompt_text: str) -> str:
+        """The concatenated prompt ``cat(p, p_c)`` fed to the target LLM."""
+        complement = self.augment(prompt_text)
+        if not complement:
+            return prompt_text
+        return f"{prompt_text}\n{complement}"
+
+    def save(self, path: str | Path) -> Path:
+        """Persist the trained model to one ``.npz`` file (train once,
+        serve many times)."""
+        if not self.is_trained:
+            raise NotFittedError("cannot save an untrained PasModel")
+        return save_predictor(self.predictor, path)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "PasModel":
+        """Reconstruct a model saved with :meth:`save`."""
+        model = cls.__new__(cls)
+        model.predictor = load_predictor(path)
+        model._trained_on = model.predictor.n_examples
+        return model

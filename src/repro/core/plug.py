@@ -1,0 +1,75 @@
+"""Plug-and-play wiring: PAS in front of any target LLM (paper §3.4).
+
+``r_e = LLM(cat(p, p_c))``: the wrapper keeps the user's prompt intact and
+passes the complement alongside it, so it composes with *any* engine —
+open-weight or API-served — which is the paper's flexibility claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.base import ApeMethod, FlexibilityProfile
+from repro.core.pas import PAS_PAPER_DATA_SIZE, PasModel
+from repro.llm.api import ChatClient
+from repro.llm.engine import SimulatedLLM
+
+__all__ = ["PasEnhancedLLM", "PasApe"]
+
+
+@dataclass
+class PasEnhancedLLM:
+    """A target LLM with PAS plugged in.
+
+    Parameters
+    ----------
+    pas:
+        A trained :class:`~repro.core.pas.PasModel`.
+    target:
+        The model being enhanced — an engine for direct use or a
+        :class:`~repro.llm.api.ChatClient` for API-style use with usage
+        accounting.
+    """
+
+    pas: PasModel
+    target: SimulatedLLM | ChatClient
+
+    def ask(self, prompt_text: str) -> str:
+        """Answer the user's prompt with PAS augmentation applied."""
+        complement = self.pas.augment(prompt_text)
+        supplement = complement or None
+        if isinstance(self.target, ChatClient):
+            return self.target.ask(prompt_text, supplement=supplement)
+        return self.target.respond(prompt_text, supplement=supplement)
+
+    def ask_plain(self, prompt_text: str) -> str:
+        """Answer without augmentation (the paper's baseline arm)."""
+        if isinstance(self.target, ChatClient):
+            return self.target.ask(prompt_text)
+        return self.target.respond(prompt_text)
+
+
+@dataclass
+class PasApe(ApeMethod):
+    """PAS exposed through the common APE-method interface.
+
+    The evaluation harness treats every method as a prompt transformer;
+    PAS's transform keeps the prompt intact and supplies a supplement.
+    """
+
+    pas: PasModel
+    name: str = "pas"
+
+    def transform(self, prompt_text: str) -> tuple[str, str | None]:
+        complement = self.pas.augment(prompt_text)
+        return prompt_text, (complement or None)
+
+    @property
+    def flexibility(self) -> FlexibilityProfile:
+        return FlexibilityProfile(
+            method="pas",
+            needs_human_labor=False,  # the dataset is generated automatically
+            llm_agnostic=True,
+            task_agnostic=True,
+            training_examples=PAS_PAPER_DATA_SIZE,
+        )

@@ -1,0 +1,6 @@
+"""Deterministic text embeddings (SimCSE/bge stand-in, paper §3.1)."""
+
+from repro.embedding.model import EmbeddingModel
+from repro.embedding.similarity import cosine, cosine_matrix, pairwise_cosine
+
+__all__ = ["EmbeddingModel", "cosine", "cosine_matrix", "pairwise_cosine"]

@@ -1,0 +1,52 @@
+"""Signed feature hashing (the "hashing trick") for sparse text features.
+
+Each feature string is hashed twice: once to pick a bucket, once to pick a
+sign.  The signed variant keeps the inner product an unbiased estimator of
+the true sparse inner product, which is what makes hashed embeddings usable
+for cosine-similarity dedup.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.utils.rng import stable_hash
+
+__all__ = ["hash_features"]
+
+
+def hash_features(
+    features: Iterable[str],
+    dim: int,
+    weights: Iterable[float] | None = None,
+) -> np.ndarray:
+    """Project weighted string features into a dense ``dim`` vector.
+
+    Parameters
+    ----------
+    features:
+        Feature strings (e.g. character n-grams).
+    dim:
+        Output dimensionality; must be positive.
+    weights:
+        Optional per-feature weights (defaults to 1.0 each).
+    """
+    if dim <= 0:
+        raise ValueError(f"dim must be positive, got {dim}")
+    vec = np.zeros(dim, dtype=np.float64)
+    # The sign comes from a high bit so it is independent of the bucket
+    # (low bits select the bucket via ``h % dim``; reusing a low bit would
+    # correlate sign with bucket and break cancellation).
+    if weights is None:
+        for feat in features:
+            h = stable_hash(feat)
+            sign = 1.0 if (h >> 47) & 1 else -1.0
+            vec[h % dim] += sign
+    else:
+        for feat, w in zip(features, weights, strict=True):
+            h = stable_hash(feat)
+            sign = 1.0 if (h >> 47) & 1 else -1.0
+            vec[h % dim] += sign * w
+    return vec

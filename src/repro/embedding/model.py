@@ -1,0 +1,83 @@
+"""The embedding model used throughout the pipeline.
+
+The paper embeds prompts with a SimCSE-style bge model before HNSW
+clustering (§3.1).  Offline we substitute a deterministic bag-of-subwords
+encoder: character 3/4-grams plus word unigrams/bigrams, signed-hashed into a
+fixed-dimensional space and L2-normalised.  Texts sharing surface phrasing
+land close in cosine space — exactly the property dedup and k-NN SFT need.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.embedding.hashing import hash_features
+from repro.utils import textproc
+
+__all__ = ["EmbeddingModel"]
+
+
+class EmbeddingModel:
+    """Hashed n-gram sentence encoder.
+
+    Parameters
+    ----------
+    dim:
+        Embedding dimensionality (default 256).
+    char_orders:
+        Character n-gram orders to extract.
+    word_orders:
+        Word n-gram orders to extract.
+    word_weight:
+        Relative weight of word-level features versus character features;
+        word n-grams carry more topical signal, char n-grams more robustness
+        to small edits.
+    """
+
+    def __init__(
+        self,
+        dim: int = 256,
+        char_orders: Sequence[int] = (3, 4),
+        word_orders: Sequence[int] = (1, 2),
+        word_weight: float = 2.0,
+    ):
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        if not char_orders and not word_orders:
+            raise ValueError("at least one n-gram order is required")
+        self.dim = dim
+        self.char_orders = tuple(char_orders)
+        self.word_orders = tuple(word_orders)
+        self.word_weight = float(word_weight)
+
+    def _features(self, text: str) -> tuple[list[str], list[float]]:
+        feats: list[str] = []
+        weights: list[float] = []
+        for n in self.char_orders:
+            for gram in textproc.char_ngrams(text, n):
+                feats.append(f"c{n}|{gram}")
+                weights.append(1.0)
+        toks = textproc.words(text)
+        for n in self.word_orders:
+            for gram in textproc.word_ngrams(toks, n):
+                feats.append(f"w{n}|{' '.join(gram)}")
+                weights.append(self.word_weight)
+        return feats, weights
+
+    def embed(self, text: str) -> np.ndarray:
+        """Embed a single text; zero-vector inputs embed to the zero vector."""
+        feats, weights = self._features(text)
+        vec = hash_features(feats, self.dim, weights)
+        norm = float(np.linalg.norm(vec))
+        if norm > 1e-12:
+            vec /= norm
+        return vec
+
+    def embed_batch(self, texts: Iterable[str]) -> np.ndarray:
+        """Embed many texts into an ``(n, dim)`` matrix."""
+        rows = [self.embed(t) for t in texts]
+        if not rows:
+            return np.zeros((0, self.dim), dtype=np.float64)
+        return np.vstack(rows)

@@ -1,0 +1,35 @@
+"""Cosine-similarity helpers over dense embedding vectors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["cosine", "cosine_matrix", "pairwise_cosine"]
+
+
+def cosine(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity of two vectors; 0.0 if either has zero norm."""
+    na = float(np.linalg.norm(a))
+    nb = float(np.linalg.norm(b))
+    if na < 1e-12 or nb < 1e-12:
+        return 0.0
+    return float(np.dot(a, b) / (na * nb))
+
+
+def _normalize_rows(m: np.ndarray) -> np.ndarray:
+    norms = np.linalg.norm(m, axis=1, keepdims=True)
+    norms = np.where(norms < 1e-12, 1.0, norms)
+    return m / norms
+
+
+def cosine_matrix(queries: np.ndarray, corpus: np.ndarray) -> np.ndarray:
+    """Cosine similarity of every query row against every corpus row."""
+    q = _normalize_rows(np.atleast_2d(np.asarray(queries, dtype=np.float64)))
+    c = _normalize_rows(np.atleast_2d(np.asarray(corpus, dtype=np.float64)))
+    return q @ c.T
+
+
+def pairwise_cosine(matrix: np.ndarray) -> np.ndarray:
+    """Symmetric all-pairs cosine similarity of the rows of ``matrix``."""
+    n = _normalize_rows(np.atleast_2d(np.asarray(matrix, dtype=np.float64)))
+    return n @ n.T

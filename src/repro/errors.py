@@ -1,0 +1,40 @@
+"""Exception hierarchy for the PAS reproduction library.
+
+Every error raised intentionally by this package derives from
+:class:`ReproError`, so callers can catch one base class at an API
+boundary without masking programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class UnknownModelError(ReproError):
+    """A model name was requested that is not in the registry."""
+
+
+class NotFittedError(ReproError):
+    """A trainable component was used before ``fit``/``train`` was called."""
+
+
+class EmptyDatasetError(ReproError):
+    """An operation that requires data received an empty dataset."""
+
+
+class GenerationError(ReproError):
+    """The data-generation pipeline could not produce a valid pair."""
+
+
+class IndexError_(ReproError):
+    """An ANN index was used incorrectly (e.g. dimension mismatch)."""
+
+
+class BudgetExceededError(ReproError):
+    """A simulated API budget (request or token limit) was exhausted."""

@@ -1,0 +1,11 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+Each module exposes ``run(ctx) -> <Result>`` and ``render(result) -> str``;
+``repro.experiments.runner`` is the CLI that ties them together.  The shared
+:class:`~repro.experiments.context.ExperimentContext` builds the expensive
+artifacts (datasets, PAS models, benchmark suites) once per run.
+"""
+
+from repro.experiments.context import ExperimentContext, ScaleConfig
+
+__all__ = ["ExperimentContext", "ScaleConfig"]

@@ -1,0 +1,98 @@
+"""Per-category breakdown of PAS's gains (analysis extension).
+
+Table 1 reports aggregates; this harness decomposes the PAS-vs-baseline
+comparison by prompt category, answering *where* the complement earns its
+keep.  Expectation from the mechanics (confirmed by the paper's case
+studies): trap-prone categories (reasoning, math) and format/constraint
+categories benefit most; chitchat benefits least.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.reporting import ascii_table
+from repro.judge.common import respond_with_method
+from repro.utils.stats import win_rate
+
+__all__ = ["CategoryBreakdown", "BreakdownResult", "run", "render", "BREAKDOWN_TARGET_MODEL"]
+
+BREAKDOWN_TARGET_MODEL = "gpt-4-0613"
+
+
+@dataclass(frozen=True)
+class CategoryBreakdown:
+    """Head-to-head PAS-vs-baseline record for one category."""
+
+    category: str
+    n_prompts: int
+    pas_win_rate: float  # of PAS-vs-baseline pairwise judgements
+
+    @property
+    def pas_ahead(self) -> bool:
+        return self.pas_win_rate > 50.0
+
+
+@dataclass
+class BreakdownResult:
+    model: str = BREAKDOWN_TARGET_MODEL
+    categories: list[CategoryBreakdown] = field(default_factory=list)
+
+    def best(self) -> CategoryBreakdown:
+        return max(self.categories, key=lambda c: c.pas_win_rate)
+
+    def worst(self) -> CategoryBreakdown:
+        return min(self.categories, key=lambda c: c.pas_win_rate)
+
+    @property
+    def n_categories_ahead(self) -> int:
+        return sum(1 for c in self.categories if c.pas_ahead)
+
+
+def run(ctx: ExperimentContext, model: str = BREAKDOWN_TARGET_MODEL) -> BreakdownResult:
+    """Judge PAS directly against the no-APE arm, per category.
+
+    Unlike the vs-reference benchmarks, this is a head-to-head: both arms
+    answer the same prompt on the same engine and the judge picks.
+    """
+    engine = ctx.engine(model)
+    judge = ctx.alpaca_eval.judge
+    method_none = ctx.method_none()
+    method_pas = ctx.method_pas()
+    outcomes: dict[str, list[float]] = defaultdict(list)
+    for prompt in ctx.alpaca_eval.suite:
+        pas_response = respond_with_method(engine, method_pas, prompt)
+        base_response = respond_with_method(engine, method_none, prompt)
+        verdict = judge.pairwise(prompt, pas_response, base_response)
+        outcomes[prompt.category].append(verdict.outcome)
+
+    result = BreakdownResult(model=model)
+    for category in sorted(outcomes):
+        outs = outcomes[category]
+        result.categories.append(
+            CategoryBreakdown(
+                category=category,
+                n_prompts=len(outs),
+                pas_win_rate=win_rate(outs),
+            )
+        )
+    return result
+
+
+def render(result: BreakdownResult) -> str:
+    rows = [
+        [c.category, c.n_prompts, c.pas_win_rate, "ahead" if c.pas_ahead else "behind"]
+        for c in sorted(result.categories, key=lambda c: -c.pas_win_rate)
+    ]
+    table = ascii_table(
+        ["Category", "n", "PAS win% vs baseline", "status"],
+        rows,
+        title=f"Per-category PAS gains on {result.model}",
+    )
+    return (
+        f"{table}\n"
+        f"PAS ahead in {result.n_categories_ahead}/{len(result.categories)} categories; "
+        f"best: {result.best().category}, hardest: {result.worst().category}"
+    )

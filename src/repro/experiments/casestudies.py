@@ -1,0 +1,137 @@
+"""Case studies (Figures 2, 8, 9) — the paper's three qualitative examples.
+
+1. **Logic trap** — the "ten birds, one shot" question: without PAS the
+   model blunders into the naive answer; PAS's complement warns about the
+   trap.
+2. **Ancient boiling water** — a context-bound how-to: PAS grounds the
+   answer in the stated setting instead of generic advice.
+3. **Blood pressure under blood loss** — a superficially answerable medical
+   question: PAS requests the in-depth mechanistic analysis the asker
+   actually needs.
+
+The case prompts are hand-built members of the synthetic universe, so both
+arms can be scored by the oracle and the improvement quantified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.context import ExperimentContext
+from repro.world.prompts import SyntheticPrompt
+from repro.world.quality import QualityAssessment, assess_response
+
+__all__ = ["CaseStudy", "CaseStudyResult", "CASE_PROMPTS", "run", "render"]
+
+CASE_STUDY_TARGET_MODEL = "gpt-4-0613"
+
+CASE_PROMPTS: tuple[SyntheticPrompt, ...] = (
+    SyntheticPrompt(
+        uid=900001,
+        text=(
+            "If there are ten birds on a tree and one is shot dead, how many "
+            "birds are on the ground? It sounds like a tricky question."
+        ),
+        category="math",
+        needs=frozenset({"logic_trap", "step_by_step"}),
+        topic="ten birds on a tree",
+        hard=True,
+    ),
+    SyntheticPrompt(
+        uid=900002,
+        text=(
+            "How do I boil water quickly in ancient times? Remember this is "
+            "a historical setting."
+        ),
+        category="question_answering",
+        needs=frozenset({"context", "step_by_step", "constraints"}),
+        topic="boil water quickly",
+        hard=True,
+    ),
+    SyntheticPrompt(
+        uid=900003,
+        text=(
+            "Does blood pressure increase or decrease when the body loses "
+            "blood? Please explain it in detail."
+        ),
+        category="question_answering",
+        needs=frozenset({"depth", "structure"}),
+        topic="blood pressure",
+    ),
+)
+
+
+@dataclass(frozen=True)
+class CaseStudy:
+    """One case: both arms' texts and their oracle assessments."""
+
+    title: str
+    prompt: SyntheticPrompt
+    complement: str
+    response_without: str
+    response_with: str
+    assessment_without: QualityAssessment
+    assessment_with: QualityAssessment
+
+    @property
+    def improvement(self) -> float:
+        return self.assessment_with.score - self.assessment_without.score
+
+
+@dataclass
+class CaseStudyResult:
+    cases: list[CaseStudy] = field(default_factory=list)
+
+    @property
+    def mean_improvement(self) -> float:
+        if not self.cases:
+            return 0.0
+        return sum(c.improvement for c in self.cases) / len(self.cases)
+
+
+_TITLES = ("Case 1: logic trap", "Case 2: ancient boiling water", "Case 3: blood loss")
+
+
+def run(ctx: ExperimentContext) -> CaseStudyResult:
+    engine = ctx.engine(CASE_STUDY_TARGET_MODEL)
+    pas = ctx.pas
+    result = CaseStudyResult()
+    for title, prompt in zip(_TITLES, CASE_PROMPTS):
+        complement = pas.augment(prompt.text)
+        without = engine.respond(prompt.text)
+        with_pas = engine.respond(prompt.text, supplement=complement or None)
+        result.cases.append(
+            CaseStudy(
+                title=title,
+                prompt=prompt,
+                complement=complement,
+                response_without=without,
+                response_with=with_pas,
+                assessment_without=assess_response(prompt, without),
+                assessment_with=assess_response(prompt, with_pas),
+            )
+        )
+    return result
+
+
+def render(result: CaseStudyResult) -> str:
+    blocks = []
+    for case in result.cases:
+        blocks.append(
+            "\n".join(
+                [
+                    f"=== {case.title} ===",
+                    f"User: {case.prompt.text}",
+                    f"PAS complement: {case.complement or '(none)'}",
+                    f"--- without PAS (score {case.assessment_without.score:.2f}, "
+                    f"flaws {case.assessment_without.flaw_count}) ---",
+                    case.response_without,
+                    f"--- with PAS (score {case.assessment_with.score:.2f}, "
+                    f"flaws {case.assessment_with.flaw_count}) ---",
+                    case.response_with,
+                    f"improvement: {case.improvement:+.2f}",
+                ]
+            )
+        )
+    blocks.append(f"mean improvement: {result.mean_improvement:+.2f}")
+    return "\n\n".join(blocks)

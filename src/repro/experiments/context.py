@@ -1,0 +1,180 @@
+"""Shared experiment context: build expensive artifacts once, reuse across
+every table and figure harness.
+
+All artifacts are lazily constructed and cached.  The same seed plus the
+same :class:`ScaleConfig` reproduces every number exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.baselines.base import ApeMethod, NoApe
+from repro.baselines.bpo import BpoModel
+from repro.core.pas import PasModel
+from repro.core.plug import PasApe
+from repro.judge.alpaca_eval import AlpacaEvalBenchmark
+from repro.judge.arena_hard import ArenaHardBenchmark
+from repro.judge.suites import (
+    BenchmarkSuite,
+    build_alpaca_suite,
+    build_arena_hard_suite,
+    build_human_eval_suite,
+)
+from repro.llm.engine import SimulatedLLM
+from repro.llm.profiles import TARGET_MODELS
+from repro.pipeline.collect import PromptCollector
+from repro.pipeline.dataset import PromptPairDataset
+from repro.pipeline.generate import GenerationConfig, PairGenerator
+from repro.world.prompts import CorpusConfig, PromptFactory
+
+__all__ = ["ScaleConfig", "ExperimentContext", "TARGET_MODELS"]
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    """Experiment sizes.
+
+    ``quick`` keeps CI / pytest-benchmark runs in seconds-to-a-minute;
+    ``full`` is the EXPERIMENTS.md configuration.
+    """
+
+    n_corpus_prompts: int = 1600
+    arena_suite_size: int = 150
+    alpaca_suite_size: int = 200
+    human_eval_per_scenario: int = 25
+
+    @classmethod
+    def quick(cls) -> "ScaleConfig":
+        return cls(
+            n_corpus_prompts=700,
+            arena_suite_size=90,
+            alpaca_suite_size=120,
+            human_eval_per_scenario=10,
+        )
+
+    @classmethod
+    def full(cls) -> "ScaleConfig":
+        return cls()
+
+
+class ExperimentContext:
+    """Lazily built shared artifacts for the experiment harnesses."""
+
+    def __init__(self, scale: ScaleConfig | None = None, seed: int = 0):
+        self.scale = scale or ScaleConfig.full()
+        self.seed = int(seed)
+        self._engines: dict[str, SimulatedLLM] = {}
+
+    # -------------------------------------------------------------- #
+    # data pipeline artifacts
+    # -------------------------------------------------------------- #
+
+    def _build_dataset(self, curate: bool) -> PromptPairDataset:
+        factory = PromptFactory(rng=np.random.default_rng(self.seed))
+        corpus = factory.make_corpus(
+            CorpusConfig(n_prompts=self.scale.n_corpus_prompts)
+        )
+        collector = PromptCollector(seed=self.seed)
+        collected = collector.collect(corpus)
+        generator = PairGenerator(config=GenerationConfig(curate=curate))
+        return generator.build_dataset(collected.selected)
+
+    @cached_property
+    def curated_dataset(self) -> PromptPairDataset:
+        """The §3.2 dataset with selection + regeneration on."""
+        return self._build_dataset(curate=True)
+
+    @cached_property
+    def raw_dataset(self) -> PromptPairDataset:
+        """The ablation dataset: same pipeline, no selection/regeneration."""
+        return self._build_dataset(curate=False)
+
+    # -------------------------------------------------------------- #
+    # models and methods
+    # -------------------------------------------------------------- #
+
+    @cached_property
+    def pas(self) -> PasModel:
+        """The main PAS model (Qwen2-7B base, curated data) — Table 1."""
+        return PasModel(base_model="qwen2-7b-chat", seed=self.seed).train(
+            self.curated_dataset
+        )
+
+    @cached_property
+    def pas_llama_base(self) -> PasModel:
+        """PAS on BPO's base model (LLaMA-2-7B) — Table 2."""
+        return PasModel(base_model="llama-2-7b-instruct", seed=self.seed).train(
+            self.curated_dataset
+        )
+
+    @cached_property
+    def pas_uncurated(self) -> PasModel:
+        """PAS trained without selection/regeneration — Table 5."""
+        return PasModel(base_model="qwen2-7b-chat", seed=self.seed).train(
+            self.raw_dataset
+        )
+
+    @cached_property
+    def bpo(self) -> BpoModel:
+        return BpoModel(seed=self.seed + 7)
+
+    def method_none(self) -> ApeMethod:
+        return NoApe()
+
+    def method_pas(self) -> ApeMethod:
+        return PasApe(self.pas)
+
+    def method_pas_llama(self) -> ApeMethod:
+        return PasApe(self.pas_llama_base, name="pas-llama2")
+
+    def method_pas_uncurated(self) -> ApeMethod:
+        return PasApe(self.pas_uncurated, name="pas-wo-selection")
+
+    def engine(self, model: str) -> SimulatedLLM:
+        """Target-model engine, cached per name."""
+        if model not in self._engines:
+            self._engines[model] = SimulatedLLM(model, seed=self.seed)
+        return self._engines[model]
+
+    # -------------------------------------------------------------- #
+    # benchmarks
+    # -------------------------------------------------------------- #
+
+    @cached_property
+    def arena_hard(self) -> ArenaHardBenchmark:
+        suite = build_arena_hard_suite(
+            self.scale.arena_suite_size, seed=self.seed + 500
+        )
+        return ArenaHardBenchmark(suite, seed=self.seed)
+
+    @cached_property
+    def alpaca_eval(self) -> AlpacaEvalBenchmark:
+        suite = build_alpaca_suite(self.scale.alpaca_suite_size, seed=self.seed + 600)
+        return AlpacaEvalBenchmark(suite, seed=self.seed)
+
+    @cached_property
+    def human_eval_suites(self) -> dict[str, BenchmarkSuite]:
+        return build_human_eval_suite(
+            self.scale.human_eval_per_scenario, seed=self.seed + 700
+        )
+
+    # -------------------------------------------------------------- #
+    # the shared evaluation primitive
+    # -------------------------------------------------------------- #
+
+    def evaluate_arm(self, model: str, method: ApeMethod) -> dict[str, float]:
+        """Run one (model, method) arm over all three §4.1 benchmarks."""
+        engine = self.engine(model)
+        arena = self.arena_hard.evaluate(engine, method)
+        alpaca = self.alpaca_eval.evaluate(engine, method)
+        average = (arena.score + alpaca.win_rate + alpaca.lc_win_rate) / 3.0
+        return {
+            "arena_hard": arena.score,
+            "alpaca_eval": alpaca.win_rate,
+            "alpaca_eval_lc": alpaca.lc_win_rate,
+            "average": average,
+        }

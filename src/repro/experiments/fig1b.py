@@ -1,0 +1,55 @@
+"""Figure 1(b) — GSB win shares of PAS vs baseline per human-eval scenario."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.reporting import bar_chart
+from repro.experiments.table4 import HUMAN_EVAL_TARGET_MODEL
+from repro.humaneval.metrics import GsbResult, gsb
+from repro.humaneval.panel import AnnotatorPanel
+from repro.judge.common import respond_with_method
+from repro.utils.stats import mean
+
+__all__ = ["Fig1bResult", "run", "render"]
+
+
+@dataclass
+class Fig1bResult:
+    scenarios: list[GsbResult] = field(default_factory=list)
+
+    @property
+    def mean_win_share(self) -> float:
+        return mean([s.win_share for s in self.scenarios])
+
+
+def run(ctx: ExperimentContext, panel: AnnotatorPanel | None = None) -> Fig1bResult:
+    """GSB comparison per scenario (PAS arm = Good side)."""
+    panel = panel or AnnotatorPanel(seed=ctx.seed)
+    engine = ctx.engine(HUMAN_EVAL_TARGET_MODEL)
+    method_none = ctx.method_none()
+    method_pas = ctx.method_pas()
+    result = Fig1bResult()
+    for scenario, suite in ctx.human_eval_suites.items():
+        prompts = list(suite)
+        pas_responses = [respond_with_method(engine, method_pas, p) for p in prompts]
+        base_responses = [respond_with_method(engine, method_none, p) for p in prompts]
+        result.scenarios.append(
+            gsb(panel, prompts, pas_responses, base_responses, scenario=scenario)
+        )
+    return result
+
+
+def render(result: Fig1bResult) -> str:
+    chart = bar_chart(
+        labels=[s.scenario for s in result.scenarios],
+        values=[round(s.win_share, 1) for s in result.scenarios],
+        unit="% win",
+        title="Figure 1(b): PAS win share of decisive human judgements",
+    )
+    detail = "\n".join(
+        f"  {s.scenario}: good {s.good:.1f}% / same {s.same:.1f}% / bad {s.bad:.1f}%"
+        for s in result.scenarios
+    )
+    return f"{chart}\n{detail}\nmean win share: {result.mean_win_share:.1f}%"

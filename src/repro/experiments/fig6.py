@@ -1,0 +1,40 @@
+"""Figure 6 — category distribution of the prompt-complementary dataset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.reporting import bar_chart
+
+__all__ = ["Fig6Result", "run", "render"]
+
+
+@dataclass
+class Fig6Result:
+    counts: dict[str, int] = field(default_factory=dict)
+    n_pairs: int = 0
+    n_dropped: int = 0
+
+    @property
+    def n_categories(self) -> int:
+        return len(self.counts)
+
+
+def run(ctx: ExperimentContext) -> Fig6Result:
+    dataset = ctx.curated_dataset
+    counts = dict(sorted(dataset.category_distribution().items(), key=lambda kv: -kv[1]))
+    return Fig6Result(counts=counts, n_pairs=len(dataset), n_dropped=dataset.n_dropped)
+
+
+def render(result: Fig6Result) -> str:
+    chart = bar_chart(
+        labels=list(result.counts),
+        values=[float(v) for v in result.counts.values()],
+        title="Figure 6: prompt-complementary dataset distribution",
+    )
+    return (
+        f"{chart}\n"
+        f"total pairs: {result.n_pairs} across {result.n_categories} categories "
+        f"({result.n_dropped} dropped by the critic loop)"
+    )

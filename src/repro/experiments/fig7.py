@@ -1,0 +1,93 @@
+"""Figure 7 — data-efficiency comparison (PAS vs BPO vs PPO vs DPO).
+
+Two layers:
+
+* the paper-scale accounting — 9k / 14k / 77k / 170k training examples and
+  the ``Efficiency = Consumption_method / Consumption_PAS`` ratios (these
+  are exact reproductions: they are dataset sizes, not measurements);
+* a *runnable* demonstration — each method's corpus builder generates a
+  scaled-down corpus (same proportions) so the numbers are attached to real
+  code paths rather than constants alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.bpo import BPO_PAPER_DATA_SIZE, build_bpo_preference_corpus
+from repro.baselines.dpo import DPO_PAPER_DATA_SIZE, DpoComparator
+from repro.baselines.ppo import PPO_PAPER_DATA_SIZE, PpoComparator
+from repro.core.pas import PAS_PAPER_DATA_SIZE
+from repro.experiments.context import ExperimentContext
+from repro.experiments.reporting import ascii_table, bar_chart
+
+__all__ = ["Fig7Result", "run", "render", "PAPER_DATA_SIZES"]
+
+PAPER_DATA_SIZES: dict[str, int] = {
+    "pas": PAS_PAPER_DATA_SIZE,
+    "bpo": BPO_PAPER_DATA_SIZE,
+    "ppo": PPO_PAPER_DATA_SIZE,
+    "dpo": DPO_PAPER_DATA_SIZE,
+}
+
+#: 1 : scale-down factor used for the runnable corpus demonstration.
+DEMO_SCALE = 100
+
+
+@dataclass
+class Fig7Result:
+    paper_sizes: dict[str, int] = field(default_factory=dict)
+    efficiency: dict[str, float] = field(default_factory=dict)
+    demo_built: dict[str, int] = field(default_factory=dict)
+
+
+def run(ctx: ExperimentContext, build_demo_corpora: bool = True) -> Fig7Result:
+    """Compute efficiency ratios; optionally build the demo corpora."""
+    efficiency = {
+        name: size / PAPER_DATA_SIZES["pas"] for name, size in PAPER_DATA_SIZES.items()
+    }
+    demo_built: dict[str, int] = {}
+    if build_demo_corpora:
+        demo_built["pas"] = len(ctx.curated_dataset)
+        demo_built["bpo"] = len(
+            build_bpo_preference_corpus(
+                n_pairs=BPO_PAPER_DATA_SIZE // DEMO_SCALE, seed=ctx.seed + 7
+            )
+        )
+        demo_built["ppo"] = len(
+            PpoComparator(seed=ctx.seed + 11).build_training_corpus(
+                PPO_PAPER_DATA_SIZE // DEMO_SCALE
+            )
+        )
+        demo_built["dpo"] = len(
+            DpoComparator(seed=ctx.seed + 13).build_training_corpus(
+                DPO_PAPER_DATA_SIZE // DEMO_SCALE
+            )
+        )
+    return Fig7Result(
+        paper_sizes=dict(PAPER_DATA_SIZES),
+        efficiency=efficiency,
+        demo_built=demo_built,
+    )
+
+
+def render(result: Fig7Result) -> str:
+    chart = bar_chart(
+        labels=[name.upper() for name in result.paper_sizes],
+        values=[float(v) for v in result.paper_sizes.values()],
+        title="Figure 7: training-data consumption (examples)",
+    )
+    rows = [
+        [
+            name.upper(),
+            size,
+            f"{result.efficiency[name]:.2f}x PAS",
+            result.demo_built.get(name, "-"),
+        ]
+        for name, size in result.paper_sizes.items()
+    ]
+    table = ascii_table(
+        ["Method", "Paper data size", "Relative consumption", "Demo corpus built"],
+        rows,
+    )
+    return f"{chart}\n{table}"

@@ -1,0 +1,73 @@
+"""Plain-text table rendering for experiment outputs."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["ascii_table", "format_delta", "bar_chart"]
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as a fixed-width text table.
+
+    Cells are stringified; floats get two decimals.  Column widths adapt to
+    content.
+    """
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.2f}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    parts = []
+    if title:
+        parts.append(title)
+    parts.extend([sep, line(list(headers)), sep])
+    parts.extend(line(row) for row in str_rows)
+    parts.append(sep)
+    return "\n".join(parts)
+
+
+def format_delta(value: float, reference: float) -> str:
+    """``"61.20 (+4.30)"``-style cell used throughout Tables 1/2/5."""
+    delta = value - reference
+    sign = "+" if delta >= 0 else ""
+    return f"{value:.2f} ({sign}{delta:.2f})"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+    title: str | None = None,
+) -> str:
+    """Horizontal ascii bar chart (used by the figure harnesses)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not labels:
+        return title or ""
+    peak = max(max(values), 1e-12)
+    label_w = max(len(str(label)) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(round(width * value / peak))) if value > 0 else ""
+        lines.append(f"{str(label).ljust(label_w)} | {bar} {value:g}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,140 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Examples::
+
+    pas-repro --experiment table1 --scale quick
+    pas-repro --experiment all --scale full --seed 0 --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import (
+    breakdown,
+    casestudies,
+    fig1b,
+    fig6,
+    fig7,
+    significance,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+from repro.experiments.context import ExperimentContext, ScaleConfig
+from repro.utils.io import dump_jsonl, to_jsonable
+
+__all__ = ["EXPERIMENTS", "main", "run_experiment"]
+
+EXPERIMENTS = {
+    "table1": (table1.run, table1.render),
+    "table2": (table2.run, table2.render),
+    "table3": (table3.run, table3.render),
+    "table4": (table4.run, table4.render),
+    "table5": (table5.run, table5.render),
+    "fig1b": (fig1b.run, fig1b.render),
+    "fig6": (fig6.run, fig6.render),
+    "fig7": (fig7.run, fig7.render),
+    "casestudies": (casestudies.run, casestudies.render),
+    "significance": (significance.run, significance.render),
+    "breakdown": (breakdown.run, breakdown.render),
+}
+
+
+def run_experiment(name: str, ctx: ExperimentContext) -> tuple[object, str]:
+    """Run one experiment by name; returns (result object, rendered text)."""
+    if name not in EXPERIMENTS:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ValueError(f"unknown experiment {name!r}; choose from: {known}")
+    run_fn, render_fn = EXPERIMENTS[name]
+    result = run_fn(ctx)
+    return result, render_fn(result)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="pas-repro",
+        description="Regenerate the PAS paper's tables and figures.",
+    )
+    parser.add_argument(
+        "--experiment",
+        default="all",
+        help="table1..table5, fig1b, fig6, fig7, casestudies, or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("quick", "full"),
+        default="full",
+        help="quick = small corpora/suites for smoke runs",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="directory for JSONL result dumps (optional)",
+    )
+    parser.add_argument(
+        "--report",
+        type=Path,
+        default=None,
+        help="write a single consolidated markdown report to this file",
+    )
+    parser.add_argument(
+        "--save-dataset",
+        type=Path,
+        default=None,
+        help="also save the curated prompt-complementary dataset (JSONL)",
+    )
+    parser.add_argument(
+        "--manifest",
+        type=Path,
+        default=None,
+        help="write the run's reproducibility manifest (JSON)",
+    )
+    args = parser.parse_args(argv)
+
+    scale = ScaleConfig.quick() if args.scale == "quick" else ScaleConfig.full()
+    ctx = ExperimentContext(scale=scale, seed=args.seed)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+
+    if args.save_dataset is not None:
+        n_saved = ctx.curated_dataset.save(args.save_dataset)
+        print(f"saved {n_saved} pairs to {args.save_dataset}\n")
+
+    if args.manifest is not None:
+        from repro.manifest import build_manifest
+
+        manifest_path = build_manifest(ctx).save(args.manifest)
+        print(f"manifest written to {manifest_path}\n")
+
+    report_sections: list[str] = []
+    for name in names:
+        started = time.perf_counter()
+        result, text = run_experiment(name, ctx)
+        elapsed = time.perf_counter() - started
+        print(text)
+        print(f"[{name} finished in {elapsed:.1f}s]\n")
+        if args.out is not None:
+            dump_jsonl([to_jsonable(result)], args.out / f"{name}.jsonl")
+        report_sections.append(
+            f"## {name}\n\n```\n{text}\n```\n\n*({elapsed:.1f}s)*\n"
+        )
+    if args.report is not None:
+        header = (
+            "# PAS reproduction report\n\n"
+            f"scale={args.scale} seed={args.seed}\n\n"
+        )
+        args.report.parent.mkdir(parents=True, exist_ok=True)
+        args.report.write_text(header + "\n".join(report_sections), encoding="utf-8")
+        print(f"report written to {args.report}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,99 @@
+"""Table 1 — PAS vs BPO vs no-APE across six target LLMs.
+
+The paper's headline comparison: for each target model, evaluate the three
+method arms on Arena-Hard, AlpacaEval 2.0, and AlpacaEval 2.0 (LC), then
+report per-model scores, per-arm averages, and the PAS deltas over both the
+baseline (PAS-None) and BPO (PAS-BPO).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.context import TARGET_MODELS, ExperimentContext
+from repro.experiments.reporting import ascii_table, format_delta
+from repro.utils.stats import mean
+
+__all__ = ["ArmScore", "Table1Result", "run", "render"]
+
+_METRICS = ("arena_hard", "alpaca_eval", "alpaca_eval_lc", "average")
+
+
+@dataclass(frozen=True)
+class ArmScore:
+    """One (model, method) row of the table."""
+
+    model: str
+    method: str
+    arena_hard: float
+    alpaca_eval: float
+    alpaca_eval_lc: float
+    average: float
+
+
+@dataclass
+class Table1Result:
+    """All rows plus per-method averages."""
+
+    rows: list[ArmScore] = field(default_factory=list)
+
+    def method_rows(self, method: str) -> list[ArmScore]:
+        return [r for r in self.rows if r.method == method]
+
+    def method_average(self, method: str, metric: str = "average") -> float:
+        return mean([getattr(r, metric) for r in self.method_rows(method)])
+
+    @property
+    def pas_gain_over_none(self) -> float:
+        return self.method_average("pas") - self.method_average("none")
+
+    @property
+    def pas_gain_over_bpo(self) -> float:
+        return self.method_average("pas") - self.method_average("bpo")
+
+
+def run(ctx: ExperimentContext) -> Table1Result:
+    """Evaluate none / BPO / PAS on every target model."""
+    methods = [ctx.method_none(), ctx.bpo, ctx.method_pas()]
+    result = Table1Result()
+    for method in methods:
+        for model in TARGET_MODELS:
+            scores = ctx.evaluate_arm(model, method)
+            result.rows.append(
+                ArmScore(
+                    model=model,
+                    method=method.name,
+                    arena_hard=scores["arena_hard"],
+                    alpaca_eval=scores["alpaca_eval"],
+                    alpaca_eval_lc=scores["alpaca_eval_lc"],
+                    average=scores["average"],
+                )
+            )
+    return result
+
+
+def render(result: Table1Result) -> str:
+    """Paper-layout text table, including the (+delta) columns."""
+    headers = ["Main Model", "APE-model", "Arena-hard", "Alpaca-Eval 2.0", "Alpaca-Eval 2.0 (LC)", "Average"]
+    table_rows: list[list[object]] = []
+    baseline_avg = {r.model: r.average for r in result.method_rows("none")}
+    bpo_avg = {r.model: r.average for r in result.method_rows("bpo")}
+
+    for method, label in (("none", "None"), ("bpo", "BPO"), ("pas", "PAS (vs None)"), ("pas", "PAS (vs BPO)")):
+        reference = baseline_avg if label.endswith("None)") else bpo_avg
+        for row in result.method_rows(method):
+            avg_cell: object = row.average
+            if method == "pas":
+                avg_cell = format_delta(row.average, reference[row.model])
+            table_rows.append(
+                [row.model, label, row.arena_hard, row.alpaca_eval, row.alpaca_eval_lc, avg_cell]
+            )
+        avg_of = lambda metric: mean([getattr(r, metric) for r in result.method_rows(method)])  # noqa: E731
+        avg_cell = avg_of("average")
+        if method == "pas":
+            ref_mean = mean(list(reference.values()))
+            avg_cell = format_delta(avg_of("average"), ref_mean)
+        table_rows.append(
+            ["AVERAGE", label, avg_of("arena_hard"), avg_of("alpaca_eval"), avg_of("alpaca_eval_lc"), avg_cell]
+        )
+    return ascii_table(headers, table_rows, title="Table 1: PAS vs BPO vs no-APE")

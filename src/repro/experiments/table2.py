@@ -1,0 +1,72 @@
+"""Table 2 — PAS vs BPO on the *same* base model (LLaMA-2-7B-instruct).
+
+BPO fine-tunes LLaMA-2-7B; the paper levels the field by training PAS on the
+identical base and showing the data (not the base model) carries the win.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.context import TARGET_MODELS, ExperimentContext
+from repro.experiments.reporting import ascii_table, format_delta
+from repro.experiments.table1 import ArmScore
+from repro.utils.stats import mean
+
+__all__ = ["Table2Result", "run", "render"]
+
+
+@dataclass
+class Table2Result:
+    """BPO rows and PAS-on-LLaMA-2 rows."""
+
+    rows: list[ArmScore] = field(default_factory=list)
+
+    def method_rows(self, method: str) -> list[ArmScore]:
+        return [r for r in self.rows if r.method == method]
+
+    def method_average(self, method: str, metric: str = "average") -> float:
+        return mean([getattr(r, metric) for r in self.method_rows(method)])
+
+    @property
+    def pas_gain_over_bpo(self) -> float:
+        return self.method_average("pas-llama2") - self.method_average("bpo")
+
+
+def run(ctx: ExperimentContext) -> Table2Result:
+    """Evaluate BPO and same-base PAS on every target model."""
+    result = Table2Result()
+    for method in (ctx.bpo, ctx.method_pas_llama()):
+        for model in TARGET_MODELS:
+            scores = ctx.evaluate_arm(model, method)
+            result.rows.append(
+                ArmScore(
+                    model=model,
+                    method=method.name,
+                    arena_hard=scores["arena_hard"],
+                    alpaca_eval=scores["alpaca_eval"],
+                    alpaca_eval_lc=scores["alpaca_eval_lc"],
+                    average=scores["average"],
+                )
+            )
+    return result
+
+
+def render(result: Table2Result) -> str:
+    headers = ["Main Model", "Method", "Arena-hard", "Alpaca-Eval 2.0", "Alpaca-Eval 2.0 (LC)", "Average"]
+    rows: list[list[object]] = []
+    bpo_avg = {r.model: r.average for r in result.method_rows("bpo")}
+    for method, label in (("bpo", "BPO"), ("pas-llama2", "PAS")):
+        for row in result.method_rows(method):
+            avg_cell: object = row.average
+            if method != "bpo":
+                avg_cell = format_delta(row.average, bpo_avg[row.model])
+            rows.append(
+                [row.model, label, row.arena_hard, row.alpaca_eval, row.alpaca_eval_lc, avg_cell]
+            )
+        avg = lambda metric: mean([getattr(r, metric) for r in result.method_rows(method)])  # noqa: E731
+        avg_cell = avg("average")
+        if method != "bpo":
+            avg_cell = format_delta(avg("average"), mean(list(bpo_avg.values())))
+        rows.append(["AVERAGE", label, avg("arena_hard"), avg("alpaca_eval"), avg("alpaca_eval_lc"), avg_cell])
+    return ascii_table(headers, rows, title="Table 2: PAS vs BPO, same base model (LLaMA-2-7B)")

@@ -1,0 +1,71 @@
+"""Table 3 — human labour and flexibility comparison.
+
+The matrix is read straight off each method's
+:class:`~repro.baselines.base.FlexibilityProfile`, so it cannot silently
+diverge from the implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.base import FlexibilityProfile
+from repro.baselines.bpo import BpoModel
+from repro.baselines.dpo import DpoComparator
+from repro.baselines.opro import OproOptimizer
+from repro.baselines.ppo import PpoComparator
+from repro.baselines.protegi import ProtegiOptimizer
+from repro.core.pas import PAS_PAPER_DATA_SIZE
+from repro.experiments.context import ExperimentContext
+from repro.experiments.reporting import ascii_table
+
+__all__ = ["Table3Result", "run", "render"]
+
+
+@dataclass
+class Table3Result:
+    profiles: list[FlexibilityProfile] = field(default_factory=list)
+
+    def row(self, method: str) -> FlexibilityProfile:
+        for profile in self.profiles:
+            if profile.method == method:
+                return profile
+        raise KeyError(f"no flexibility row for {method!r}")
+
+
+def run(ctx: ExperimentContext) -> Table3Result:
+    """Collect the Table 3 rows from live method instances.
+
+    The optimizer baselines are instantiated but not run — their
+    flexibility is a static property of the method class.
+    """
+    methods = [
+        PpoComparator(),
+        DpoComparator(),
+        OproOptimizer(),
+        ProtegiOptimizer(),
+        ctx.bpo,
+        ctx.method_pas(),
+    ]
+    profiles = [m.flexibility for m in methods]
+    # PAS's data size in the paper-scale accounting:
+    assert profiles[-1].training_examples == PAS_PAPER_DATA_SIZE
+    return Table3Result(profiles=profiles)
+
+
+def _tick(value: bool) -> str:
+    return "yes" if value else "NO"
+
+
+def render(result: Table3Result) -> str:
+    headers = ["Method", "No Human Labor", "LLM-Agnostic", "Task-Agnostic"]
+    rows = [
+        [
+            p.method.upper(),
+            _tick(not p.needs_human_labor),
+            _tick(p.llm_agnostic),
+            _tick(p.task_agnostic),
+        ]
+        for p in result.profiles
+    ]
+    return ascii_table(headers, rows, title="Table 3: flexibility comparison")

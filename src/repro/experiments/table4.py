@@ -1,0 +1,98 @@
+"""Table 4 — human evaluation of PAS vs no-PAS across eight scenarios.
+
+For each scenario suite, both arms answer every prompt with the strongest
+target model; the annotator panel then produces the full-mark proportion,
+average score, and availability proportion per arm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.reporting import ascii_table, format_delta
+from repro.humaneval.metrics import ScenarioMetrics, scenario_metrics
+from repro.humaneval.panel import AnnotatorPanel
+from repro.judge.common import respond_with_method
+from repro.utils.stats import mean
+
+__all__ = ["Table4Result", "run", "render", "HUMAN_EVAL_TARGET_MODEL"]
+
+HUMAN_EVAL_TARGET_MODEL = "qwen2-72b-chat"
+
+
+@dataclass
+class Table4Result:
+    baseline: list[ScenarioMetrics] = field(default_factory=list)
+    pas: list[ScenarioMetrics] = field(default_factory=list)
+
+    def average_gain(self, metric: str) -> float:
+        base = mean([getattr(m, metric) for m in self.baseline])
+        with_pas = mean([getattr(m, metric) for m in self.pas])
+        return with_pas - base
+
+
+def run(ctx: ExperimentContext, panel: AnnotatorPanel | None = None) -> Table4Result:
+    """Answer each scenario suite with and without PAS; rate with the panel."""
+    panel = panel or AnnotatorPanel(seed=ctx.seed)
+    engine = ctx.engine(HUMAN_EVAL_TARGET_MODEL)
+    method_none = ctx.method_none()
+    method_pas = ctx.method_pas()
+    result = Table4Result()
+    for scenario, suite in ctx.human_eval_suites.items():
+        prompts = list(suite)
+        base_responses = [respond_with_method(engine, method_none, p) for p in prompts]
+        pas_responses = [respond_with_method(engine, method_pas, p) for p in prompts]
+        result.baseline.append(
+            scenario_metrics(panel, prompts, base_responses, scenario=scenario)
+        )
+        result.pas.append(
+            scenario_metrics(panel, prompts, pas_responses, scenario=scenario)
+        )
+    return result
+
+
+def render(result: Table4Result) -> str:
+    headers = [
+        "Benchmark",
+        "Full Mark %",
+        "Avg Score",
+        "Availability %",
+        "Full Mark % (PAS)",
+        "Avg Score (PAS)",
+        "Availability % (PAS)",
+    ]
+    rows: list[list[object]] = []
+    for base, pas in zip(result.baseline, result.pas):
+        rows.append(
+            [
+                base.scenario,
+                base.full_mark_pct,
+                base.average_score,
+                base.availability_pct,
+                format_delta(pas.full_mark_pct, base.full_mark_pct),
+                format_delta(pas.average_score, base.average_score),
+                format_delta(pas.availability_pct, base.availability_pct),
+            ]
+        )
+    rows.append(
+        [
+            "AVERAGE",
+            mean([m.full_mark_pct for m in result.baseline]),
+            mean([m.average_score for m in result.baseline]),
+            mean([m.availability_pct for m in result.baseline]),
+            format_delta(
+                mean([m.full_mark_pct for m in result.pas]),
+                mean([m.full_mark_pct for m in result.baseline]),
+            ),
+            format_delta(
+                mean([m.average_score for m in result.pas]),
+                mean([m.average_score for m in result.baseline]),
+            ),
+            format_delta(
+                mean([m.availability_pct for m in result.pas]),
+                mean([m.availability_pct for m in result.baseline]),
+            ),
+        ]
+    )
+    return ascii_table(headers, rows, title="Table 4: human evaluation, PAS vs non-PAS")

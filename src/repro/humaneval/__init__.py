@@ -1,0 +1,13 @@
+"""Simulated human evaluation (paper §4.5, Table 4, Figure 1b)."""
+
+from repro.humaneval.metrics import GsbResult, ScenarioMetrics, gsb, scenario_metrics
+from repro.humaneval.panel import Annotator, AnnotatorPanel
+
+__all__ = [
+    "Annotator",
+    "AnnotatorPanel",
+    "GsbResult",
+    "ScenarioMetrics",
+    "gsb",
+    "scenario_metrics",
+]

@@ -1,0 +1,111 @@
+"""Human-evaluation metrics: GSB and the Table 4 triple.
+
+* **GSB** (grade-score-benchmark, Figure 1b): per prompt, compare the PAS
+  arm's panel score against the baseline arm's — Good (PAS better), Same,
+  Bad — and report the shares.
+* **Table 4 metrics** per scenario: *full-mark proportion* (share of
+  responses whose panel consensus reaches the top band, >= 4.2 — i.e. the
+  typical rater awarded a 5 and no one dissented hard), *average score*
+  (mean consensus), and *availability proportion* (share of responses with
+  consensus >= 3, i.e. usable answers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.humaneval.panel import AnnotatorPanel
+from repro.world.prompts import SyntheticPrompt
+
+__all__ = ["GsbResult", "ScenarioMetrics", "gsb", "scenario_metrics"]
+
+_AVAILABILITY_THRESHOLD = 3.0
+_FULL_MARK_THRESHOLD = 4.2
+_GSB_MARGIN = 0.2  # consensus difference below this counts as "Same"
+
+
+@dataclass(frozen=True)
+class GsbResult:
+    """Good / Same / Bad shares (percent) for one scenario."""
+
+    scenario: str
+    good: float
+    same: float
+    bad: float
+    n: int
+
+    @property
+    def win_share(self) -> float:
+        """Share of decisive comparisons won (the Figure 1b percentage)."""
+        decisive = self.good + self.bad
+        if decisive == 0:
+            return 50.0
+        return 100.0 * self.good / decisive
+
+
+@dataclass(frozen=True)
+class ScenarioMetrics:
+    """One arm's Table 4 row fragment for one scenario."""
+
+    scenario: str
+    full_mark_pct: float
+    average_score: float
+    availability_pct: float
+    n: int
+
+
+def gsb(
+    panel: AnnotatorPanel,
+    prompts: list[SyntheticPrompt],
+    responses_a: list[str],
+    responses_b: list[str],
+    scenario: str = "",
+) -> GsbResult:
+    """Pairwise Good/Same/Bad between arm A (PAS) and arm B (baseline)."""
+    if not (len(prompts) == len(responses_a) == len(responses_b)):
+        raise ValueError("prompts and both response lists must align")
+    if not prompts:
+        return GsbResult(scenario=scenario, good=0.0, same=100.0, bad=0.0, n=0)
+    good = same = bad = 0
+    for prompt, ra, rb in zip(prompts, responses_a, responses_b):
+        delta = panel.consensus(prompt, ra) - panel.consensus(prompt, rb)
+        if delta > _GSB_MARGIN:
+            good += 1
+        elif delta < -_GSB_MARGIN:
+            bad += 1
+        else:
+            same += 1
+    n = len(prompts)
+    return GsbResult(
+        scenario=scenario,
+        good=100.0 * good / n,
+        same=100.0 * same / n,
+        bad=100.0 * bad / n,
+        n=n,
+    )
+
+
+def scenario_metrics(
+    panel: AnnotatorPanel,
+    prompts: list[SyntheticPrompt],
+    responses: list[str],
+    scenario: str = "",
+) -> ScenarioMetrics:
+    """Compute the Table 4 metric triple for one arm on one scenario."""
+    if len(prompts) != len(responses):
+        raise ValueError("prompts and responses must align")
+    if not prompts:
+        return ScenarioMetrics(scenario, 0.0, 0.0, 0.0, 0)
+    consensus = [panel.consensus(p, r) for p, r in zip(prompts, responses)]
+    n = len(prompts)
+    return ScenarioMetrics(
+        scenario=scenario,
+        full_mark_pct=100.0
+        * sum(1 for c in consensus if c >= _FULL_MARK_THRESHOLD)
+        / n,
+        average_score=sum(consensus) / n,
+        availability_pct=100.0
+        * sum(1 for c in consensus if c >= _AVAILABILITY_THRESHOLD)
+        / n,
+        n=n,
+    )

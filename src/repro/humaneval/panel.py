@@ -1,0 +1,76 @@
+"""A panel of simulated human annotators.
+
+Each annotator perceives the oracle's true quality through a personal bias
+(some graders are harsh, some lenient) and per-judgement noise, then rounds
+to the 1–5 scale used by the paper's human study.  Scores are deterministic
+per (annotator, prompt, response).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import stable_hash
+from repro.world.prompts import SyntheticPrompt
+from repro.world.quality import assess_response
+
+__all__ = ["Annotator", "AnnotatorPanel"]
+
+
+@dataclass(frozen=True)
+class Annotator:
+    """One simulated human rater."""
+
+    annotator_id: int
+    bias: float
+    noise_sigma: float = 0.45
+
+    def score(self, prompt: SyntheticPrompt, response: str) -> int:
+        """Rate a response 1–5."""
+        true_quality = assess_response(prompt, response).score
+        key = stable_hash(f"annotator␞{self.annotator_id}␞{prompt.uid}␞{response}")
+        noise = float(np.random.default_rng(key).normal(0.0, self.noise_sigma))
+        raw = true_quality + self.bias + noise
+        return int(min(max(round(raw), 1), 5))
+
+
+class AnnotatorPanel:
+    """A fixed panel whose consensus score rates each response.
+
+    Parameters
+    ----------
+    n_annotators:
+        Panel size (odd sizes avoid mean ties at the 0.5 boundary).
+    bias_sigma:
+        Spread of per-annotator leniency.
+    seed:
+        Panel identity; the same seed is the same set of people.
+    """
+
+    def __init__(self, n_annotators: int = 5, bias_sigma: float = 0.35, seed: int = 0):
+        if n_annotators < 1:
+            raise ValueError(f"n_annotators must be >= 1, got {n_annotators}")
+        rng = np.random.default_rng(stable_hash(f"panel␞{seed}"))
+        self.annotators = [
+            Annotator(annotator_id=i, bias=float(rng.normal(0.0, bias_sigma)))
+            for i in range(n_annotators)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.annotators)
+
+    def scores(self, prompt: SyntheticPrompt, response: str) -> list[int]:
+        """All individual 1–5 ratings."""
+        return [a.score(prompt, response) for a in self.annotators]
+
+    def consensus(self, prompt: SyntheticPrompt, response: str) -> float:
+        """Panel mean rating."""
+        ratings = self.scores(prompt, response)
+        return float(np.mean(ratings))
+
+    def majority_full_mark(self, prompt: SyntheticPrompt, response: str) -> bool:
+        """True when a strict majority of the panel awards a 5."""
+        ratings = self.scores(prompt, response)
+        return sum(1 for r in ratings if r == 5) * 2 > len(ratings)

@@ -1,0 +1,24 @@
+"""LLM-as-judge evaluation benchmarks (paper §4.1)."""
+
+from repro.judge.alpaca_eval import AlpacaEvalBenchmark, AlpacaEvalResult
+from repro.judge.arena_hard import ArenaHardBenchmark, ArenaHardResult
+from repro.judge.judge import JudgeConfig, LlmJudge, PairwiseVerdict
+from repro.judge.rating import RatingEntry, bradley_terry, leaderboard
+from repro.judge.suites import BenchmarkSuite, build_alpaca_suite, build_arena_hard_suite, build_human_eval_suite
+
+__all__ = [
+    "AlpacaEvalBenchmark",
+    "AlpacaEvalResult",
+    "ArenaHardBenchmark",
+    "ArenaHardResult",
+    "JudgeConfig",
+    "LlmJudge",
+    "PairwiseVerdict",
+    "RatingEntry",
+    "bradley_terry",
+    "leaderboard",
+    "BenchmarkSuite",
+    "build_alpaca_suite",
+    "build_arena_hard_suite",
+    "build_human_eval_suite",
+]

@@ -1,0 +1,69 @@
+"""AlpacaEval 2.0 surrogate benchmark (raw and length-controlled).
+
+AlpacaEval 2.0 judges candidates pairwise against GPT-4-1106-preview
+references with a GPT-4 judge, reporting (a) the raw win rate — which
+inherits the judge's verbosity bias — and (b) the length-controlled (LC)
+win rate, where a logistic regression on the length difference removes the
+bias.  Both numbers are computed here from the same judgements, so the
+raw-vs-LC gap in Tables 1/2/5 is reproduced by construction of the judge,
+not by fiat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.base import ApeMethod
+from repro.judge.common import respond_with_method
+from repro.judge.judge import LlmJudge
+from repro.judge.suites import BenchmarkSuite
+from repro.llm.engine import SimulatedLLM
+from repro.utils.stats import length_controlled_win_rate, win_rate
+
+__all__ = ["AlpacaEvalResult", "AlpacaEvalBenchmark"]
+
+
+@dataclass(frozen=True)
+class AlpacaEvalResult:
+    """Raw and LC win rates (%) of one (model, method) arm."""
+
+    model: str
+    method: str
+    win_rate: float
+    lc_win_rate: float
+    n_prompts: int
+
+
+class AlpacaEvalBenchmark:
+    """Pairwise-vs-reference evaluation on the general suite."""
+
+    def __init__(
+        self,
+        suite: BenchmarkSuite,
+        judge: LlmJudge | None = None,
+        reference_model: str = "gpt-4-1106-preview",
+        seed: int = 0,
+    ):
+        self.suite = suite
+        self.judge = judge or LlmJudge()
+        self.reference = SimulatedLLM(reference_model, seed=seed)
+        self._reference_responses = [
+            self.reference.respond(p.text) for p in suite
+        ]
+
+    def evaluate(self, engine: SimulatedLLM, method: ApeMethod) -> AlpacaEvalResult:
+        """Score one (target model, APE method) arm."""
+        outcomes = []
+        deltas = []
+        for prompt, reference_response in zip(self.suite, self._reference_responses):
+            candidate = respond_with_method(engine, method, prompt)
+            verdict = self.judge.pairwise(prompt, candidate, reference_response)
+            outcomes.append(verdict.outcome)
+            deltas.append(verdict.length_log_ratio)
+        return AlpacaEvalResult(
+            model=engine.name,
+            method=method.name,
+            win_rate=win_rate(outcomes),
+            lc_win_rate=length_controlled_win_rate(outcomes, deltas),
+            n_prompts=len(outcomes),
+        )

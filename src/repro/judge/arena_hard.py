@@ -1,0 +1,65 @@
+"""Arena-Hard surrogate benchmark.
+
+Arena-Hard judges a candidate model pairwise against a *fixed reference
+model* (GPT-4-0314 in the original) on hard prompts and reports the
+candidate's win rate.  The reproduction keeps the structure: reference
+responses are generated once per suite by the reference engine with no
+augmentation; every method arm is then judged against them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.base import ApeMethod
+from repro.judge.common import respond_with_method
+from repro.judge.judge import LlmJudge
+from repro.judge.suites import BenchmarkSuite
+from repro.llm.engine import SimulatedLLM
+from repro.utils.stats import win_rate
+
+__all__ = ["ArenaHardResult", "ArenaHardBenchmark"]
+
+
+@dataclass(frozen=True)
+class ArenaHardResult:
+    """Win rate (%) of one (model, method) arm against the reference."""
+
+    model: str
+    method: str
+    score: float
+    n_prompts: int
+    outcomes: tuple[float, ...]
+
+
+class ArenaHardBenchmark:
+    """Pairwise-vs-reference evaluation on the hard suite."""
+
+    def __init__(
+        self,
+        suite: BenchmarkSuite,
+        judge: LlmJudge | None = None,
+        reference_model: str = "gpt-4-0314-reference",
+        seed: int = 0,
+    ):
+        self.suite = suite
+        self.judge = judge or LlmJudge()
+        self.reference = SimulatedLLM(reference_model, seed=seed)
+        self._reference_responses = [
+            self.reference.respond(p.text) for p in suite
+        ]
+
+    def evaluate(self, engine: SimulatedLLM, method: ApeMethod) -> ArenaHardResult:
+        """Score one (target model, APE method) arm."""
+        outcomes = []
+        for prompt, reference_response in zip(self.suite, self._reference_responses):
+            candidate = respond_with_method(engine, method, prompt)
+            verdict = self.judge.pairwise(prompt, candidate, reference_response)
+            outcomes.append(verdict.outcome)
+        return ArenaHardResult(
+            model=engine.name,
+            method=method.name,
+            score=win_rate(outcomes),
+            n_prompts=len(outcomes),
+            outcomes=tuple(outcomes),
+        )

@@ -1,0 +1,21 @@
+"""Shared evaluation plumbing for the benchmark harnesses."""
+
+from __future__ import annotations
+
+from repro.baselines.base import ApeMethod
+from repro.llm.engine import SimulatedLLM
+from repro.world.prompts import SyntheticPrompt
+
+__all__ = ["respond_with_method"]
+
+
+def respond_with_method(
+    engine: SimulatedLLM, method: ApeMethod, prompt: SyntheticPrompt
+) -> str:
+    """Answer a benchmark prompt through an APE method.
+
+    The method decides whether the engine sees the original prompt plus a
+    supplement (complement-style) or a rewritten prompt (rewrite-style).
+    """
+    new_prompt, supplement = method.transform(prompt.text)
+    return engine.respond(new_prompt, supplement=supplement)

@@ -1,0 +1,109 @@
+"""Bradley–Terry ratings over pairwise judgements (Arena-style leaderboard).
+
+Chatbot-Arena-family benchmarks aggregate pairwise verdicts into a rating
+per model via the Bradley–Terry model: each player ``i`` has strength
+``θ_i`` and ``P(i beats j) = σ(θ_i − θ_j)``.  The minorize-maximize (MM)
+fixed point of Hunter (2004) estimates strengths from a win matrix; ties
+are split half-half, matching how the win-rate accounting treats them.
+
+Ratings are reported on the familiar Elo-like scale
+(``1000 + 400·log10`` odds), anchored to a zero-mean log-strength.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RatingEntry", "bradley_terry", "leaderboard"]
+
+_ELO_BASE = 1000.0
+_ELO_SCALE = 400.0
+
+
+@dataclass(frozen=True)
+class RatingEntry:
+    """One leaderboard row."""
+
+    name: str
+    rating: float
+    n_comparisons: int
+
+
+def bradley_terry(
+    win_matrix: np.ndarray,
+    max_iterations: int = 500,
+    tol: float = 1e-10,
+) -> np.ndarray:
+    """MM estimate of Bradley–Terry strengths from a win-count matrix.
+
+    ``win_matrix[i, j]`` = (possibly fractional) wins of ``i`` over ``j``.
+    Returns log-strengths normalised to zero mean.  Players with no
+    comparisons keep log-strength 0.
+    """
+    wins = np.asarray(win_matrix, dtype=np.float64)
+    if wins.ndim != 2 or wins.shape[0] != wins.shape[1]:
+        raise ValueError(f"win matrix must be square, got {wins.shape}")
+    if (wins < 0).any():
+        raise ValueError("win counts must be non-negative")
+    n = wins.shape[0]
+    total_wins = wins.sum(axis=1)
+    pair_games = wins + wins.T
+
+    strengths = np.ones(n, dtype=np.float64)
+    for _ in range(max_iterations):
+        denom = np.zeros(n)
+        for i in range(n):
+            with np.errstate(divide="ignore", invalid="ignore"):
+                contributions = pair_games[i] / (strengths[i] + strengths)
+            contributions[i] = 0.0
+            contributions[pair_games[i] == 0] = 0.0
+            denom[i] = contributions.sum()
+        new_strengths = np.where(denom > 0, total_wins / np.maximum(denom, 1e-300), strengths)
+        # Players that never won keep an epsilon strength so log() works.
+        new_strengths = np.maximum(new_strengths, 1e-12)
+        new_strengths /= np.exp(np.mean(np.log(new_strengths)))  # geometric-mean 1
+        if np.max(np.abs(new_strengths - strengths)) < tol:
+            strengths = new_strengths
+            break
+        strengths = new_strengths
+    return np.log(strengths)
+
+
+def leaderboard(
+    names: list[str],
+    outcomes: list[tuple[str, str, float]],
+) -> list[RatingEntry]:
+    """Build an Elo-scale leaderboard from (player_a, player_b, outcome)
+    records, where outcome is 1.0 (a wins) / 0.5 (tie) / 0.0 (b wins) —
+    or any fraction in between (both-orders averaging produces quarters).
+    """
+    index = {name: i for i, name in enumerate(names)}
+    unknown = {a for a, _, _ in outcomes} | {b for _, b, _ in outcomes}
+    missing = unknown - set(index)
+    if missing:
+        raise ValueError(f"outcomes reference unknown players: {sorted(missing)}")
+    n = len(names)
+    wins = np.zeros((n, n), dtype=np.float64)
+    games = np.zeros(n, dtype=np.int64)
+    for a, b, outcome in outcomes:
+        if not 0.0 <= outcome <= 1.0:
+            raise ValueError(f"outcome must be in [0, 1], got {outcome}")
+        i, j = index[a], index[b]
+        wins[i, j] += outcome
+        wins[j, i] += 1.0 - outcome
+        games[i] += 1
+        games[j] += 1
+
+    log_strengths = bradley_terry(wins)
+    entries = [
+        RatingEntry(
+            name=name,
+            rating=_ELO_BASE + _ELO_SCALE * log_strengths[index[name]] / math.log(10),
+            n_comparisons=int(games[index[name]]),
+        )
+        for name in names
+    ]
+    return sorted(entries, key=lambda e: -e.rating)

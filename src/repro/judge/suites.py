@@ -1,0 +1,85 @@
+"""Benchmark prompt suites.
+
+* **Arena-Hard** — "complex and challenging scenarios ... advanced
+  reasoning" (§4.1): every prompt is *hard* (multiple needs, always
+  including a trap/constraint/edge-case demand).
+* **AlpacaEval 2.0** — "a wide range of standard tasks": the general
+  category mix of the synthetic universe.
+* **Human-eval** — the eight scenario categories of Table 4 / Figure 1(b),
+  mapped onto the synthetic categories that carry the same kind of load.
+
+Suites are frozen artifacts: built once from a seed, then reused across all
+method arms so comparisons are paired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.world.prompts import PromptFactory, SyntheticPrompt
+
+__all__ = [
+    "BenchmarkSuite",
+    "build_arena_hard_suite",
+    "build_alpaca_suite",
+    "build_human_eval_suite",
+    "HUMAN_EVAL_SCENARIOS",
+]
+
+
+@dataclass(frozen=True)
+class BenchmarkSuite:
+    """A named, frozen list of evaluation prompts."""
+
+    name: str
+    prompts: tuple[SyntheticPrompt, ...]
+
+    def __len__(self) -> int:
+        return len(self.prompts)
+
+    def __iter__(self):
+        return iter(self.prompts)
+
+
+def build_arena_hard_suite(n_prompts: int = 150, seed: int = 500) -> BenchmarkSuite:
+    """Hard multi-requirement prompts (the Arena-Hard surrogate)."""
+    factory = PromptFactory(rng=np.random.default_rng(seed))
+    prompts = tuple(factory.make_prompt(hard=True) for _ in range(n_prompts))
+    return BenchmarkSuite(name="arena-hard", prompts=prompts)
+
+
+def build_alpaca_suite(n_prompts: int = 200, seed: int = 600) -> BenchmarkSuite:
+    """General-mix prompts (the AlpacaEval 2.0 surrogate)."""
+    factory = PromptFactory(rng=np.random.default_rng(seed))
+    prompts = tuple(factory.make_prompt() for _ in range(n_prompts))
+    return BenchmarkSuite(name="alpaca-eval-2.0", prompts=prompts)
+
+
+#: Table 4's eight human-evaluation scenarios → synthetic categories that
+#: exercise the same competence.
+HUMAN_EVAL_SCENARIOS: dict[str, str] = {
+    "Analysis and Judgment": "analysis",
+    "Subjective Advice": "brainstorming",
+    "Subjective Recommendation": "recommendation",
+    "Common Sense": "reasoning",
+    "Event Query": "question_answering",
+    "Entity Query": "extraction",
+    "Industry Knowledge": "knowledge",
+    "Academic Knowledge": "summarization",
+}
+
+
+def build_human_eval_suite(
+    per_scenario: int = 30, seed: int = 700
+) -> dict[str, BenchmarkSuite]:
+    """One small suite per Table-4 scenario."""
+    factory = PromptFactory(rng=np.random.default_rng(seed))
+    suites: dict[str, BenchmarkSuite] = {}
+    for scenario, category in HUMAN_EVAL_SCENARIOS.items():
+        prompts = tuple(
+            factory.make_prompt(category=category) for _ in range(per_scenario)
+        )
+        suites[scenario] = BenchmarkSuite(name=scenario, prompts=prompts)
+    return suites

@@ -1,0 +1,29 @@
+"""Simulated LLM substrate.
+
+The paper plugs PAS into six proprietary / open LLMs served on GPUs or paid
+APIs.  Offline, this package supplies the stand-in: deterministic engines
+with per-model *capability profiles* that reproduce the causal structure the
+experiments measure (see DESIGN.md §2).  Text is the only interface — the
+engine reads prompts, optionally a complementary prompt, and writes a
+response whose quality the oracle can assess.
+"""
+
+from repro.llm.api import ChatClient, Usage
+from repro.llm.engine import SimulatedLLM
+from repro.llm.profiles import PROFILES, CapabilityProfile, get_profile, model_names
+from repro.llm.sft import SftConfig, SftDirectivePredictor
+from repro.llm.types import ChatCompletion, Message
+
+__all__ = [
+    "ChatClient",
+    "Usage",
+    "SimulatedLLM",
+    "PROFILES",
+    "CapabilityProfile",
+    "get_profile",
+    "model_names",
+    "SftConfig",
+    "SftDirectivePredictor",
+    "ChatCompletion",
+    "Message",
+]

@@ -1,0 +1,128 @@
+"""API-client wrapper around a simulated engine.
+
+The paper accesses GPT-series models "via API" (§4.1); real API access means
+usage accounting, transient failures, and retries.  ``ChatClient`` adds all
+three on top of :class:`~repro.llm.engine.SimulatedLLM`, so pipeline code is
+written the way production data-generation code is written — and the failure
+path is testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import BudgetExceededError, ReproError
+from repro.llm.engine import SimulatedLLM
+from repro.llm.types import ChatCompletion, Message
+from repro.text.tokenizer import Tokenizer
+
+__all__ = ["Usage", "TransientApiError", "ChatClient"]
+
+
+class TransientApiError(ReproError):
+    """A simulated transient API failure (retryable)."""
+
+
+@dataclass
+class Usage:
+    """Cumulative token / request accounting."""
+
+    requests: int = 0
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+    failures: int = 0
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.completion_tokens
+
+
+@dataclass
+class ChatClient:
+    """Chat-completions client with retries and budget enforcement.
+
+    Parameters
+    ----------
+    engine:
+        The simulated model to call.
+    failure_rate:
+        Probability that an individual attempt fails transiently; failures
+        are deterministic per (input, attempt), so tests can rely on them.
+    max_retries:
+        Attempts beyond the first before giving up.
+    max_requests:
+        Optional hard request budget; exceeding it raises
+        :class:`~repro.errors.BudgetExceededError`.
+    """
+
+    engine: SimulatedLLM
+    failure_rate: float = 0.0
+    max_retries: int = 3
+    max_requests: int | None = None
+    usage: Usage = field(default_factory=Usage)
+    _tokenizer: Tokenizer = field(default_factory=Tokenizer, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.failure_rate < 1.0:
+            raise ValueError(f"failure_rate must be in [0, 1), got {self.failure_rate}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+
+    def _attempt_fails(self, text: str, attempt: int) -> bool:
+        if self.failure_rate <= 0.0:
+            return False
+        rng = self.engine._call_rng("api-failure", text, str(attempt))
+        return bool(rng.random() < self.failure_rate)
+
+    def complete(self, messages: list[Message]) -> ChatCompletion:
+        """Run one chat completion: system+user prompts in, response out.
+
+        The last user message is the prompt; an optional preceding system
+        message is treated as the complementary supplement (this mirrors how
+        PAS deploys: original prompt plus complement, concatenated).
+        """
+        if not messages:
+            raise ValueError("messages must be non-empty")
+        user_messages = [m for m in messages if m.role == "user"]
+        if not user_messages:
+            raise ValueError("at least one user message is required")
+        prompt = user_messages[-1].content
+        system_parts = [m.content for m in messages if m.role == "system"]
+        supplement = " ".join(system_parts) if system_parts else None
+
+        if self.max_requests is not None and self.usage.requests >= self.max_requests:
+            raise BudgetExceededError(
+                f"request budget of {self.max_requests} exhausted for {self.engine.name}"
+            )
+        self.usage.requests += 1
+
+        retries = 0
+        for attempt in range(self.max_retries + 1):
+            if self._attempt_fails(prompt + (supplement or ""), attempt):
+                self.usage.failures += 1
+                retries += 1
+                continue
+            content = self.engine.respond(prompt, supplement=supplement)
+            prompt_tokens = self._tokenizer.count(prompt) + (
+                self._tokenizer.count(supplement) if supplement else 0
+            )
+            completion_tokens = self._tokenizer.count(content)
+            self.usage.prompt_tokens += prompt_tokens
+            self.usage.completion_tokens += completion_tokens
+            return ChatCompletion(
+                model=self.engine.name,
+                content=content,
+                prompt_tokens=prompt_tokens,
+                completion_tokens=completion_tokens,
+                retries=retries,
+            )
+        raise TransientApiError(
+            f"{self.engine.name}: all {self.max_retries + 1} attempts failed transiently"
+        )
+
+    def ask(self, prompt: str, supplement: str | None = None) -> str:
+        """Convenience wrapper returning just the response text."""
+        messages = [Message("user", prompt)]
+        if supplement:
+            messages.insert(0, Message("system", supplement))
+        return self.complete(messages).content

@@ -1,0 +1,102 @@
+"""Serialization of trained artifacts.
+
+A PAS deployment wants to train once and serve many times; this module
+round-trips the fitted components to a single ``.npz`` file each:
+
+* :func:`save_predictor` / :func:`load_predictor` — the SFT'd directive
+  predictor (embedding matrix + label sets + config + base profile);
+* :class:`repro.core.pas.PasModel` exposes ``save``/``load`` built on it.
+
+The format stores the capability profile *by value*, so custom profiles
+survive the round trip without needing registry entries.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import NotFittedError, ReproError
+from repro.llm.profiles import CapabilityProfile
+from repro.llm.sft import SftConfig, SftDirectivePredictor
+
+__all__ = ["save_predictor", "load_predictor", "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+
+
+def save_predictor(predictor: SftDirectivePredictor, path: str | Path) -> Path:
+    """Write a fitted predictor to ``path`` (``.npz`` appended if missing)."""
+    if not predictor.is_fitted:
+        raise NotFittedError("cannot save an unfitted predictor")
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    profile = predictor.base_profile
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "seed": predictor.seed,
+        "config": {
+            "k_neighbors": predictor.config.k_neighbors,
+            "vote_threshold": predictor.config.vote_threshold,
+            "min_similarity": predictor.config.min_similarity,
+        },
+        "profile": {
+            "name": profile.name,
+            "cue_sensitivity": profile.cue_sensitivity,
+            "instruction_following": profile.instruction_following,
+            "error_rate": profile.error_rate,
+            "verbosity": profile.verbosity,
+        },
+        "embedder": {
+            "dim": predictor.embedder.dim,
+            "char_orders": list(predictor.embedder.char_orders),
+            "word_orders": list(predictor.embedder.word_orders),
+            "word_weight": predictor.embedder.word_weight,
+        },
+    }
+    labels = [sorted(label_set) for label_set in predictor._train_labels]
+    np.savez(
+        path,
+        matrix=predictor._train_matrix,
+        labels=np.array(json.dumps(labels)),
+        meta=np.array(json.dumps(meta)),
+    )
+    return path
+
+
+def load_predictor(path: str | Path) -> SftDirectivePredictor:
+    """Reconstruct a predictor saved by :func:`save_predictor`."""
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path, allow_pickle=False) as archive:
+        meta = json.loads(str(archive["meta"]))
+        labels = json.loads(str(archive["labels"]))
+        matrix = archive["matrix"]
+    if meta.get("format_version") != FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported predictor format {meta.get('format_version')!r} in {path}"
+        )
+
+    from repro.embedding.model import EmbeddingModel  # late import: avoid cycle
+
+    embedder = EmbeddingModel(
+        dim=int(meta["embedder"]["dim"]),
+        char_orders=tuple(meta["embedder"]["char_orders"]),
+        word_orders=tuple(meta["embedder"]["word_orders"]),
+        word_weight=float(meta["embedder"]["word_weight"]),
+    )
+    predictor = SftDirectivePredictor(
+        base_model=CapabilityProfile(**meta["profile"]),
+        embedder=embedder,
+        config=SftConfig(**meta["config"]),
+        seed=int(meta["seed"]),
+    )
+    predictor._train_matrix = matrix
+    predictor._train_labels = [frozenset(label_set) for label_set in labels]
+    return predictor

@@ -1,0 +1,103 @@
+"""Capability profiles for every named model in the paper's experiments.
+
+A profile fixes four behavioural parameters of a simulated LLM:
+
+* ``cue_sensitivity`` — probability of noticing a latent-need cue in the
+  user prompt on its own (stronger models infer more unaided, which is why
+  PAS helps GPT-4-turbo less than GPT-4-0613 in Table 1);
+* ``instruction_following`` — probability of acting on an explicit
+  directive in a complementary prompt;
+* ``error_rate`` — probability that any given elaboration sentence is an
+  overreach (a flaw the oracle can detect);
+* ``verbosity`` — scales how many elaboration sentences the model emits.
+
+Values are calibrated so the *ordering* of baseline benchmark scores
+matches Table 1 (turbo ≈ 1106 ≫ 0613 > qwen2-72b > llama3-70b ≫ gpt-3.5);
+absolute numbers are not expected to match the paper (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import UnknownModelError
+
+__all__ = ["CapabilityProfile", "PROFILES", "get_profile", "model_names"]
+
+
+@dataclass(frozen=True)
+class CapabilityProfile:
+    """Behavioural parameters of one simulated model."""
+
+    name: str
+    cue_sensitivity: float
+    instruction_following: float
+    error_rate: float
+    verbosity: float
+
+    def __post_init__(self) -> None:
+        for field_name in ("cue_sensitivity", "instruction_following", "error_rate"):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{field_name} must be in [0, 1], got {value}")
+        if self.verbosity <= 0:
+            raise ValueError(f"verbosity must be positive, got {self.verbosity}")
+
+    @property
+    def sft_retention(self) -> float:
+        """How faithfully this model, used as an SFT base, reproduces a
+        learned directive: stronger bases internalise training data better.
+        """
+        return 0.30 + 0.70 * self.instruction_following
+
+    @property
+    def sft_confusion(self) -> float:
+        """Rate at which an SFT'd base hallucinates an unlearned directive."""
+        return 0.8 * self.error_rate
+
+
+_PROFILE_LIST: tuple[CapabilityProfile, ...] = (
+    # --- large target models (Table 1) ---
+    CapabilityProfile("gpt-4-turbo-2024-04-09", 0.80, 0.95, 0.05, 1.00),
+    CapabilityProfile("gpt-4-1106-preview", 0.78, 0.94, 0.06, 1.05),
+    CapabilityProfile("gpt-4-0613", 0.55, 0.90, 0.12, 0.80),
+    CapabilityProfile("gpt-3.5-turbo-1106", 0.42, 0.78, 0.20, 0.70),
+    CapabilityProfile("qwen2-72b-chat", 0.62, 0.90, 0.10, 0.90),
+    CapabilityProfile("llama-3-70b-instruct", 0.58, 0.88, 0.11, 0.90),
+    # --- small PAS base models (§4.1) ---
+    CapabilityProfile("qwen2-7b-chat", 0.55, 0.86, 0.14, 0.75),
+    CapabilityProfile("llama-2-7b-instruct", 0.38, 0.62, 0.24, 0.70),
+    # --- pipeline workers (§3.1-3.2) ---
+    CapabilityProfile("baichuan-13b", 0.50, 0.82, 0.16, 0.75),
+    CapabilityProfile("teacher-gpt-4", 0.82, 0.95, 0.05, 0.90),
+    # --- judge references ---
+    CapabilityProfile("gpt-4-0314-reference", 0.58, 0.90, 0.11, 0.85),
+    # --- extra open models (LLM-agnosticism demo; not in the paper's six) ---
+    CapabilityProfile("mixtral-8x7b-instruct", 0.56, 0.86, 0.13, 0.85),
+    CapabilityProfile("gemma-7b-it", 0.45, 0.80, 0.18, 0.75),
+)
+
+PROFILES: dict[str, CapabilityProfile] = {p.name: p for p in _PROFILE_LIST}
+
+#: The six target models evaluated in Tables 1/2/5, in paper row order.
+TARGET_MODELS: tuple[str, ...] = (
+    "gpt-4-turbo-2024-04-09",
+    "gpt-4-1106-preview",
+    "gpt-4-0613",
+    "gpt-3.5-turbo-1106",
+    "qwen2-72b-chat",
+    "llama-3-70b-instruct",
+)
+
+
+def get_profile(name: str) -> CapabilityProfile:
+    """Look up a profile by model name; raises for unknown models."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(PROFILES))
+        raise UnknownModelError(f"unknown model {name!r}; known models: {known}") from None
+
+
+def model_names() -> list[str]:
+    return [p.name for p in _PROFILE_LIST]

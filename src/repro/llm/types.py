@@ -1,0 +1,37 @@
+"""Chat message / completion datatypes (OpenAI-style, minimal)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Message", "ChatCompletion"]
+
+_VALID_ROLES = ("system", "user", "assistant")
+
+
+@dataclass(frozen=True)
+class Message:
+    """One chat turn."""
+
+    role: str
+    content: str
+
+    def __post_init__(self) -> None:
+        if self.role not in _VALID_ROLES:
+            raise ValueError(f"invalid role {self.role!r}; expected one of {_VALID_ROLES}")
+
+
+@dataclass(frozen=True)
+class ChatCompletion:
+    """A model reply plus token accounting."""
+
+    model: str
+    content: str
+    prompt_tokens: int
+    completion_tokens: int
+    retries: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.completion_tokens

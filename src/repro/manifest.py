@@ -1,0 +1,86 @@
+"""Run manifests: a verifiable fingerprint for every experiment run.
+
+A reproduction's core promise is "same inputs, same numbers".  The manifest
+captures everything the numbers depend on — package version, seed, scale
+configuration, and content digests of the derived artifacts — so two runs
+can be compared mechanically and a published table can be traced to the
+exact configuration that produced it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.experiments.context import ExperimentContext
+from repro.utils.io import to_jsonable
+
+__all__ = ["RunManifest", "build_manifest", "fingerprint"]
+
+
+def fingerprint(payload: object) -> str:
+    """Stable short digest of any JSON-serialisable payload."""
+    canonical = json.dumps(to_jsonable(payload), sort_keys=True, ensure_ascii=False)
+    return hashlib.blake2b(canonical.encode("utf-8"), digest_size=8).hexdigest()
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """The reproducibility record of one experiment context."""
+
+    package_version: str
+    python_version: str
+    seed: int
+    scale: dict
+    dataset_fingerprint: str
+    dataset_size: int
+    config_fingerprint: str
+
+    def matches(self, other: "RunManifest") -> bool:
+        """Whether two runs are numerically interchangeable."""
+        return (
+            self.config_fingerprint == other.config_fingerprint
+            and self.dataset_fingerprint == other.dataset_fingerprint
+        )
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(to_jsonable(self), indent=2, sort_keys=True), encoding="utf-8"
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunManifest":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        return cls(**data)
+
+
+def build_manifest(ctx: ExperimentContext) -> RunManifest:
+    """Fingerprint a context's configuration and its curated dataset."""
+    import repro
+
+    scale = {
+        "n_corpus_prompts": ctx.scale.n_corpus_prompts,
+        "arena_suite_size": ctx.scale.arena_suite_size,
+        "alpaca_suite_size": ctx.scale.alpaca_suite_size,
+        "human_eval_per_scenario": ctx.scale.human_eval_per_scenario,
+    }
+    config_fp = fingerprint({"seed": ctx.seed, "scale": scale, "version": repro.__version__})
+    dataset = ctx.curated_dataset
+    dataset_fp = fingerprint(
+        [(p.prompt_text, p.complement_text) for p in dataset]
+    )
+    return RunManifest(
+        package_version=repro.__version__,
+        python_version=platform.python_version(),
+        seed=ctx.seed,
+        scale=scale,
+        dataset_fingerprint=dataset_fp,
+        dataset_size=len(dataset),
+        config_fingerprint=config_fp,
+    )

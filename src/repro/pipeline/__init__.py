@@ -1,0 +1,34 @@
+"""The PAS data pipeline: collection (§3.1) and generation (§3.2)."""
+
+from repro.pipeline.collect import CollectionConfig, CollectionResult, PromptCollector
+from repro.pipeline.dataset import PromptPair, PromptPairDataset
+from repro.pipeline.diagnostics import pipeline_health
+from repro.pipeline.generate import GenerationConfig, PairCritic, PairGenerator
+from repro.pipeline.select import QualityScorer
+from repro.pipeline.strategies import (
+    ModsSelection,
+    RandomSelection,
+    SelectionStrategy,
+    TagDiversitySelection,
+    TopQualitySelection,
+    apply_strategy,
+)
+
+__all__ = [
+    "CollectionConfig",
+    "CollectionResult",
+    "PromptCollector",
+    "PromptPair",
+    "PromptPairDataset",
+    "GenerationConfig",
+    "PairCritic",
+    "PairGenerator",
+    "QualityScorer",
+    "pipeline_health",
+    "SelectionStrategy",
+    "RandomSelection",
+    "TopQualitySelection",
+    "ModsSelection",
+    "TagDiversitySelection",
+    "apply_strategy",
+]

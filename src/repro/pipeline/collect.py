@@ -1,0 +1,170 @@
+"""Prompt collection pipeline (paper §3.1, Figure 3a).
+
+Three stages over a raw prompt corpus:
+
+1. **Deduplication** — embed every prompt, cluster near-duplicates through
+   the HNSW index, keep a small number of representatives per group.
+2. **Quality filtering** — grade each survivor with the LLM+fluency scorer
+   and drop entries below threshold.
+3. **Classification** — assign each survivor a category with the trained
+   classifier (predicted categories drive the generation stage's few-shot
+   exemplar choice, so classifier errors propagate realistically).
+
+An optional k-center-greedy diversity stage caps the output size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.classify.model import CategoryClassifier
+from repro.cluster.dedup import deduplicate
+from repro.cluster.kcenter import k_center_greedy
+from repro.embedding.model import EmbeddingModel
+from repro.errors import ConfigError
+from repro.llm.engine import SimulatedLLM
+from repro.pipeline.select import QualityScorer
+from repro.world.prompts import SyntheticPrompt
+
+__all__ = ["CollectionConfig", "SelectedPrompt", "CollectionResult", "PromptCollector"]
+
+
+@dataclass(frozen=True)
+class CollectionConfig:
+    """Knobs for the three collection stages."""
+
+    dedup_threshold: float = 0.88
+    dedup_neighbors: int = 8
+    keep_per_group: int = 1
+    quality_threshold: float = 0.62
+    target_size: int | None = None
+    skip_dedup: bool = False
+    skip_quality_filter: bool = False
+
+    def validate(self) -> None:
+        if not 0.0 < self.dedup_threshold <= 1.0:
+            raise ConfigError(f"dedup_threshold must be in (0, 1]: {self.dedup_threshold}")
+        if not 0.0 <= self.quality_threshold <= 1.0:
+            raise ConfigError(
+                f"quality_threshold must be in [0, 1]: {self.quality_threshold}"
+            )
+        if self.target_size is not None and self.target_size < 1:
+            raise ConfigError(f"target_size must be >= 1: {self.target_size}")
+
+
+@dataclass(frozen=True)
+class SelectedPrompt:
+    """A prompt that survived collection, with its *predicted* category."""
+
+    prompt: SyntheticPrompt
+    predicted_category: str
+    quality: float
+
+
+@dataclass
+class CollectionResult:
+    """Survivors plus per-stage accounting."""
+
+    selected: list[SelectedPrompt]
+    n_input: int
+    n_after_dedup: int
+    n_after_quality: int
+    n_final: int
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def junk_leak_rate(self) -> float:
+        """Fraction of final survivors that are ground-truth junk."""
+        if not self.selected:
+            return 0.0
+        junk = sum(1 for s in self.selected if s.prompt.is_junk)
+        return junk / len(self.selected)
+
+
+class PromptCollector:
+    """Runs the full Figure-3a pipeline over a raw corpus."""
+
+    def __init__(
+        self,
+        embedder: EmbeddingModel | None = None,
+        grader: SimulatedLLM | None = None,
+        classifier: CategoryClassifier | None = None,
+        config: CollectionConfig | None = None,
+        seed: int = 0,
+    ):
+        self.embedder = embedder or EmbeddingModel()
+        self.grader = grader or SimulatedLLM("baichuan-13b")
+        self.classifier = classifier
+        self.config = config or CollectionConfig()
+        self.config.validate()
+        self.seed = int(seed)
+
+    def _ensure_classifier(self) -> CategoryClassifier:
+        if self.classifier is None:
+            self.classifier = CategoryClassifier().fit_synthetic(seed=self.seed + 17)
+        return self.classifier
+
+    def collect(self, corpus: list[SyntheticPrompt]) -> CollectionResult:
+        """Run dedup → quality filter → classify (→ optional diversity cap)."""
+        n_input = len(corpus)
+        if n_input == 0:
+            return CollectionResult([], 0, 0, 0, 0)
+
+        # Stage 1: deduplication over embeddings.
+        if self.config.skip_dedup:
+            survivors = list(corpus)
+        else:
+            embeddings = self.embedder.embed_batch([p.text for p in corpus])
+            result = deduplicate(
+                embeddings,
+                threshold=self.config.dedup_threshold,
+                k_neighbors=self.config.dedup_neighbors,
+                keep_per_group=self.config.keep_per_group,
+                seed=self.seed,
+            )
+            survivors = [corpus[i] for i in result.kept]
+        n_after_dedup = len(survivors)
+
+        # Stage 2: quality filtering.
+        if self.config.skip_quality_filter:
+            graded = [(p, 1.0) for p in survivors]
+        else:
+            scorer = QualityScorer(grader=self.grader).fit([p.text for p in survivors])
+            graded = [
+                (p, score)
+                for p in survivors
+                if (score := scorer.score(p.text)) >= self.config.quality_threshold
+            ]
+        n_after_quality = len(graded)
+
+        # Stage 3: classification.
+        classifier = self._ensure_classifier()
+        texts = [p.text for p, _ in graded]
+        categories = classifier.predict_batch(texts)
+        selected = [
+            SelectedPrompt(prompt=p, predicted_category=cat, quality=score)
+            for (p, score), cat in zip(graded, categories, strict=True)
+        ]
+
+        # Optional diversity cap via k-center greedy.
+        if self.config.target_size is not None and len(selected) > self.config.target_size:
+            embeddings = self.embedder.embed_batch([s.prompt.text for s in selected])
+            chosen = k_center_greedy(embeddings, self.config.target_size)
+            selected = [selected[i] for i in sorted(chosen)]
+
+        survivor_uids = {p.uid for p, _ in graded}
+        return CollectionResult(
+            selected=selected,
+            n_input=n_input,
+            n_after_dedup=n_after_dedup,
+            n_after_quality=n_after_quality,
+            n_final=len(selected),
+            stats={
+                "removed_by_dedup": n_input - n_after_dedup,
+                "removed_by_quality": n_after_dedup - n_after_quality,
+                "dedup_removed_uids": {p.uid for p in corpus}
+                - {p.uid for p in survivors},
+                "quality_removed_uids": {p.uid for p in survivors}
+                - survivor_uids,
+            },
+        )

@@ -1,0 +1,144 @@
+"""Pipeline self-diagnostics against corpus ground truth.
+
+The synthetic corpus annotates its own dirt (``dup_of``, ``is_junk``, true
+categories), so every collection stage can be graded like a classifier.
+These diagnostics power the pipeline tests and the A1 ablation bench, and
+give a downstream user a health report for their own runs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.pipeline.collect import CollectionResult
+from repro.world.prompts import SyntheticPrompt
+
+__all__ = [
+    "StageReport",
+    "dedup_report",
+    "junk_filter_report",
+    "classifier_report",
+    "pipeline_health",
+]
+
+
+@dataclass(frozen=True)
+class StageReport:
+    """Precision/recall of one stage's removal decisions."""
+
+    stage: str
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 1.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 1.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def _removed_uids(
+    corpus: list[SyntheticPrompt], result: CollectionResult, stage_key: str
+) -> set[int]:
+    """Uids removed by one stage; falls back to total removals when the
+    collector did not record per-stage sets (older results)."""
+    per_stage = result.stats.get(stage_key)
+    if per_stage is not None:
+        return set(per_stage)
+    surviving = {s.prompt.uid for s in result.selected}
+    return {p.uid for p in corpus} - surviving
+
+
+def dedup_report(corpus: list[SyntheticPrompt], result: CollectionResult) -> StageReport:
+    """Grade duplicate handling.
+
+    Deduplication keeps one representative per group and cannot know which
+    member was "the original", so a generated duplicate counts as *handled*
+    (true positive) when either it or its base was removed — i.e. the pair
+    was collapsed.  A false positive is a removed prompt that was neither a
+    duplicate, a duplicate's base, nor junk.
+    """
+    removed = _removed_uids(corpus, result, "dedup_removed_uids")
+    duplicates = [p for p in corpus if p.dup_of is not None]
+    base_uids = {p.dup_of for p in duplicates}
+    handled = sum(1 for p in duplicates if p.uid in removed or p.dup_of in removed)
+    innocent = {
+        p.uid
+        for p in corpus
+        if p.dup_of is None and not p.is_junk and p.uid not in base_uids
+    }
+    return StageReport(
+        stage="dedup",
+        true_positives=handled,
+        false_positives=len(removed & innocent),
+        false_negatives=len(duplicates) - handled,
+    )
+
+
+def junk_filter_report(
+    corpus: list[SyntheticPrompt], result: CollectionResult
+) -> StageReport:
+    """Grade junk removal against the ``is_junk`` ground truth.
+
+    Junk may fall to either stage (identical junk strings collapse in
+    dedup; the rest falls to the quality filter), so the grade is over the
+    union of removals.
+    """
+    removed = _removed_uids(corpus, result, "dedup_removed_uids") | _removed_uids(
+        corpus, result, "quality_removed_uids"
+    )
+    junk = {p.uid for p in corpus if p.is_junk}
+    clean = {p.uid for p in corpus if not p.is_junk and p.dup_of is None}
+    return StageReport(
+        stage="junk-filter",
+        true_positives=len(removed & junk),
+        false_positives=len(removed & clean),
+        false_negatives=len(junk - removed),
+    )
+
+
+def classifier_report(result: CollectionResult) -> dict[str, float]:
+    """Accuracy and per-category error mass of the category stage."""
+    if not result.selected:
+        return {"accuracy": 0.0, "n": 0}
+    hits = sum(
+        1 for s in result.selected if s.predicted_category == s.prompt.category
+    )
+    confusion: Counter[tuple[str, str]] = Counter(
+        (s.prompt.category, s.predicted_category)
+        for s in result.selected
+        if s.predicted_category != s.prompt.category
+    )
+    worst = confusion.most_common(1)
+    return {
+        "accuracy": hits / len(result.selected),
+        "n": len(result.selected),
+        "worst_confusion": worst[0][0] if worst else None,
+        "worst_confusion_count": worst[0][1] if worst else 0,
+    }
+
+
+def pipeline_health(
+    corpus: list[SyntheticPrompt], result: CollectionResult
+) -> dict[str, object]:
+    """One-call health report over all stages."""
+    dedup = dedup_report(corpus, result)
+    junk = junk_filter_report(corpus, result)
+    return {
+        "dedup": dedup,
+        "junk_filter": junk,
+        "classifier": classifier_report(result),
+        "junk_leak_rate": result.junk_leak_rate,
+        "survival_rate": result.n_final / max(result.n_input, 1),
+    }

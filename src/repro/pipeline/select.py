@@ -1,0 +1,54 @@
+"""Prompt quality scoring for the collection pipeline (§3.1, step 2).
+
+The paper scores prompts with BaiChuan 13b and drops low-quality entries.
+The scorer here blends two signals:
+
+* the simulated grader LLM's 0–10 prompt grade, and
+* per-token fluency under an n-gram language model fitted on the corpus
+  being filtered (degenerate inputs look unlike the bulk of the corpus).
+
+Both are normalised to [0, 1] and combined with a configurable mix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.llm.engine import SimulatedLLM
+from repro.text.ngram import NgramLanguageModel
+
+__all__ = ["QualityScorer"]
+
+
+@dataclass
+class QualityScorer:
+    """Composite prompt-quality scorer.
+
+    Parameters
+    ----------
+    grader:
+        The LLM doing the grading (the paper uses BaiChuan 13b).
+    llm_weight:
+        Mix between LLM grade and n-gram fluency.
+    """
+
+    grader: SimulatedLLM
+    llm_weight: float = 0.75
+    _lm: NgramLanguageModel | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.llm_weight <= 1.0:
+            raise ValueError(f"llm_weight must be in [0, 1], got {self.llm_weight}")
+
+    def fit(self, corpus_texts: list[str]) -> "QualityScorer":
+        """Fit the fluency model on the corpus being filtered."""
+        self._lm = NgramLanguageModel(order=3).fit(corpus_texts)
+        return self
+
+    def score(self, text: str) -> float:
+        """Quality in [0, 1]; higher is better."""
+        llm_part = self.grader.grade_prompt_quality(text) / 10.0
+        if self._lm is None:
+            return llm_part
+        fluency_part = self._lm.fluency(text)
+        return self.llm_weight * llm_part + (1.0 - self.llm_weight) * fluency_part

@@ -1,0 +1,72 @@
+"""A small LRU cache with hit/miss accounting.
+
+Complement generation is deterministic per prompt, so the gateway caches it:
+repeated prompts (FAQ-style traffic is heavy-tailed) skip the PAS forward
+pass entirely.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Hashable, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+__all__ = ["LruCache"]
+
+_MISSING = object()
+
+
+class LruCache(Generic[K, V]):
+    """Least-recently-used mapping with a fixed capacity.
+
+    >>> cache = LruCache(capacity=2)
+    >>> cache.put("a", 1); cache.put("b", 2); cache.put("c", 3)
+    >>> cache.get("a") is None   # evicted
+    True
+    """
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._data: OrderedDict[K, V] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._data
+
+    def get(self, key: K, default: V | None = None) -> V | None:
+        """Fetch and refresh recency; counts a hit or a miss."""
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self.hits += 1
+        self._data.move_to_end(key)
+        return value  # type: ignore[return-value]
+
+    def put(self, key: K, value: V) -> None:
+        """Insert or refresh; evicts the least-recently-used entry."""
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        if len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0

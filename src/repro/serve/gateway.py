@@ -1,0 +1,129 @@
+"""The PAS gateway: one trained augmenter in front of many target models.
+
+This is the deployment shape the paper's Figure 1(a) draws: user prompts
+enter, PAS complements them, the chosen target LLM answers the concatenated
+prompt.  The gateway adds what a production front-end needs —
+
+* lazy per-model :class:`~repro.llm.api.ChatClient` construction with a
+  shared retry/budget policy,
+* an LRU complement cache keyed by prompt text,
+* cumulative :class:`GatewayStats` for observability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.pas import PasModel
+from repro.errors import UnknownModelError
+from repro.llm.api import ChatClient
+from repro.llm.engine import SimulatedLLM
+from repro.serve.cache import LruCache
+from repro.serve.types import ServeRequest, ServeResponse
+
+__all__ = ["GatewayStats", "PasGateway"]
+
+
+@dataclass
+class GatewayStats:
+    """Cumulative request accounting."""
+
+    requests: int = 0
+    augmented: int = 0
+    cache_hits: int = 0
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+    per_model: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def augmentation_rate(self) -> float:
+        if self.requests == 0:
+            return 0.0
+        return self.augmented / self.requests
+
+
+class PasGateway:
+    """Serve augmented completions for any registered target model."""
+
+    def __init__(
+        self,
+        pas: PasModel,
+        cache_size: int = 1024,
+        failure_rate: float = 0.0,
+        max_retries: int = 3,
+        seed: int = 0,
+    ):
+        self.pas = pas
+        self.seed = int(seed)
+        self._failure_rate = failure_rate
+        self._max_retries = max_retries
+        self._clients: dict[str, ChatClient] = {}
+        self._complement_cache: LruCache[str, str] = LruCache(capacity=cache_size)
+        self.stats = GatewayStats()
+
+    def client_for(self, model: str) -> ChatClient:
+        """The (lazily created) client serving one target model."""
+        if model not in self._clients:
+            engine = SimulatedLLM(model, seed=self.seed)  # raises for unknown names
+            self._clients[model] = ChatClient(
+                engine=engine,
+                failure_rate=self._failure_rate,
+                max_retries=self._max_retries,
+            )
+        return self._clients[model]
+
+    def _complement(self, prompt: str) -> tuple[str, bool]:
+        cached = self._complement_cache.get(prompt)
+        if cached is not None:
+            return cached, True
+        complement = self.pas.augment(prompt)
+        self._complement_cache.put(prompt, complement)
+        return complement, False
+
+    def ask(self, request: ServeRequest) -> ServeResponse:
+        """Serve one request end to end."""
+        client = self.client_for(request.model)
+        if request.augment:
+            complement, was_cached = self._complement(request.prompt)
+        else:
+            complement, was_cached = "", False
+        completion = client.complete(_messages(request.prompt, complement))
+
+        self.stats.requests += 1
+        self.stats.augmented += bool(complement)
+        self.stats.cache_hits += was_cached
+        self.stats.prompt_tokens += completion.prompt_tokens
+        self.stats.completion_tokens += completion.completion_tokens
+        self.stats.per_model[request.model] = (
+            self.stats.per_model.get(request.model, 0) + 1
+        )
+        return ServeResponse(
+            request_id=request.request_id,
+            model=request.model,
+            response=completion.content,
+            complement=complement,
+            complement_cached=was_cached,
+            prompt_tokens=completion.prompt_tokens,
+            completion_tokens=completion.completion_tokens,
+        )
+
+    def ask_text(self, prompt: str, model: str) -> str:
+        """Convenience: prompt in, augmented response text out."""
+        return self.ask(ServeRequest(prompt=prompt, model=model)).response
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self._complement_cache.hit_rate
+
+    @property
+    def registered_models(self) -> list[str]:
+        return sorted(self._clients)
+
+
+def _messages(prompt: str, complement: str):
+    from repro.llm.types import Message
+
+    messages = [Message("user", prompt)]
+    if complement:
+        messages.insert(0, Message("system", complement))
+    return messages

@@ -1,0 +1,151 @@
+"""Request middleware for the PAS gateway.
+
+A middleware wraps request handling: it can reject, annotate, or observe a
+request before/after the downstream handler runs.  Three production-shaped
+middlewares ship with the gateway:
+
+* :class:`GuardrailMiddleware` — reject junk prompts before they spend
+  augmentation and completion tokens (reuses the pipeline's quality
+  grader, so serving and data collection share one notion of junk);
+* :class:`RateLimitMiddleware` — a logical-clock token bucket per model
+  (deterministic: "time" advances one tick per request);
+* :class:`LoggingMiddleware` — an in-memory structured request log.
+
+Compose with :class:`MiddlewareChain`::
+
+    chain = MiddlewareChain([GuardrailMiddleware(), LoggingMiddleware()],
+                            handler=gateway.ask)
+    response = chain(request)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.errors import ReproError
+from repro.llm.engine import SimulatedLLM
+from repro.pipeline.select import QualityScorer
+from repro.serve.types import ServeRequest, ServeResponse
+
+__all__ = [
+    "RequestRejected",
+    "Middleware",
+    "MiddlewareChain",
+    "GuardrailMiddleware",
+    "RateLimitMiddleware",
+    "LoggingMiddleware",
+]
+
+Handler = Callable[[ServeRequest], ServeResponse]
+
+
+class RequestRejected(ReproError):
+    """A middleware refused to serve the request."""
+
+
+class Middleware(Protocol):
+    """The middleware contract: take the request and the next handler."""
+
+    def __call__(self, request: ServeRequest, next_handler: Handler) -> ServeResponse:
+        ...  # pragma: no cover - protocol definition
+
+
+class MiddlewareChain:
+    """Fold a middleware list around a terminal handler (first = outermost)."""
+
+    def __init__(self, middlewares: list[Middleware], handler: Handler):
+        self._handler = handler
+        self._middlewares = list(middlewares)
+
+    def __call__(self, request: ServeRequest) -> ServeResponse:
+        def run(index: int, req: ServeRequest) -> ServeResponse:
+            if index >= len(self._middlewares):
+                return self._handler(req)
+            return self._middlewares[index](req, lambda r: run(index + 1, r))
+
+        return run(0, request)
+
+
+class GuardrailMiddleware:
+    """Reject degenerate prompts before any tokens are spent."""
+
+    def __init__(self, grader: SimulatedLLM | None = None, threshold: float = 0.55):
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+        self._scorer = QualityScorer(grader=grader or SimulatedLLM("baichuan-13b"))
+        self.threshold = threshold
+        self.rejected = 0
+
+    def __call__(self, request: ServeRequest, next_handler: Handler) -> ServeResponse:
+        score = self._scorer.score(request.prompt)
+        if score < self.threshold:
+            self.rejected += 1
+            raise RequestRejected(
+                f"prompt quality {score:.2f} below guardrail {self.threshold:.2f}"
+            )
+        return next_handler(request)
+
+
+class RateLimitMiddleware:
+    """Token bucket over a logical clock (one tick per request).
+
+    Each model gets ``capacity`` tokens; one request costs one token; every
+    tick refills ``refill_per_tick``.  Deterministic, so tests can assert
+    exact admission patterns.
+    """
+
+    def __init__(self, capacity: int = 10, refill_per_tick: float = 1.0):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if refill_per_tick < 0:
+            raise ValueError(f"refill_per_tick must be >= 0, got {refill_per_tick}")
+        self.capacity = capacity
+        self.refill_per_tick = refill_per_tick
+        self._tokens: dict[str, float] = {}
+        self.throttled = 0
+
+    def __call__(self, request: ServeRequest, next_handler: Handler) -> ServeResponse:
+        # Refill every bucket by one tick, then charge the requested model.
+        for model in self._tokens:
+            self._tokens[model] = min(
+                self.capacity, self._tokens[model] + self.refill_per_tick
+            )
+        tokens = self._tokens.setdefault(request.model, float(self.capacity))
+        if tokens < 1.0:
+            self.throttled += 1
+            raise RequestRejected(f"rate limit exceeded for {request.model}")
+        self._tokens[request.model] = tokens - 1.0
+        return next_handler(request)
+
+
+@dataclass
+class LoggingMiddleware:
+    """Append a structured record per request (in-memory)."""
+
+    records: list[dict] = field(default_factory=list)
+
+    def __call__(self, request: ServeRequest, next_handler: Handler) -> ServeResponse:
+        try:
+            response = next_handler(request)
+        except ReproError as exc:
+            self.records.append(
+                {
+                    "model": request.model,
+                    "prompt_tokens": None,
+                    "ok": False,
+                    "error": type(exc).__name__,
+                }
+            )
+            raise
+        self.records.append(
+            {
+                "model": request.model,
+                "prompt_tokens": response.prompt_tokens,
+                "completion_tokens": response.completion_tokens,
+                "augmented": response.augmented,
+                "cached": response.complement_cached,
+                "ok": True,
+            }
+        )
+        return response

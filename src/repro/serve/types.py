@@ -1,0 +1,38 @@
+"""Request/response datatypes of the serving gateway."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ServeRequest", "ServeResponse"]
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One augmentation-and-completion request."""
+
+    prompt: str
+    model: str
+    augment: bool = True
+    request_id: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.prompt.strip():
+            raise ValueError("prompt must be non-empty")
+
+
+@dataclass(frozen=True)
+class ServeResponse:
+    """The gateway's answer, with provenance for observability."""
+
+    request_id: str | None
+    model: str
+    response: str
+    complement: str
+    complement_cached: bool
+    prompt_tokens: int
+    completion_tokens: int
+
+    @property
+    def augmented(self) -> bool:
+        return bool(self.complement)

@@ -1,0 +1,8 @@
+"""Tokenisation and n-gram language modelling substrate."""
+
+from repro.text.bpe import BpeTokenizer
+from repro.text.tokenizer import Tokenizer
+from repro.text.vocab import Vocabulary
+from repro.text.ngram import NgramLanguageModel
+
+__all__ = ["BpeTokenizer", "Tokenizer", "Vocabulary", "NgramLanguageModel"]

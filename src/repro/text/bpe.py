@@ -1,0 +1,147 @@
+"""Byte-pair encoding, trained from scratch.
+
+Word-level tokens are fine for the simulation's semantics, but usage
+accounting against real APIs is subword-based; ``BpeTokenizer`` provides a
+faithful small BPE: train merges on a corpus, encode/decode any text, and
+count subword tokens.  The implementation follows the original
+Sennrich-style algorithm over word frequency tables with an end-of-word
+marker.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.errors import NotFittedError
+from repro.utils import textproc
+
+__all__ = ["BpeTokenizer"]
+
+_EOW = "</w>"
+
+
+class BpeTokenizer:
+    """Trainable byte-pair-encoding tokenizer.
+
+    Parameters
+    ----------
+    n_merges:
+        Number of merge operations to learn; the vocabulary is the base
+        characters plus one symbol per merge.
+    """
+
+    def __init__(self, n_merges: int = 200):
+        if n_merges < 0:
+            raise ValueError(f"n_merges must be non-negative, got {n_merges}")
+        self.n_merges = n_merges
+        self._merges: list[tuple[str, str]] = []
+        self._ranks: dict[tuple[str, str], int] = {}
+        self._fitted = False
+
+    # ------------------------------------------------------------------ #
+    # training
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _word_to_symbols(word: str) -> tuple[str, ...]:
+        return (*word, _EOW)
+
+    def fit(self, corpus: list[str]) -> "BpeTokenizer":
+        """Learn merge operations from a corpus of documents."""
+        if not corpus:
+            raise NotFittedError("cannot train BPE on an empty corpus")
+        word_freq: Counter[tuple[str, ...]] = Counter()
+        for doc in corpus:
+            for word in textproc.words(doc):
+                word_freq[self._word_to_symbols(word)] += 1
+
+        vocab = dict(word_freq)
+        merges: list[tuple[str, str]] = []
+        for _ in range(self.n_merges):
+            pair_freq: Counter[tuple[str, str]] = Counter()
+            for symbols, freq in vocab.items():
+                for i in range(len(symbols) - 1):
+                    pair_freq[(symbols[i], symbols[i + 1])] += freq
+            if not pair_freq:
+                break
+            # Deterministic argmax: highest frequency, then lexicographic.
+            best = min(pair_freq.items(), key=lambda kv: (-kv[1], kv[0]))[0]
+            if pair_freq[best] < 2:
+                break
+            merges.append(best)
+            vocab = {
+                self._apply_merge(symbols, best): freq
+                for symbols, freq in vocab.items()
+            }
+        self._merges = merges
+        self._ranks = {pair: rank for rank, pair in enumerate(merges)}
+        self._fitted = True
+        return self
+
+    @staticmethod
+    def _apply_merge(
+        symbols: tuple[str, ...], pair: tuple[str, str]
+    ) -> tuple[str, ...]:
+        out: list[str] = []
+        i = 0
+        while i < len(symbols):
+            if (
+                i < len(symbols) - 1
+                and symbols[i] == pair[0]
+                and symbols[i + 1] == pair[1]
+            ):
+                out.append(symbols[i] + symbols[i + 1])
+                i += 2
+            else:
+                out.append(symbols[i])
+                i += 1
+        return tuple(out)
+
+    # ------------------------------------------------------------------ #
+    # encoding
+    # ------------------------------------------------------------------ #
+
+    @property
+    def merges(self) -> list[tuple[str, str]]:
+        return list(self._merges)
+
+    def encode_word(self, word: str) -> list[str]:
+        """Encode one word into learned subword symbols."""
+        if not self._fitted:
+            raise NotFittedError("BpeTokenizer used before fit()")
+        symbols = self._word_to_symbols(word.lower())
+        while len(symbols) > 1:
+            candidates = [
+                (self._ranks[(symbols[i], symbols[i + 1])], i)
+                for i in range(len(symbols) - 1)
+                if (symbols[i], symbols[i + 1]) in self._ranks
+            ]
+            if not candidates:
+                break
+            rank, _ = min(candidates)
+            symbols = self._apply_merge(symbols, self._merges[rank])
+        return list(symbols)
+
+    def encode(self, text: str) -> list[str]:
+        """Encode a document into subword symbols."""
+        out: list[str] = []
+        for word in textproc.words(text):
+            out.extend(self.encode_word(word))
+        return out
+
+    def decode(self, symbols: list[str]) -> str:
+        """Inverse of :meth:`encode` up to the word level."""
+        text = "".join(symbols)
+        return text.replace(_EOW, " ").strip()
+
+    def count(self, text: str) -> int:
+        """Subword token count (API-style usage accounting)."""
+        return len(self.encode(text))
+
+    def compression_ratio(self, text: str) -> float:
+        """Characters per subword token; higher means better compression."""
+        tokens = self.count(text)
+        if tokens == 0:
+            return 0.0
+        n_chars = sum(len(w) for w in textproc.words(text))
+        return n_chars / tokens

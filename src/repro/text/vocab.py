@@ -1,0 +1,73 @@
+"""Token vocabulary with frequency tracking and id mapping."""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+
+__all__ = ["Vocabulary"]
+
+
+class Vocabulary:
+    """Bidirectional token <-> id map built from observed frequencies.
+
+    Ids are assigned in decreasing frequency order (ties broken
+    lexicographically) so the mapping is deterministic for a given corpus.
+    Id 0 is always the unknown token.
+    """
+
+    def __init__(self, unk: str = "<unk>"):
+        self._unk = unk
+        self._counts: Counter[str] = Counter()
+        self._token_to_id: dict[str, int] = {}
+        self._id_to_token: list[str] = []
+        self._finalized = False
+
+    @property
+    def unk(self) -> str:
+        return self._unk
+
+    def observe(self, tokens: Iterable[str]) -> None:
+        """Accumulate token frequencies; invalid after :meth:`finalize`."""
+        if self._finalized:
+            raise RuntimeError("cannot observe tokens after finalize()")
+        self._counts.update(tokens)
+
+    def finalize(self, min_count: int = 1, max_size: int | None = None) -> None:
+        """Freeze the vocabulary, assigning ids by (-count, token)."""
+        if self._finalized:
+            raise RuntimeError("vocabulary already finalized")
+        ranked = sorted(
+            (t for t, c in self._counts.items() if c >= min_count and t != self._unk),
+            key=lambda t: (-self._counts[t], t),
+        )
+        if max_size is not None:
+            ranked = ranked[: max(0, max_size - 1)]
+        self._id_to_token = [self._unk, *ranked]
+        self._token_to_id = {t: i for i, t in enumerate(self._id_to_token)}
+        self._finalized = True
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def id_of(self, token: str) -> int:
+        """Token id, or 0 (unk) for out-of-vocabulary tokens."""
+        self._require_finalized()
+        return self._token_to_id.get(token, 0)
+
+    def token_of(self, idx: int) -> str:
+        self._require_finalized()
+        return self._id_to_token[idx]
+
+    def count_of(self, token: str) -> int:
+        return self._counts.get(token, 0)
+
+    def encode(self, tokens: Iterable[str]) -> list[int]:
+        return [self.id_of(t) for t in tokens]
+
+    def _require_finalized(self) -> None:
+        if not self._finalized:
+            raise RuntimeError("vocabulary must be finalized before lookup")

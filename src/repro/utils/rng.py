@@ -1,0 +1,74 @@
+"""Deterministic random-number management.
+
+All stochastic components in the library draw from ``numpy.random.Generator``
+instances produced here.  Two properties matter:
+
+* **Reproducibility** — the same ``(seed, name)`` pair always yields the same
+  stream, independent of import order or how many other components exist.
+* **Independence** — streams for different names are statistically
+  independent, so adding a new component never perturbs existing ones.
+
+Both are achieved by hashing the component name into an offset that is mixed
+into a :class:`numpy.random.SeedSequence` spawn key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["stable_hash", "derive_rng", "RngFactory"]
+
+
+def stable_hash(text: str, bits: int = 64) -> int:
+    """Return a platform-stable unsigned hash of ``text``.
+
+    Python's builtin ``hash`` is salted per process; this uses blake2b so the
+    value is identical across runs and machines.
+
+    >>> stable_hash("a") == stable_hash("a")
+    True
+    """
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little") % (1 << bits)
+
+
+def derive_rng(seed: int, name: str) -> np.random.Generator:
+    """Create an independent generator for component ``name`` under ``seed``."""
+    entropy = (int(seed) & 0xFFFFFFFFFFFFFFFF, stable_hash(name))
+    return np.random.default_rng(np.random.SeedSequence(entropy))
+
+
+class RngFactory:
+    """Factory handing out named, independent random streams.
+
+    The factory is cheap to pass around; components request their stream by
+    name.  Repeated requests for the same name return *fresh* generators with
+    identical state, so callers must hold on to the generator if they want a
+    continuing stream.
+
+    >>> f = RngFactory(seed=7)
+    >>> a = f.get("x").integers(0, 100, 3)
+    >>> b = RngFactory(seed=7).get("x").integers(0, 100, 3)
+    >>> bool((a == b).all())
+    True
+    """
+
+    def __init__(self, seed: int):
+        self._seed = int(seed)
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def get(self, name: str) -> np.random.Generator:
+        """Return a fresh generator for the named component."""
+        return derive_rng(self._seed, name)
+
+    def child(self, name: str) -> "RngFactory":
+        """Derive a sub-factory, e.g. one per pipeline stage."""
+        return RngFactory(self._seed ^ stable_hash(name))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RngFactory(seed={self._seed})"

@@ -1,0 +1,68 @@
+"""Disjoint-set (union-find) with path compression and union by rank.
+
+Used by the near-duplicate clustering stage to merge HNSW neighbour pairs
+into duplicate groups.
+"""
+
+from __future__ import annotations
+
+__all__ = ["UnionFind"]
+
+
+class UnionFind:
+    """Classic disjoint-set over the integers ``0..n-1``.
+
+    >>> uf = UnionFind(4)
+    >>> uf.union(0, 1); uf.union(2, 3)
+    True
+    True
+    >>> uf.connected(0, 1), uf.connected(1, 2)
+    (True, False)
+    """
+
+    def __init__(self, n: int):
+        if n < 0:
+            raise ValueError(f"size must be non-negative, got {n}")
+        self._parent = list(range(n))
+        self._rank = [0] * n
+        self._count = n
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    @property
+    def components(self) -> int:
+        """Number of disjoint components."""
+        return self._count
+
+    def find(self, x: int) -> int:
+        """Return the canonical representative of ``x``'s component."""
+        root = x
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[x] != root:  # path compression
+            self._parent[x], x = root, self._parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the components of ``a`` and ``b``; True if they were distinct."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        self._count -= 1
+        return True
+
+    def connected(self, a: int, b: int) -> bool:
+        return self.find(a) == self.find(b)
+
+    def groups(self) -> dict[int, list[int]]:
+        """Map each root to the sorted list of members of its component."""
+        out: dict[int, list[int]] = {}
+        for i in range(len(self._parent)):
+            out.setdefault(self.find(i), []).append(i)
+        return out

@@ -1,0 +1,36 @@
+"""The synthetic prompt universe (LMSYS-1M / WildChat surrogate).
+
+Real LLM evaluation hinges on a causal chain the paper exploits: user
+prompts carry *latent needs* (be careful of the trap, explain step by step,
+respect the format, …); responses that address those needs are better; good
+complementary prompts surface the needs explicitly.  This package makes that
+chain concrete and measurable:
+
+* :mod:`repro.world.aspects` — the taxonomy of latent needs, with the cue
+  phrases that signal them in prompts, the directive phrases that address
+  them in complementary prompts, and the marker phrases that evidence them
+  in responses.
+* :mod:`repro.world.categories` — the 14 prompt categories of Figure 6.
+* :mod:`repro.world.prompts` — the synthetic corpus generator (with
+  duplicates and junk, so the collection pipeline has real work).
+* :mod:`repro.world.quality` — the ground-truth response-quality oracle.
+"""
+
+from repro.world.aspects import ASPECTS, Aspect, aspect_names
+from repro.world.categories import CATEGORIES, Category, category_names
+from repro.world.prompts import CorpusConfig, PromptFactory, SyntheticPrompt
+from repro.world.quality import QualityAssessment, assess_response
+
+__all__ = [
+    "ASPECTS",
+    "Aspect",
+    "aspect_names",
+    "CATEGORIES",
+    "Category",
+    "category_names",
+    "CorpusConfig",
+    "PromptFactory",
+    "SyntheticPrompt",
+    "QualityAssessment",
+    "assess_response",
+]

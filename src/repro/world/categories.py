@@ -1,0 +1,380 @@
+"""The 14 prompt categories of Figure 6.
+
+The paper's dataset spans 14 categories with roughly 500 pairs each, with
+Q&A and Coding the largest.  Each category carries:
+
+* ``templates`` — prompt surface forms with ``{topic}`` / ``{detail}`` slots;
+* ``topics`` — the topic bank filling those slots (topic words also anchor
+  the intent-preservation check in the quality oracle);
+* ``aspect_prior`` — how likely each latent aspect is to be a *need* of a
+  prompt in this category;
+* ``share`` — relative share in the synthetic corpus (Q&A and Coding are
+  deliberately over-represented, matching Figure 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Category", "CATEGORIES", "category_names"]
+
+
+@dataclass(frozen=True)
+class Category:
+    """One prompt category of the synthetic universe."""
+
+    name: str
+    templates: tuple[str, ...]
+    topics: tuple[str, ...]
+    aspect_prior: dict[str, float]
+    share: float = 1.0
+
+
+_CATEGORY_LIST: tuple[Category, ...] = (
+    Category(
+        name="question_answering",
+        templates=(
+            "What is {topic} and how does it relate to {detail}?",
+            "Can you explain {topic} in the setting of {detail}?",
+            "Why does {topic} matter for {detail}?",
+            "Does {topic} increase or decrease under {detail}?",
+        ),
+        topics=(
+            "blood pressure regulation",
+            "photosynthesis efficiency",
+            "compound interest",
+            "plate tectonics",
+            "network latency",
+            "inflation dynamics",
+            "immune response",
+            "battery degradation",
+            "soil erosion",
+            "supply chains",
+        ),
+        aspect_prior={
+            "depth": 0.45,
+            "verification": 0.3,
+            "examples": 0.25,
+            "structure": 0.2,
+            "audience": 0.15,
+            "brevity": 0.1,
+        },
+        share=1.8,
+    ),
+    Category(
+        name="coding",
+        templates=(
+            "How do I implement {topic} in {detail}?",
+            "Write a function for {topic} using {detail}.",
+            "My code for {topic} fails under {detail}; how can I fix it?",
+            "Show me how to refactor {topic} without using {detail}.",
+        ),
+        topics=(
+            "a binary search tree",
+            "rate limiting",
+            "csv parsing",
+            "an lru cache",
+            "matrix multiplication",
+            "a web scraper",
+            "connection pooling",
+            "a state machine",
+            "file deduplication",
+            "a job scheduler",
+        ),
+        aspect_prior={
+            "step_by_step": 0.5,
+            "edge_cases": 0.45,
+            "constraints": 0.3,
+            "examples": 0.3,
+            "format": 0.2,
+            "depth": 0.15,
+        },
+        share=1.8,
+    ),
+    Category(
+        name="writing",
+        templates=(
+            "Draft a {detail} about {topic}.",
+            "Help me write {topic} with a {detail}.",
+            "Compose {topic} aimed at {detail}.",
+        ),
+        topics=(
+            "a cover letter",
+            "a product announcement",
+            "a wedding toast",
+            "an apology email",
+            "a grant abstract",
+            "a press release",
+            "a short story opening",
+            "a resignation letter",
+        ),
+        aspect_prior={
+            "style": 0.55,
+            "audience": 0.4,
+            "structure": 0.3,
+            "brevity": 0.2,
+            "constraints": 0.2,
+        },
+        share=1.1,
+    ),
+    Category(
+        name="summarization",
+        templates=(
+            "Summarize the key points about {topic} for {detail}.",
+            "Give me a quick summary of {topic} focusing on {detail}.",
+            "Condense what is known about {topic} regarding {detail}.",
+        ),
+        topics=(
+            "the quarterly report",
+            "this research field",
+            "the meeting notes",
+            "the policy debate",
+            "the incident timeline",
+            "the product roadmap",
+        ),
+        aspect_prior={
+            "brevity": 0.6,
+            "structure": 0.35,
+            "format": 0.25,
+            "verification": 0.2,
+        },
+        share=0.9,
+    ),
+    Category(
+        name="translation",
+        templates=(
+            "Translate {topic} into {detail} and keep the tone.",
+            "How would you render {topic} in {detail}?",
+            "Provide a faithful translation of {topic} for {detail}.",
+        ),
+        topics=(
+            "this legal clause",
+            "a marketing slogan",
+            "an old proverb",
+            "the user manual",
+            "a poem stanza",
+            "the error message",
+        ),
+        aspect_prior={
+            "style": 0.5,
+            "constraints": 0.35,
+            "context": 0.3,
+            "verification": 0.2,
+        },
+        share=0.7,
+    ),
+    Category(
+        name="math",
+        templates=(
+            "Solve this problem about {topic} given {detail}.",
+            "If there are {topic}, how many are left after {detail}?",
+            "Compute {topic} under {detail} and show the work.",
+        ),
+        topics=(
+            "ten birds on a tree",
+            "compound growth rates",
+            "a probability puzzle",
+            "an optimization budget",
+            "a geometry configuration",
+            "a number sequence",
+        ),
+        aspect_prior={
+            "step_by_step": 0.6,
+            "logic_trap": 0.4,
+            "verification": 0.35,
+            "brevity": 0.1,
+        },
+        share=0.9,
+    ),
+    Category(
+        name="reasoning",
+        templates=(
+            "Here is a tricky question about {topic}: what happens if {detail}?",
+            "Think carefully before answering: does {topic} imply {detail}?",
+            "A riddle about {topic}: explain the outcome given {detail}.",
+        ),
+        topics=(
+            "a lying villager",
+            "two trains approaching",
+            "a leaky bucket",
+            "the surgeon puzzle",
+            "a locked room",
+            "the birthday paradox",
+        ),
+        aspect_prior={
+            "logic_trap": 0.65,
+            "step_by_step": 0.45,
+            "verification": 0.3,
+            "depth": 0.2,
+        },
+        share=0.9,
+    ),
+    Category(
+        name="brainstorming",
+        templates=(
+            "Give me ideas for {topic} suited to {detail}.",
+            "Brainstorm approaches to {topic} considering {detail}.",
+            "What are creative options for {topic} given {detail}?",
+        ),
+        topics=(
+            "a team offsite",
+            "reducing churn",
+            "a science fair project",
+            "naming a product",
+            "saving energy at home",
+            "a fundraising campaign",
+        ),
+        aspect_prior={
+            "examples": 0.5,
+            "structure": 0.3,
+            "audience": 0.25,
+            "comparison": 0.2,
+        },
+        share=0.8,
+    ),
+    Category(
+        name="roleplay",
+        templates=(
+            "Act as {detail} and discuss {topic} with me.",
+            "In the style of {detail}, respond to questions about {topic}.",
+            "Pretend you are {detail}; how would you handle {topic}?",
+        ),
+        topics=(
+            "a customer complaint",
+            "a job interview",
+            "a history lesson",
+            "a negotiation",
+            "a medical consultation",
+            "a travel briefing",
+        ),
+        aspect_prior={
+            "style": 0.6,
+            "context": 0.4,
+            "audience": 0.25,
+            "constraints": 0.2,
+        },
+        share=0.7,
+    ),
+    Category(
+        name="extraction",
+        templates=(
+            "Extract the {detail} from this passage about {topic}.",
+            "List every {detail} mentioned regarding {topic}, as json.",
+            "Pull out the {detail} related to {topic} in a table.",
+        ),
+        topics=(
+            "vendor contracts",
+            "patient records",
+            "server logs",
+            "survey feedback",
+            "invoice history",
+            "job postings",
+        ),
+        aspect_prior={
+            "format": 0.65,
+            "constraints": 0.35,
+            "verification": 0.25,
+            "brevity": 0.2,
+        },
+        share=0.7,
+    ),
+    Category(
+        name="recommendation",
+        templates=(
+            "Which is better for {topic}: option a versus option b, given {detail}?",
+            "Recommend something for {topic} considering {detail}.",
+            "Compare choices for {topic} with pros and cons under {detail}.",
+        ),
+        topics=(
+            "a starter laptop",
+            "a database engine",
+            "a beginner camera",
+            "team messaging tools",
+            "a travel destination",
+            "an exercise routine",
+        ),
+        aspect_prior={
+            "comparison": 0.65,
+            "audience": 0.3,
+            "constraints": 0.3,
+            "examples": 0.2,
+        },
+        share=0.8,
+    ),
+    Category(
+        name="analysis",
+        templates=(
+            "Analyze {topic} in detail with respect to {detail}.",
+            "What are the trade offs of {topic} under {detail}?",
+            "Assess the impact of {topic} on {detail} comprehensively.",
+        ),
+        topics=(
+            "remote work policies",
+            "cache eviction strategies",
+            "renewable subsidies",
+            "a merger proposal",
+            "apartment renting versus buying",
+            "microservice migration",
+        ),
+        aspect_prior={
+            "depth": 0.6,
+            "comparison": 0.4,
+            "structure": 0.35,
+            "edge_cases": 0.2,
+        },
+        share=0.9,
+    ),
+    Category(
+        name="knowledge",
+        templates=(
+            "Is it true that {topic} causes {detail}?",
+            "Fact check the claim that {topic} leads to {detail}.",
+            "What does the evidence say about {topic} and {detail}?",
+        ),
+        topics=(
+            "vitamin supplements",
+            "coffee consumption",
+            "screen time",
+            "cold exposure",
+            "intermittent fasting",
+            "red wine",
+        ),
+        aspect_prior={
+            "verification": 0.65,
+            "depth": 0.35,
+            "examples": 0.2,
+            "brevity": 0.15,
+        },
+        share=0.8,
+    ),
+    Category(
+        name="chitchat",
+        templates=(
+            "Tell me something interesting about {topic} and {detail}.",
+            "What do you think about {topic} these days, especially {detail}?",
+            "Chat with me about {topic}; I am curious about {detail}.",
+        ),
+        topics=(
+            "space exploration",
+            "street food",
+            "old movies",
+            "houseplants",
+            "marathon training",
+            "board games",
+        ),
+        aspect_prior={
+            "examples": 0.3,
+            "brevity": 0.25,
+            "style": 0.2,
+            "depth": 0.15,
+        },
+        share=0.6,
+    ),
+)
+
+CATEGORIES: dict[str, Category] = {c.name: c for c in _CATEGORY_LIST}
+
+
+def category_names() -> list[str]:
+    """All category names in registry order."""
+    return [c.name for c in _CATEGORY_LIST]

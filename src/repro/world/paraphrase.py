@@ -1,0 +1,92 @@
+"""Surface paraphrasing for near-duplicate generation.
+
+LMSYS/WildChat duplicates are rarely byte-identical — users rephrase.  The
+paraphraser perturbs a prompt's surface while preserving its meaning, needs
+and cues: greeting prefixes/suffixes, politeness swaps, and a synonym table
+over *non-cue* vocabulary (cue phrases are load-bearing and must survive).
+The harder the paraphrase, the harder the dedup stage has to work — which
+is exactly what the A1 ablation measures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils import textproc
+
+__all__ = ["SYNONYMS", "paraphrase"]
+
+# Synonyms restricted to words that never appear inside cue phrases, so a
+# paraphrased prompt keeps every cue intact.
+SYNONYMS: dict[str, tuple[str, ...]] = {
+    "implement": ("build", "create", "code up"),
+    "write": ("draft", "produce"),
+    "quickly": ("fast", "rapidly"),
+    "problem": ("task", "exercise"),
+    "function": ("routine", "method"),
+    "give": ("provide", "offer"),
+    "help": ("assist",),
+    "fix": ("repair", "resolve"),
+    "ideas": ("suggestions", "options"),
+    "discuss": ("talk about", "go over"),
+}
+
+_PREFIXES: tuple[str, ...] = (
+    "hey, ",
+    "hello, ",
+    "hi there, ",
+    "quick question: ",
+    "so, ",
+    "",
+)
+_SUFFIXES: tuple[str, ...] = (
+    " thanks!",
+    " thanks a lot.",
+    " appreciate it.",
+    " cheers.",
+    "",
+)
+
+
+def paraphrase(
+    text: str,
+    rng: np.random.Generator,
+    synonym_rate: float = 0.6,
+    decorate: bool = True,
+) -> str:
+    """Produce a meaning-preserving surface variant of ``text``.
+
+    Parameters
+    ----------
+    synonym_rate:
+        Probability that each substitutable word is swapped.
+    decorate:
+        Whether to add a greeting prefix / thanks suffix.
+    """
+    if not 0.0 <= synonym_rate <= 1.0:
+        raise ValueError(f"synonym_rate must be in [0, 1], got {synonym_rate}")
+    words = text.split()
+    out = []
+    for word in words:
+        # Preserve punctuation glued to the word.
+        core = word.strip(".,;:!?")
+        trailing = word[len(core):] if core else word
+        key = core.lower()
+        if key in SYNONYMS and rng.random() < synonym_rate:
+            replacement = str(SYNONYMS[key][int(rng.integers(len(SYNONYMS[key])))])
+            if core[:1].isupper():
+                replacement = replacement[:1].upper() + replacement[1:]
+            out.append(replacement + trailing)
+        else:
+            out.append(word)
+    result = " ".join(out)
+    if decorate:
+        prefix = str(_PREFIXES[int(rng.integers(len(_PREFIXES)))])
+        suffix = str(_SUFFIXES[int(rng.integers(len(_SUFFIXES)))])
+        result = prefix + result + suffix
+    return result
+
+
+def surface_distance(a: str, b: str) -> float:
+    """1 - Jaccard word overlap; a cheap 'how different does it look'."""
+    return 1.0 - textproc.jaccard(textproc.words(a), textproc.words(b))

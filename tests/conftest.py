@@ -1,0 +1,59 @@
+"""Shared fixtures.
+
+Expensive artifacts (datasets, trained models, suites) are session-scoped
+and built at reduced scale so the whole suite stays fast while still
+exercising the real pipeline end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import build_default_dataset
+from repro.core.pas import PasModel
+from repro.experiments.context import ExperimentContext, ScaleConfig
+from repro.world.prompts import CorpusConfig, PromptFactory
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture()
+def factory(rng):
+    return PromptFactory(rng=rng)
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    factory = PromptFactory(rng=np.random.default_rng(42))
+    return factory.make_corpus(CorpusConfig(n_prompts=250))
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A small curated dataset produced by the full pipeline."""
+    return build_default_dataset(n_prompts=250, seed=3, curate=True)
+
+
+@pytest.fixture(scope="session")
+def tiny_raw_dataset():
+    return build_default_dataset(n_prompts=250, seed=3, curate=False)
+
+
+@pytest.fixture(scope="session")
+def trained_pas(tiny_dataset):
+    return PasModel(base_model="qwen2-7b-chat", seed=3).train(tiny_dataset)
+
+
+@pytest.fixture(scope="session")
+def quick_ctx():
+    """A quick-scale experiment context shared by integration tests.
+
+    Seed 0 matches the benchmark suite and the documented EXPERIMENTS.md
+    configuration, so the shape assertions test the same artifacts the
+    docs describe.
+    """
+    return ExperimentContext(scale=ScaleConfig.quick(), seed=0)

@@ -1,0 +1,159 @@
+"""Tests for the HNSW index, including recall against brute force."""
+
+import numpy as np
+import pytest
+
+from repro.ann.bruteforce import BruteForceIndex
+from repro.ann.hnsw import HnswIndex
+from repro.errors import IndexError_
+
+
+def _random_points(n, dim, seed=0):
+    return np.random.default_rng(seed).normal(size=(n, dim))
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("kwargs", [
+        {"dim": 0},
+        {"dim": 4, "m": 1},
+        {"dim": 4, "ef_construction": 0},
+        {"dim": 4, "ef_search": 0},
+        {"dim": 4, "metric": "hamming"},
+    ])
+    def test_invalid_params(self, kwargs):
+        with pytest.raises(IndexError_):
+            HnswIndex(**kwargs)
+
+
+class TestBasicOps:
+    def test_empty_search(self):
+        index = HnswIndex(dim=4)
+        assert index.search(np.zeros(4), 3) == []
+
+    def test_single_element(self):
+        index = HnswIndex(dim=3)
+        index.add(np.array([1.0, 0.0, 0.0]), key=42)
+        hits = index.search(np.array([1.0, 0.0, 0.0]), 1)
+        assert hits[0][0] == 42
+        assert hits[0][1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_len(self):
+        index = HnswIndex(dim=2)
+        index.add(np.ones(2), key=0)
+        index.add(np.zeros(2) + 0.5, key=1)
+        assert len(index) == 2
+
+    def test_duplicate_key_rejected(self):
+        index = HnswIndex(dim=2)
+        index.add(np.ones(2), key=0)
+        with pytest.raises(IndexError_):
+            index.add(np.zeros(2), key=0)
+
+    def test_dim_mismatch_on_add(self):
+        index = HnswIndex(dim=3)
+        with pytest.raises(IndexError_):
+            index.add(np.ones(4), key=0)
+
+    def test_dim_mismatch_on_search(self):
+        index = HnswIndex(dim=3)
+        index.add(np.ones(3), key=0)
+        with pytest.raises(IndexError_):
+            index.search(np.ones(2), 1)
+
+    def test_k_must_be_positive(self):
+        index = HnswIndex(dim=2)
+        with pytest.raises(IndexError_):
+            index.search(np.ones(2), 0)
+
+    def test_results_sorted_by_distance(self):
+        index = HnswIndex(dim=2, seed=1)
+        pts = _random_points(50, 2, seed=5)
+        for i, p in enumerate(pts):
+            index.add(p, key=i)
+        hits = index.search(pts[0], 10)
+        dists = [d for _, d in hits]
+        assert dists == sorted(dists)
+
+    def test_returns_at_most_k(self):
+        index = HnswIndex(dim=2)
+        for i, p in enumerate(_random_points(20, 2)):
+            index.add(p, key=i)
+        assert len(index.search(np.zeros(2), 5)) == 5
+
+    def test_k_larger_than_index(self):
+        index = HnswIndex(dim=2)
+        for i, p in enumerate(_random_points(3, 2)):
+            index.add(p, key=i)
+        assert len(index.search(np.zeros(2), 10)) == 3
+
+
+class TestRecall:
+    @pytest.mark.parametrize("metric", ["cosine", "l2"])
+    def test_high_recall_vs_bruteforce(self, metric):
+        dim, n, k = 16, 400, 10
+        points = _random_points(n, dim, seed=7)
+        hnsw = HnswIndex(dim=dim, metric=metric, ef_search=80, seed=3)
+        brute = BruteForceIndex(dim=dim, metric=metric)
+        for i, p in enumerate(points):
+            hnsw.add(p, key=i)
+            brute.add(p, key=i)
+        queries = _random_points(30, dim, seed=8)
+        recalls = []
+        for q in queries:
+            approx = {key for key, _ in hnsw.search(q, k)}
+            exact = {key for key, _ in brute.search(q, k)}
+            recalls.append(len(approx & exact) / k)
+        assert np.mean(recalls) > 0.9
+
+    def test_exact_match_always_found(self):
+        dim = 8
+        points = _random_points(200, dim, seed=11)
+        index = HnswIndex(dim=dim, seed=2)
+        for i, p in enumerate(points):
+            index.add(p, key=i)
+        for i in (0, 50, 199):
+            hits = index.search(points[i], 1)
+            assert hits[0][0] == i
+
+    def test_higher_ef_never_lowers_single_query_quality_much(self):
+        dim, n = 8, 300
+        points = _random_points(n, dim, seed=13)
+        index = HnswIndex(dim=dim, seed=4)
+        brute = BruteForceIndex(dim=dim)
+        for i, p in enumerate(points):
+            index.add(p, key=i)
+            brute.add(p, key=i)
+        q = _random_points(1, dim, seed=14)[0]
+        exact = {key for key, _ in brute.search(q, 10)}
+        low = {key for key, _ in index.search(q, 10, ef=10)}
+        high = {key for key, _ in index.search(q, 10, ef=200)}
+        assert len(high & exact) >= len(low & exact)
+
+
+class TestKnnGraph:
+    def test_excludes_self(self):
+        index = HnswIndex(dim=4, seed=0)
+        for i, p in enumerate(_random_points(30, 4)):
+            index.add(p, key=i)
+        graph = index.knn_graph(5)
+        for key, neighbors in graph.items():
+            assert key not in {nk for nk, _ in neighbors}
+
+    def test_covers_all_keys(self):
+        index = HnswIndex(dim=4, seed=0)
+        for i, p in enumerate(_random_points(25, 4)):
+            index.add(p, key=i)
+        assert set(index.knn_graph(3)) == set(range(25))
+
+
+class TestDeterminism:
+    def test_same_seed_same_results(self):
+        points = _random_points(100, 8, seed=21)
+
+        def build():
+            index = HnswIndex(dim=8, seed=9)
+            for i, p in enumerate(points):
+                index.add(p, key=i)
+            return index.search(points[3], 10)
+
+        assert build() == build()

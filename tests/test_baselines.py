@@ -1,0 +1,150 @@
+"""Tests for the APE baseline implementations."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import NoApe
+from repro.baselines.bpo import BpoConfig, BpoModel, build_bpo_preference_corpus
+from repro.baselines.cot import ZeroShotCot
+from repro.baselines.dpo import DpoComparator
+from repro.baselines.ppo import PpoComparator
+from repro.errors import NotFittedError
+from repro.world.aspects import parse_directives
+from repro.world.prompts import PromptFactory
+
+
+class TestNoApe:
+    def test_identity_transform(self):
+        assert NoApe().transform("hello") == ("hello", None)
+
+    def test_flexibility(self):
+        flex = NoApe().flexibility
+        assert not flex.needs_human_labor
+        assert flex.llm_agnostic and flex.task_agnostic
+
+
+class TestZeroShotCot:
+    def test_always_appends_step_directive(self):
+        prompt, supplement = ZeroShotCot().transform("what is 2+2?")
+        assert prompt == "what is 2+2?"
+        assert parse_directives(supplement) == {"step_by_step"}
+
+    def test_no_training_data(self):
+        assert ZeroShotCot().flexibility.training_examples == 0
+
+
+class TestBpoCorpus:
+    def test_size(self):
+        assert len(build_bpo_preference_corpus(n_pairs=50, seed=1)) == 50
+
+    def test_chosen_extends_prompt(self):
+        for record in build_bpo_preference_corpus(n_pairs=20, seed=2):
+            assert record.chosen.startswith(record.prompt_text)
+            assert record.rejected == record.prompt_text
+
+    def test_chosen_carries_directives(self):
+        parsed = [
+            parse_directives(r.chosen)
+            for r in build_bpo_preference_corpus(n_pairs=30, seed=3)
+        ]
+        assert sum(bool(p) for p in parsed) >= 25
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            build_bpo_preference_corpus(n_pairs=0)
+        with pytest.raises(ValueError):
+            build_bpo_preference_corpus(n_pairs=5, label_noise=1.5)
+
+    def test_deterministic(self):
+        a = build_bpo_preference_corpus(n_pairs=10, seed=4)
+        b = build_bpo_preference_corpus(n_pairs=10, seed=4)
+        assert [r.chosen for r in a] == [r.chosen for r in b]
+
+
+class TestBpoModel:
+    @pytest.fixture(scope="class")
+    def bpo(self):
+        return BpoModel(n_preference_pairs=300, seed=5)
+
+    def test_rewrites_prompt_no_supplement(self, bpo, factory):
+        prompt = factory.make_prompt()
+        rewritten, supplement = bpo.transform(prompt.text)
+        assert supplement is None
+        assert rewritten
+
+    def test_most_rewrites_keep_original_text(self, bpo):
+        factory = PromptFactory(rng=np.random.default_rng(6))
+        kept = 0
+        for _ in range(50):
+            prompt = factory.make_prompt()
+            rewritten, _ = bpo.transform(prompt.text)
+            kept += prompt.text in rewritten
+        assert kept >= 35  # drift rates are ~10%
+
+    def test_some_rewrites_drift(self, bpo):
+        factory = PromptFactory(rng=np.random.default_rng(7))
+        drifted = 0
+        for _ in range(120):
+            prompt = factory.make_prompt()
+            rewritten, _ = bpo.transform(prompt.text)
+            drifted += prompt.text not in rewritten
+        assert drifted > 0
+
+    def test_rewrites_usually_add_directives(self, bpo):
+        factory = PromptFactory(rng=np.random.default_rng(8))
+        with_directives = 0
+        for _ in range(40):
+            prompt = factory.make_prompt(cue_rate=1.0)
+            rewritten, _ = bpo.transform(prompt.text)
+            with_directives += bool(parse_directives(rewritten))
+        assert with_directives >= 25
+
+    def test_deterministic(self, bpo, factory):
+        prompt = factory.make_prompt()
+        assert bpo.transform(prompt.text) == bpo.transform(prompt.text)
+
+    def test_flexibility_matches_paper_row(self, bpo):
+        flex = bpo.flexibility
+        assert flex.needs_human_labor
+        assert flex.llm_agnostic
+        assert flex.task_agnostic
+        assert flex.training_examples == 14000
+
+    def test_invalid_drift_config(self):
+        with pytest.raises(ValueError):
+            BpoConfig(truncate_rate=0.6, generic_rate=0.5).validate()
+
+
+class TestPpoDpoComparators:
+    def test_ppo_passthrough(self):
+        assert PpoComparator().transform("x") == ("x", None)
+
+    def test_ppo_corpus_rewards_bounded(self):
+        records = PpoComparator(seed=1).build_training_corpus(30)
+        assert len(records) == 30
+        assert all(0.0 <= r.reward <= 1.0 for r in records)
+
+    def test_ppo_flexibility(self):
+        flex = PpoComparator().flexibility
+        assert flex.needs_human_labor and not flex.llm_agnostic and flex.task_agnostic
+        assert flex.training_examples == 77000
+
+    def test_dpo_corpus_prefers_better_response(self):
+        from repro.world.quality import assess_response
+
+        comparator = DpoComparator(seed=2)
+        records = comparator.build_training_corpus(20)
+        assert len(records) == 20
+        # chosen must never be strictly worse than rejected per the oracle —
+        # verify on reconstructed prompts is impossible here, so check types.
+        assert all(r.chosen != r.rejected for r in records)
+
+    def test_dpo_flexibility(self):
+        flex = DpoComparator().flexibility
+        assert flex.training_examples == 170000
+
+    def test_corpus_size_validation(self):
+        with pytest.raises(ValueError):
+            PpoComparator().build_training_corpus(0)
+        with pytest.raises(ValueError):
+            DpoComparator().build_training_corpus(-5)

@@ -1,0 +1,58 @@
+"""Tests for the APE instruction-induction baseline (Zhou et al.)."""
+
+import pytest
+
+from repro.baselines.ape_zhou import ApeInduction
+from repro.core.golden import build_golden_data
+from repro.errors import NotFittedError
+from repro.world.aspects import parse_directives
+
+
+@pytest.fixture(scope="module")
+def induced():
+    method = ApeInduction(golden=build_golden_data(seed=13, per_category=4), seed=13)
+    method.induce()
+    return method
+
+
+class TestApeInduction:
+    def test_use_before_induce_raises(self):
+        with pytest.raises(NotFittedError):
+            ApeInduction().transform("x")
+        with pytest.raises(NotFittedError):
+            _ = ApeInduction().instructions
+
+    def test_instruction_per_category(self, induced):
+        instructions = induced.instructions
+        assert len(instructions) == 14
+        non_empty = [i for i in instructions.values() if i]
+        assert len(non_empty) >= 10
+
+    def test_instructions_are_directives(self, induced):
+        for instruction in induced.instructions.values():
+            if instruction:
+                assert parse_directives(instruction)
+
+    def test_instruction_size_capped(self, induced):
+        for instruction in induced.instructions.values():
+            assert len(parse_directives(instruction)) <= induced.max_directives
+
+    def test_transform_routes_by_category(self, induced):
+        prompt, supplement = induced.transform(
+            "How do I implement a binary search tree in python?"
+        )
+        assert prompt.startswith("How do I implement")
+        coding_instruction = induced.instructions.get("coding", "")
+        if coding_instruction:
+            assert supplement == coding_instruction
+
+    def test_flexibility_row(self, induced):
+        flex = induced.flexibility
+        assert flex.needs_human_labor
+        assert not flex.llm_agnostic
+        assert not flex.task_agnostic
+
+    def test_deterministic(self):
+        a = ApeInduction(golden=build_golden_data(seed=14, per_category=3), seed=14).induce()
+        b = ApeInduction(golden=build_golden_data(seed=14, per_category=3), seed=14).induce()
+        assert a == b

@@ -1,0 +1,95 @@
+"""Tests for the per-task optimizer baselines (OPRO, ProTeGi)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.opro import OproOptimizer
+from repro.baselines.protegi import ProtegiOptimizer
+from repro.errors import NotFittedError
+from repro.world.aspects import parse_directives
+from repro.world.prompts import PromptFactory
+
+
+def _train_prompts(n=15, seed=0, category="math"):
+    factory = PromptFactory(rng=np.random.default_rng(seed))
+    return [factory.make_prompt(category=category, cue_rate=1.0) for _ in range(n)]
+
+
+class TestOpro:
+    def test_use_before_optimize_raises(self):
+        with pytest.raises(NotFittedError):
+            OproOptimizer().transform("x")
+
+    def test_empty_training_set_rejected(self):
+        with pytest.raises(ValueError):
+            OproOptimizer().optimize([])
+
+    def test_optimize_returns_instruction(self):
+        opt = OproOptimizer(n_restarts=1, seed=1)
+        instruction = opt.optimize(_train_prompts(10, seed=1))
+        assert instruction == opt.instruction
+        # On a math training set the optimizer should discover useful
+        # directives (step-by-step / trap awareness have the highest gain).
+        assert parse_directives(instruction)
+
+    def test_objective_improves_over_empty_instruction(self):
+        opt = OproOptimizer(n_restarts=2, seed=2)
+        train = _train_prompts(12, seed=2)
+        opt.optimize(train)
+        history = dict()
+        for aspects, score in opt.history:
+            history[aspects] = score
+        assert max(history.values()) >= history[frozenset()]
+
+    def test_transform_supplements(self):
+        opt = OproOptimizer(n_restarts=1, seed=3)
+        opt.optimize(_train_prompts(8, seed=3))
+        prompt, supplement = opt.transform("compute something about a number sequence")
+        assert prompt == "compute something about a number sequence"
+        assert supplement is None or parse_directives(supplement)
+
+    def test_flexibility_row(self):
+        flex = OproOptimizer().flexibility
+        assert flex.needs_human_labor
+        assert not flex.llm_agnostic
+        assert not flex.task_agnostic
+        assert flex.training_examples is None  # excluded from Figure 7
+
+    def test_deterministic(self):
+        a = OproOptimizer(n_restarts=1, seed=4).optimize(_train_prompts(8, seed=4))
+        b = OproOptimizer(n_restarts=1, seed=4).optimize(_train_prompts(8, seed=4))
+        assert a == b
+
+
+class TestProtegi:
+    def test_use_before_optimize_raises(self):
+        with pytest.raises(NotFittedError):
+            ProtegiOptimizer().transform("x")
+
+    def test_empty_training_set_rejected(self):
+        with pytest.raises(ValueError):
+            ProtegiOptimizer().optimize([])
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ProtegiOptimizer(beam_width=0)
+        with pytest.raises(ValueError):
+            ProtegiOptimizer(n_steps=0)
+
+    def test_gradient_targets_missed_needs(self):
+        opt = ProtegiOptimizer(beam_width=2, n_steps=2, seed=5)
+        instruction = opt.optimize(_train_prompts(12, seed=5, category="reasoning"))
+        found = parse_directives(instruction)
+        # Reasoning prompts are trap-heavy; the gradient should find that.
+        assert found, instruction
+        assert found & {"logic_trap", "step_by_step", "verification", "depth"}
+
+    def test_instruction_capped(self):
+        opt = ProtegiOptimizer(beam_width=2, n_steps=4, max_directives=2, seed=6)
+        instruction = opt.optimize(_train_prompts(10, seed=6))
+        assert len(parse_directives(instruction)) <= 2
+
+    def test_flexibility_row(self):
+        flex = ProtegiOptimizer().flexibility
+        assert not flex.task_agnostic
+        assert not flex.llm_agnostic

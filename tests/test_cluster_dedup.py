@@ -1,0 +1,85 @@
+"""Tests for near-duplicate grouping."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.dedup import deduplicate
+from repro.embedding.model import EmbeddingModel
+
+
+def _clusters(seed=0):
+    """Three tight clusters of 5 points each in 8-d."""
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(size=(3, 8)) * 5
+    points = []
+    for c in centers:
+        for _ in range(5):
+            points.append(c + rng.normal(scale=0.01, size=8))
+    matrix = np.array(points)
+    return matrix / np.linalg.norm(matrix, axis=1, keepdims=True)
+
+
+class TestDeduplicate:
+    def test_empty(self):
+        result = deduplicate(np.zeros((0, 4)))
+        assert result.kept == []
+        assert result.groups == []
+
+    def test_groups_tight_clusters(self):
+        result = deduplicate(_clusters(), threshold=0.95)
+        assert len(result.kept) == 3
+        sizes = sorted(len(g) for g in result.groups)
+        assert sizes == [5, 5, 5]
+
+    def test_keep_per_group(self):
+        result = deduplicate(_clusters(), threshold=0.95, keep_per_group=2)
+        assert len(result.kept) == 6
+
+    def test_representative_is_lowest_index(self):
+        result = deduplicate(_clusters(), threshold=0.95)
+        for group in result.groups:
+            rep = result.representative_of[group[0]]
+            assert rep == min(group)
+
+    def test_all_indices_mapped(self):
+        matrix = _clusters()
+        result = deduplicate(matrix, threshold=0.95)
+        assert set(result.representative_of) == set(range(matrix.shape[0]))
+
+    def test_distinct_points_all_kept(self):
+        rng = np.random.default_rng(3)
+        matrix = rng.normal(size=(20, 16))
+        matrix /= np.linalg.norm(matrix, axis=1, keepdims=True)
+        result = deduplicate(matrix, threshold=0.99)
+        assert len(result.kept) == 20
+        assert result.n_duplicates_removed == 0
+
+    def test_kept_sorted(self):
+        result = deduplicate(_clusters(), threshold=0.95)
+        assert result.kept == sorted(result.kept)
+
+    @pytest.mark.parametrize("threshold", [0.0, 1.5, -0.1])
+    def test_invalid_threshold(self, threshold):
+        with pytest.raises(ValueError):
+            deduplicate(np.ones((2, 2)), threshold=threshold)
+
+    def test_invalid_keep_per_group(self):
+        with pytest.raises(ValueError):
+            deduplicate(np.ones((2, 2)), keep_per_group=0)
+
+    def test_deterministic(self):
+        matrix = _clusters(seed=9)
+        a = deduplicate(matrix, seed=4)
+        b = deduplicate(matrix, seed=4)
+        assert a.kept == b.kept
+
+
+class TestDedupOnRealPromptEmbeddings:
+    def test_near_duplicate_prompts_collapse(self, factory):
+        base = [factory.make_prompt() for _ in range(20)]
+        dups = [factory.make_near_duplicate(p) for p in base[:5]]
+        texts = [p.text for p in base + dups]
+        embeddings = EmbeddingModel().embed_batch(texts)
+        result = deduplicate(embeddings, threshold=0.85)
+        # Each of the 5 near-duplicates should merge with its base.
+        assert len(result.kept) <= len(base) + 1

@@ -1,0 +1,53 @@
+"""Tests for k-center greedy selection."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.kcenter import k_center_greedy
+
+
+class TestKCenterGreedy:
+    def test_empty_k(self):
+        assert k_center_greedy(np.ones((5, 2)), 0) == []
+
+    def test_empty_matrix(self):
+        assert k_center_greedy(np.zeros((0, 2)), 3) == []
+
+    def test_k_capped_at_n(self):
+        assert len(k_center_greedy(np.random.default_rng(0).normal(size=(4, 2)), 10)) == 4
+
+    def test_selection_unique(self):
+        pts = np.random.default_rng(1).normal(size=(30, 4))
+        chosen = k_center_greedy(pts, 10)
+        assert len(set(chosen)) == 10
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            k_center_greedy(np.ones((3, 2)), -1)
+
+    def test_first_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            k_center_greedy(np.ones((3, 2)), 2, first=5)
+
+    def test_explicit_first_honoured(self):
+        pts = np.random.default_rng(2).normal(size=(10, 3))
+        chosen = k_center_greedy(pts, 3, first=7)
+        assert chosen[0] == 7
+
+    def test_covers_separated_clusters(self):
+        # Three well-separated clusters: picking 3 centers must hit each.
+        rng = np.random.default_rng(3)
+        clusters = [rng.normal(loc=c, scale=0.05, size=(10, 2)) for c in ((0, 0), (10, 0), (0, 10))]
+        pts = np.vstack(clusters)
+        chosen = k_center_greedy(pts, 3)
+        origins = {idx // 10 for idx in chosen}
+        assert origins == {0, 1, 2}
+
+    def test_greedy_picks_farthest_second(self):
+        pts = np.array([[0.0], [1.0], [10.0]])
+        chosen = k_center_greedy(pts, 2, first=0)
+        assert chosen == [0, 2]
+
+    def test_deterministic(self):
+        pts = np.random.default_rng(5).normal(size=(40, 6))
+        assert k_center_greedy(pts, 8) == k_center_greedy(pts, 8)

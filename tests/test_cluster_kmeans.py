@@ -1,0 +1,65 @@
+"""Tests for k-means."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.kmeans import kmeans
+
+
+def _blobs(seed=0, k=3, per=20, spread=0.05):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(size=(k, 4)) * 10
+    points = np.vstack([
+        center + rng.normal(scale=spread, size=(per, 4)) for center in centers
+    ])
+    return points, centers
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self):
+        points, _ = _blobs(seed=1)
+        result = kmeans(points, 3, seed=1)
+        # Each blob's 20 points should share an assignment.
+        for blob in range(3):
+            block = result.assignments[blob * 20 : (blob + 1) * 20]
+            assert len(set(block.tolist())) == 1
+
+    def test_k_clusters_produced(self):
+        points, _ = _blobs(seed=2)
+        result = kmeans(points, 3, seed=2)
+        assert result.k == 3
+        assert len(set(result.assignments.tolist())) == 3
+
+    def test_inertia_decreases_with_k(self):
+        points, _ = _blobs(seed=3)
+        i1 = kmeans(points, 1, seed=3).inertia
+        i3 = kmeans(points, 3, seed=3).inertia
+        assert i3 < i1
+
+    def test_k_capped_at_n(self):
+        points = np.random.default_rng(4).normal(size=(5, 2))
+        result = kmeans(points, 10, seed=4)
+        assert result.k == 5
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            kmeans(np.ones((3, 2)), 0)
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((0, 2)), 2)
+
+    def test_deterministic(self):
+        points, _ = _blobs(seed=5)
+        a = kmeans(points, 3, seed=9)
+        b = kmeans(points, 3, seed=9)
+        assert np.allclose(a.centroids, b.centroids)
+        assert (a.assignments == b.assignments).all()
+
+    def test_single_cluster_centroid_is_mean(self):
+        points = np.random.default_rng(6).normal(size=(30, 3))
+        result = kmeans(points, 1, seed=6)
+        assert np.allclose(result.centroids[0], points.mean(axis=0), atol=1e-9)
+
+    def test_duplicate_points_handled(self):
+        points = np.ones((10, 2))
+        result = kmeans(points, 3, seed=7)
+        assert result.inertia == pytest.approx(0.0)

@@ -1,0 +1,77 @@
+"""Tests for golden exemplars and complement rendering."""
+
+import pytest
+
+from repro.core.golden import MAX_DIRECTIVES, GoldenData, build_golden_data, render_complement
+from repro.world.aspects import ASPECTS, find_cues, parse_directives
+from repro.world.categories import category_names
+
+
+class TestRenderComplement:
+    def test_roundtrip(self):
+        assert parse_directives(render_complement({"depth", "format"})) == {
+            "depth",
+            "format",
+        }
+
+    def test_empty(self):
+        assert render_complement(set()) == ""
+
+    def test_cap_respected(self):
+        text = render_complement({"depth", "format", "examples", "structure", "style"})
+        assert len(parse_directives(text)) == MAX_DIRECTIVES
+
+    def test_cap_keeps_heaviest(self):
+        aspects = {"logic_trap", "brevity", "style", "examples"}
+        kept = parse_directives(render_complement(aspects))
+        # weights: logic_trap 1.4 > examples 0.9 > brevity == style 0.8,
+        # name-order tiebreak keeps brevity.
+        assert kept == {"logic_trap", "examples", "brevity"}
+        assert ASPECTS["logic_trap"].weight > ASPECTS["style"].weight
+
+    def test_salt_changes_wording_not_aspects(self):
+        a = render_complement({"depth"}, salt="1")
+        b = render_complement({"depth"}, salt="2")
+        assert parse_directives(a) == parse_directives(b) == {"depth"}
+
+
+class TestGoldenData:
+    @pytest.fixture(scope="class")
+    def golden(self):
+        return build_golden_data(seed=2, per_category=5)
+
+    def test_covers_all_categories(self, golden):
+        assert golden.categories() == sorted(category_names())
+
+    def test_per_category_count(self, golden):
+        for category in golden.categories():
+            assert len(golden.exemplars(category)) == 5
+
+    def test_total_size(self, golden):
+        assert len(golden) == 5 * 14
+
+    def test_complements_match_needs_exactly_up_to_cap(self, golden):
+        for pair in golden.all_pairs():
+            labelled = parse_directives(pair.complement)
+            assert labelled <= pair.prompt.needs
+            assert len(labelled) == min(len(pair.prompt.needs), MAX_DIRECTIVES)
+
+    def test_golden_prompts_fully_cued(self, golden):
+        for pair in golden.all_pairs():
+            assert pair.prompt.needs <= set(find_cues(pair.prompt.text))
+
+    def test_unknown_category_returns_empty(self, golden):
+        assert golden.exemplars("not-a-category") == []
+
+    def test_empty_golden_rejected(self):
+        with pytest.raises(ValueError):
+            GoldenData({})
+
+    def test_invalid_per_category(self):
+        with pytest.raises(ValueError):
+            build_golden_data(per_category=0)
+
+    def test_deterministic(self):
+        a = build_golden_data(seed=9)
+        b = build_golden_data(seed=9)
+        assert [p.complement for p in a.all_pairs()] == [p.complement for p in b.all_pairs()]

@@ -1,0 +1,70 @@
+"""Tests for the iterative-PAS extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.iterative import IterativePas
+from repro.llm.engine import SimulatedLLM
+from repro.world.prompts import PromptFactory
+from repro.world.quality import assess_response
+
+
+@pytest.fixture(scope="module")
+def iterative(trained_pas):
+    return IterativePas(pas=trained_pas, max_rounds=2)
+
+
+class TestIterativePas:
+    def test_invalid_rounds(self, trained_pas):
+        with pytest.raises(ValueError):
+            IterativePas(pas=trained_pas, max_rounds=0)
+
+    def test_single_round_equals_plain_pas(self, trained_pas, factory):
+        one_shot = IterativePas(pas=trained_pas, max_rounds=1)
+        engine = SimulatedLLM("gpt-4-0613")
+        prompt = factory.make_prompt()
+        trace = one_shot.ask(engine, prompt.text)
+        assert trace.rounds == 1
+        plain = engine.respond(
+            prompt.text, supplement=trained_pas.augment(prompt.text) or None
+        )
+        assert trace.final_response == plain
+
+    def test_trace_shapes(self, iterative, factory):
+        engine = SimulatedLLM("gpt-3.5-turbo-1106")
+        prompt = factory.make_prompt(cue_rate=1.0)
+        trace = iterative.ask(engine, prompt.text)
+        assert 1 <= trace.rounds <= 2
+        assert len(trace.responses) == trace.rounds
+        assert trace.final_response in trace.responses
+
+    def test_second_round_fires_on_visible_gap(self, trained_pas):
+        engine = SimulatedLLM("gpt-3.5-turbo-1106")  # misses many cues
+        iterative = IterativePas(pas=trained_pas, max_rounds=3)
+        factory = PromptFactory(rng=np.random.default_rng(91))
+        fired = 0
+        for _ in range(20):
+            prompt = factory.make_prompt(cue_rate=1.0)
+            trace = iterative.ask(engine, prompt.text)
+            fired += trace.rounds > 1
+        assert fired > 5  # a weak target leaves plenty of visible gaps
+
+    def test_iteration_never_hurts_much_and_helps_on_average(self, trained_pas):
+        target = SimulatedLLM("gpt-3.5-turbo-1106")
+        one_shot = IterativePas(pas=trained_pas, max_rounds=1)
+        two_round = IterativePas(pas=trained_pas, max_rounds=2)
+        factory = PromptFactory(rng=np.random.default_rng(92))
+        deltas = []
+        for _ in range(40):
+            prompt = factory.make_prompt(cue_rate=1.0)
+            base = assess_response(prompt, one_shot.ask(target, prompt.text).final_response)
+            improved = assess_response(prompt, two_round.ask(target, prompt.text).final_response)
+            deltas.append(improved.score - base.score)
+        assert float(np.mean(deltas)) > 0.0
+
+    def test_deterministic(self, iterative, factory):
+        engine = SimulatedLLM("gpt-4-0613")
+        prompt = factory.make_prompt()
+        a = iterative.ask(engine, prompt.text)
+        b = iterative.ask(engine, prompt.text)
+        assert a == b

@@ -1,0 +1,74 @@
+"""Tests for the PAS model itself."""
+
+import numpy as np
+import pytest
+
+from repro.core.pas import PAS_PAPER_DATA_SIZE, PasModel
+from repro.errors import NotFittedError
+from repro.world.aspects import parse_directives
+from repro.world.prompts import PromptFactory
+from repro.world.quality import assess_response
+
+
+class TestTraining:
+    def test_untrained_augment_raises(self):
+        with pytest.raises(NotFittedError):
+            PasModel().augment("anything")
+
+    def test_train_records_size(self, trained_pas, tiny_dataset):
+        assert trained_pas.is_trained
+        assert trained_pas.n_training_pairs == len(tiny_dataset)
+
+    def test_base_model_name(self, trained_pas):
+        assert trained_pas.base_model_name == "qwen2-7b-chat"
+
+    def test_paper_data_size_constant(self):
+        assert PAS_PAPER_DATA_SIZE == 9000
+
+
+class TestAugment:
+    def test_complement_is_directive_text(self, trained_pas, factory):
+        hits = 0
+        for _ in range(20):
+            prompt = factory.make_prompt(cue_rate=1.0)
+            complement = trained_pas.augment(prompt.text)
+            if complement:
+                assert parse_directives(complement)
+                hits += 1
+        assert hits >= 15
+
+    def test_complement_never_contains_prompt(self, trained_pas, factory):
+        prompt = factory.make_prompt()
+        complement = trained_pas.augment(prompt.text)
+        assert prompt.text not in complement
+
+    def test_deterministic(self, trained_pas, factory):
+        prompt = factory.make_prompt()
+        assert trained_pas.augment(prompt.text) == trained_pas.augment(prompt.text)
+
+    def test_enhance_keeps_original_prompt(self, trained_pas, factory):
+        prompt = factory.make_prompt()
+        enhanced = trained_pas.enhance(prompt.text)
+        assert enhanced.startswith(prompt.text)
+
+    def test_enhance_without_prediction_is_identity(self, trained_pas):
+        gibberish = "zz qq ww ee rr"
+        if not trained_pas.augment(gibberish):
+            assert trained_pas.enhance(gibberish) == gibberish
+
+
+class TestEffectiveness:
+    def test_pas_improves_mean_oracle_quality(self, trained_pas):
+        from repro.llm.engine import SimulatedLLM
+
+        engine = SimulatedLLM("gpt-4-0613")
+        factory = PromptFactory(rng=np.random.default_rng(77))
+        prompts = [factory.make_prompt() for _ in range(60)]
+        plain = [assess_response(p, engine.respond(p.text)).score for p in prompts]
+        augmented = [
+            assess_response(
+                p, engine.respond(p.text, supplement=trained_pas.augment(p.text) or None)
+            ).score
+            for p in prompts
+        ]
+        assert np.mean(augmented) > np.mean(plain) + 0.2

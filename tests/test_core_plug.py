@@ -1,0 +1,60 @@
+"""Tests for the plug-and-play wrapper and the APE adapter."""
+
+import pytest
+
+from repro.core.plug import PasApe, PasEnhancedLLM
+from repro.llm.api import ChatClient
+from repro.llm.engine import SimulatedLLM
+
+
+@pytest.fixture()
+def enhanced(trained_pas):
+    return PasEnhancedLLM(pas=trained_pas, target=SimulatedLLM("gpt-4-0613"))
+
+
+class TestPasEnhancedLLM:
+    def test_ask_returns_text(self, enhanced, factory):
+        prompt = factory.make_prompt()
+        assert enhanced.ask(prompt.text)
+
+    def test_plain_vs_enhanced_differ_when_augmented(self, enhanced, factory):
+        prompt = factory.make_prompt(cue_rate=1.0)
+        if enhanced.pas.augment(prompt.text):
+            assert enhanced.ask(prompt.text) != enhanced.ask_plain(prompt.text)
+
+    def test_works_with_chat_client_target(self, trained_pas, factory):
+        client = ChatClient(engine=SimulatedLLM("gpt-3.5-turbo-1106"))
+        enhanced = PasEnhancedLLM(pas=trained_pas, target=client)
+        prompt = factory.make_prompt()
+        assert enhanced.ask(prompt.text)
+        assert client.usage.requests == 1
+
+    def test_client_usage_counts_supplement_tokens(self, trained_pas, factory):
+        client = ChatClient(engine=SimulatedLLM("gpt-3.5-turbo-1106"))
+        enhanced = PasEnhancedLLM(pas=trained_pas, target=client)
+        prompt = factory.make_prompt(cue_rate=1.0)
+        complement = trained_pas.augment(prompt.text)
+        enhanced.ask(prompt.text)
+        if complement:
+            plain_tokens = len(prompt.text.split())
+            assert client.usage.prompt_tokens > plain_tokens
+
+
+class TestPasApe:
+    def test_transform_keeps_prompt(self, trained_pas, factory):
+        ape = PasApe(trained_pas)
+        prompt = factory.make_prompt()
+        new_prompt, supplement = ape.transform(prompt.text)
+        assert new_prompt == prompt.text
+        assert supplement is None or supplement
+
+    def test_flexibility_row_matches_paper(self, trained_pas):
+        flex = PasApe(trained_pas).flexibility
+        assert not flex.needs_human_labor
+        assert flex.llm_agnostic
+        assert flex.task_agnostic
+        assert flex.satisfies_all
+        assert flex.training_examples == 9000
+
+    def test_custom_name(self, trained_pas):
+        assert PasApe(trained_pas, name="pas-x").name == "pas-x"

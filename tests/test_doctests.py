@@ -1,0 +1,26 @@
+"""Run the doctests embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.serve.cache
+import repro.utils.rng
+import repro.utils.textproc
+import repro.utils.unionfind
+import repro.text.tokenizer
+
+_MODULES = [
+    repro.utils.rng,
+    repro.utils.textproc,
+    repro.utils.unionfind,
+    repro.text.tokenizer,
+    repro.serve.cache,
+]
+
+
+@pytest.mark.parametrize("module", _MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    failures, attempted = doctest.testmod(module).failed, doctest.testmod(module).attempted
+    assert attempted > 0, f"{module.__name__} has no doctests to run"
+    assert failures == 0

@@ -1,0 +1,112 @@
+"""Tests for feature hashing, the embedding model, and similarity ops."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.hashing import hash_features
+from repro.embedding.model import EmbeddingModel
+from repro.embedding.similarity import cosine, cosine_matrix, pairwise_cosine
+
+
+class TestHashFeatures:
+    def test_deterministic(self):
+        a = hash_features(["x", "y"], 32)
+        b = hash_features(["x", "y"], 32)
+        assert (a == b).all()
+
+    def test_dimension(self):
+        assert hash_features(["x"], 16).shape == (16,)
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            hash_features(["x"], 0)
+
+    def test_weights_scale(self):
+        unweighted = hash_features(["x"], 32)
+        weighted = hash_features(["x"], 32, weights=[3.0])
+        assert np.allclose(weighted, 3.0 * unweighted)
+
+    def test_signs_present(self):
+        vec = hash_features([str(i) for i in range(200)], 8)
+        # With signed hashing, mass cancels rather than accumulating.
+        assert abs(vec).sum() < 200
+
+    def test_empty_features(self):
+        assert (hash_features([], 8) == 0).all()
+
+
+class TestEmbeddingModel:
+    def test_unit_norm(self):
+        vec = EmbeddingModel().embed("hello world")
+        assert np.linalg.norm(vec) == pytest.approx(1.0)
+
+    def test_empty_text_is_zero_vector(self):
+        vec = EmbeddingModel().embed("")
+        assert np.linalg.norm(vec) == pytest.approx(0.0)
+
+    def test_deterministic(self):
+        m = EmbeddingModel()
+        assert (m.embed("abc") == m.embed("abc")).all()
+
+    def test_similar_texts_are_close(self):
+        m = EmbeddingModel()
+        base = "how do i implement a binary search tree in python"
+        near = "hey, how do i implement a binary search tree in python thanks"
+        far = "compose a wedding toast with a friendly voice"
+        assert cosine(m.embed(base), m.embed(near)) > 0.8
+        assert cosine(m.embed(base), m.embed(far)) < 0.4
+
+    def test_batch_shape(self):
+        m = EmbeddingModel(dim=64)
+        batch = m.embed_batch(["a b c", "d e f"])
+        assert batch.shape == (2, 64)
+
+    def test_empty_batch(self):
+        m = EmbeddingModel(dim=64)
+        assert m.embed_batch([]).shape == (0, 64)
+
+    def test_batch_matches_single(self):
+        m = EmbeddingModel()
+        batch = m.embed_batch(["text one", "text two"])
+        assert np.allclose(batch[0], m.embed("text one"))
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            EmbeddingModel(dim=0)
+
+    def test_requires_some_order(self):
+        with pytest.raises(ValueError):
+            EmbeddingModel(char_orders=(), word_orders=())
+
+    def test_case_insensitive(self):
+        m = EmbeddingModel()
+        assert cosine(m.embed("Hello World"), m.embed("hello world")) == pytest.approx(1.0)
+
+
+class TestSimilarity:
+    def test_cosine_self(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert cosine(v, v) == pytest.approx(1.0)
+
+    def test_cosine_orthogonal(self):
+        assert cosine(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == pytest.approx(0.0)
+
+    def test_cosine_zero_vector(self):
+        assert cosine(np.zeros(3), np.ones(3)) == 0.0
+
+    def test_cosine_matrix_shape(self):
+        q = np.random.default_rng(0).normal(size=(3, 5))
+        c = np.random.default_rng(1).normal(size=(4, 5))
+        assert cosine_matrix(q, c).shape == (3, 4)
+
+    def test_pairwise_symmetric(self):
+        m = np.random.default_rng(2).normal(size=(5, 8))
+        sims = pairwise_cosine(m)
+        assert np.allclose(sims, sims.T)
+        assert np.allclose(np.diag(sims), 1.0)
+
+    def test_cosine_matrix_bounds(self):
+        m = np.random.default_rng(3).normal(size=(6, 4))
+        sims = cosine_matrix(m, m)
+        assert (sims <= 1.0 + 1e-9).all()
+        assert (sims >= -1.0 - 1e-9).all()

@@ -1,0 +1,109 @@
+"""Edge-case tests for the engine and the world's text interfaces."""
+
+import numpy as np
+import pytest
+
+from repro.llm.engine import SimulatedLLM
+from repro.llm.generation import extract_topic_words
+from repro.world.aspects import find_cues, find_markers, parse_directives
+from repro.world.prompts import SyntheticPrompt
+from repro.world.quality import assess_response
+
+
+class TestEngineEdgeCases:
+    @pytest.fixture()
+    def engine(self):
+        return SimulatedLLM("gpt-4-0613")
+
+    def test_empty_prompt_still_responds(self, engine):
+        response = engine.respond("")
+        assert isinstance(response, str)
+        assert response
+
+    def test_single_word_prompt(self, engine):
+        assert engine.respond("hi")
+
+    def test_very_long_prompt(self, engine):
+        prompt = "explain this topic. " * 300
+        assert engine.respond(prompt)
+
+    def test_unicode_prompt(self, engine):
+        assert engine.respond("wie koche ich schnell wasser? — explique s'il te plaît")
+
+    def test_supplement_without_directives_is_inert_noise(self, engine):
+        prompt = "how do i plan a garden layout?"
+        with_noise = engine.respond(prompt, supplement="plain words, no directives")
+        # A directive-free supplement changes the seed but adds no coverage.
+        assert find_markers(with_noise) == find_markers(with_noise)
+
+    def test_empty_supplement_equals_none(self, engine):
+        prompt = "how do i plan a garden layout?"
+        assert engine.respond(prompt, supplement=None) == engine.respond(
+            prompt, supplement=None
+        )
+
+    def test_infer_needs_empty_text(self, engine):
+        assert engine.infer_needs("") == set()
+
+
+class TestAspectParsersEdgeCases:
+    def test_find_cues_empty(self):
+        assert find_cues("") == {}
+
+    def test_find_markers_empty(self):
+        assert find_markers("") == set()
+
+    def test_parse_directives_partial_fragment_no_match(self):
+        # Three of the four fragment words are not enough.
+        assert parse_directives("please explain the") == set()
+
+    def test_cue_phrase_inside_longer_word_no_match(self):
+        # "in detail" should not fire on "in detailing".
+        assert "depth" not in find_cues("we are in detailing territory")
+
+
+class TestTopicExtractionEdgeCases:
+    def test_empty_text(self):
+        assert extract_topic_words("") == []
+
+    def test_all_stopwords(self):
+        assert extract_topic_words("the a an and of to") == []
+
+    def test_limit_zero(self):
+        assert extract_topic_words("database indexes tuning", limit=0) == []
+
+
+class TestOracleEdgeCases:
+    def test_empty_response_scores_low(self):
+        prompt = SyntheticPrompt(
+            uid=1, text="explain compound interest in detail",
+            category="question_answering", needs=frozenset({"depth"}),
+            topic="compound interest",
+        )
+        qa = assess_response(prompt, "")
+        assert qa.score <= 1.0
+        assert qa.coverage == 0.0
+
+    def test_response_tokens_counted_on_empty(self):
+        prompt = SyntheticPrompt(
+            uid=2, text="x", category="chitchat", needs=frozenset(), topic="",
+        )
+        assert assess_response(prompt, "").response_tokens == 0
+
+    def test_score_monotone_in_coverage(self):
+        from repro.llm.generation import RESPONSE_SECTIONS
+
+        prompt = SyntheticPrompt(
+            uid=3,
+            text="compare laptops versus tablets with pros and cons in detail",
+            category="recommendation",
+            needs=frozenset({"comparison", "depth"}),
+            topic="laptops tablets",
+        )
+        base = "about laptops tablets."
+        one = base + " " + RESPONSE_SECTIONS["comparison"][0]
+        two = one + " " + RESPONSE_SECTIONS["depth"][0]
+        s0 = assess_response(prompt, base).score
+        s1 = assess_response(prompt, one).score
+        s2 = assess_response(prompt, two).score
+        assert s0 < s1 < s2

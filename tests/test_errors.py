@@ -1,0 +1,34 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.ConfigError,
+            errors.UnknownModelError,
+            errors.NotFittedError,
+            errors.EmptyDatasetError,
+            errors.GenerationError,
+            errors.IndexError_,
+            errors.BudgetExceededError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+        assert issubclass(exc, Exception)
+
+    def test_catchable_at_boundary(self):
+        """One except clause suffices at an API boundary."""
+        from repro.llm.profiles import get_profile
+
+        with pytest.raises(errors.ReproError):
+            get_profile("no-such-model")
+
+    def test_index_error_does_not_shadow_builtin(self):
+        assert errors.IndexError_ is not IndexError
+        assert not issubclass(errors.IndexError_, IndexError)

@@ -1,0 +1,42 @@
+"""Tests for the per-category breakdown analysis."""
+
+import pytest
+
+from repro.experiments import breakdown
+
+
+@pytest.fixture(scope="module")
+def result(quick_ctx):
+    return breakdown.run(quick_ctx)
+
+
+class TestBreakdown:
+    def test_covers_suite_categories(self, result, quick_ctx):
+        suite_categories = {p.category for p in quick_ctx.alpaca_eval.suite}
+        assert {c.category for c in result.categories} == suite_categories
+
+    def test_prompt_counts_sum_to_suite(self, result, quick_ctx):
+        assert sum(c.n_prompts for c in result.categories) == len(
+            quick_ctx.alpaca_eval.suite
+        )
+
+    def test_pas_ahead_in_majority(self, result):
+        assert result.n_categories_ahead > len(result.categories) / 2
+
+    def test_win_rates_in_range(self, result):
+        for c in result.categories:
+            assert 0.0 <= c.pas_win_rate <= 100.0
+
+    def test_best_at_least_worst(self, result):
+        assert result.best().pas_win_rate >= result.worst().pas_win_rate
+
+    def test_render(self, result):
+        text = breakdown.render(result)
+        assert "Per-category PAS gains" in text
+        assert "ahead in" in text
+
+    def test_deterministic(self, quick_ctx, result):
+        again = breakdown.run(quick_ctx)
+        assert [c.pas_win_rate for c in again.categories] == [
+            c.pas_win_rate for c in result.categories
+        ]

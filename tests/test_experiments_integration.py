@@ -1,0 +1,142 @@
+"""Integration tests: every experiment harness runs at quick scale and
+reproduces the paper's qualitative shapes."""
+
+import pytest
+
+from repro.experiments import casestudies, fig1b, fig6, fig7, table1, table2, table3, table4, table5
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+
+@pytest.fixture(scope="module")
+def t1(quick_ctx):
+    return table1.run(quick_ctx)
+
+
+@pytest.fixture(scope="module")
+def t5(quick_ctx):
+    return table5.run(quick_ctx)
+
+
+class TestTable1:
+    def test_all_arms_and_models_present(self, t1):
+        assert len(t1.rows) == 18  # 3 methods x 6 models
+
+    def test_pas_beats_baseline_on_average(self, t1):
+        assert t1.pas_gain_over_none > 2.0
+
+    def test_pas_beats_bpo_on_average(self, t1):
+        assert t1.pas_gain_over_bpo > 0.0
+
+    def test_scores_in_range(self, t1):
+        for row in t1.rows:
+            for metric in ("arena_hard", "alpaca_eval", "alpaca_eval_lc"):
+                assert 0.0 <= getattr(row, metric) <= 100.0
+
+    def test_baseline_model_ordering_roughly_papers(self, t1):
+        baseline = {r.model: r.average for r in t1.method_rows("none")}
+        assert baseline["gpt-4-turbo-2024-04-09"] > baseline["gpt-3.5-turbo-1106"]
+        assert baseline["gpt-4-1106-preview"] > baseline["gpt-3.5-turbo-1106"]
+
+    def test_render(self, t1):
+        text = table1.render(t1)
+        assert "Table 1" in text
+        assert "PAS (vs None)" in text
+
+
+class TestTable2:
+    def test_same_base_pas_still_beats_bpo(self, quick_ctx):
+        result = table2.run(quick_ctx)
+        assert result.pas_gain_over_bpo > 0.0
+        assert "Table 2" in table2.render(result)
+
+
+class TestTable3:
+    def test_matrix_matches_paper(self, quick_ctx):
+        result = table3.run(quick_ctx)
+        pas = result.row("pas")
+        assert pas.satisfies_all
+        bpo = result.row("bpo")
+        assert bpo.needs_human_labor and bpo.llm_agnostic and bpo.task_agnostic
+        for name in ("opro", "protegi"):
+            row = result.row(name)
+            assert not row.llm_agnostic and not row.task_agnostic
+        for name in ("ppo", "dpo"):
+            row = result.row(name)
+            assert row.needs_human_labor and row.task_agnostic
+
+    def test_only_pas_satisfies_all(self, quick_ctx):
+        result = table3.run(quick_ctx)
+        satisfying = [p.method for p in result.profiles if p.satisfies_all]
+        assert satisfying == ["pas"]
+
+
+class TestTable4AndFig1b:
+    def test_human_eval_improves_on_average(self, quick_ctx):
+        result = table4.run(quick_ctx)
+        assert result.average_gain("average_score") > 0.0
+        assert result.average_gain("availability_pct") >= 0.0
+        assert "Table 4" in table4.render(result)
+
+    def test_gsb_mean_win_share_above_half(self, quick_ctx):
+        result = fig1b.run(quick_ctx)
+        assert result.mean_win_share > 50.0
+        assert "Figure 1(b)" in fig1b.render(result)
+
+
+class TestTable5:
+    def test_ablation_hurts(self, t5):
+        assert t5.ablation_drop > 0.0
+
+    def test_label_quality_gap(self, t5):
+        assert t5.curated_label_quality > t5.raw_label_quality
+
+    def test_render(self, t5):
+        assert "wo selection" in table5.render(t5)
+
+
+class TestFigures:
+    def test_fig6_distribution(self, quick_ctx):
+        result = fig6.run(quick_ctx)
+        assert result.n_categories == 14
+        assert result.n_pairs > 0
+        assert "Figure 6" in fig6.render(result)
+
+    def test_fig7_efficiency_ratios_exact(self, quick_ctx):
+        result = fig7.run(quick_ctx, build_demo_corpora=False)
+        assert result.efficiency["bpo"] == pytest.approx(14000 / 9000)
+        assert result.efficiency["ppo"] == pytest.approx(77000 / 9000)
+        assert result.efficiency["dpo"] == pytest.approx(170000 / 9000)
+        assert "Figure 7" in fig7.render(result)
+
+
+class TestCaseStudies:
+    def test_all_cases_improve(self, quick_ctx):
+        result = casestudies.run(quick_ctx)
+        assert len(result.cases) == 3
+        assert result.mean_improvement > 0.0
+
+    def test_trap_case_fixed_by_pas(self, quick_ctx):
+        result = casestudies.run(quick_ctx)
+        trap_case = result.cases[0]
+        assert trap_case.assessment_with.flaw_count < trap_case.assessment_without.flaw_count
+
+    def test_render(self, quick_ctx):
+        text = casestudies.render(casestudies.run(quick_ctx))
+        assert "Case 1" in text
+
+
+class TestRunner:
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "table2", "table3", "table4", "table5",
+            "fig1b", "fig6", "fig7", "casestudies", "significance",
+            "breakdown",
+        }
+
+    def test_unknown_experiment_rejected(self, quick_ctx):
+        with pytest.raises(ValueError):
+            run_experiment("table9", quick_ctx)
+
+    def test_run_experiment_returns_text(self, quick_ctx):
+        _, text = run_experiment("table3", quick_ctx)
+        assert "flexibility" in text

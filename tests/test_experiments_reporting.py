@@ -1,0 +1,61 @@
+"""Tests for text-table and chart rendering."""
+
+import pytest
+
+from repro.experiments.reporting import ascii_table, bar_chart, format_delta
+
+
+class TestAsciiTable:
+    def test_basic_layout(self):
+        table = ascii_table(["A", "B"], [["one", 2.5]])
+        assert "| A" in table
+        assert "2.50" in table
+
+    def test_title_included(self):
+        assert ascii_table(["X"], [["v"]], title="My Title").startswith("My Title")
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_table(["A", "B"], [["only-one"]])
+
+    def test_column_widths_adapt(self):
+        table = ascii_table(["H"], [["a-very-long-cell-value"]])
+        lines = table.splitlines()
+        assert all(len(line) == len(lines[0]) for line in lines if line.startswith(("|", "+")))
+
+    def test_empty_rows(self):
+        table = ascii_table(["A"], [])
+        assert "| A" in table
+
+
+class TestFormatDelta:
+    def test_positive(self):
+        assert format_delta(61.2, 56.9) == "61.20 (+4.30)"
+
+    def test_negative(self):
+        assert format_delta(50.0, 52.5) == "50.00 (-2.50)"
+
+    def test_zero(self):
+        assert format_delta(1.0, 1.0) == "1.00 (+0.00)"
+
+
+class TestBarChart:
+    def test_labels_present(self):
+        chart = bar_chart(["x", "longer-label"], [1.0, 2.0])
+        assert "x" in chart and "longer-label" in chart
+
+    def test_peak_gets_full_width(self):
+        chart = bar_chart(["a", "b"], [1.0, 10.0], width=20)
+        lines = chart.splitlines()
+        assert lines[1].count("#") == 20
+
+    def test_zero_value_no_bar(self):
+        chart = bar_chart(["z"], [0.0])
+        assert "#" not in chart
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert bar_chart([], [], title="t") == "t"

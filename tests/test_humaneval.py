@@ -1,0 +1,124 @@
+"""Tests for the simulated human-evaluation panel and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.humaneval.metrics import gsb, scenario_metrics
+from repro.humaneval.panel import Annotator, AnnotatorPanel
+from repro.llm.engine import SimulatedLLM
+from repro.world.prompts import PromptFactory
+
+
+@pytest.fixture(scope="module")
+def panel():
+    return AnnotatorPanel(n_annotators=5, seed=1)
+
+
+@pytest.fixture(scope="module")
+def rated_prompts():
+    factory = PromptFactory(rng=np.random.default_rng(10))
+    engine = SimulatedLLM("qwen2-72b-chat")
+    prompts = [factory.make_prompt() for _ in range(20)]
+    responses = [engine.respond(p.text) for p in prompts]
+    return prompts, responses
+
+
+class TestAnnotator:
+    def test_score_in_range(self, rated_prompts):
+        annotator = Annotator(annotator_id=0, bias=0.0)
+        prompts, responses = rated_prompts
+        for p, r in zip(prompts, responses):
+            assert 1 <= annotator.score(p, r) <= 5
+
+    def test_deterministic(self, rated_prompts):
+        annotator = Annotator(annotator_id=1, bias=0.1)
+        p, r = rated_prompts[0][0], rated_prompts[1][0]
+        assert annotator.score(p, r) == annotator.score(p, r)
+
+    def test_bias_shifts_scores(self, rated_prompts):
+        prompts, responses = rated_prompts
+        lenient = Annotator(annotator_id=2, bias=1.5)
+        harsh = Annotator(annotator_id=2, bias=-1.5)
+        lenient_total = sum(lenient.score(p, r) for p, r in zip(prompts, responses))
+        harsh_total = sum(harsh.score(p, r) for p, r in zip(prompts, responses))
+        assert lenient_total > harsh_total
+
+
+class TestPanel:
+    def test_size(self, panel):
+        assert len(panel) == 5
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            AnnotatorPanel(n_annotators=0)
+
+    def test_consensus_in_range(self, panel, rated_prompts):
+        prompts, responses = rated_prompts
+        for p, r in zip(prompts, responses):
+            assert 1.0 <= panel.consensus(p, r) <= 5.0
+
+    def test_same_seed_same_panel(self, rated_prompts):
+        p, r = rated_prompts[0][0], rated_prompts[1][0]
+        a = AnnotatorPanel(seed=3).consensus(p, r)
+        b = AnnotatorPanel(seed=3).consensus(p, r)
+        assert a == b
+
+    def test_different_seed_different_panel(self, rated_prompts):
+        prompts, responses = rated_prompts
+        a = [AnnotatorPanel(seed=4).consensus(p, r) for p, r in zip(prompts, responses)]
+        b = [AnnotatorPanel(seed=5).consensus(p, r) for p, r in zip(prompts, responses)]
+        assert a != b
+
+
+class TestGsb:
+    def test_shares_sum_to_hundred(self, panel, rated_prompts):
+        prompts, responses = rated_prompts
+        result = gsb(panel, prompts, responses, responses, scenario="self")
+        assert result.good + result.same + result.bad == pytest.approx(100.0)
+
+    def test_self_comparison_all_same(self, panel, rated_prompts):
+        prompts, responses = rated_prompts
+        result = gsb(panel, prompts, responses, responses)
+        assert result.same == 100.0
+        assert result.win_share == 50.0
+
+    def test_better_arm_wins(self, panel, rated_prompts):
+        from repro.core.golden import render_complement
+
+        prompts, responses = rated_prompts
+        engine = SimulatedLLM("qwen2-72b-chat")
+        better = [
+            engine.respond(p.text, supplement=render_complement(set(p.needs), salt="h"))
+            for p in prompts
+        ]
+        result = gsb(panel, prompts, better, responses)
+        assert result.good > result.bad
+
+    def test_empty(self, panel):
+        result = gsb(panel, [], [], [])
+        assert result.n == 0
+        assert result.win_share == 50.0
+
+    def test_misaligned_rejected(self, panel, rated_prompts):
+        prompts, responses = rated_prompts
+        with pytest.raises(ValueError):
+            gsb(panel, prompts, responses[:-1], responses)
+
+
+class TestScenarioMetrics:
+    def test_metric_ranges(self, panel, rated_prompts):
+        prompts, responses = rated_prompts
+        metrics = scenario_metrics(panel, prompts, responses, scenario="x")
+        assert 0.0 <= metrics.full_mark_pct <= 100.0
+        assert 1.0 <= metrics.average_score <= 5.0
+        assert 0.0 <= metrics.availability_pct <= 100.0
+        assert metrics.n == len(prompts)
+
+    def test_empty(self, panel):
+        metrics = scenario_metrics(panel, [], [])
+        assert metrics.n == 0
+
+    def test_misaligned_rejected(self, panel, rated_prompts):
+        prompts, responses = rated_prompts
+        with pytest.raises(ValueError):
+            scenario_metrics(panel, prompts, responses[:-1])

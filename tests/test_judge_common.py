@@ -1,0 +1,60 @@
+"""Tests for the shared evaluation plumbing and benchmark result types."""
+
+import pytest
+
+from repro.baselines.base import NoApe
+from repro.baselines.bpo import BpoModel
+from repro.core.plug import PasApe
+from repro.judge.common import respond_with_method
+from repro.judge.suites import build_alpaca_suite
+from repro.llm.engine import SimulatedLLM
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return build_alpaca_suite(10, seed=44)
+
+
+class TestRespondWithMethod:
+    def test_none_method_answers_original_prompt(self, suite):
+        engine = SimulatedLLM("gpt-4-0613")
+        prompt = suite.prompts[0]
+        direct = engine.respond(prompt.text)
+        via_method = respond_with_method(engine, NoApe(), prompt)
+        assert direct == via_method
+
+    def test_complement_method_passes_supplement(self, suite, trained_pas):
+        engine = SimulatedLLM("gpt-4-0613")
+        prompt = suite.prompts[0]
+        complement = trained_pas.augment(prompt.text)
+        via_method = respond_with_method(engine, PasApe(trained_pas), prompt)
+        direct = engine.respond(prompt.text, supplement=complement or None)
+        assert via_method == direct
+
+    def test_rewrite_method_replaces_prompt(self, suite):
+        engine = SimulatedLLM("gpt-4-0613")
+        bpo = BpoModel(n_preference_pairs=100, seed=3)
+        prompt = suite.prompts[0]
+        rewritten, supplement = bpo.transform(prompt.text)
+        assert supplement is None
+        via_method = respond_with_method(engine, bpo, prompt)
+        assert via_method == engine.respond(rewritten)
+
+
+class TestBenchmarkResultTypes:
+    def test_arena_result_fields(self, quick_ctx):
+        result = quick_ctx.arena_hard.evaluate(
+            quick_ctx.engine("gpt-4-0613"), NoApe()
+        )
+        assert result.model == "gpt-4-0613"
+        assert result.method == "none"
+        assert len(result.outcomes) == result.n_prompts
+        assert all(0.0 <= o <= 1.0 for o in result.outcomes)
+
+    def test_alpaca_result_fields(self, quick_ctx):
+        result = quick_ctx.alpaca_eval.evaluate(
+            quick_ctx.engine("gpt-4-0613"), NoApe()
+        )
+        assert 0.0 <= result.win_rate <= 100.0
+        assert 0.0 <= result.lc_win_rate <= 100.0
+        assert result.n_prompts == len(quick_ctx.alpaca_eval.suite)

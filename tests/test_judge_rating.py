@@ -1,0 +1,104 @@
+"""Tests for Bradley-Terry ratings and the leaderboard."""
+
+import numpy as np
+import pytest
+
+from repro.judge.rating import RatingEntry, bradley_terry, leaderboard
+
+
+class TestBradleyTerry:
+    def test_symmetric_players_equal_strength(self):
+        wins = np.array([[0.0, 5.0], [5.0, 0.0]])
+        strengths = bradley_terry(wins)
+        assert strengths[0] == pytest.approx(strengths[1], abs=1e-6)
+
+    def test_dominant_player_stronger(self):
+        wins = np.array([[0.0, 9.0], [1.0, 0.0]])
+        strengths = bradley_terry(wins)
+        assert strengths[0] > strengths[1]
+        # P(0 beats 1) should recover ~0.9
+        p = 1.0 / (1.0 + np.exp(strengths[1] - strengths[0]))
+        assert p == pytest.approx(0.9, abs=0.02)
+
+    def test_transitive_ordering(self):
+        # A >> B >> C via pairwise games
+        wins = np.array(
+            [
+                [0.0, 8.0, 9.0],
+                [2.0, 0.0, 8.0],
+                [1.0, 2.0, 0.0],
+            ]
+        )
+        strengths = bradley_terry(wins)
+        assert strengths[0] > strengths[1] > strengths[2]
+
+    def test_isolated_player_neutral(self):
+        wins = np.zeros((3, 3))
+        wins[0, 1] = wins[1, 0] = 3.0  # players 0/1 tie; player 2 never plays
+        strengths = bradley_terry(wins)
+        assert strengths[2] == pytest.approx(np.mean(strengths[:2]), abs=0.5)
+
+    def test_invalid_matrix(self):
+        with pytest.raises(ValueError):
+            bradley_terry(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            bradley_terry(np.array([[0.0, -1.0], [1.0, 0.0]]))
+
+    def test_zero_mean_normalisation(self):
+        wins = np.array([[0.0, 3.0, 1.0], [2.0, 0.0, 4.0], [3.0, 1.0, 0.0]])
+        strengths = bradley_terry(wins)
+        assert float(strengths.mean()) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestLeaderboard:
+    def test_ordering_and_scale(self):
+        outcomes = [("a", "b", 1.0)] * 8 + [("a", "b", 0.0)] * 2
+        board = leaderboard(["a", "b"], outcomes)
+        assert board[0].name == "a"
+        assert board[0].rating > 1000.0 > board[1].rating
+
+    def test_ties_balance(self):
+        outcomes = [("a", "b", 0.5)] * 10
+        board = leaderboard(["a", "b"], outcomes)
+        assert board[0].rating == pytest.approx(board[1].rating, abs=1.0)
+
+    def test_comparison_counts(self):
+        outcomes = [("a", "b", 1.0), ("a", "c", 0.0)]
+        board = {e.name: e for e in leaderboard(["a", "b", "c"], outcomes)}
+        assert board["a"].n_comparisons == 2
+        assert board["b"].n_comparisons == 1
+
+    def test_unknown_player_rejected(self):
+        with pytest.raises(ValueError):
+            leaderboard(["a"], [("a", "zzz", 1.0)])
+
+    def test_invalid_outcome_rejected(self):
+        with pytest.raises(ValueError):
+            leaderboard(["a", "b"], [("a", "b", 1.5)])
+
+    def test_quarter_outcomes_accepted(self):
+        board = leaderboard(["a", "b"], [("a", "b", 0.75)] * 8)
+        assert board[0].name == "a"
+
+
+class TestLeaderboardFromBenchmark:
+    def test_model_leaderboard_matches_capability_order(self, quick_ctx):
+        """Aggregate real judge verdicts into a leaderboard; stronger
+        profiles must rate higher."""
+        from repro.judge.common import respond_with_method
+
+        models = ["gpt-4-turbo-2024-04-09", "gpt-4-0613", "gpt-3.5-turbo-1106"]
+        judge = quick_ctx.arena_hard.judge
+        method = quick_ctx.method_none()
+        outcomes = []
+        prompts = list(quick_ctx.arena_hard.suite)[:30]
+        for i, a in enumerate(models):
+            for b in models[i + 1 :]:
+                for prompt in prompts:
+                    ra = respond_with_method(quick_ctx.engine(a), method, prompt)
+                    rb = respond_with_method(quick_ctx.engine(b), method, prompt)
+                    outcomes.append((a, b, judge.pairwise(prompt, ra, rb).outcome))
+        board = leaderboard(models, outcomes)
+        names = [e.name for e in board]
+        assert names[0] == "gpt-4-turbo-2024-04-09"
+        assert names[-1] == "gpt-3.5-turbo-1106"

@@ -1,0 +1,128 @@
+"""Tests for the ChatClient wrapper (usage, retries, budgets)."""
+
+import pytest
+
+from repro.errors import BudgetExceededError
+from repro.llm.api import ChatClient, TransientApiError, Usage
+from repro.llm.engine import SimulatedLLM
+from repro.llm.types import ChatCompletion, Message
+
+
+@pytest.fixture()
+def client():
+    return ChatClient(engine=SimulatedLLM("gpt-4-0613"))
+
+
+class TestMessages:
+    def test_invalid_role_rejected(self):
+        with pytest.raises(ValueError):
+            Message("robot", "hi")
+
+    def test_valid_roles(self):
+        for role in ("system", "user", "assistant"):
+            Message(role, "x")
+
+    def test_completion_total_tokens(self):
+        c = ChatCompletion(model="m", content="x", prompt_tokens=3, completion_tokens=4)
+        assert c.total_tokens == 7
+
+
+class TestComplete:
+    def test_basic_completion(self, client):
+        completion = client.complete([Message("user", "how do i bake bread?")])
+        assert completion.content
+        assert completion.model == "gpt-4-0613"
+        assert completion.completion_tokens > 0
+
+    def test_empty_messages_rejected(self, client):
+        with pytest.raises(ValueError):
+            client.complete([])
+
+    def test_requires_user_message(self, client):
+        with pytest.raises(ValueError):
+            client.complete([Message("system", "be helpful")])
+
+    def test_system_message_acts_as_supplement(self, client):
+        plain = client.complete([Message("user", "how do i bake bread?")])
+        from repro.world.aspects import render_directive
+
+        guided = client.complete(
+            [
+                Message("system", render_directive("examples")),
+                Message("user", "how do i bake bread?"),
+            ]
+        )
+        assert plain.content != guided.content
+
+    def test_ask_convenience(self, client):
+        assert client.ask("how do i bake bread?") == client.ask("how do i bake bread?")
+
+
+class TestUsageAccounting:
+    def test_usage_accumulates(self, client):
+        client.ask("first question about cooking")
+        client.ask("second question about gardening")
+        assert client.usage.requests == 2
+        assert client.usage.prompt_tokens > 0
+        assert client.usage.completion_tokens > 0
+
+    def test_total_tokens(self):
+        usage = Usage(prompt_tokens=3, completion_tokens=9)
+        assert usage.total_tokens == 12
+
+    def test_budget_enforced(self):
+        client = ChatClient(engine=SimulatedLLM("gpt-4-0613"), max_requests=2)
+        client.ask("q one about topics")
+        client.ask("q two about topics")
+        with pytest.raises(BudgetExceededError):
+            client.ask("q three about topics")
+
+
+class TestFailureInjection:
+    def test_retries_succeed_eventually(self):
+        client = ChatClient(
+            engine=SimulatedLLM("gpt-4-0613"),
+            failure_rate=0.5,
+            max_retries=10,
+        )
+        for i in range(10):
+            completion = client.complete([Message("user", f"question {i} about things")])
+            assert completion.content
+        assert client.usage.failures > 0
+
+    def test_zero_retries_can_fail(self):
+        client = ChatClient(
+            engine=SimulatedLLM("gpt-4-0613"),
+            failure_rate=0.95,
+            max_retries=0,
+        )
+        failed = 0
+        for i in range(20):
+            try:
+                client.complete([Message("user", f"question {i} about stuff")])
+            except TransientApiError:
+                failed += 1
+        assert failed > 10
+
+    def test_failure_deterministic(self):
+        def run():
+            client = ChatClient(
+                engine=SimulatedLLM("gpt-4-0613"), failure_rate=0.6, max_retries=5
+            )
+            outcomes = []
+            for i in range(10):
+                try:
+                    outcomes.append(client.complete([Message("user", f"q {i} x y z")]).retries)
+                except TransientApiError:
+                    outcomes.append(-1)
+            return outcomes
+
+        assert run() == run()
+
+    def test_invalid_failure_rate(self):
+        with pytest.raises(ValueError):
+            ChatClient(engine=SimulatedLLM("gpt-4-0613"), failure_rate=1.0)
+
+    def test_invalid_retries(self):
+        with pytest.raises(ValueError):
+            ChatClient(engine=SimulatedLLM("gpt-4-0613"), max_retries=-1)

@@ -1,0 +1,96 @@
+"""Tests for the response renderer."""
+
+import numpy as np
+import pytest
+
+from repro.llm.generation import RESPONSE_SECTIONS, extract_topic_words, render_response
+from repro.world.aspects import ASPECTS, aspect_names, find_markers
+from repro.world.quality import count_flaws
+
+
+class TestResponseSections:
+    def test_all_aspects_covered(self):
+        assert set(RESPONSE_SECTIONS) == set(aspect_names())
+
+    @pytest.mark.parametrize("aspect", aspect_names())
+    def test_sections_carry_their_marker(self, aspect):
+        for template in RESPONSE_SECTIONS[aspect]:
+            assert aspect in find_markers(template), template
+
+    @pytest.mark.parametrize("aspect", aspect_names())
+    def test_sections_carry_no_foreign_markers(self, aspect):
+        for template in RESPONSE_SECTIONS[aspect]:
+            found = find_markers(template)
+            assert found == {aspect}, (template, found)
+
+    @pytest.mark.parametrize("aspect", aspect_names())
+    def test_sections_carry_no_flaws(self, aspect):
+        for template in RESPONSE_SECTIONS[aspect]:
+            assert count_flaws(template) == 0
+
+
+class TestExtractTopicWords:
+    def test_content_words_extracted(self):
+        words = extract_topic_words("how do I tune my database indexes quickly?")
+        assert "database" in words
+        assert "indexes" in words
+
+    def test_stopwords_excluded(self):
+        words = extract_topic_words("what is the which and about?")
+        assert words == []
+
+    def test_limit_respected(self):
+        text = "alpha bravo charlie delta echo foxtrot golf hotel"
+        assert len(extract_topic_words(text, limit=3)) == 3
+
+    def test_no_duplicates(self):
+        words = extract_topic_words("tree tree tree bark bark")
+        assert words == ["tree", "bark"]
+
+
+class TestRenderResponse:
+    def _render(self, **kwargs):
+        defaults = dict(
+            prompt_text="how do i configure nginx caching?",
+            covered_aspects=set(),
+            n_elaborations=3,
+            flawed_slots=set(),
+            missed_trap=False,
+            rng=np.random.default_rng(0),
+        )
+        defaults.update(kwargs)
+        return render_response(**defaults)
+
+    def test_covered_aspects_marked(self):
+        response = self._render(covered_aspects={"depth", "examples"})
+        assert {"depth", "examples"} <= find_markers(response)
+
+    def test_uncovered_aspects_unmarked(self):
+        response = self._render(covered_aspects=set())
+        assert find_markers(response) == set()
+
+    def test_flawed_slots_produce_flaws(self):
+        response = self._render(flawed_slots={0, 2})
+        assert count_flaws(response) == 2
+
+    def test_missed_trap_blunders(self):
+        response = self._render(missed_trap=True)
+        assert count_flaws(response) >= 2
+
+    def test_elaboration_count_scales_length(self):
+        short = self._render(n_elaborations=1)
+        long = self._render(n_elaborations=10)
+        assert len(long.split()) > len(short.split())
+
+    def test_topic_in_intro(self):
+        response = self._render()
+        assert "nginx" in response.lower()
+
+    def test_zero_elaborations_ok(self):
+        response = self._render(n_elaborations=0)
+        assert response  # intro + closing still present
+
+    def test_deterministic_given_rng(self):
+        a = self._render(rng=np.random.default_rng(7))
+        b = self._render(rng=np.random.default_rng(7))
+        assert a == b

@@ -1,0 +1,79 @@
+"""Tests for the capability-profile registry."""
+
+import pytest
+
+from repro.errors import UnknownModelError
+from repro.llm.profiles import PROFILES, TARGET_MODELS, CapabilityProfile, get_profile, model_names
+
+
+class TestRegistry:
+    def test_all_paper_target_models_present(self):
+        for name in TARGET_MODELS:
+            assert name in PROFILES
+
+    def test_pas_base_models_present(self):
+        assert "qwen2-7b-chat" in PROFILES
+        assert "llama-2-7b-instruct" in PROFILES
+
+    def test_pipeline_workers_present(self):
+        assert "baichuan-13b" in PROFILES
+        assert "teacher-gpt-4" in PROFILES
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(UnknownModelError):
+            get_profile("gpt-99")
+
+    def test_get_profile_roundtrip(self):
+        for name in model_names():
+            assert get_profile(name).name == name
+
+
+class TestCapabilityOrdering:
+    """The profile ordering is what makes Table 1's baseline column come out
+    in the paper's order."""
+
+    def test_turbo_strongest_cue_sensitivity(self):
+        turbo = get_profile("gpt-4-turbo-2024-04-09")
+        assert all(
+            turbo.cue_sensitivity >= get_profile(m).cue_sensitivity
+            for m in TARGET_MODELS
+        )
+
+    def test_gpt35_weakest_target(self):
+        gpt35 = get_profile("gpt-3.5-turbo-1106")
+        others = [m for m in TARGET_MODELS if m != "gpt-3.5-turbo-1106"]
+        assert all(
+            gpt35.cue_sensitivity <= get_profile(m).cue_sensitivity for m in others
+        )
+        assert all(gpt35.error_rate >= get_profile(m).error_rate for m in others)
+
+    def test_qwen_7b_stronger_base_than_llama2_7b(self):
+        qwen = get_profile("qwen2-7b-chat")
+        llama = get_profile("llama-2-7b-instruct")
+        assert qwen.sft_retention > llama.sft_retention
+        assert qwen.sft_confusion < llama.sft_confusion
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field,value", [
+        ("cue_sensitivity", 1.5),
+        ("instruction_following", -0.1),
+        ("error_rate", 2.0),
+        ("verbosity", 0.0),
+    ])
+    def test_invalid_values_rejected(self, field, value):
+        kwargs = dict(
+            name="x",
+            cue_sensitivity=0.5,
+            instruction_following=0.5,
+            error_rate=0.1,
+            verbosity=1.0,
+        )
+        kwargs[field] = value
+        with pytest.raises(ValueError):
+            CapabilityProfile(**kwargs)
+
+    def test_retention_bounded(self):
+        for profile in PROFILES.values():
+            assert 0.0 < profile.sft_retention <= 1.0
+            assert 0.0 <= profile.sft_confusion < 1.0

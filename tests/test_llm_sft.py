@@ -1,0 +1,98 @@
+"""Tests for the SFT directive predictor."""
+
+import numpy as np
+import pytest
+
+from repro.core.golden import render_complement
+from repro.errors import EmptyDatasetError, NotFittedError
+from repro.llm.profiles import CapabilityProfile
+from repro.llm.sft import SftConfig, SftDirectivePredictor
+from repro.world.prompts import PromptFactory
+
+_PERFECT_BASE = CapabilityProfile(
+    "perfect-base", cue_sensitivity=1.0, instruction_following=1.0,
+    error_rate=0.0, verbosity=1.0,
+)
+
+
+def _clean_pairs(n=120, seed=0):
+    """Perfectly labelled training pairs (complement == true needs)."""
+    factory = PromptFactory(rng=np.random.default_rng(seed))
+    pairs = []
+    prompts = []
+    for i in range(n):
+        p = factory.make_prompt(cue_rate=1.0, misleading_cue_rate=0.0)
+        pairs.append((p.text, render_complement(set(p.needs), salt=str(i))))
+        prompts.append(p)
+    return pairs, prompts
+
+
+class TestConfig:
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            SftConfig(k_neighbors=0).validate()
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            SftConfig(vote_threshold=0.0).validate()
+
+
+class TestFit:
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            SftDirectivePredictor().fit([])
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            SftDirectivePredictor().predict_aspects("anything")
+
+    def test_n_examples(self):
+        pairs, _ = _clean_pairs(20)
+        predictor = SftDirectivePredictor().fit(pairs)
+        assert predictor.n_examples == 20
+        assert predictor.is_fitted
+
+
+class TestPrediction:
+    def test_learns_from_clean_data(self):
+        pairs, _ = _clean_pairs(150, seed=1)
+        predictor = SftDirectivePredictor(base_model=_PERFECT_BASE).fit(pairs)
+        factory = PromptFactory(rng=np.random.default_rng(2))
+        test = [(p.text, p.needs) for p in (factory.make_prompt(cue_rate=1.0) for _ in range(60))]
+        acc = predictor.label_accuracy([(t, frozenset(n)) for t, n in test])
+        assert acc > 0.45  # far above the ~0.1 chance level
+
+    def test_memorises_training_prompt(self):
+        pairs, prompts = _clean_pairs(100, seed=3)
+        predictor = SftDirectivePredictor(base_model=_PERFECT_BASE).fit(pairs)
+        hits = 0
+        for (text, _), prompt in zip(pairs[:20], prompts[:20]):
+            predicted = predictor.predict_aspects(text)
+            hits += bool(predicted & prompt.needs)
+        assert hits >= 15
+
+    def test_deterministic(self):
+        pairs, _ = _clean_pairs(50, seed=4)
+        a = SftDirectivePredictor(seed=1).fit(pairs)
+        b = SftDirectivePredictor(seed=1).fit(pairs)
+        text = "how do i implement rate limiting in redis?"
+        assert a.predict_aspects(text) == b.predict_aspects(text)
+
+    def test_weak_base_noisier_than_strong(self):
+        pairs, _ = _clean_pairs(150, seed=5)
+        strong = SftDirectivePredictor(base_model="qwen2-7b-chat", seed=0).fit(pairs)
+        weak = SftDirectivePredictor(base_model="llama-2-7b-instruct", seed=0).fit(pairs)
+        factory = PromptFactory(rng=np.random.default_rng(6))
+        test = [(p.text, frozenset(p.needs)) for p in (factory.make_prompt(cue_rate=1.0) for _ in range(80))]
+        assert strong.label_accuracy(test) > weak.label_accuracy(test)
+
+    def test_label_accuracy_empty(self):
+        pairs, _ = _clean_pairs(10)
+        predictor = SftDirectivePredictor().fit(pairs)
+        assert predictor.label_accuracy([]) == 0.0
+
+    def test_out_of_domain_prompt_yields_few_aspects(self):
+        pairs, _ = _clean_pairs(50, seed=7)
+        predictor = SftDirectivePredictor(base_model=_PERFECT_BASE).fit(pairs)
+        predicted = predictor.predict_aspects("zzz qqq completely alien gibberish xxyy")
+        assert len(predicted) <= 2

@@ -1,0 +1,52 @@
+"""Tests for run manifests."""
+
+import pytest
+
+from repro.experiments.context import ExperimentContext, ScaleConfig
+from repro.manifest import RunManifest, build_manifest, fingerprint
+
+_TINY = ScaleConfig(
+    n_corpus_prompts=120, arena_suite_size=10, alpaca_suite_size=10,
+    human_eval_per_scenario=2,
+)
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        assert fingerprint({"a": 1}) == fingerprint({"a": 1})
+
+    def test_key_order_irrelevant(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+    def test_value_sensitive(self):
+        assert fingerprint({"a": 1}) != fingerprint({"a": 2})
+
+    def test_handles_dataclasses_and_sets(self):
+        from repro.utils.stats import Summary
+
+        fp = fingerprint({"s": Summary(1, 2.0, 0.0, 2.0, 2.0), "t": frozenset({"x"})})
+        assert len(fp) == 16
+
+
+class TestManifest:
+    @pytest.fixture(scope="class")
+    def manifest(self):
+        return build_manifest(ExperimentContext(scale=_TINY, seed=5))
+
+    def test_same_config_matches(self, manifest):
+        again = build_manifest(ExperimentContext(scale=_TINY, seed=5))
+        assert manifest.matches(again)
+        assert manifest.dataset_fingerprint == again.dataset_fingerprint
+
+    def test_different_seed_differs(self, manifest):
+        other = build_manifest(ExperimentContext(scale=_TINY, seed=6))
+        assert not manifest.matches(other)
+
+    def test_dataset_size_recorded(self, manifest):
+        assert manifest.dataset_size > 0
+
+    def test_save_load_roundtrip(self, manifest, tmp_path):
+        path = manifest.save(tmp_path / "manifest.json")
+        loaded = RunManifest.load(path)
+        assert loaded == manifest
+        assert loaded.matches(manifest)

@@ -1,0 +1,104 @@
+"""Tests for the PromptPairDataset container."""
+
+import pytest
+
+from repro.pipeline.dataset import PromptPair, PromptPairDataset
+from repro.world.aspects import render_directive
+
+
+def _pair(uid=1, aspects=("depth",), needs=("depth",), category="analysis"):
+    complement = " ".join(render_directive(a) for a in aspects)
+    return PromptPair(
+        prompt_uid=uid,
+        prompt_text=f"analyze thing number {uid} in detail",
+        complement_text=complement,
+        category=category,
+        true_category=category,
+        true_needs=frozenset(needs),
+    )
+
+
+class TestPromptPair:
+    def test_complement_aspects_parsed(self):
+        assert _pair(aspects=("depth", "examples")).complement_aspects == {
+            "depth",
+            "examples",
+        }
+
+    def test_label_jaccard_perfect(self):
+        assert _pair(aspects=("depth",), needs=("depth",)).label_jaccard == 1.0
+
+    def test_label_jaccard_partial(self):
+        pair = _pair(aspects=("depth", "format"), needs=("depth", "examples"))
+        assert pair.label_jaccard == pytest.approx(1 / 3)
+
+    def test_label_jaccard_empty_both(self):
+        pair = PromptPair(1, "x", "", "chitchat", "chitchat", frozenset())
+        assert pair.label_jaccard == 1.0
+
+
+class TestDataset:
+    def test_len_and_iter(self):
+        ds = PromptPairDataset([_pair(1), _pair(2)])
+        assert len(ds) == 2
+        assert len(list(ds)) == 2
+
+    def test_category_distribution(self):
+        ds = PromptPairDataset([_pair(1, category="coding"), _pair(2, category="coding"), _pair(3)])
+        dist = ds.category_distribution()
+        assert dist["coding"] == 2
+        assert dist["analysis"] == 1
+
+    def test_mean_label_quality(self):
+        ds = PromptPairDataset([
+            _pair(aspects=("depth",), needs=("depth",)),
+            _pair(aspects=("format",), needs=("depth",)),
+        ])
+        assert ds.mean_label_quality() == pytest.approx(0.5)
+
+    def test_mean_label_quality_empty(self):
+        assert PromptPairDataset([]).mean_label_quality() == 0.0
+
+    def test_training_texts(self):
+        ds = PromptPairDataset([_pair(7)])
+        texts = ds.training_texts()
+        assert texts[0][0].startswith("analyze thing number 7")
+
+    def test_split(self):
+        ds = PromptPairDataset([_pair(i) for i in range(10)])
+        train, test = ds.split(0.8)
+        assert len(train) == 8
+        assert len(test) == 2
+
+    def test_split_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            PromptPairDataset([_pair(1)]).split(1.0)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        ds = PromptPairDataset([_pair(i) for i in range(5)], curated=True, n_dropped=2)
+        path = tmp_path / "pairs.jsonl"
+        assert ds.save(path) == 5
+        loaded = PromptPairDataset.load(path)
+        assert len(loaded) == 5
+        assert loaded.pairs[0].prompt_text == ds.pairs[0].prompt_text
+        assert loaded.pairs[0].true_needs == ds.pairs[0].true_needs
+
+
+class TestPipelineProducedDataset(object):
+    """Checks on a dataset built by the real pipeline (session fixture)."""
+
+    def test_nonempty(self, tiny_dataset):
+        assert len(tiny_dataset) > 50
+
+    def test_label_quality_above_chance(self, tiny_dataset):
+        assert tiny_dataset.mean_label_quality() > 0.5
+
+    def test_covers_most_categories(self, tiny_dataset):
+        assert len(tiny_dataset.category_distribution()) >= 10
+
+    def test_curated_flag(self, tiny_dataset, tiny_raw_dataset):
+        assert tiny_dataset.curated
+        assert not tiny_raw_dataset.curated
+
+    def test_curation_beats_raw(self, tiny_dataset, tiny_raw_dataset):
+        assert tiny_dataset.mean_label_quality() > tiny_raw_dataset.mean_label_quality()

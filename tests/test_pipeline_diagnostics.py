@@ -1,0 +1,86 @@
+"""Tests for the pipeline health diagnostics."""
+
+import pytest
+
+from repro.pipeline.collect import PromptCollector
+from repro.pipeline.diagnostics import (
+    StageReport,
+    classifier_report,
+    dedup_report,
+    junk_filter_report,
+    pipeline_health,
+)
+
+
+@pytest.fixture(scope="module")
+def graded(small_corpus):
+    corpus = list(small_corpus)
+    result = PromptCollector(seed=9).collect(corpus)
+    return corpus, result
+
+
+class TestStageReport:
+    def test_precision_recall_f1(self):
+        report = StageReport("x", true_positives=8, false_positives=2, false_negatives=2)
+        assert report.precision == pytest.approx(0.8)
+        assert report.recall == pytest.approx(0.8)
+        assert report.f1 == pytest.approx(0.8)
+
+    def test_degenerate_cases(self):
+        empty = StageReport("x", 0, 0, 0)
+        assert empty.precision == 1.0
+        assert empty.recall == 1.0
+        assert empty.f1 == 1.0
+
+
+class TestDedupReport:
+    def test_high_recall_on_generated_duplicates(self, graded):
+        corpus, result = graded
+        report = dedup_report(corpus, result)
+        assert report.recall > 0.6
+
+    def test_counts_consistent(self, graded):
+        corpus, result = graded
+        report = dedup_report(corpus, result)
+        n_dups = sum(1 for p in corpus if p.dup_of is not None)
+        assert report.true_positives + report.false_negatives == n_dups
+
+
+class TestJunkFilterReport:
+    def test_junk_caught(self, graded):
+        corpus, result = graded
+        report = junk_filter_report(corpus, result)
+        assert report.recall > 0.9
+
+    def test_few_clean_prompts_lost(self, graded):
+        corpus, result = graded
+        report = junk_filter_report(corpus, result)
+        n_clean = sum(1 for p in corpus if not p.is_junk and p.dup_of is None)
+        assert report.false_positives / max(n_clean, 1) < 0.25
+
+
+class TestClassifierReport:
+    def test_accuracy_reported(self, graded):
+        _, result = graded
+        report = classifier_report(result)
+        assert report["accuracy"] > 0.6
+        assert report["n"] == len(result.selected)
+
+    def test_empty_result(self):
+        from repro.pipeline.collect import CollectionResult
+
+        assert classifier_report(CollectionResult([], 0, 0, 0, 0))["accuracy"] == 0.0
+
+
+class TestPipelineHealth:
+    def test_full_report_shape(self, graded):
+        corpus, result = graded
+        health = pipeline_health(corpus, result)
+        assert set(health) == {
+            "dedup",
+            "junk_filter",
+            "classifier",
+            "junk_leak_rate",
+            "survival_rate",
+        }
+        assert 0.0 < health["survival_rate"] <= 1.0

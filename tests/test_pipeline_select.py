@@ -1,0 +1,41 @@
+"""Tests for the composite prompt-quality scorer."""
+
+import numpy as np
+import pytest
+
+from repro.llm.engine import SimulatedLLM
+from repro.pipeline.select import QualityScorer
+from repro.world.prompts import PromptFactory
+
+
+@pytest.fixture(scope="module")
+def scorer(small_corpus):
+    grader = SimulatedLLM("baichuan-13b")
+    return QualityScorer(grader=grader).fit([p.text for p in small_corpus])
+
+
+class TestQualityScorer:
+    def test_scores_bounded(self, scorer, small_corpus):
+        for prompt in small_corpus[:50]:
+            assert 0.0 <= scorer.score(prompt.text) <= 1.0
+
+    def test_junk_scores_below_real(self, scorer, small_corpus):
+        junk = [p for p in small_corpus if p.is_junk]
+        real = [p for p in small_corpus if not p.is_junk]
+        junk_scores = [scorer.score(p.text) for p in junk]
+        real_scores = [scorer.score(p.text) for p in real]
+        assert max(junk_scores) < min(real_scores)
+
+    def test_unfitted_scorer_uses_llm_only(self):
+        scorer = QualityScorer(grader=SimulatedLLM("baichuan-13b"))
+        factory = PromptFactory(rng=np.random.default_rng(0))
+        score = scorer.score(factory.make_prompt().text)
+        assert 0.0 <= score <= 1.0
+
+    def test_invalid_weight(self):
+        with pytest.raises(ValueError):
+            QualityScorer(grader=SimulatedLLM("baichuan-13b"), llm_weight=1.5)
+
+    def test_deterministic(self, scorer):
+        text = "how do i deduplicate entries in a csv file?"
+        assert scorer.score(text) == scorer.score(text)

@@ -1,0 +1,167 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.ann.bruteforce import BruteForceIndex
+from repro.ann.hnsw import HnswIndex
+from repro.embedding.hashing import hash_features
+from repro.embedding.model import EmbeddingModel
+from repro.utils import textproc
+from repro.utils.rng import stable_hash
+from repro.utils.stats import length_controlled_win_rate, win_rate
+from repro.utils.unionfind import UnionFind
+from repro.world.aspects import aspect_names, parse_directives
+from repro.core.golden import MAX_DIRECTIVES, render_complement
+
+_text = st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=0x2FF), max_size=200)
+
+
+class TestTextProperties:
+    @given(_text)
+    @settings(max_examples=80)
+    def test_normalize_idempotent(self, text):
+        once = textproc.normalize(text)
+        assert textproc.normalize(once) == once
+
+    @given(_text)
+    @settings(max_examples=80)
+    def test_words_are_lowercase_tokens(self, text):
+        for word in textproc.words(text):
+            assert word == word.lower()
+            assert word.strip()
+
+    @given(_text)
+    @settings(max_examples=50)
+    def test_wordstream_matches_words(self, text):
+        assert textproc.wordstream(text).split(" ") == textproc.words(text) or (
+            textproc.wordstream(text) == "" and textproc.words(text) == []
+        )
+
+    @given(_text, st.integers(min_value=0, max_value=30))
+    @settings(max_examples=50)
+    def test_truncate_words_never_longer(self, text, limit):
+        truncated = textproc.truncate_words(text, limit)
+        assert len(truncated.split()) <= max(limit, 0)
+
+    @given(st.lists(st.text(max_size=5)), st.lists(st.text(max_size=5)))
+    @settings(max_examples=50)
+    def test_jaccard_bounds_and_symmetry(self, a, b):
+        value = textproc.jaccard(a, b)
+        assert 0.0 <= value <= 1.0
+        assert value == textproc.jaccard(b, a)
+
+
+class TestHashProperties:
+    @given(_text)
+    @settings(max_examples=80)
+    def test_stable_hash_range(self, text):
+        assert 0 <= stable_hash(text) < (1 << 64)
+
+    @given(st.lists(st.text(min_size=1, max_size=10), max_size=30), st.integers(1, 64))
+    @settings(max_examples=50)
+    def test_hash_features_linear_in_duplicates(self, feats, dim):
+        once = hash_features(feats, dim)
+        twice = hash_features(feats + feats, dim)
+        assert np.allclose(twice, 2 * once)
+
+
+class TestEmbeddingProperties:
+    @given(_text)
+    @settings(max_examples=50)
+    def test_norm_at_most_one(self, text):
+        vec = EmbeddingModel(dim=64).embed(text)
+        norm = float(np.linalg.norm(vec))
+        assert norm <= 1.0 + 1e-9
+        assert norm == 0.0 or abs(norm - 1.0) < 1e-9
+
+
+class TestUnionFindProperties:
+    @given(
+        st.integers(min_value=1, max_value=40),
+        st.lists(st.tuples(st.integers(0, 39), st.integers(0, 39)), max_size=60),
+    )
+    @settings(max_examples=60)
+    def test_components_consistent_with_groups(self, n, unions):
+        uf = UnionFind(n)
+        for a, b in unions:
+            if a < n and b < n:
+                uf.union(a, b)
+        groups = uf.groups()
+        assert len(groups) == uf.components
+        assert sorted(m for g in groups.values() for m in g) == list(range(n))
+
+    @given(
+        st.integers(min_value=2, max_value=30),
+        st.lists(st.tuples(st.integers(0, 29), st.integers(0, 29)), max_size=40),
+    )
+    @settings(max_examples=60)
+    def test_connectivity_is_equivalence(self, n, unions):
+        uf = UnionFind(n)
+        for a, b in unions:
+            if a < n and b < n:
+                uf.union(a, b)
+        for a, b in unions:
+            if a < n and b < n:
+                assert uf.connected(a, b)
+
+
+class TestAnnProperties:
+    @given(st.integers(min_value=2, max_value=60), st.integers(min_value=1, max_value=10))
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_hnsw_agrees_with_bruteforce_top1(self, n, k):
+        rng = np.random.default_rng(n * 31 + k)
+        points = rng.normal(size=(n, 6))
+        hnsw = HnswIndex(dim=6, ef_search=64, seed=0)
+        brute = BruteForceIndex(dim=6)
+        for i, p in enumerate(points):
+            hnsw.add(p, key=i)
+            brute.add(p, key=i)
+        query = rng.normal(size=6)
+        top_hnsw = hnsw.search(query, min(k, n))
+        top_brute = brute.search(query, min(k, n))
+        # The single nearest neighbour should virtually always agree.
+        assert top_hnsw[0][0] == top_brute[0][0]
+
+    @given(st.integers(min_value=1, max_value=40))
+    @settings(max_examples=20, deadline=None)
+    def test_hnsw_distances_sorted(self, n):
+        rng = np.random.default_rng(n)
+        index = HnswIndex(dim=4, seed=1)
+        for i in range(n):
+            index.add(rng.normal(size=4), key=i)
+        hits = index.search(rng.normal(size=4), min(10, n))
+        dists = [d for _, d in hits]
+        assert dists == sorted(dists)
+
+
+class TestStatsProperties:
+    @given(st.lists(st.sampled_from([0.0, 0.5, 1.0]), max_size=100))
+    @settings(max_examples=60)
+    def test_win_rate_bounds(self, outcomes):
+        assert 0.0 <= win_rate(outcomes) <= 100.0
+
+    @given(
+        st.lists(st.sampled_from([0.0, 0.5, 1.0]), min_size=3, max_size=60),
+    )
+    @settings(max_examples=40)
+    def test_lc_win_rate_bounds(self, outcomes):
+        rng = np.random.default_rng(len(outcomes))
+        deltas = list(rng.normal(0, 1, len(outcomes)))
+        assert 0.0 <= length_controlled_win_rate(outcomes, deltas) <= 100.0
+
+
+class TestDirectiveProperties:
+    @given(st.sets(st.sampled_from(aspect_names()), max_size=6), _text)
+    @settings(max_examples=80)
+    def test_render_complement_roundtrip_under_cap(self, aspects, salt):
+        text = render_complement(aspects, salt=salt)
+        parsed = parse_directives(text)
+        assert parsed <= aspects
+        assert len(parsed) == min(len(aspects), MAX_DIRECTIVES)
+
+    @given(st.sets(st.sampled_from(aspect_names()), min_size=1, max_size=3))
+    @settings(max_examples=40)
+    def test_small_sets_roundtrip_exactly(self, aspects):
+        assert parse_directives(render_complement(aspects)) == aspects

@@ -1,0 +1,31 @@
+"""Tests for the top-level package API (README quickstart path)."""
+
+import repro
+from repro import PasEnhancedLLM, SimulatedLLM, build_default_dataset, build_default_pas
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_path(self, trained_pas):
+        """The README example, using the session-trained PAS."""
+        target = SimulatedLLM("gpt-4-0613")
+        enhanced = PasEnhancedLLM(pas=trained_pas, target=target)
+        answer = enhanced.ask("How do I implement an lru cache in python?")
+        assert isinstance(answer, str)
+        assert answer
+
+    def test_build_default_dataset_deterministic(self):
+        a = build_default_dataset(n_prompts=120, seed=8)
+        b = build_default_dataset(n_prompts=120, seed=8)
+        assert [p.complement_text for p in a] == [p.complement_text for p in b]
+
+    def test_build_default_pas_trains(self):
+        pas = build_default_pas(n_prompts=120, seed=8)
+        assert pas.is_trained
+        assert pas.n_training_pairs > 0

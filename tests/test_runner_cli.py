@@ -1,0 +1,65 @@
+"""Tests for the pas-repro CLI entry point."""
+
+import json
+
+import pytest
+
+from repro.experiments.runner import main
+
+
+class TestCli:
+    def test_single_experiment_quick(self, capsys, tmp_path):
+        code = main(["--experiment", "table3", "--scale", "quick", "--out", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "flexibility comparison" in out
+        dumped = tmp_path / "table3.jsonl"
+        assert dumped.exists()
+        record = json.loads(dumped.read_text().splitlines()[0])
+        assert "profiles" in record
+
+    def test_fig7_without_out_dir(self, capsys):
+        assert main(["--experiment", "fig7", "--scale", "quick"]) == 0
+        assert "18.89x" in capsys.readouterr().out
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(ValueError):
+            main(["--experiment", "table42", "--scale", "quick"])
+
+    def test_invalid_scale_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["--scale", "huge"])
+
+    def test_save_dataset_flag(self, tmp_path):
+        out = tmp_path / "pairs.jsonl"
+        code = main(
+            ["--experiment", "fig6", "--scale", "quick", "--save-dataset", str(out)]
+        )
+        assert code == 0
+        from repro.pipeline.dataset import PromptPairDataset
+
+        loaded = PromptPairDataset.load(out)
+        assert len(loaded) > 0
+
+    def test_manifest_flag(self, tmp_path):
+        manifest_path = tmp_path / "manifest.json"
+        code = main(
+            ["--experiment", "fig6", "--scale", "quick", "--manifest", str(manifest_path)]
+        )
+        assert code == 0
+        from repro.manifest import RunManifest
+
+        manifest = RunManifest.load(manifest_path)
+        assert manifest.seed == 0
+        assert manifest.dataset_size > 0
+
+    def test_report_file_written(self, tmp_path):
+        report = tmp_path / "report.md"
+        code = main(
+            ["--experiment", "table3", "--scale", "quick", "--report", str(report)]
+        )
+        assert code == 0
+        content = report.read_text()
+        assert content.startswith("# PAS reproduction report")
+        assert "## table3" in content
+        assert "flexibility comparison" in content

@@ -1,0 +1,123 @@
+"""Tests for the serving layer (gateway, cache, request types)."""
+
+import pytest
+
+from repro.errors import UnknownModelError
+from repro.serve.cache import LruCache
+from repro.serve.gateway import PasGateway
+from repro.serve.types import ServeRequest
+
+
+class TestLruCache:
+    def test_basic_roundtrip(self):
+        cache = LruCache(capacity=4)
+        cache.put("k", "v")
+        assert cache.get("k") == "v"
+
+    def test_miss_returns_default(self):
+        cache = LruCache(capacity=2)
+        assert cache.get("missing", "dflt") == "dflt"
+
+    def test_eviction_order(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a
+        cache.put("c", 3)  # evicts b
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_put_refreshes(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        cache.put("c", 3)  # evicts b, not a
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_hit_rate(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("x")
+        assert cache.hit_rate == 0.5
+        assert LruCache(capacity=1).hit_rate == 0.0
+
+    def test_len_and_clear(self):
+        cache = LruCache(capacity=3)
+        cache.put("a", 1)
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == cache.misses == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            LruCache(capacity=0)
+
+
+class TestServeTypes:
+    def test_empty_prompt_rejected(self):
+        with pytest.raises(ValueError):
+            ServeRequest(prompt="   ", model="gpt-4-0613")
+
+    def test_augmented_property(self, trained_pas):
+        gateway = PasGateway(pas=trained_pas)
+        response = gateway.ask(
+            ServeRequest(prompt="how do i sort a csv? walk me through it.", model="gpt-4-0613")
+        )
+        assert response.augmented == bool(response.complement)
+
+
+class TestGateway:
+    @pytest.fixture()
+    def gateway(self, trained_pas):
+        return PasGateway(pas=trained_pas, cache_size=8)
+
+    def test_ask_text(self, gateway):
+        assert gateway.ask_text("how do i parse csv files? show me how.", "gpt-4-0613")
+
+    def test_unknown_model_rejected(self, gateway):
+        with pytest.raises(UnknownModelError):
+            gateway.ask(ServeRequest(prompt="hello there friend", model="gpt-99"))
+
+    def test_complement_cache_hits_on_repeat(self, gateway):
+        request = ServeRequest(prompt="how do i bake bread? walk me through it.", model="gpt-4-0613")
+        first = gateway.ask(request)
+        second = gateway.ask(request)
+        assert not first.complement_cached
+        assert second.complement_cached
+        assert first.response == second.response
+        assert gateway.cache_hit_rate > 0.0
+
+    def test_stats_accumulate(self, gateway):
+        gateway.ask_text("question one about gardens, please explain it in detail.", "gpt-4-0613")
+        gateway.ask_text("question two about trains. walk me through it.", "gpt-3.5-turbo-1106")
+        stats = gateway.stats
+        assert stats.requests == 2
+        assert stats.per_model == {"gpt-4-0613": 1, "gpt-3.5-turbo-1106": 1}
+        assert stats.prompt_tokens > 0
+        assert stats.completion_tokens > 0
+
+    def test_augment_flag_off(self, gateway):
+        response = gateway.ask(
+            ServeRequest(
+                prompt="how do i bake bread? please explain it in detail.",
+                model="gpt-4-0613",
+                augment=False,
+            )
+        )
+        assert response.complement == ""
+        assert not response.augmented
+
+    def test_clients_created_lazily(self, gateway):
+        assert gateway.registered_models == []
+        gateway.ask_text("first request about boats, be concise.", "qwen2-72b-chat")
+        assert gateway.registered_models == ["qwen2-72b-chat"]
+
+    def test_augmentation_rate(self, gateway):
+        gateway.ask(
+            ServeRequest(prompt="how do i fix my code? it fails under load.", model="gpt-4-0613", augment=False)
+        )
+        assert gateway.stats.augmentation_rate == 0.0

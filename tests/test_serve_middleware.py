@@ -1,0 +1,137 @@
+"""Tests for the gateway middleware chain."""
+
+import pytest
+
+from repro.serve.gateway import PasGateway
+from repro.serve.middleware import (
+    GuardrailMiddleware,
+    LoggingMiddleware,
+    MiddlewareChain,
+    RateLimitMiddleware,
+    RequestRejected,
+)
+from repro.serve.types import ServeRequest
+
+GOOD_PROMPT = "How do I implement a job scheduler in python? Walk me through it."
+
+
+@pytest.fixture()
+def gateway(trained_pas):
+    return PasGateway(pas=trained_pas)
+
+
+def _req(prompt=GOOD_PROMPT, model="gpt-4-0613"):
+    return ServeRequest(prompt=prompt, model=model)
+
+
+class TestMiddlewareChain:
+    def test_empty_chain_is_passthrough(self, gateway):
+        chain = MiddlewareChain([], handler=gateway.ask)
+        assert chain(_req()).response
+
+    def test_order_outermost_first(self, gateway):
+        calls = []
+
+        class Tag:
+            def __init__(self, name):
+                self.name = name
+
+            def __call__(self, request, next_handler):
+                calls.append(f"enter:{self.name}")
+                response = next_handler(request)
+                calls.append(f"exit:{self.name}")
+                return response
+
+        chain = MiddlewareChain([Tag("a"), Tag("b")], handler=gateway.ask)
+        chain(_req())
+        assert calls == ["enter:a", "enter:b", "exit:b", "exit:a"]
+
+
+class TestGuardrail:
+    def test_good_prompt_passes(self, gateway):
+        chain = MiddlewareChain([GuardrailMiddleware()], handler=gateway.ask)
+        assert chain(_req()).response
+
+    def test_junk_prompt_rejected(self, gateway):
+        guard = GuardrailMiddleware()
+        chain = MiddlewareChain([guard], handler=gateway.ask)
+        with pytest.raises(RequestRejected):
+            chain(_req(prompt="asdf qwer zxcv"))
+        assert guard.rejected == 1
+        # Nothing reached the gateway.
+        assert gateway.stats.requests == 0
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            GuardrailMiddleware(threshold=1.5)
+
+
+class TestRateLimit:
+    def test_burst_throttled_then_recovers(self, gateway):
+        limiter = RateLimitMiddleware(capacity=3, refill_per_tick=0.0)
+        chain = MiddlewareChain([limiter], handler=gateway.ask)
+        for _ in range(3):
+            chain(_req())
+        with pytest.raises(RequestRejected):
+            chain(_req())
+        assert limiter.throttled == 1
+
+    def test_refill_admits_later_requests(self, gateway):
+        limiter = RateLimitMiddleware(capacity=1, refill_per_tick=1.0)
+        chain = MiddlewareChain([limiter], handler=gateway.ask)
+        chain(_req())          # spends the only token
+        chain(_req())          # tick refilled it
+        assert limiter.throttled == 0
+
+    def test_buckets_are_per_model(self, gateway):
+        limiter = RateLimitMiddleware(capacity=1, refill_per_tick=0.0)
+        chain = MiddlewareChain([limiter], handler=gateway.ask)
+        chain(_req(model="gpt-4-0613"))
+        chain(_req(model="qwen2-72b-chat"))  # separate bucket
+        with pytest.raises(RequestRejected):
+            chain(_req(model="gpt-4-0613"))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            RateLimitMiddleware(capacity=0)
+        with pytest.raises(ValueError):
+            RateLimitMiddleware(refill_per_tick=-1)
+
+
+class TestLogging:
+    def test_success_logged(self, gateway):
+        log = LoggingMiddleware()
+        chain = MiddlewareChain([log], handler=gateway.ask)
+        chain(_req())
+        assert len(log.records) == 1
+        record = log.records[0]
+        assert record["ok"]
+        assert record["completion_tokens"] > 0
+
+    def test_rejection_logged_and_reraised(self, gateway):
+        log = LoggingMiddleware()
+        chain = MiddlewareChain(
+            [log, GuardrailMiddleware()], handler=gateway.ask
+        )
+        with pytest.raises(RequestRejected):
+            chain(_req(prompt="zz zz zz"))
+        assert log.records[-1]["ok"] is False
+        assert log.records[-1]["error"] == "RequestRejected"
+
+
+class TestFullStack:
+    def test_guardrail_rate_limit_logging_together(self, gateway):
+        log = LoggingMiddleware()
+        chain = MiddlewareChain(
+            [log, RateLimitMiddleware(capacity=5, refill_per_tick=0.0), GuardrailMiddleware()],
+            handler=gateway.ask,
+        )
+        served = 0
+        for _ in range(7):
+            try:
+                chain(_req())
+                served += 1
+            except RequestRejected:
+                pass
+        assert served == 5
+        assert len(log.records) == 7

@@ -1,0 +1,61 @@
+"""Tests for the paired-significance harness."""
+
+import pytest
+
+from repro.experiments import significance
+
+
+class TestPairedSignTest:
+    def test_identical_outcomes_p_one(self):
+        assert significance.paired_sign_test([1.0, 0.0, 0.5], [1.0, 0.0, 0.5]) == 1.0
+
+    def test_unanimous_difference_small_p(self):
+        a = [1.0] * 20
+        b = [0.0] * 20
+        assert significance.paired_sign_test(a, b) < 1e-4
+
+    def test_symmetric(self):
+        a = [1.0, 1.0, 0.0, 0.5, 1.0, 0.0, 1.0, 1.0]
+        b = [0.0, 0.5, 0.0, 0.5, 1.0, 1.0, 0.0, 0.0]
+        assert significance.paired_sign_test(a, b) == pytest.approx(
+            significance.paired_sign_test(b, a)
+        )
+
+    def test_balanced_disagreement_large_p(self):
+        a = [1.0, 0.0] * 10
+        b = [0.0, 1.0] * 10
+        assert significance.paired_sign_test(a, b) > 0.5
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            significance.paired_sign_test([1.0], [1.0, 0.0])
+
+    def test_p_value_in_range(self):
+        a = [1.0, 0.5, 0.0, 1.0, 1.0]
+        b = [0.0, 0.5, 0.0, 0.0, 1.0]
+        p = significance.paired_sign_test(a, b)
+        assert 0.0 <= p <= 1.0
+
+
+class TestSignificanceRun:
+    @pytest.fixture(scope="class")
+    def result(self, quick_ctx):
+        return significance.run(quick_ctx)
+
+    def test_twelve_comparisons(self, result):
+        assert len(result.comparisons) == 12  # 6 models x 2 arms
+
+    def test_pas_vs_none_mostly_significant(self, result):
+        # PAS's gain over the baseline is large; most models should clear
+        # the 0.05 sign test even at quick scale.
+        assert result.n_significant("none") >= 4
+
+    def test_cis_bracket_point_estimates(self, result):
+        for c in result.comparisons:
+            assert c.pas_ci[0] <= c.pas_score <= c.pas_ci[1]
+            assert c.arm_ci[0] <= c.arm_score <= c.arm_ci[1]
+
+    def test_render(self, result):
+        text = significance.render(result)
+        assert "sign-test p" in text
+        assert "significant at 0.05" in text

@@ -1,0 +1,81 @@
+"""Tests for the byte-pair-encoding tokenizer."""
+
+import pytest
+
+from repro.errors import NotFittedError
+from repro.text.bpe import BpeTokenizer
+
+_CORPUS = [
+    "the lower llama lowers the lowest tower",
+    "new newer newest newly renewed",
+    "walking talking stalking walking walking",
+    "lower tower power shower lower lower",
+]
+
+
+@pytest.fixture(scope="module")
+def bpe():
+    return BpeTokenizer(n_merges=60).fit(_CORPUS)
+
+
+class TestTraining:
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(NotFittedError):
+            BpeTokenizer().fit([])
+
+    def test_use_before_fit(self):
+        with pytest.raises(NotFittedError):
+            BpeTokenizer().encode("hello")
+
+    def test_invalid_merges(self):
+        with pytest.raises(ValueError):
+            BpeTokenizer(n_merges=-1)
+
+    def test_learns_at_most_n_merges(self, bpe):
+        assert 0 < len(bpe.merges) <= 60
+
+    def test_merges_deterministic(self):
+        a = BpeTokenizer(n_merges=30).fit(_CORPUS)
+        b = BpeTokenizer(n_merges=30).fit(_CORPUS)
+        assert a.merges == b.merges
+
+    def test_zero_merges_is_character_model(self):
+        bpe0 = BpeTokenizer(n_merges=0).fit(_CORPUS)
+        assert bpe0.encode_word("abc") == ["a", "b", "c", "</w>"]
+
+
+class TestEncoding:
+    def test_frequent_word_compresses(self, bpe):
+        # "lower" appears many times; it should encode to few symbols.
+        assert len(bpe.encode_word("lower")) <= 3
+
+    def test_unseen_word_still_encodes(self, bpe):
+        symbols = bpe.encode_word("zyxwv")
+        assert "".join(symbols).replace("</w>", "") == "zyxwv"
+
+    def test_decode_roundtrip(self, bpe):
+        text = "the lower tower walking newest"
+        assert bpe.decode(bpe.encode(text)) == text
+
+    def test_roundtrip_normalises_case(self, bpe):
+        assert bpe.decode(bpe.encode("The LOWER Tower")) == "the lower tower"
+
+    def test_count_positive(self, bpe):
+        assert bpe.count("the lower tower") > 0
+        assert bpe.count("") == 0
+
+    def test_more_merges_fewer_tokens(self):
+        small = BpeTokenizer(n_merges=5).fit(_CORPUS)
+        large = BpeTokenizer(n_merges=80).fit(_CORPUS)
+        text = " ".join(_CORPUS)
+        assert large.count(text) <= small.count(text)
+
+    def test_compression_ratio(self, bpe):
+        ratio = bpe.compression_ratio("the lower lower lower")
+        assert ratio >= 1.0
+        assert bpe.compression_ratio("") == 0.0
+
+    def test_symbols_reconstruct_words(self, bpe):
+        for word in ("walking", "newest", "power"):
+            joined = "".join(bpe.encode_word(word))
+            assert joined == word + "</w>"

@@ -1,0 +1,89 @@
+"""Tests for the n-gram language model."""
+
+import math
+
+import pytest
+
+from repro.errors import NotFittedError
+from repro.text.ngram import NgramLanguageModel
+
+_CORPUS = [
+    "the cat sat on the mat",
+    "the dog sat on the rug",
+    "the cat chased the dog",
+    "a bird sat on the fence",
+]
+
+
+@pytest.fixture(scope="module")
+def lm():
+    return NgramLanguageModel(order=3).fit(_CORPUS)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("kwargs", [
+        {"order": 0},
+        {"add_k": 0.0},
+        {"add_k": -1.0},
+        {"backoff": 0.0},
+        {"backoff": 1.0},
+    ])
+    def test_invalid_params_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            NgramLanguageModel(**kwargs)
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(NotFittedError):
+            NgramLanguageModel().fit([])
+
+    def test_use_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            NgramLanguageModel().token_logprob(["a"], "b")
+
+
+class TestProbabilities:
+    def test_logprob_is_negative(self, lm):
+        assert lm.logprob("the cat sat") < 0.0
+
+    def test_seen_sequence_more_probable_than_garbage(self, lm):
+        assert lm.logprob("the cat sat on the mat") > lm.logprob(
+            "mat the on sat cat the"
+        )
+
+    def test_token_logprob_finite(self, lm):
+        lp = lm.token_logprob(["the"], "unseen-token-xyz")
+        assert math.isfinite(lp)
+
+    def test_conditional_prefers_observed_continuation(self, lm):
+        lp_seen = lm.token_logprob(["the"], "cat")
+        lp_unseen = lm.token_logprob(["the"], "fence")
+        assert lp_seen > lp_unseen
+
+
+class TestPerplexity:
+    def test_positive(self, lm):
+        assert lm.perplexity("the cat sat") > 1.0
+
+    def test_in_domain_lower_than_out_of_domain(self, lm):
+        assert lm.perplexity("the cat sat on the mat") < lm.perplexity(
+            "zygote quark flibber jabberwock"
+        )
+
+    def test_fluency_bounded(self, lm):
+        for text in _CORPUS + ["total nonsense zzz qqq"]:
+            assert 0.0 < lm.fluency(text) <= 1.0
+
+    def test_fluency_orders_by_familiarity(self, lm):
+        assert lm.fluency("the cat sat on the mat") > lm.fluency(
+            "qq ww ee rr tt yy uu"
+        )
+
+
+class TestUnigramModel:
+    def test_order_one_works(self):
+        lm1 = NgramLanguageModel(order=1).fit(_CORPUS)
+        assert lm1.perplexity("the cat") > 1.0
+
+    def test_vocab_size_counts_markers(self):
+        lm1 = NgramLanguageModel(order=1).fit(["a b"])
+        assert lm1.vocab_size == 4  # a, b, <s>, </s>

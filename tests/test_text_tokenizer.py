@@ -1,0 +1,52 @@
+"""Tests for the word tokenizer."""
+
+from repro.text.tokenizer import Tokenizer
+
+
+class TestTokenize:
+    def test_words_and_punctuation(self):
+        assert Tokenizer().tokenize("Hello, world!") == ["hello", ",", "world", "!"]
+
+    def test_lowercases(self):
+        assert Tokenizer().tokenize("ABC") == ["abc"]
+
+    def test_apostrophe(self):
+        assert Tokenizer().tokenize("don't") == ["don't"]
+
+    def test_empty(self):
+        assert Tokenizer().tokenize("") == []
+
+
+class TestEncode:
+    def test_markers_added(self):
+        tok = Tokenizer()
+        encoded = tok.encode("hi", add_markers=True)
+        assert encoded[0] == tok.bos
+        assert encoded[-1] == tok.eos
+
+    def test_no_markers_by_default(self):
+        tok = Tokenizer()
+        assert tok.bos not in tok.encode("hi")
+
+
+class TestDetokenize:
+    def test_punctuation_attaches(self):
+        tok = Tokenizer()
+        assert tok.detokenize(["hello", ",", "world", "!"]) == "hello, world!"
+
+    def test_markers_removed(self):
+        tok = Tokenizer()
+        assert tok.detokenize([tok.bos, "hi", tok.eos]) == "hi"
+
+    def test_roundtrip_simple_sentence(self):
+        tok = Tokenizer()
+        text = "the quick brown fox jumps."
+        assert tok.detokenize(tok.tokenize(text)) == text
+
+
+class TestCount:
+    def test_counts_all_tokens(self):
+        assert Tokenizer().count("one two, three") == 4
+
+    def test_empty(self):
+        assert Tokenizer().count("") == 0

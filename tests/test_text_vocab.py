@@ -1,0 +1,69 @@
+"""Tests for the vocabulary."""
+
+import pytest
+
+from repro.text.vocab import Vocabulary
+
+
+def _built(tokens_list):
+    v = Vocabulary()
+    for toks in tokens_list:
+        v.observe(toks)
+    v.finalize()
+    return v
+
+
+class TestVocabulary:
+    def test_unk_is_id_zero(self):
+        v = _built([["a", "b"]])
+        assert v.token_of(0) == v.unk
+
+    def test_frequency_ordering(self):
+        v = _built([["b", "b", "a"]])
+        assert v.id_of("b") < v.id_of("a")
+
+    def test_ties_break_lexicographically(self):
+        v = _built([["b", "a"]])
+        assert v.id_of("a") < v.id_of("b")
+
+    def test_oov_maps_to_unk(self):
+        v = _built([["a"]])
+        assert v.id_of("zzz") == 0
+
+    def test_min_count_filters(self):
+        v = Vocabulary()
+        v.observe(["rare", "common", "common"])
+        v.finalize(min_count=2)
+        assert "common" in v
+        assert "rare" not in v
+
+    def test_max_size_caps(self):
+        v = Vocabulary()
+        v.observe(list("abcdefgh"))
+        v.finalize(max_size=4)
+        assert len(v) == 4  # unk + top 3
+
+    def test_encode(self):
+        v = _built([["x", "y"]])
+        assert v.encode(["x", "zzz"]) == [v.id_of("x"), 0]
+
+    def test_lookup_before_finalize_raises(self):
+        v = Vocabulary()
+        v.observe(["a"])
+        with pytest.raises(RuntimeError):
+            v.id_of("a")
+
+    def test_observe_after_finalize_raises(self):
+        v = _built([["a"]])
+        with pytest.raises(RuntimeError):
+            v.observe(["b"])
+
+    def test_double_finalize_raises(self):
+        v = _built([["a"]])
+        with pytest.raises(RuntimeError):
+            v.finalize()
+
+    def test_count_of(self):
+        v = _built([["a", "a"]])
+        assert v.count_of("a") == 2
+        assert v.count_of("nope") == 0

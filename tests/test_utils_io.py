@@ -1,0 +1,62 @@
+"""Tests for JSONL IO helpers."""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.io import dump_jsonl, load_jsonl, to_jsonable
+
+
+@dataclass(frozen=True)
+class _Record:
+    name: str
+    tags: frozenset
+    score: float
+
+
+class TestToJsonable:
+    def test_dataclass(self):
+        rec = _Record(name="a", tags=frozenset({"y", "x"}), score=1.5)
+        out = to_jsonable(rec)
+        assert out == {"name": "a", "tags": ["x", "y"], "score": 1.5}
+
+    def test_numpy_scalar(self):
+        assert to_jsonable(np.float64(2.5)) == 2.5
+        assert to_jsonable(np.int64(3)) == 3
+
+    def test_nested_structures(self):
+        out = to_jsonable({"k": [frozenset({"a"}), (1, 2)]})
+        assert out == {"k": [["a"], [1, 2]]}
+
+    def test_plain_values_pass_through(self):
+        assert to_jsonable("x") == "x"
+        assert to_jsonable(None) is None
+
+
+class TestJsonlRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        records = [{"a": 1}, {"a": 2}]
+        assert dump_jsonl(records, path) == 2
+        assert list(load_jsonl(path)) == records
+
+    def test_dataclass_records(self, tmp_path):
+        path = tmp_path / "recs.jsonl"
+        dump_jsonl([_Record("n", frozenset({"t"}), 0.5)], path)
+        loaded = list(load_jsonl(path))
+        assert loaded[0]["name"] == "n"
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        path.write_text('{"a": 1}\n\n{"a": 2}\n')
+        assert len(list(load_jsonl(path))) == 2
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "dir" / "x.jsonl"
+        dump_jsonl([{"ok": True}], path)
+        assert path.exists()
+
+    def test_unicode_preserved(self, tmp_path):
+        path = tmp_path / "u.jsonl"
+        dump_jsonl([{"text": "héllo ␞"}], path)
+        assert next(load_jsonl(path))["text"] == "héllo ␞"

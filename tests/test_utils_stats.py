@@ -1,0 +1,121 @@
+"""Tests for statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.stats import (
+    Summary,
+    bootstrap_ci,
+    length_controlled_win_rate,
+    logistic,
+    mean,
+    summarize,
+    win_rate,
+)
+
+
+class TestMean:
+    def test_basic(self):
+        assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_empty_is_zero(self):
+        assert mean([]) == 0.0
+
+
+class TestWinRate:
+    def test_all_wins(self):
+        assert win_rate([1.0, 1.0]) == 100.0
+
+    def test_ties_count_half(self):
+        assert win_rate([0.5, 0.5]) == 50.0
+
+    def test_empty(self):
+        assert win_rate([]) == 0.0
+
+    def test_numpy_array_accepted(self):
+        assert win_rate(np.array([1.0, 0.0])) == 50.0
+
+
+class TestLogistic:
+    def test_zero(self):
+        assert logistic(0.0) == pytest.approx(0.5)
+
+    def test_symmetry(self):
+        assert logistic(2.0) + logistic(-2.0) == pytest.approx(1.0)
+
+    def test_extreme_values_stable(self):
+        assert logistic(1000.0) == pytest.approx(1.0)
+        assert logistic(-1000.0) == pytest.approx(0.0)
+
+
+class TestBootstrapCi:
+    def test_contains_mean_for_tight_sample(self, rng):
+        values = [5.0] * 20
+        lo, hi = bootstrap_ci(values, rng)
+        assert lo == hi == 5.0
+
+    def test_empty(self, rng):
+        assert bootstrap_ci([], rng) == (0.0, 0.0)
+
+    def test_single_value(self, rng):
+        assert bootstrap_ci([3.0], rng) == (3.0, 3.0)
+
+    def test_interval_ordering(self, rng):
+        values = list(rng.normal(0, 1, 50))
+        lo, hi = bootstrap_ci(values, rng)
+        assert lo <= hi
+
+    def test_wider_alpha_narrows_interval(self, rng):
+        values = list(np.random.default_rng(0).normal(0, 1, 80))
+        lo1, hi1 = bootstrap_ci(values, np.random.default_rng(1), alpha=0.05)
+        lo2, hi2 = bootstrap_ci(values, np.random.default_rng(1), alpha=0.5)
+        assert (hi2 - lo2) <= (hi1 - lo1)
+
+
+class TestLengthControlledWinRate:
+    def test_no_length_variation_falls_back_to_raw(self):
+        outcomes = [1.0, 0.0, 1.0, 1.0]
+        deltas = [0.0, 0.0, 0.0, 0.0]
+        assert length_controlled_win_rate(outcomes, deltas) == pytest.approx(
+            win_rate(outcomes)
+        )
+
+    def test_empty(self):
+        assert length_controlled_win_rate([], []) == 0.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            length_controlled_win_rate([1.0], [0.0, 0.1])
+
+    def test_removes_pure_length_effect(self):
+        # Wins exactly when longer: LC at zero length delta should sit near
+        # 50%, far below the raw rate computed on a long-skewed sample.
+        rng = np.random.default_rng(0)
+        deltas = list(rng.normal(0.5, 1.0, 400))
+        outcomes = [1.0 if d > 0 else 0.0 for d in deltas]
+        raw = win_rate(outcomes)
+        lc = length_controlled_win_rate(outcomes, deltas)
+        assert raw > 60.0
+        assert abs(lc - 50.0) < abs(raw - 50.0)
+
+    def test_genuine_quality_difference_survives(self):
+        rng = np.random.default_rng(1)
+        deltas = list(rng.normal(0.0, 1.0, 300))
+        outcomes = [1.0 if rng.random() < 0.8 else 0.0 for _ in deltas]
+        lc = length_controlled_win_rate(outcomes, deltas)
+        assert lc > 65.0
+
+
+class TestSummarize:
+    def test_empty(self):
+        assert summarize([]) == Summary(0, 0.0, 0.0, 0.0, 0.0)
+
+    def test_basic(self):
+        s = summarize([1.0, 3.0])
+        assert s.n == 2
+        assert s.mean == pytest.approx(2.0)
+        assert s.min == 1.0
+        assert s.max == 3.0
+
+    def test_std_zero_for_constant(self):
+        assert summarize([2.0, 2.0, 2.0]).std == 0.0

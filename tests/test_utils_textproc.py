@@ -1,0 +1,111 @@
+"""Tests for text-processing helpers."""
+
+import pytest
+
+from repro.utils import textproc
+
+
+class TestNormalize:
+    def test_lowercases(self):
+        assert textproc.normalize("HeLLo") == "hello"
+
+    def test_collapses_whitespace(self):
+        assert textproc.normalize("a   b\t c\n d") == "a b c d"
+
+    def test_strips_accents(self):
+        assert textproc.normalize("café") == "cafe"
+
+    def test_keeps_punctuation(self):
+        assert textproc.normalize("Hi!") == "hi!"
+
+    def test_empty(self):
+        assert textproc.normalize("") == ""
+
+
+class TestWords:
+    def test_basic_split(self):
+        assert textproc.words("Hello, world!") == ["hello", "world"]
+
+    def test_apostrophes_kept(self):
+        assert textproc.words("Don't panic") == ["don't", "panic"]
+
+    def test_numbers_kept(self):
+        assert textproc.words("42 birds") == ["42", "birds"]
+
+    def test_hyphen_splits(self):
+        assert textproc.words("re-read") == ["re", "read"]
+
+    def test_empty(self):
+        assert textproc.words("...") == []
+
+
+class TestWordstream:
+    def test_canonical_form(self):
+        assert textproc.wordstream("Re-read the question!") == "re read the question"
+
+    def test_matches_phrase_across_punctuation(self):
+        stream = textproc.wordstream("First, do this; second, do that.")
+        assert "first do this second" in stream
+
+
+class TestCharNgrams:
+    def test_padding_applied(self):
+        grams = list(textproc.char_ngrams("ab", 3))
+        assert grams[0].startswith(" ")
+        assert grams[-1].endswith(" ")
+
+    def test_count(self):
+        # " ab " has length 4 -> two 3-grams
+        assert len(list(textproc.char_ngrams("ab", 3))) == 2
+
+    def test_n_larger_than_text(self):
+        assert list(textproc.char_ngrams("a", 10)) == []
+
+
+class TestWordNgrams:
+    def test_bigrams(self):
+        grams = list(textproc.word_ngrams(["a", "b", "c"], 2))
+        assert grams == [("a", "b"), ("b", "c")]
+
+    def test_unigrams(self):
+        assert list(textproc.word_ngrams(["x"], 1)) == [("x",)]
+
+    def test_too_short(self):
+        assert list(textproc.word_ngrams(["x"], 2)) == []
+
+
+class TestSentences:
+    def test_splits_on_terminators(self):
+        assert textproc.sentences("One. Two! Three?") == ["One.", "Two!", "Three?"]
+
+    def test_no_empties(self):
+        assert "" not in textproc.sentences("A.  B.")
+
+    def test_single_sentence(self):
+        assert textproc.sentences("no terminator here") == ["no terminator here"]
+
+
+class TestTruncateWords:
+    def test_truncates(self):
+        assert textproc.truncate_words("a b c d", 2) == "a b"
+
+    def test_short_text_unchanged(self):
+        assert textproc.truncate_words("a b", 5) == "a b"
+
+    def test_zero_limit(self):
+        assert textproc.truncate_words("a b", 0) == ""
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert textproc.jaccard(["a", "b"], ["b", "a"]) == 1.0
+
+    def test_disjoint(self):
+        assert textproc.jaccard(["a"], ["b"]) == 0.0
+
+    def test_both_empty(self):
+        assert textproc.jaccard([], []) == 1.0
+
+    @pytest.mark.parametrize("a,b,expected", [(["a", "b"], ["b", "c"], 1 / 3)])
+    def test_partial(self, a, b, expected):
+        assert textproc.jaccard(a, b) == pytest.approx(expected)

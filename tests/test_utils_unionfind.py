@@ -1,0 +1,67 @@
+"""Tests for the disjoint-set structure."""
+
+import pytest
+
+from repro.utils.unionfind import UnionFind
+
+
+class TestUnionFind:
+    def test_initial_components(self):
+        assert UnionFind(5).components == 5
+
+    def test_union_reduces_components(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1) is True
+        assert uf.components == 3
+
+    def test_union_same_component_returns_false(self):
+        uf = UnionFind(3)
+        uf.union(0, 1)
+        assert uf.union(1, 0) is False
+        assert uf.components == 2
+
+    def test_connected_transitivity(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.connected(0, 2)
+        assert not uf.connected(0, 3)
+
+    def test_find_returns_canonical_root(self):
+        uf = UnionFind(3)
+        uf.union(0, 1)
+        assert uf.find(0) == uf.find(1)
+
+    def test_groups_partition_everything(self):
+        uf = UnionFind(6)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        groups = uf.groups()
+        members = sorted(m for g in groups.values() for m in g)
+        assert members == list(range(6))
+
+    def test_groups_structure(self):
+        uf = UnionFind(4)
+        uf.union(0, 3)
+        groups = sorted(sorted(g) for g in uf.groups().values())
+        assert groups == [[0, 3], [1], [2]]
+
+    def test_len(self):
+        assert len(UnionFind(7)) == 7
+
+    def test_zero_size(self):
+        uf = UnionFind(0)
+        assert uf.components == 0
+        assert uf.groups() == {}
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+    def test_chain_of_unions(self):
+        n = 100
+        uf = UnionFind(n)
+        for i in range(n - 1):
+            uf.union(i, i + 1)
+        assert uf.components == 1
+        assert uf.connected(0, n - 1)

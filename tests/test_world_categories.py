@@ -1,0 +1,42 @@
+"""Tests for the category registry."""
+
+import pytest
+
+from repro.world.aspects import ASPECTS
+from repro.world.categories import CATEGORIES, category_names
+
+
+class TestCategories:
+    def test_fourteen_categories(self):
+        assert len(category_names()) == 14  # Figure 6
+
+    def test_names_unique(self):
+        names = category_names()
+        assert len(names) == len(set(names))
+
+    def test_qa_and_coding_have_largest_share(self):
+        shares = {name: CATEGORIES[name].share for name in category_names()}
+        top_two = sorted(shares, key=shares.get, reverse=True)[:2]
+        assert set(top_two) == {"question_answering", "coding"}
+
+    @pytest.mark.parametrize("name", category_names())
+    def test_aspect_priors_reference_real_aspects(self, name):
+        for aspect in CATEGORIES[name].aspect_prior:
+            assert aspect in ASPECTS
+
+    @pytest.mark.parametrize("name", category_names())
+    def test_priors_are_probabilities(self, name):
+        for prob in CATEGORIES[name].aspect_prior.values():
+            assert 0.0 < prob <= 1.0
+
+    @pytest.mark.parametrize("name", category_names())
+    def test_templates_have_slots(self, name):
+        for template in CATEGORIES[name].templates:
+            assert "{topic}" in template or "{detail}" in template
+
+    @pytest.mark.parametrize("name", category_names())
+    def test_topics_nonempty(self, name):
+        assert len(CATEGORIES[name].topics) >= 4
+
+    def test_shares_positive(self):
+        assert all(c.share > 0 for c in CATEGORIES.values())

@@ -1,0 +1,76 @@
+"""Tests for the paraphraser."""
+
+import numpy as np
+import pytest
+
+from repro.world.aspects import ASPECTS, find_cues
+from repro.world.paraphrase import SYNONYMS, paraphrase, surface_distance
+
+
+@pytest.fixture()
+def prng():
+    return np.random.default_rng(77)
+
+
+class TestSynonymTable:
+    def test_no_synonym_key_appears_in_cue_phrases(self):
+        """The documented invariant: paraphrasing never destroys a cue."""
+        cue_words = {
+            word
+            for aspect in ASPECTS.values()
+            for cue in aspect.cue_phrases
+            for word in cue.split()
+        }
+        assert not (set(SYNONYMS) & cue_words)
+
+    def test_values_nonempty(self):
+        assert all(options for options in SYNONYMS.values())
+
+
+class TestParaphrase:
+    def test_deterministic_given_rng(self):
+        a = paraphrase("implement the function quickly", np.random.default_rng(1))
+        b = paraphrase("implement the function quickly", np.random.default_rng(1))
+        assert a == b
+
+    def test_synonyms_applied_at_full_rate(self, prng):
+        out = paraphrase("implement the function", prng, synonym_rate=1.0, decorate=False)
+        assert "implement" not in out
+        assert "function" not in out
+
+    def test_zero_rate_no_substitution(self, prng):
+        out = paraphrase("implement the function", prng, synonym_rate=0.0, decorate=False)
+        assert out == "implement the function"
+
+    def test_case_preserved_on_substitution(self, prng):
+        out = paraphrase("Write a letter", prng, synonym_rate=1.0, decorate=False)
+        first_word = out.split()[0]
+        assert first_word[0].isupper()
+
+    def test_punctuation_preserved(self, prng):
+        out = paraphrase("fix it quickly.", prng, synonym_rate=1.0, decorate=False)
+        assert out.endswith(".")
+
+    def test_invalid_rate(self, prng):
+        with pytest.raises(ValueError):
+            paraphrase("x", prng, synonym_rate=1.5)
+
+    def test_cues_survive(self, prng):
+        text = "How do I implement a parser? It sounds like a tricky question."
+        before = set(find_cues(text))
+        for _ in range(10):
+            after = set(find_cues(paraphrase(text, prng, synonym_rate=1.0)))
+            assert before <= after
+
+
+class TestSurfaceDistance:
+    def test_identical(self):
+        assert surface_distance("a b c", "a b c") == 0.0
+
+    def test_disjoint(self):
+        assert surface_distance("aaa bbb", "ccc ddd") == 1.0
+
+    def test_paraphrase_moves_surface(self, prng):
+        text = "implement the function quickly and fix the problem"
+        out = paraphrase(text, prng, synonym_rate=1.0)
+        assert surface_distance(text, out) > 0.0

@@ -1,0 +1,132 @@
+"""Tests for the synthetic prompt factory and corpus builder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.world.aspects import find_cues
+from repro.world.categories import category_names
+from repro.world.prompts import CUE_SENTENCES, CorpusConfig, PromptFactory
+
+
+class TestCueSentences:
+    def test_every_aspect_has_cue_sentences(self):
+        from repro.world.aspects import aspect_names
+
+        assert set(CUE_SENTENCES) == set(aspect_names())
+
+    @pytest.mark.parametrize("aspect", sorted(CUE_SENTENCES))
+    def test_cue_sentences_actually_cue(self, aspect):
+        for sentence in CUE_SENTENCES[aspect]:
+            assert aspect in find_cues(sentence)
+
+
+class TestMakePrompt:
+    def test_fixed_category(self, factory):
+        prompt = factory.make_prompt(category="coding")
+        assert prompt.category == "coding"
+
+    def test_unknown_category_rejected(self, factory):
+        with pytest.raises(ConfigError):
+            factory.make_prompt(category="nonexistent")
+
+    def test_has_at_least_one_need(self, factory):
+        for _ in range(30):
+            assert len(factory.make_prompt().needs) >= 1
+
+    def test_needs_capped(self, factory):
+        for _ in range(30):
+            assert len(factory.make_prompt(max_needs=2).needs) <= 2
+
+    def test_hard_prompts_have_hard_need(self, factory):
+        for _ in range(20):
+            prompt = factory.make_prompt(hard=True)
+            assert prompt.hard
+            assert prompt.needs & {"logic_trap", "constraints", "edge_cases"}
+            assert len(prompt.needs) >= 2
+
+    def test_full_cue_rate_makes_needs_visible(self, factory):
+        for _ in range(20):
+            prompt = factory.make_prompt(cue_rate=1.0, misleading_cue_rate=0.0)
+            cued = set(find_cues(prompt.text))
+            assert prompt.needs <= cued
+
+    def test_uids_unique(self, factory):
+        prompts = [factory.make_prompt() for _ in range(50)]
+        uids = [p.uid for p in prompts]
+        assert len(set(uids)) == 50
+
+    def test_topic_words_exclude_short_words(self, factory):
+        prompt = factory.make_prompt()
+        assert all(len(w) > 3 for w in prompt.topic_words)
+
+    def test_deterministic_given_seed(self):
+        a = PromptFactory(rng=np.random.default_rng(5)).make_prompt()
+        b = PromptFactory(rng=np.random.default_rng(5)).make_prompt()
+        assert a.text == b.text
+        assert a.needs == b.needs
+
+
+class TestDuplicatesAndJunk:
+    def test_near_duplicate_links_base(self, factory):
+        from repro.utils import textproc
+
+        base = factory.make_prompt()
+        dup = factory.make_near_duplicate(base)
+        assert dup.dup_of == base.uid
+        assert dup.needs == base.needs
+        # paraphrased surface stays close in word space
+        overlap = textproc.jaccard(
+            textproc.words(base.text), textproc.words(dup.text)
+        )
+        assert overlap > 0.5
+
+    def test_near_duplicate_preserves_cues(self, factory):
+        for _ in range(20):
+            base = factory.make_prompt(cue_rate=1.0, misleading_cue_rate=0.0)
+            dup = factory.make_near_duplicate(base)
+            assert base.needs <= set(find_cues(dup.text))
+
+    def test_exact_duplicate_same_text(self, factory):
+        base = factory.make_prompt()
+        dup = factory.make_exact_duplicate(base)
+        assert dup.text == base.text
+        assert dup.uid != base.uid
+
+    def test_junk_flagged(self, factory):
+        junk = factory.make_junk()
+        assert junk.is_junk
+        assert junk.needs == frozenset()
+
+
+class TestCorpus:
+    def test_size(self, small_corpus):
+        assert len(small_corpus) == 250
+
+    def test_contains_configured_dirt(self, small_corpus):
+        junk = sum(1 for p in small_corpus if p.is_junk)
+        dups = sum(1 for p in small_corpus if p.dup_of is not None)
+        assert junk == round(250 * 0.08)
+        assert dups == round(250 * 0.08) * 2  # exact + near
+
+    def test_categories_all_appear(self, small_corpus):
+        seen = {p.category for p in small_corpus if not p.is_junk}
+        assert seen == set(category_names())
+
+    def test_zero_prompts(self, factory):
+        assert factory.make_corpus(CorpusConfig(n_prompts=0)) == []
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            CorpusConfig(junk_rate=1.5).validate()
+        with pytest.raises(ConfigError):
+            CorpusConfig(n_prompts=-1).validate()
+        with pytest.raises(ConfigError):
+            CorpusConfig(max_needs=0).validate()
+        with pytest.raises(ConfigError):
+            CorpusConfig(junk_rate=0.5, exact_duplicate_rate=0.3, near_duplicate_rate=0.2).validate()
+
+    def test_corpus_deterministic(self):
+        a = PromptFactory(rng=np.random.default_rng(9)).make_corpus(CorpusConfig(n_prompts=50))
+        b = PromptFactory(rng=np.random.default_rng(9)).make_corpus(CorpusConfig(n_prompts=50))
+        assert [p.text for p in a] == [p.text for p in b]

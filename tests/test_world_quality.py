@@ -1,0 +1,127 @@
+"""Tests for the quality oracle."""
+
+import pytest
+
+from repro.world.aspects import ASPECTS
+from repro.world.prompts import SyntheticPrompt
+from repro.world.quality import FLAW_MARKERS, assess_response, count_flaws, intent_overlap
+
+
+def _prompt(needs, topic="binary search tree", uid=1):
+    return SyntheticPrompt(
+        uid=uid,
+        text=f"How do I implement a {topic}?",
+        category="coding",
+        needs=frozenset(needs),
+        topic=topic,
+    )
+
+
+def _section(aspect):
+    from repro.llm.generation import RESPONSE_SECTIONS
+
+    return RESPONSE_SECTIONS[aspect][0]
+
+
+class TestCountFlaws:
+    def test_zero_for_clean_text(self):
+        assert count_flaws("a perfectly reasonable answer") == 0
+
+    @pytest.mark.parametrize("marker", FLAW_MARKERS)
+    def test_each_marker_counts(self, marker):
+        assert count_flaws(f"claim: {marker} indeed") == 1
+
+    def test_multiple_flaws_sum(self):
+        text = f"{FLAW_MARKERS[0]} and also {FLAW_MARKERS[1]}."
+        assert count_flaws(text) == 2
+
+
+class TestIntentOverlap:
+    def test_full_overlap(self):
+        p = _prompt({"depth"}, topic="binary search tree")
+        assert intent_overlap(p, "about the binary search tree here") == 1.0
+
+    def test_no_overlap(self):
+        p = _prompt({"depth"}, topic="binary search tree")
+        assert intent_overlap(p, "completely unrelated words") == 0.0
+
+    def test_empty_topic_counts_as_aligned(self):
+        p = SyntheticPrompt(uid=2, text="hi", category="chitchat", needs=frozenset(), topic="")
+        assert intent_overlap(p, "anything") == 1.0
+
+
+class TestAssessResponse:
+    def test_full_coverage_scores_high(self):
+        p = _prompt({"step_by_step", "examples"})
+        response = (
+            "About the binary search tree. "
+            + _section("step_by_step")
+            + " "
+            + _section("examples")
+        )
+        qa = assess_response(p, response)
+        assert qa.coverage == 1.0
+        assert qa.score > 3.5
+        assert qa.missed_needs == frozenset()
+
+    def test_missing_needs_lower_score(self):
+        p = _prompt({"step_by_step", "examples"})
+        full = "binary search tree. " + _section("step_by_step") + " " + _section("examples")
+        partial = "binary search tree. " + _section("step_by_step")
+        assert assess_response(p, full).score > assess_response(p, partial).score
+
+    def test_coverage_weighted_by_aspect_weight(self):
+        p = _prompt({"logic_trap", "brevity"})
+        only_trap = "binary search tree. " + _section("logic_trap")
+        only_brevity = "binary search tree. " + _section("brevity")
+        cov_trap = assess_response(p, only_trap).coverage
+        cov_brevity = assess_response(p, only_brevity).coverage
+        assert cov_trap > cov_brevity  # logic_trap weighs more
+        total = ASPECTS["logic_trap"].weight + ASPECTS["brevity"].weight
+        assert cov_trap == pytest.approx(ASPECTS["logic_trap"].weight / total)
+
+    def test_unhandled_trap_penalised(self):
+        p = _prompt({"logic_trap"})
+        no_trap_handling = "binary search tree. a generic answer without care."
+        qa = assess_response(p, no_trap_handling)
+        assert qa.flaw_count >= 2  # the trap surcharge
+
+    def test_handled_trap_not_penalised(self):
+        p = _prompt({"logic_trap"})
+        qa = assess_response(p, "binary search tree. " + _section("logic_trap"))
+        assert qa.flaw_count == 0
+        assert qa.addressed_trap
+
+    def test_spurious_sections_penalised(self):
+        p = _prompt({"step_by_step"})
+        clean = "binary search tree. " + _section("step_by_step")
+        spurious = clean + " " + _section("format") + " " + _section("style")
+        assert assess_response(p, spurious).score < assess_response(p, clean).score
+        assert assess_response(p, spurious).spurious_aspects == {"format", "style"}
+
+    def test_flaws_penalised(self):
+        p = _prompt({"step_by_step"})
+        clean = "binary search tree. " + _section("step_by_step")
+        flawed = clean + f" note that {FLAW_MARKERS[0]} here."
+        assert assess_response(p, flawed).score < assess_response(p, clean).score
+
+    def test_off_topic_penalised(self):
+        p = _prompt({"step_by_step"})
+        on_topic = "binary search tree. " + _section("step_by_step")
+        off_topic = "something else entirely. " + _section("step_by_step")
+        assert assess_response(p, off_topic).score < assess_response(p, on_topic).score
+
+    def test_score_bounded(self):
+        p = _prompt({"logic_trap", "constraints", "verification"})
+        terrible = " ".join(FLAW_MARKERS) + " nothing relevant."
+        qa = assess_response(p, terrible)
+        assert 0.0 <= qa.score <= 5.0
+
+    def test_no_needs_means_full_coverage(self):
+        p = SyntheticPrompt(uid=3, text="hello", category="chitchat", needs=frozenset(), topic="")
+        assert assess_response(p, "hello there").coverage == 1.0
+
+    def test_token_count_recorded(self):
+        p = _prompt({"depth"})
+        qa = assess_response(p, "one two three")
+        assert qa.response_tokens == 3
