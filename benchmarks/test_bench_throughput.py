@@ -1,0 +1,425 @@
+"""Throughput benchmarks for the batched hot paths.
+
+Unlike the paper-shape benches, these measure raw items/sec: index build,
+batched vs. scalar k-NN search, batch embedding/augmentation, and gateway
+requests/sec at quick scale.  The scalar k-NN baseline is
+:class:`ScalarReferenceHnsw`, a faithful copy of the pre-vectorization
+``HnswIndex`` (one ``_distance`` call per neighbour per hop) kept here so
+the speedup has a stable reference; the other baselines are per-item calls
+to the production scalar APIs, which the batched paths must match bit for
+bit (see ``tests/test_batch_parity.py``).
+
+Results are written to ``BENCH_serving.json`` at the repo root so later
+PRs have a perf trajectory to regress against:
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_throughput.py -q
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import math
+import platform
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import build_default_dataset
+from repro.ann.hnsw import HnswIndex
+from repro.core.pas import PasModel
+from repro.embedding.model import EmbeddingModel
+from repro.serve.gateway import PasGateway
+from repro.serve.types import ServeRequest
+from repro.utils.timing import speedup, time_call
+from repro.world.prompts import PromptFactory
+
+# Quick-scale workload: large enough that per-call overhead is amortised,
+# small enough that the whole module doubles as a CI smoke test.
+N_CORPUS = 400
+N_INDEX = 400
+N_QUERIES = 120
+K = 10
+N_REQUESTS = 240
+N_UNIQUE_PROMPTS = 40
+
+RESULTS: dict[str, object] = {}
+
+
+class _RefNode:
+    __slots__ = ("key", "vector", "neighbors")
+
+    def __init__(self, key: int, vector: np.ndarray, max_layer: int):
+        self.key = key
+        self.vector = vector
+        self.neighbors: list[list[int]] = [[] for _ in range(max_layer + 1)]
+
+    @property
+    def max_layer(self) -> int:
+        return len(self.neighbors) - 1
+
+
+class ScalarReferenceHnsw:
+    """The pre-vectorization HNSW: per-node arrays, per-neighbour distances.
+
+    This is the implementation ``repro.ann.hnsw`` shipped before the
+    batched refactor, trimmed to add + search.  It exists only as the
+    benchmark baseline — do not use it outside this module.
+    """
+
+    def __init__(self, dim: int, m: int = 16, ef_construction: int = 200,
+                 ef_search: int = 50, metric: str = "cosine", seed: int = 0):
+        self.dim = dim
+        self.m = m
+        self.m0 = 2 * m
+        self.ef_construction = ef_construction
+        self.ef_search = ef_search
+        self.metric = metric
+        self._level_mult = 1.0 / math.log(m)
+        self._rng = np.random.default_rng(seed)
+        self._nodes: list[_RefNode] = []
+        self._entry: int | None = None
+
+    def _distance(self, a: np.ndarray, b: np.ndarray) -> float:
+        if self.metric == "l2":
+            diff = a - b
+            return float(diff @ diff)
+        na = float(np.linalg.norm(a))
+        nb = float(np.linalg.norm(b))
+        if na < 1e-12 or nb < 1e-12:
+            return 1.0
+        return 1.0 - float(a @ b) / (na * nb)
+
+    def _draw_level(self) -> int:
+        u = max(float(self._rng.random()), 1e-12)
+        return int(-math.log(u) * self._level_mult)
+
+    def _search_layer(self, query, entry_ids, ef, layer):
+        visited = set(entry_ids)
+        candidates: list[tuple[float, int]] = []
+        results: list[tuple[float, int]] = []
+        for nid in entry_ids:
+            d = self._distance(query, self._nodes[nid].vector)
+            heapq.heappush(candidates, (d, nid))
+            heapq.heappush(results, (-d, nid))
+        while candidates:
+            d_cand, nid = heapq.heappop(candidates)
+            if d_cand > -results[0][0] and len(results) >= ef:
+                break
+            for nb in self._nodes[nid].neighbors[layer]:
+                if nb in visited:
+                    continue
+                visited.add(nb)
+                d = self._distance(query, self._nodes[nb].vector)
+                if len(results) < ef or d < -results[0][0]:
+                    heapq.heappush(candidates, (d, nb))
+                    heapq.heappush(results, (-d, nb))
+                    if len(results) > ef:
+                        heapq.heappop(results)
+        return [(-nd, nid) for nd, nid in results]
+
+    def _select_neighbors(self, candidates, m):
+        selected: list[tuple[float, int]] = []
+        for d, nid in sorted(candidates):
+            if len(selected) >= m:
+                break
+            vec = self._nodes[nid].vector
+            if any(self._distance(vec, self._nodes[sid].vector) < d for _, sid in selected):
+                continue
+            selected.append((d, nid))
+        if len(selected) < m:
+            chosen = {nid for _, nid in selected}
+            for d, nid in sorted(candidates):
+                if len(selected) >= m:
+                    break
+                if nid not in chosen:
+                    selected.append((d, nid))
+                    chosen.add(nid)
+        return [nid for _, nid in selected]
+
+    def _link(self, source, target, layer, cap):
+        nbrs = self._nodes[source].neighbors[layer]
+        if target == source or target in nbrs:
+            return
+        nbrs.append(target)
+        if len(nbrs) > cap:
+            src_vec = self._nodes[source].vector
+            cands = [(self._distance(src_vec, self._nodes[n].vector), n) for n in nbrs]
+            self._nodes[source].neighbors[layer] = self._select_neighbors(cands, cap)
+
+    def add(self, vector: np.ndarray, key: int) -> None:
+        vec = np.asarray(vector, dtype=np.float64).reshape(-1)
+        level = self._draw_level()
+        node = _RefNode(key, vec, level)
+        node_id = len(self._nodes)
+        self._nodes.append(node)
+        if self._entry is None:
+            self._entry = node_id
+            return
+        entry = self._entry
+        top = self._nodes[entry].max_layer
+        curr = entry
+        for layer in range(top, level, -1):
+            improved = True
+            while improved:
+                improved = False
+                d_curr = self._distance(vec, self._nodes[curr].vector)
+                for nb in self._nodes[curr].neighbors[layer]:
+                    if self._distance(vec, self._nodes[nb].vector) < d_curr:
+                        curr = nb
+                        d_curr = self._distance(vec, self._nodes[curr].vector)
+                        improved = True
+        entries = [curr]
+        for layer in range(min(level, top), -1, -1):
+            found = self._search_layer(vec, entries, self.ef_construction, layer)
+            cap = self.m0 if layer == 0 else self.m
+            neighbors = self._select_neighbors(found, self.m)
+            node.neighbors[layer] = list(neighbors)
+            for nb in neighbors:
+                self._link(nb, node_id, layer, cap)
+            entries = [nid for _, nid in sorted(found)[: self.ef_construction]]
+        if level > top:
+            self._entry = node_id
+
+    def search(self, query: np.ndarray, k: int, ef: int | None = None):
+        if self._entry is None:
+            return []
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        ef = max(ef if ef is not None else self.ef_search, k)
+        curr = self._entry
+        for layer in range(self._nodes[curr].max_layer, 0, -1):
+            improved = True
+            while improved:
+                improved = False
+                d_curr = self._distance(query, self._nodes[curr].vector)
+                for nb in self._nodes[curr].neighbors[layer]:
+                    if self._distance(query, self._nodes[nb].vector) < d_curr:
+                        curr = nb
+                        d_curr = self._distance(query, self._nodes[curr].vector)
+                        improved = True
+        found = self._search_layer(query, [curr], ef, 0)
+        found.sort()
+        return [(self._nodes[nid].key, d) for d, nid in found[:k]]
+
+
+# --------------------------------------------------------------------- #
+# shared workload fixtures
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def texts():
+    factory = PromptFactory(rng=np.random.default_rng(0))
+    return [factory.make_prompt().text for _ in range(N_CORPUS)]
+
+
+@pytest.fixture(scope="module")
+def embedder():
+    return EmbeddingModel()
+
+
+@pytest.fixture(scope="module")
+def corpus_vectors(texts, embedder):
+    return embedder.embed_batch(texts[:N_INDEX])
+
+
+@pytest.fixture(scope="module")
+def query_vectors(embedder):
+    factory = PromptFactory(rng=np.random.default_rng(1))
+    return embedder.embed_batch(
+        [factory.make_prompt().text for _ in range(N_QUERIES)]
+    )
+
+
+@pytest.fixture(scope="module")
+def trained_pas():
+    dataset = build_default_dataset(n_prompts=150, seed=3, curate=True)
+    return PasModel(base_model="qwen2-7b-chat", seed=3).train(dataset)
+
+
+@pytest.fixture(scope="module")
+def zipf_traffic(trained_pas):
+    """Heavy-tailed serving traffic over a fixed unique-prompt pool."""
+    factory = PromptFactory(rng=np.random.default_rng(2))
+    pool = [factory.make_prompt().text for _ in range(N_UNIQUE_PROMPTS)]
+    weights = np.array([1.0 / rank for rank in range(1, N_UNIQUE_PROMPTS + 1)])
+    rng = np.random.default_rng(3)
+    picks = rng.choice(N_UNIQUE_PROMPTS, size=N_REQUESTS, p=weights / weights.sum())
+    return [pool[i] for i in picks]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_bench_json():
+    """Persist everything RESULTS accumulated once the module finishes."""
+    yield
+    payload = {
+        "scale": {
+            "n_corpus": N_CORPUS,
+            "n_index": N_INDEX,
+            "n_queries": N_QUERIES,
+            "k": K,
+            "n_requests": N_REQUESTS,
+            "n_unique_prompts": N_UNIQUE_PROMPTS,
+            "dim": EmbeddingModel().dim,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        **RESULTS,
+    }
+    path = Path(__file__).resolve().parents[1] / "BENCH_serving.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+# --------------------------------------------------------------------- #
+# benches
+# --------------------------------------------------------------------- #
+
+
+def test_embed_batch_throughput(texts, embedder):
+    scalar = time_call(
+        lambda: [embedder.embed(t) for t in texts],
+        label="embed scalar loop", n_items=len(texts), repeats=3,
+    )
+    batched = time_call(
+        lambda: embedder.embed_batch(texts),
+        label="embed_batch", n_items=len(texts), repeats=3,
+    )
+    RESULTS["embed"] = {
+        "scalar_texts_per_s": scalar.items_per_s,
+        "batched_texts_per_s": batched.items_per_s,
+        "speedup": speedup(scalar, batched),
+    }
+    assert speedup(scalar, batched) > 1.5
+
+
+def test_index_build_throughput(corpus_vectors):
+    def build_batched():
+        index = HnswIndex(dim=corpus_vectors.shape[1], seed=0)
+        index.add_batch(corpus_vectors, range(corpus_vectors.shape[0]))
+        return index
+
+    def build_scalar():
+        index = ScalarReferenceHnsw(dim=corpus_vectors.shape[1], seed=0)
+        for i, row in enumerate(corpus_vectors):
+            index.add(row, key=i)
+        return index
+
+    batched = time_call(
+        build_batched, label="add_batch build",
+        n_items=corpus_vectors.shape[0], repeats=2, warmup=1,
+    )
+    scalar = time_call(
+        build_scalar, label="scalar-reference build",
+        n_items=corpus_vectors.shape[0], repeats=2, warmup=0,
+    )
+    RESULTS["index_build"] = {
+        "batched_vectors_per_s": batched.items_per_s,
+        "scalar_vectors_per_s": scalar.items_per_s,
+        "speedup": speedup(scalar, batched),
+    }
+    # Construction time is dominated by the select-neighbours heuristic
+    # (tiny candidate sets), not by distance evaluation, so batching buys
+    # far less here than on the search side; just require no regression.
+    assert speedup(scalar, batched) > 1.0
+
+
+def test_knn_search_throughput(corpus_vectors, query_vectors):
+    index = HnswIndex(dim=corpus_vectors.shape[1], seed=0)
+    index.add_batch(corpus_vectors, range(corpus_vectors.shape[0]))
+    reference = ScalarReferenceHnsw(dim=corpus_vectors.shape[1], seed=0)
+    for i, row in enumerate(corpus_vectors):
+        reference.add(row, key=i)
+
+    batched = time_call(
+        lambda: index.search_batch(query_vectors, K),
+        label="search_batch", n_items=query_vectors.shape[0], repeats=3,
+    )
+    scalar = time_call(
+        lambda: [reference.search(q, K) for q in query_vectors],
+        label="scalar-reference search loop",
+        n_items=query_vectors.shape[0], repeats=2,
+    )
+
+    # Both graphs draw identical levels (same RNG stream); distances agree
+    # to the last ulp or so, so the result sets should essentially match.
+    batch_hits = index.search_batch(query_vectors, K)
+    ref_hits = [reference.search(q, K) for q in query_vectors]
+    overlap = np.mean([
+        len({key for key, _ in b} & {key for key, _ in r}) / K
+        for b, r in zip(batch_hits, ref_hits)
+    ])
+    RESULTS["knn_search"] = {
+        "batched_queries_per_s": batched.items_per_s,
+        "scalar_queries_per_s": scalar.items_per_s,
+        "speedup": speedup(scalar, batched),
+        "overlap_vs_scalar_reference": float(overlap),
+    }
+    assert overlap > 0.95
+    assert speedup(scalar, batched) > 2.0
+
+
+def test_augment_batch_throughput(trained_pas, zipf_traffic):
+    batch = trained_pas.augment_batch(zipf_traffic)
+    scalar_out = [trained_pas.augment(p) for p in zipf_traffic]
+    assert batch == scalar_out  # determinism contract, end to end
+
+    scalar = time_call(
+        lambda: [trained_pas.augment(p) for p in zipf_traffic],
+        label="augment scalar loop", n_items=len(zipf_traffic), repeats=2,
+    )
+    batched = time_call(
+        lambda: trained_pas.augment_batch(zipf_traffic),
+        label="augment_batch", n_items=len(zipf_traffic), repeats=3,
+    )
+    unique = sorted(set(zipf_traffic))
+    scalar_unique = time_call(
+        lambda: [trained_pas.augment(p) for p in unique],
+        label="augment scalar loop (unique)", n_items=len(unique), repeats=2,
+    )
+    batched_unique = time_call(
+        lambda: trained_pas.augment_batch(unique),
+        label="augment_batch (unique)", n_items=len(unique), repeats=3,
+    )
+    RESULTS["augment"] = {
+        "scalar_prompts_per_s": scalar.items_per_s,
+        "batched_prompts_per_s": batched.items_per_s,
+        "speedup": speedup(scalar, batched),
+        "unique_only_speedup": speedup(scalar_unique, batched_unique),
+    }
+    assert speedup(scalar, batched) > 2.0
+
+
+def test_gateway_throughput(trained_pas, zipf_traffic):
+    requests = [
+        ServeRequest(prompt=p, model="gpt-4-0613") for p in zipf_traffic
+    ]
+
+    def serve_scalar():
+        gateway = PasGateway(pas=trained_pas, cache_size=1024)
+        return [gateway.ask(r) for r in requests]
+
+    def serve_batched():
+        gateway = PasGateway(pas=trained_pas, cache_size=1024)
+        return gateway.ask_batch(requests)
+
+    assert serve_scalar() == serve_batched()  # replay parity, end to end
+
+    scalar = time_call(
+        serve_scalar, label="gateway ask loop", n_items=len(requests), repeats=2,
+    )
+    batched = time_call(
+        serve_batched, label="gateway ask_batch", n_items=len(requests), repeats=3,
+    )
+    probe = PasGateway(pas=trained_pas, cache_size=1024)
+    probe.ask_batch(requests)
+    RESULTS["gateway"] = {
+        "scalar_requests_per_s": scalar.items_per_s,
+        "batched_requests_per_s": batched.items_per_s,
+        "speedup": speedup(scalar, batched),
+        "cache_hit_rate": probe.cache_hit_rate,
+        "augmentation_rate": probe.stats.augmentation_rate,
+    }
+    assert speedup(scalar, batched) > 1.0

@@ -12,12 +12,21 @@ deduplication (§3.1).  The implementation follows Malkov & Yashunin (2016):
 
 Only the features the pipeline needs are implemented (add + k-NN search);
 there is no deletion.
+
+Storage is one contiguous, preallocated ``(capacity, dim)`` array grown
+geometrically, with per-row norms cached at insert time.  Every hop of
+every graph routine computes its distances with a single gather plus one
+BLAS matrix-vector product (:meth:`HnswIndex._distances_to`) instead of a
+per-neighbour Python loop — the same kernel serves ``add``, ``search``,
+``search_batch`` and ``knn_graph``, which is what makes the batched paths
+bit-identical to their scalar counterparts.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -25,21 +34,8 @@ from repro.errors import IndexError_
 
 __all__ = ["HnswIndex"]
 
-
-class _Node:
-    """One indexed element: its vector and per-layer adjacency lists."""
-
-    __slots__ = ("key", "vector", "neighbors")
-
-    def __init__(self, key: int, vector: np.ndarray, max_layer: int):
-        self.key = key
-        self.vector = vector
-        # neighbors[layer] -> list of node ids (positions in the node table)
-        self.neighbors: list[list[int]] = [[] for _ in range(max_layer + 1)]
-
-    @property
-    def max_layer(self) -> int:
-        return len(self.neighbors) - 1
+#: First allocation; capacity doubles whenever the table fills.
+_INITIAL_CAPACITY = 64
 
 
 class HnswIndex:
@@ -87,26 +83,79 @@ class HnswIndex:
         self.metric = metric
         self._level_mult = 1.0 / math.log(m)
         self._rng = np.random.default_rng(seed)
-        self._nodes: list[_Node] = []
+        self._vectors = np.zeros((0, dim), dtype=np.float64)
+        self._norms = np.zeros(0, dtype=np.float64)
+        self._count = 0
+        self._keys: list[int] = []
+        # _neighbors[node_id][layer] -> list of node ids
+        self._neighbors: list[list[list[int]]] = []
         self._entry: int | None = None  # node id of the entry point
         self._keys_seen: set[int] = set()
+        self._min_norm = math.inf  # smallest stored norm, for the fast path
+        # Packed layer-0 adjacency, rebuilt lazily for read-only searches.
+        self._graph_version = 0
+        self._packed_version = -1
+        self._packed0 = np.zeros((0, 0), dtype=np.intp)
+        self._packed0_counts = np.zeros(0, dtype=np.intp)
 
     # ------------------------------------------------------------------ #
     # basic plumbing
     # ------------------------------------------------------------------ #
 
     def __len__(self) -> int:
-        return len(self._nodes)
+        return self._count
 
-    def _distance(self, a: np.ndarray, b: np.ndarray) -> float:
+    @property
+    def vectors(self) -> np.ndarray:
+        """Read-only view of the stored vectors, insertion order."""
+        view = self._vectors[: self._count]
+        view.flags.writeable = False
+        return view
+
+    def _reserve(self, n: int) -> None:
+        """Grow the vector table geometrically to hold ``n`` rows."""
+        capacity = self._vectors.shape[0]
+        if n <= capacity:
+            return
+        new_capacity = max(capacity, _INITIAL_CAPACITY)
+        while new_capacity < n:
+            new_capacity *= 2
+        vectors = np.zeros((new_capacity, self.dim), dtype=np.float64)
+        vectors[: self._count] = self._vectors[: self._count]
+        norms = np.zeros(new_capacity, dtype=np.float64)
+        norms[: self._count] = self._norms[: self._count]
+        self._vectors = vectors
+        self._norms = norms
+
+    def _distances_to(
+        self, query: np.ndarray, ids: Sequence[int], qnorm: float
+    ) -> np.ndarray:
+        """Distances from ``query`` to the stored vectors ``ids``.
+
+        One gather plus one BLAS matrix-vector product per call.  Both the
+        per-item and the batched public paths funnel through this kernel,
+        so their floating-point results agree bit for bit (a GEMM over the
+        whole batch would not: OpenBLAS GEMM and GEMV accumulate partial
+        sums differently in the last ulp).
+        """
+        idx = np.asarray(ids, dtype=np.intp)
+        sub = self._vectors[idx]
         if self.metric == "l2":
-            diff = a - b
-            return float(diff @ diff)
-        na = float(np.linalg.norm(a))
-        nb = float(np.linalg.norm(b))
-        if na < 1e-12 or nb < 1e-12:
-            return 1.0
-        return 1.0 - float(a @ b) / (na * nb)
+            diff = sub - query
+            return np.einsum("ij,ij->i", diff, diff)
+        dots = sub @ query
+        denom = self._norms[idx] * qnorm
+        if self._min_norm * qnorm >= 1e-12:
+            # Every stored norm is >= _min_norm, so no denom can be
+            # degenerate; skip the elementwise check (same result).
+            return 1.0 - dots / denom
+        near_zero = denom < 1e-12
+        if near_zero.any():
+            return np.where(near_zero, 1.0, 1.0 - dots / np.where(near_zero, 1.0, denom))
+        return 1.0 - dots / denom
+
+    def _query_norm(self, query: np.ndarray) -> float:
+        return float(np.linalg.norm(query)) if self.metric == "cosine" else 0.0
 
     def _draw_level(self) -> int:
         u = float(self._rng.random())
@@ -117,16 +166,33 @@ class HnswIndex:
     # core graph routines
     # ------------------------------------------------------------------ #
 
+    def _greedy_descend(
+        self, query: np.ndarray, qnorm: float, curr: int, d_curr: float, layer: int
+    ) -> tuple[int, float]:
+        """Move to the closest neighbour until no neighbour improves."""
+        while True:
+            nbrs = self._neighbors[curr][layer]
+            if not nbrs:
+                return curr, d_curr
+            dists = self._distances_to(query, nbrs, qnorm)
+            best = int(np.argmin(dists))
+            if dists[best] < d_curr:
+                curr = nbrs[best]
+                d_curr = float(dists[best])
+            else:
+                return curr, d_curr
+
     def _search_layer(
-        self, query: np.ndarray, entry_ids: list[int], ef: int, layer: int
+        self, query: np.ndarray, qnorm: float, entry_ids: list[int], ef: int, layer: int
     ) -> list[tuple[float, int]]:
         """Beam search on one layer; returns (distance, node_id), unsorted."""
         visited = set(entry_ids)
+        entry_dists = self._distances_to(query, entry_ids, qnorm)
         # candidates: min-heap by distance; results: max-heap via negation
         candidates: list[tuple[float, int]] = []
         results: list[tuple[float, int]] = []
-        for nid in entry_ids:
-            d = self._distance(query, self._nodes[nid].vector)
+        for i, nid in enumerate(entry_ids):
+            d = float(entry_dists[i])
             heapq.heappush(candidates, (d, nid))
             heapq.heappush(results, (-d, nid))
         while candidates:
@@ -134,16 +200,80 @@ class HnswIndex:
             d_worst = -results[0][0]
             if d_cand > d_worst and len(results) >= ef:
                 break
-            for nb in self._nodes[nid].neighbors[layer]:
-                if nb in visited:
-                    continue
-                visited.add(nb)
-                d = self._distance(query, self._nodes[nb].vector)
+            fresh = [nb for nb in self._neighbors[nid][layer] if nb not in visited]
+            if not fresh:
+                continue
+            visited.update(fresh)
+            dists = self._distances_to(query, fresh, qnorm)
+            for i, nb in enumerate(fresh):
+                d = float(dists[i])
                 if len(results) < ef or d < -results[0][0]:
                     heapq.heappush(candidates, (d, nb))
                     heapq.heappush(results, (-d, nb))
                     if len(results) > ef:
                         heapq.heappop(results)
+        return [(-nd, nid) for nd, nid in results]
+
+    def _ensure_packed(self) -> None:
+        """Pack the layer-0 adjacency lists into flat arrays.
+
+        Rebuilt lazily whenever the graph changed since the last search;
+        construction keeps mutating the list-of-lists, so packing there
+        would mean an O(n*m) rebuild per insert.
+        """
+        if self._packed_version == self._graph_version:
+            return
+        n = self._count
+        width = max((len(self._neighbors[nid][0]) for nid in range(n)), default=0)
+        rows = np.zeros((n, width), dtype=np.intp)
+        counts = np.zeros(n, dtype=np.intp)
+        for nid in range(n):
+            nbrs = self._neighbors[nid][0]
+            counts[nid] = len(nbrs)
+            rows[nid, : len(nbrs)] = nbrs
+        self._packed0 = rows
+        self._packed0_counts = counts
+        self._packed_version = self._graph_version
+
+    def _search_layer0(
+        self, query: np.ndarray, qnorm: float, entry_ids: list[int], ef: int
+    ) -> list[tuple[float, int]]:
+        """Layer-0 beam search over the packed adjacency (read-only paths).
+
+        Mirrors :meth:`_search_layer` exactly — same visit order through
+        the same distance kernel, so the same results bit for bit — but
+        gathers neighbours from the packed arrays and tracks visited nodes
+        in a boolean mask instead of a set, which is what makes the
+        batched search paths fast.
+        """
+        rows = self._packed0
+        counts = self._packed0_counts
+        visited = np.zeros(self._count, dtype=bool)
+        entry_idx = np.asarray(entry_ids, dtype=np.intp)
+        visited[entry_idx] = True
+        entry_dists = self._distances_to(query, entry_idx, qnorm)
+        candidates: list[tuple[float, int]] = []
+        results: list[tuple[float, int]] = []
+        for d, nid in zip(entry_dists.tolist(), entry_ids):
+            heapq.heappush(candidates, (d, nid))
+            heapq.heappush(results, (-d, nid))
+        push, pop = heapq.heappush, heapq.heappop
+        while candidates:
+            d_cand, nid = pop(candidates)
+            if d_cand > -results[0][0] and len(results) >= ef:
+                break
+            nbrs = rows[nid, : counts[nid]]
+            fresh = nbrs[~visited[nbrs]]
+            if fresh.size == 0:
+                continue
+            visited[fresh] = True
+            dists = self._distances_to(query, fresh, qnorm)
+            for d, nb in zip(dists.tolist(), fresh.tolist()):
+                if len(results) < ef or d < -results[0][0]:
+                    push(candidates, (d, nb))
+                    push(results, (-d, nb))
+                    if len(results) > ef:
+                        pop(results)
         return [(-nd, nid) for nd, nid in results]
 
     def _select_neighbors(
@@ -152,18 +282,20 @@ class HnswIndex:
         """Diversity heuristic: keep a candidate only if it is closer to the
         query than to every already-selected neighbour."""
         selected: list[tuple[float, int]] = []
+        selected_ids: list[int] = []
         for d, nid in sorted(candidates):
             if len(selected) >= m:
                 break
-            vec = self._nodes[nid].vector
-            dominated = any(
-                self._distance(vec, self._nodes[sid].vector) < d
-                for _, sid in selected
-            )
-            if not dominated:
-                selected.append((d, nid))
+            if selected_ids:
+                to_selected = self._distances_to(
+                    self._vectors[nid], selected_ids, self._norms[nid]
+                )
+                if bool((to_selected < d).any()):
+                    continue
+            selected.append((d, nid))
+            selected_ids.append(nid)
         if len(selected) < m:  # backfill with nearest remaining candidates
-            chosen = {nid for _, nid in selected}
+            chosen = set(selected_ids)
             for d, nid in sorted(candidates):
                 if len(selected) >= m:
                     break
@@ -174,14 +306,16 @@ class HnswIndex:
 
     def _link(self, source: int, target: int, layer: int, cap: int) -> None:
         """Add a directed edge, shrinking with the heuristic if over capacity."""
-        nbrs = self._nodes[source].neighbors[layer]
+        nbrs = self._neighbors[source][layer]
         if target == source or target in nbrs:
             return
         nbrs.append(target)
         if len(nbrs) > cap:
-            src_vec = self._nodes[source].vector
-            cands = [(self._distance(src_vec, self._nodes[n].vector), n) for n in nbrs]
-            self._nodes[source].neighbors[layer] = self._select_neighbors(cands, cap)
+            dists = self._distances_to(
+                self._vectors[source], nbrs, self._norms[source]
+            )
+            cands = list(zip(dists.tolist(), nbrs))
+            self._neighbors[source][layer] = self._select_neighbors(cands, cap)
 
     # ------------------------------------------------------------------ #
     # public API
@@ -198,43 +332,84 @@ class HnswIndex:
         self._keys_seen.add(key)
 
         level = self._draw_level()
-        node = _Node(key, vec, level)
-        node_id = len(self._nodes)
-        self._nodes.append(node)
+        node_id = self._count
+        self._reserve(node_id + 1)
+        self._vectors[node_id] = vec
+        self._norms[node_id] = float(np.linalg.norm(self._vectors[node_id]))
+        self._min_norm = min(self._min_norm, float(self._norms[node_id]))
+        self._graph_version += 1
+        self._count += 1
+        self._keys.append(key)
+        self._neighbors.append([[] for _ in range(level + 1)])
+        stored = self._vectors[node_id]
+        qnorm = self._norms[node_id] if self.metric == "cosine" else 0.0
 
         if self._entry is None:
             self._entry = node_id
             return
 
         entry = self._entry
-        top = self._nodes[entry].max_layer
+        top = len(self._neighbors[entry]) - 1
 
         # 1. greedy descent through layers above the new node's level
         curr = entry
+        d_curr = float(self._distances_to(stored, [curr], qnorm)[0])
         for layer in range(top, level, -1):
-            improved = True
-            while improved:
-                improved = False
-                d_curr = self._distance(vec, self._nodes[curr].vector)
-                for nb in self._nodes[curr].neighbors[layer]:
-                    if self._distance(vec, self._nodes[nb].vector) < d_curr:
-                        curr = nb
-                        d_curr = self._distance(vec, self._nodes[curr].vector)
-                        improved = True
+            curr, d_curr = self._greedy_descend(stored, qnorm, curr, d_curr, layer)
 
         # 2. insert on each layer from min(level, top) down to 0
         entries = [curr]
         for layer in range(min(level, top), -1, -1):
-            found = self._search_layer(vec, entries, self.ef_construction, layer)
+            found = self._search_layer(stored, qnorm, entries, self.ef_construction, layer)
             cap = self.m0 if layer == 0 else self.m
             neighbors = self._select_neighbors(found, self.m)
-            node.neighbors[layer] = list(neighbors)
+            self._neighbors[node_id][layer] = list(neighbors)
             for nb in neighbors:
                 self._link(nb, node_id, layer, cap)
             entries = [nid for _, nid in sorted(found)[: self.ef_construction]]
 
         if level > top:
             self._entry = node_id
+
+    def add_batch(
+        self, vectors: np.ndarray, keys: Iterable[int] | None = None
+    ) -> None:
+        """Insert many vectors at once (keys default to ``0..n-1``).
+
+        Validates shapes once and reserves table capacity up front;
+        insertion order (and therefore the graph) is identical to calling
+        :meth:`add` per row.
+        """
+        matrix = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        if matrix.shape[0] == 0:
+            return
+        if matrix.shape[1] != self.dim:
+            raise IndexError_(f"expected dim {self.dim}, got {matrix.shape[1]}")
+        key_list = list(range(matrix.shape[0])) if keys is None else [int(k) for k in keys]
+        if len(key_list) != matrix.shape[0]:
+            raise IndexError_(
+                f"got {matrix.shape[0]} vectors but {len(key_list)} keys"
+            )
+        self._reserve(self._count + matrix.shape[0])
+        for row, key in zip(matrix, key_list):
+            self.add(row, key)
+
+    def _search_one(
+        self, query: np.ndarray, qnorm: float, k: int, ef: int | None
+    ) -> list[tuple[int, float]]:
+        """Search with a validated query; shared by every public path."""
+        assert self._entry is not None
+        self._ensure_packed()
+        width = max(ef if ef is not None else self.ef_search, k)
+        curr = self._entry
+        top = len(self._neighbors[curr]) - 1
+        if top > 0:
+            d_curr = float(self._distances_to(query, [curr], qnorm)[0])
+            for layer in range(top, 0, -1):
+                curr, d_curr = self._greedy_descend(query, qnorm, curr, d_curr, layer)
+        found = self._search_layer0(query, qnorm, [curr], width)
+        found.sort()
+        return [(self._keys[nid], d) for d, nid in found[:k]]
 
     def search(
         self, query: np.ndarray, k: int, ef: int | None = None
@@ -247,28 +422,45 @@ class HnswIndex:
         query = np.asarray(query, dtype=np.float64).reshape(-1)
         if query.shape[0] != self.dim:
             raise IndexError_(f"expected dim {self.dim}, got {query.shape[0]}")
-        ef = max(ef if ef is not None else self.ef_search, k)
+        return self._search_one(query, self._query_norm(query), k, ef)
 
-        curr = self._entry
-        for layer in range(self._nodes[curr].max_layer, 0, -1):
-            improved = True
-            while improved:
-                improved = False
-                d_curr = self._distance(query, self._nodes[curr].vector)
-                for nb in self._nodes[curr].neighbors[layer]:
-                    if self._distance(query, self._nodes[nb].vector) < d_curr:
-                        curr = nb
-                        d_curr = self._distance(query, self._nodes[curr].vector)
-                        improved = True
+    def search_batch(
+        self, queries: np.ndarray, k: int, ef: int | None = None
+    ) -> list[list[tuple[int, float]]]:
+        """k-NN lists for a ``(n, dim)`` query matrix, one per row.
 
-        found = self._search_layer(query, [curr], ef, 0)
-        found.sort()
-        return [(self._nodes[nid].key, d) for d, nid in found[:k]]
+        Bit-identical to ``[self.search(q, k, ef) for q in queries]`` —
+        every row runs through the same vectorized kernel — while
+        validating and converting the whole batch once.  An empty batch
+        returns an empty list.
+        """
+        if k < 1:
+            raise IndexError_(f"k must be >= 1, got {k}")
+        matrix = np.asarray(queries, dtype=np.float64)
+        if matrix.size == 0 and matrix.ndim <= 2:
+            return []
+        matrix = np.atleast_2d(matrix)
+        if matrix.ndim != 2:
+            raise IndexError_(f"queries must be 2-D, got shape {matrix.shape}")
+        if matrix.shape[1] != self.dim:
+            raise IndexError_(f"expected dim {self.dim}, got {matrix.shape[1]}")
+        if self._entry is None:
+            return [[] for _ in range(matrix.shape[0])]
+        return [
+            self._search_one(row, self._query_norm(row), k, ef) for row in matrix
+        ]
 
     def knn_graph(self, k: int, ef: int | None = None) -> dict[int, list[tuple[int, float]]]:
-        """k-NN lists for every indexed element (self-match excluded)."""
+        """k-NN lists for every indexed element (self-match excluded).
+
+        Queries the stored rows directly (no copies, cached norms), so the
+        whole bulk pass rides the vectorized search path.
+        """
         out: dict[int, list[tuple[int, float]]] = {}
-        for node in self._nodes:
-            hits = self.search(node.vector, k + 1, ef=ef)
-            out[node.key] = [(key, d) for key, d in hits if key != node.key][:k]
+        for nid in range(self._count):
+            query = self._vectors[nid]
+            qnorm = self._norms[nid] if self.metric == "cosine" else 0.0
+            hits = self._search_one(query, qnorm, k + 1, ef)
+            key = self._keys[nid]
+            out[key] = [(other, d) for other, d in hits if other != key][:k]
         return out

@@ -76,8 +76,7 @@ def deduplicate(
         return DedupResult(kept=[], groups=[], representative_of={})
 
     index = HnswIndex(dim=matrix.shape[1], ef_search=ef_search, seed=seed)
-    for i in range(n):
-        index.add(matrix[i], key=i)
+    index.add_batch(matrix, range(n))
 
     uf = UnionFind(n)
     max_distance = 1.0 - threshold  # cosine distance equivalent

@@ -8,6 +8,7 @@ original input* — the defining difference from rewrite-style APE (BPO).
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from pathlib import Path
 
 from repro.core.golden import render_complement
@@ -83,6 +84,36 @@ class PasModel:
         if not self.is_trained:
             raise NotFittedError("PasModel must be trained before augment()")
         aspects = self.predictor.predict_aspects(prompt_text)
+        return self._render(prompt_text, aspects)
+
+    def augment_batch(self, prompts: Sequence[str]) -> list[str]:
+        """Complementary prompts for a whole batch in one forward pass.
+
+        Identical prompts are deduplicated (augmentation is a pure
+        function of the prompt), the unique ones go through one
+        :meth:`SftDirectivePredictor.predict_aspects_batch` call, and the
+        results map back per request.  Bit-identical to
+        ``[self.augment(p) for p in prompts]``; an empty batch is a no-op.
+        """
+        if not self.is_trained:
+            raise NotFittedError("PasModel must be trained before augment_batch()")
+        prompts = list(prompts)
+        if not prompts:
+            return []
+        unique: list[str] = []
+        seen: set[str] = set()
+        for prompt_text in prompts:
+            if prompt_text not in seen:
+                seen.add(prompt_text)
+                unique.append(prompt_text)
+        aspect_sets = self.predictor.predict_aspects_batch(unique)
+        complements = {
+            text: self._render(text, aspects)
+            for text, aspects in zip(unique, aspect_sets)
+        }
+        return [complements[prompt_text] for prompt_text in prompts]
+
+    def _render(self, prompt_text: str, aspects: set[str]) -> str:
         if not aspects:
             return ""
         return render_complement(aspects, salt=f"pas␞{self.base_model_name}␞{prompt_text}")
@@ -93,6 +124,13 @@ class PasModel:
         if not complement:
             return prompt_text
         return f"{prompt_text}\n{complement}"
+
+    def enhance_batch(self, prompts: Sequence[str]) -> list[str]:
+        """Batched :meth:`enhance`: concatenated prompts for the target LLM."""
+        return [
+            prompt_text if not complement else f"{prompt_text}\n{complement}"
+            for prompt_text, complement in zip(prompts, self.augment_batch(prompts))
+        ]
 
     def save(self, path: str | Path) -> Path:
         """Persist the trained model to one ``.npz`` file (train once,

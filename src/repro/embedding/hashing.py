@@ -8,13 +8,24 @@ for cosine-similarity dedup.
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
 from repro.utils.rng import stable_hash
 
-__all__ = ["hash_features"]
+__all__ = ["bucket_sign", "hash_features", "hash_features_batch"]
+
+
+def bucket_sign(feature: str, dim: int) -> tuple[int, float]:
+    """The (bucket, sign) a feature string hashes to under ``dim``.
+
+    The sign comes from a high bit so it is independent of the bucket
+    (low bits select the bucket via ``h % dim``; reusing a low bit would
+    correlate sign with bucket and break cancellation).
+    """
+    h = stable_hash(feature)
+    return h % dim, 1.0 if (h >> 47) & 1 else -1.0
 
 
 def hash_features(
@@ -36,17 +47,68 @@ def hash_features(
     if dim <= 0:
         raise ValueError(f"dim must be positive, got {dim}")
     vec = np.zeros(dim, dtype=np.float64)
-    # The sign comes from a high bit so it is independent of the bucket
-    # (low bits select the bucket via ``h % dim``; reusing a low bit would
-    # correlate sign with bucket and break cancellation).
     if weights is None:
         for feat in features:
-            h = stable_hash(feat)
-            sign = 1.0 if (h >> 47) & 1 else -1.0
-            vec[h % dim] += sign
+            bucket, sign = bucket_sign(feat, dim)
+            vec[bucket] += sign
     else:
         for feat, w in zip(features, weights, strict=True):
-            h = stable_hash(feat)
-            sign = 1.0 if (h >> 47) & 1 else -1.0
-            vec[h % dim] += sign * w
+            bucket, sign = bucket_sign(feat, dim)
+            vec[bucket] += sign * w
     return vec
+
+
+def hash_features_batch(
+    feature_lists: Sequence[Sequence[str]],
+    dim: int,
+    weight_lists: Sequence[Sequence[float]],
+    cache: dict[str, tuple[int, float]] | None = None,
+) -> np.ndarray:
+    """Project many weighted feature lists into an ``(n, dim)`` matrix.
+
+    The whole batch is scattered with a single :func:`np.add.at` call over
+    (row, bucket, signed weight) triplets.  Triplets are emitted in feature
+    order, and ``np.add.at`` applies repeated indices in element order, so
+    every row is bit-identical to :func:`hash_features` on the same
+    features.
+
+    Parameters
+    ----------
+    feature_lists:
+        One feature-string list per output row.
+    dim:
+        Output dimensionality; must be positive.
+    weight_lists:
+        Per-feature weights, one list per row (lengths must match).
+    cache:
+        Optional ``feature -> (bucket, sign)`` memo shared across rows, so
+        a feature repeated anywhere in the batch is hashed only once.
+        Entries are specific to ``dim``; never share a cache across
+        different dimensionalities.
+    """
+    if dim <= 0:
+        raise ValueError(f"dim must be positive, got {dim}")
+    matrix = np.zeros((len(feature_lists), dim), dtype=np.float64)
+    if cache is None:
+        cache = {}
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    for row, (features, weights) in enumerate(
+        zip(feature_lists, weight_lists, strict=True)
+    ):
+        for feat, w in zip(features, weights, strict=True):
+            memo = cache.get(feat)
+            if memo is None:
+                memo = bucket_sign(feat, dim)
+                cache[feat] = memo
+            rows.append(row)
+            cols.append(memo[0])
+            vals.append(memo[1] * w)
+    if rows:
+        np.add.at(
+            matrix,
+            (np.asarray(rows, dtype=np.intp), np.asarray(cols, dtype=np.intp)),
+            np.asarray(vals, dtype=np.float64),
+        )
+    return matrix

@@ -13,7 +13,7 @@ from collections.abc import Iterable, Sequence
 
 import numpy as np
 
-from repro.embedding.hashing import hash_features
+from repro.embedding.hashing import bucket_sign, hash_features
 from repro.utils import textproc
 
 __all__ = ["EmbeddingModel"]
@@ -76,8 +76,75 @@ class EmbeddingModel:
         return vec
 
     def embed_batch(self, texts: Iterable[str]) -> np.ndarray:
-        """Embed many texts into an ``(n, dim)`` matrix."""
-        rows = [self.embed(t) for t in texts]
-        if not rows:
+        """Embed many texts into an ``(n, dim)`` matrix.
+
+        The whole batch is hashed with one :func:`hash_features_batch`
+        scatter and a shared feature-hash memo, so a feature repeated
+        anywhere in the batch pays for its blake2b digest once.  Each row
+        is bit-identical to :meth:`embed` on the same text; an empty
+        iterable returns an empty ``(0, dim)`` float matrix.
+        """
+        texts = list(texts)
+        if not texts:
             return np.zeros((0, self.dim), dtype=np.float64)
-        return np.vstack(rows)
+        # Gram-level (bucket, sign) memos, one namespace per n-gram order:
+        # keying on the raw gram (not the "c3|…" feature string) means a
+        # repeated gram skips the feature-string construction too, not just
+        # the blake2b digest.
+        char_memos: dict[int, dict[str, tuple[int, float]]] = {
+            n: {} for n in self.char_orders
+        }
+        word_memos: dict[int, dict[tuple[str, ...], tuple[int, float]]] = {
+            n: {} for n in self.word_orders
+        }
+        rows: list[int] = []
+        cols: list[int] = []
+        vals: list[float] = []
+        for row, text in enumerate(texts):
+            # Triplets are emitted in the exact order _features() lists them
+            # (char orders, then word orders), so the scatter below adds
+            # colliding features in the same order embed() does.  The text
+            # is normalised once and shared across every n-gram pass;
+            # char_ngrams/words would each normalise it again.
+            normalized = textproc.normalize(text)
+            padded = f" {normalized} "
+            for n in self.char_orders:
+                memo = char_memos[n]
+                for i in range(max(0, len(padded) - n + 1)):
+                    gram = padded[i : i + n]
+                    entry = memo.get(gram)
+                    if entry is None:
+                        entry = bucket_sign(f"c{n}|{gram}", self.dim)
+                        memo[gram] = entry
+                    rows.append(row)
+                    cols.append(entry[0])
+                    vals.append(entry[1])
+            toks = textproc.words_normalized(normalized)
+            for n in self.word_orders:
+                memo = word_memos[n]
+                for gram in textproc.word_ngrams(toks, n):
+                    entry = memo.get(gram)
+                    if entry is None:
+                        entry = bucket_sign(f"w{n}|{' '.join(gram)}", self.dim)
+                        memo[gram] = entry
+                    rows.append(row)
+                    cols.append(entry[0])
+                    vals.append(entry[1] * self.word_weight)
+        matrix = np.zeros((len(texts), self.dim), dtype=np.float64)
+        if rows:
+            # One unbuffered scatter for the whole batch; np.add.at applies
+            # repeated (row, col) indices in element order, preserving the
+            # scalar path's summation order bit for bit.
+            np.add.at(
+                matrix,
+                (np.asarray(rows, dtype=np.intp), np.asarray(cols, dtype=np.intp)),
+                np.asarray(vals, dtype=np.float64),
+            )
+        # Per-row 1-D norms (not one axis-wise reduction): np.linalg.norm
+        # over an axis accumulates in a different order than the 1-D call
+        # embed() makes, and the rows must match embed() bit for bit.
+        for i in range(matrix.shape[0]):
+            norm = float(np.linalg.norm(matrix[i]))
+            if norm > 1e-12:
+                matrix[i] /= norm
+        return matrix

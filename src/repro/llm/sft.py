@@ -18,6 +18,7 @@ both properties that the experiments manipulate:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -98,8 +99,14 @@ class SftDirectivePredictor:
 
     def _vote(self, prompt_text: str) -> dict[str, float]:
         """Similarity-weighted aspect votes from the k nearest neighbours."""
+        return self._vote_from_embedding(self.embedder.embed(prompt_text))
+
+    def _vote_from_embedding(self, query: np.ndarray) -> dict[str, float]:
         assert self._train_matrix is not None
-        query = self.embedder.embed(prompt_text)
+        # One BLAS matrix-vector product per query — deliberately not one
+        # GEMM per batch: OpenBLAS GEMM and GEMV accumulate in different
+        # orders in the last ulp, and the batched path must reproduce the
+        # scalar path bit for bit.
         sims = self._train_matrix @ query
         k = min(self.config.k_neighbors, sims.shape[0])
         top = np.argpartition(-sims, k - 1)[:k] if sims.shape[0] > k else np.arange(sims.shape[0])
@@ -126,7 +133,29 @@ class SftDirectivePredictor:
         """
         if not self.is_fitted:
             raise NotFittedError("SftDirectivePredictor used before fit()")
-        votes = self._vote(prompt_text)
+        return self._filter_by_capacity(self._vote(prompt_text), prompt_text)
+
+    def predict_aspects_batch(self, prompt_texts: Sequence[str]) -> list[set[str]]:
+        """Predict aspects for many prompts in one batched forward pass.
+
+        One :meth:`EmbeddingModel.embed_batch` call embeds the whole batch;
+        the k-NN vote then runs per row against ``_train_matrix``.  Results
+        are bit-identical to ``[self.predict_aspects(p) for p in
+        prompt_texts]``; an empty batch returns an empty list.
+        """
+        if not self.is_fitted:
+            raise NotFittedError("SftDirectivePredictor used before fit()")
+        texts = list(prompt_texts)
+        if not texts:
+            return []
+        embedded = self.embedder.embed_batch(texts)
+        return [
+            self._filter_by_capacity(self._vote_from_embedding(embedded[i]), text)
+            for i, text in enumerate(texts)
+        ]
+
+    def _filter_by_capacity(self, votes: dict[str, float], prompt_text: str) -> set[str]:
+        """Apply the vote threshold, then the base model's capacity noise."""
         chosen = {a for a, v in votes.items() if v >= self.config.vote_threshold}
         rng = np.random.default_rng(
             stable_hash(f"sft␞{self.base_profile.name}␞{self.seed}␞{prompt_text}")

@@ -51,6 +51,22 @@ class LruCache(Generic[K, V]):
         self._data.move_to_end(key)
         return value  # type: ignore[return-value]
 
+    def peek(self, key: K, default: V | None = None) -> V | None:
+        """Read without counting a hit/miss or refreshing recency.
+
+        Lets batch planners inspect the cache without perturbing the
+        accounting that a later real :meth:`get` must reproduce.
+
+        >>> cache = LruCache(capacity=2)
+        >>> cache.put("a", 1)
+        >>> cache.peek("a"), cache.peek("b", -1), cache.hits, cache.misses
+        (1, -1, 0, 0)
+        """
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            return default
+        return value  # type: ignore[return-value]
+
     def put(self, key: K, value: V) -> None:
         """Insert or refresh; evicts the least-recently-used entry."""
         if key in self._data:

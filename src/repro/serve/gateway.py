@@ -12,6 +12,7 @@ prompt.  The gateway adds what a production front-end needs —
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.core.pas import PasModel
@@ -26,11 +27,17 @@ __all__ = ["GatewayStats", "PasGateway"]
 
 @dataclass
 class GatewayStats:
-    """Cumulative request accounting."""
+    """Cumulative request accounting.
+
+    ``requests`` counts every request the gateway attempted, including the
+    ones whose completion ultimately failed; ``failures`` counts just the
+    failed ones, so ``requests - failures`` is the number served.
+    """
 
     requests: int = 0
     augmented: int = 0
     cache_hits: int = 0
+    failures: int = 0
     prompt_tokens: int = 0
     completion_tokens: int = 0
     per_model: dict[str, int] = field(default_factory=dict)
@@ -72,22 +79,45 @@ class PasGateway:
             )
         return self._clients[model]
 
-    def _complement(self, prompt: str) -> tuple[str, bool]:
+    def _complement(
+        self, prompt: str, precomputed: dict[str, str] | None = None
+    ) -> tuple[str, bool]:
         cached = self._complement_cache.get(prompt)
         if cached is not None:
             return cached, True
-        complement = self.pas.augment(prompt)
+        if precomputed is not None and prompt in precomputed:
+            complement = precomputed[prompt]
+        else:
+            complement = self.pas.augment(prompt)
         self._complement_cache.put(prompt, complement)
         return complement, False
 
     def ask(self, request: ServeRequest) -> ServeResponse:
-        """Serve one request end to end."""
+        """Serve one request end to end.
+
+        A completion that exhausts its retries still counts: the request,
+        its model, and a :attr:`GatewayStats.failures` tick are recorded
+        before the error propagates.
+        """
+        return self._serve(request, None)
+
+    def _serve(
+        self, request: ServeRequest, precomputed: dict[str, str] | None
+    ) -> ServeResponse:
         client = self.client_for(request.model)
         if request.augment:
-            complement, was_cached = self._complement(request.prompt)
+            complement, was_cached = self._complement(request.prompt, precomputed)
         else:
             complement, was_cached = "", False
-        completion = client.complete(_messages(request.prompt, complement))
+        try:
+            completion = client.complete(_messages(request.prompt, complement))
+        except Exception:
+            self.stats.requests += 1
+            self.stats.failures += 1
+            self.stats.per_model[request.model] = (
+                self.stats.per_model.get(request.model, 0) + 1
+            )
+            raise
 
         self.stats.requests += 1
         self.stats.augmented += bool(complement)
@@ -106,6 +136,42 @@ class PasGateway:
             prompt_tokens=completion.prompt_tokens,
             completion_tokens=completion.completion_tokens,
         )
+
+    def ask_batch(self, requests: Sequence[ServeRequest]) -> list[ServeResponse]:
+        """Serve many requests, augmenting all cache misses in one pass.
+
+        Planning phase: identical prompts are deduplicated, the complement
+        cache is peeked (without touching its accounting), and every
+        missing prompt goes through a single
+        :meth:`~repro.core.pas.PasModel.augment_batch` forward pass.
+        Serving phase: each request then replays the exact scalar
+        :meth:`ask` sequence — cache gets/puts, completions, and stats
+        happen in the same order with the same values, so responses,
+        ``GatewayStats``, and the cache's hit/miss/recency state are all
+        bit-identical to ``[self.ask(r) for r in requests]``.  If a
+        completion exhausts its retries the same exception propagates from
+        the same request (earlier responses are counted but not returned).
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        planned: set[str] = set()
+        precomputed: dict[str, str] = {}
+        to_augment: list[str] = []
+        for request in requests:
+            if not request.augment or request.prompt in planned:
+                continue
+            planned.add(request.prompt)
+            cached = self._complement_cache.peek(request.prompt)
+            if cached is None:
+                to_augment.append(request.prompt)
+            else:
+                # Hold the value: if the entry is evicted mid-batch, the
+                # replay below still serves what augment() would recompute.
+                precomputed[request.prompt] = cached
+        for prompt, complement in zip(to_augment, self.pas.augment_batch(to_augment)):
+            precomputed[prompt] = complement
+        return [self._serve(request, precomputed) for request in requests]
 
     def ask_text(self, prompt: str, model: str) -> str:
         """Convenience: prompt in, augmented response text out."""

@@ -14,6 +14,7 @@ from collections.abc import Iterable, Iterator
 __all__ = [
     "normalize",
     "words",
+    "words_normalized",
     "wordstream",
     "char_ngrams",
     "word_ngrams",
@@ -44,7 +45,20 @@ def words(text: str) -> list[str]:
     >>> words("Don't panic, 42!")
     ["don't", 'panic', '42']
     """
-    return _WORD_RE.findall(normalize(text))
+    return words_normalized(normalize(text))
+
+
+def words_normalized(normalized_text: str) -> list[str]:
+    """Tokenise text that has already been through :func:`normalize`.
+
+    Lets batch callers normalise once and reuse the result across the
+    char-gram and word-gram passes; ``words(t)`` is exactly
+    ``words_normalized(normalize(t))``.
+
+    >>> words_normalized("don't panic, 42!")
+    ["don't", 'panic', '42']
+    """
+    return _WORD_RE.findall(normalized_text)
 
 
 def wordstream(text: str) -> str:

@@ -1,0 +1,102 @@
+"""A small wall-clock timing harness for the throughput benchmarks.
+
+The experiment layer reproduces paper *shapes*; this module measures raw
+speed — items/sec for the batched hot paths versus their scalar loops —
+so `benchmarks/test_bench_throughput.py` can write a perf trajectory
+(``BENCH_serving.json``) that later PRs regress against.
+
+Best-of-N wall time is reported alongside the mean: the minimum is the
+standard low-noise estimator for CPU-bound microbenchmarks (everything
+above it is scheduler jitter), while the mean shows how noisy the run was.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+__all__ = ["TimingResult", "time_call", "speedup"]
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Wall-clock measurements of one benchmarked callable."""
+
+    label: str
+    n_items: int
+    repeats: int
+    best_s: float
+    mean_s: float
+
+    @property
+    def items_per_s(self) -> float:
+        """Throughput at the best observed wall time."""
+        if self.best_s <= 0.0:
+            return float("inf")
+        return self.n_items / self.best_s
+
+    @property
+    def s_per_item(self) -> float:
+        return self.best_s / self.n_items if self.n_items else 0.0
+
+    def to_dict(self) -> dict[str, float | int | str]:
+        """JSON-ready summary (used by BENCH_serving.json)."""
+        return {
+            "label": self.label,
+            "n_items": self.n_items,
+            "repeats": self.repeats,
+            "best_s": self.best_s,
+            "mean_s": self.mean_s,
+            "items_per_s": self.items_per_s,
+        }
+
+
+def time_call(
+    fn: Callable[[], object],
+    *,
+    label: str = "",
+    n_items: int = 1,
+    repeats: int = 3,
+    warmup: int = 1,
+) -> TimingResult:
+    """Time ``fn()`` over ``repeats`` runs after ``warmup`` discarded runs.
+
+    Parameters
+    ----------
+    fn:
+        Zero-argument callable; its return value is discarded.
+    label:
+        Name recorded in the result (shows up in the bench JSON).
+    n_items:
+        How many logical items one call processes; sets ``items_per_s``.
+    repeats / warmup:
+        Measured runs and discarded cache-warming runs.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
+    for _ in range(warmup):
+        fn()
+    times: list[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return TimingResult(
+        label=label,
+        n_items=n_items,
+        repeats=repeats,
+        best_s=min(times),
+        mean_s=sum(times) / len(times),
+    )
+
+
+def speedup(scalar: TimingResult, batched: TimingResult) -> float:
+    """How many times faster the batched run is (per item, best times)."""
+    if batched.best_s <= 0.0:
+        return float("inf")
+    scalar_per_item = scalar.best_s / scalar.n_items if scalar.n_items else scalar.best_s
+    batched_per_item = batched.best_s / batched.n_items if batched.n_items else batched.best_s
+    return scalar_per_item / batched_per_item

@@ -157,3 +157,81 @@ class TestDeterminism:
             return index.search(points[3], 10)
 
         assert build() == build()
+
+
+class TestBatchOps:
+    def test_add_batch_matches_scalar_adds(self):
+        points = _random_points(60, 8, seed=11)
+        scalar = HnswIndex(dim=8, seed=2)
+        for i, p in enumerate(points):
+            scalar.add(p, key=i)
+        batched = HnswIndex(dim=8, seed=2)
+        batched.add_batch(points, range(len(points)))
+        query = _random_points(1, 8, seed=12)[0]
+        assert batched.search(query, 10) == scalar.search(query, 10)
+
+    def test_add_batch_default_keys(self):
+        index = HnswIndex(dim=4)
+        index.add_batch(_random_points(5, 4))
+        assert sorted(key for key, _ in index.search(np.zeros(4), 5)) == [0, 1, 2, 3, 4]
+
+    def test_add_batch_empty_is_noop(self):
+        index = HnswIndex(dim=4)
+        index.add_batch(np.zeros((0, 4)))
+        assert len(index) == 0
+
+    def test_add_batch_key_count_mismatch(self):
+        index = HnswIndex(dim=4)
+        with pytest.raises(IndexError_):
+            index.add_batch(_random_points(3, 4), keys=[0, 1])
+
+    def test_add_batch_dim_mismatch(self):
+        index = HnswIndex(dim=4)
+        with pytest.raises(IndexError_):
+            index.add_batch(_random_points(3, 5))
+
+    def test_search_batch_matches_per_query_search(self):
+        index = HnswIndex(dim=6, seed=3)
+        index.add_batch(_random_points(80, 6, seed=13), range(80))
+        queries = _random_points(16, 6, seed=14)
+        assert index.search_batch(queries, 5) == [index.search(q, 5) for q in queries]
+
+    def test_search_batch_empty_batch(self):
+        index = HnswIndex(dim=4)
+        index.add_batch(_random_points(5, 4))
+        assert index.search_batch(np.zeros((0, 4)), 3) == []
+        assert index.search_batch([], 3) == []
+
+    def test_search_batch_empty_index(self):
+        index = HnswIndex(dim=4)
+        assert index.search_batch(_random_points(3, 4), 2) == [[], [], []]
+
+    def test_search_batch_dim_mismatch(self):
+        index = HnswIndex(dim=4)
+        index.add(np.ones(4), key=0)
+        with pytest.raises(IndexError_):
+            index.search_batch(_random_points(3, 5), 2)
+
+    def test_search_batch_k_must_be_positive(self):
+        index = HnswIndex(dim=4)
+        with pytest.raises(IndexError_):
+            index.search_batch(_random_points(2, 4), 0)
+
+    def test_vectors_property_is_readonly_view(self):
+        index = HnswIndex(dim=4)
+        index.add_batch(_random_points(5, 4))
+        assert index.vectors.shape == (5, 4)
+        with pytest.raises(ValueError):
+            index.vectors[0, 0] = 99.0
+
+    def test_interleaved_add_and_search(self):
+        # searches pack the layer-0 adjacency; later adds must invalidate it
+        index = HnswIndex(dim=4, seed=5)
+        points = _random_points(40, 4, seed=15)
+        index.add_batch(points[:20], range(20))
+        index.search(points[0], 3)
+        index.add_batch(points[20:], range(20, 40))
+        keys = {key for key, _ in index.search_batch(points, 1)[0]}
+        assert keys <= set(range(40))
+        hits = index.search(points[30], 1)
+        assert hits[0][0] == 30

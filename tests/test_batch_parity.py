@@ -1,0 +1,122 @@
+"""The determinism contract: every batched path == its scalar loop, bitwise.
+
+The batched hot paths (``embed_batch``, ``search_batch``,
+``predict_aspects_batch``, ``augment_batch``, ``ask_batch``) promise
+*bit-identical* results to their scalar counterparts — not approximately
+equal, identical.  That only holds because both sides funnel through the
+same BLAS kernel calls (per-row gemv, per-row 1-D norms, ``np.add.at`` in
+feature order); a GEMM or an axis-norm would drift in the last ulp.  These
+tests pin the contract across seeds and edge shapes so a future "obvious"
+vectorization can't silently break it.
+"""
+
+import numpy as np
+import pytest
+
+from repro import build_default_dataset
+from repro.ann.bruteforce import BruteForceIndex
+from repro.ann.hnsw import HnswIndex
+from repro.core.pas import PasModel
+from repro.embedding.model import EmbeddingModel
+from repro.errors import NotFittedError
+from repro.serve.gateway import PasGateway
+from repro.serve.types import ServeRequest
+from repro.world.prompts import PromptFactory
+
+
+def _corpus(n, seed):
+    factory = PromptFactory(rng=np.random.default_rng(seed))
+    return [factory.make_prompt().text for _ in range(n)]
+
+
+class TestEmbedBatchParity:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_bitwise_across_seeds(self, seed):
+        texts = _corpus(24, seed)
+        model = EmbeddingModel()
+        batch = model.embed_batch(texts)
+        for row, text in zip(batch, texts):
+            assert (row == model.embed(text)).all()
+
+
+class TestSearchBatchParity:
+    @pytest.mark.parametrize("metric", ["cosine", "l2"])
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_bitwise_vs_per_query_search(self, metric, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.normal(size=(120, 16))
+        queries = rng.normal(size=(20, 16))
+        index = HnswIndex(dim=16, metric=metric, seed=seed)
+        index.add_batch(points, range(len(points)))
+        assert index.search_batch(queries, 5) == [
+            index.search(q, 5) for q in queries
+        ]
+
+    def test_recall_vs_bruteforce(self):
+        rng = np.random.default_rng(3)
+        points = rng.normal(size=(200, 12))
+        queries = rng.normal(size=(30, 12))
+        hnsw = HnswIndex(dim=12, ef_search=80, seed=0)
+        hnsw.add_batch(points, range(len(points)))
+        brute = BruteForceIndex(dim=12)
+        for i, p in enumerate(points):
+            brute.add(p, key=i)
+        recalls = []
+        for hits, query in zip(hnsw.search_batch(queries, 10), queries):
+            exact = {key for key, _ in brute.search(query, 10)}
+            recalls.append(len({key for key, _ in hits} & exact) / 10)
+        assert np.mean(recalls) > 0.9
+
+
+class TestAugmentBatchParity:
+    @pytest.fixture(scope="class")
+    def pas_models(self):
+        """Two independently trained models with different seeds."""
+        models = []
+        for seed in (3, 5):
+            dataset = build_default_dataset(n_prompts=80, seed=seed, curate=True)
+            models.append(
+                PasModel(base_model="qwen2-7b-chat", seed=seed).train(dataset)
+            )
+        return models
+
+    def test_exact_across_seeds(self, pas_models):
+        prompts = _corpus(12, 9)
+        prompts += prompts[:3]  # duplicates must round-trip too
+        for model in pas_models:
+            assert model.augment_batch(prompts) == [
+                model.augment(p) for p in prompts
+            ]
+
+    def test_predict_aspects_batch_matches_scalar(self, pas_models):
+        prompts = _corpus(8, 11)
+        for model in pas_models:
+            predictor = model.predictor
+            assert predictor.predict_aspects_batch(prompts) == [
+                predictor.predict_aspects(p) for p in prompts
+            ]
+
+    def test_empty_batch(self, pas_models):
+        assert pas_models[0].augment_batch([]) == []
+        assert pas_models[0].enhance_batch([]) == []
+
+    def test_untrained_raises(self):
+        with pytest.raises(NotFittedError):
+            PasModel(base_model="qwen2-7b-chat").augment_batch(["hi there friend."])
+
+
+class TestGatewayBatchParity:
+    def test_replay_matches_scalar_even_under_eviction(self, trained_pas):
+        # cache capacity far below the number of unique prompts in the
+        # batch, so planning-phase peeks and serving-phase puts interleave
+        # with evictions; the replay must still match the scalar loop.
+        prompts = _corpus(10, 13)
+        traffic = prompts + prompts[:4] + prompts[::-1]
+        requests = [ServeRequest(prompt=p, model="gpt-4-0613") for p in traffic]
+        scalar = PasGateway(pas=trained_pas, cache_size=4)
+        batched = PasGateway(pas=trained_pas, cache_size=4)
+        assert batched.ask_batch(requests) == [scalar.ask(r) for r in requests]
+        assert batched.stats == scalar.stats
+        assert list(batched._complement_cache._data) == list(
+            scalar._complement_cache._data
+        )

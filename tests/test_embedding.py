@@ -110,3 +110,37 @@ class TestSimilarity:
         sims = cosine_matrix(m, m)
         assert (sims <= 1.0 + 1e-9).all()
         assert (sims >= -1.0 - 1e-9).all()
+
+
+class TestEmbedBatchParity:
+    TEXTS = [
+        "how do i implement a binary search tree in python",
+        "compose a wedding toast with a friendly voice",
+        "",  # empty text stays an all-zero row
+        "x",  # shorter than every n-gram order
+        "Hello World  Hello World",
+        "how do i implement a binary search tree in python",  # duplicate
+    ]
+
+    def test_bit_identical_to_scalar(self):
+        m = EmbeddingModel()
+        batch = m.embed_batch(self.TEXTS)
+        for row, text in zip(batch, self.TEXTS):
+            assert (row == m.embed(text)).all()
+
+    def test_bit_identical_under_alt_config(self):
+        m = EmbeddingModel(dim=128, char_orders=(2,), word_orders=(1, 2))
+        batch = m.embed_batch(self.TEXTS)
+        for row, text in zip(batch, self.TEXTS):
+            assert (row == m.embed(text)).all()
+
+    def test_accepts_any_iterable(self):
+        m = EmbeddingModel(dim=32)
+        batch = m.embed_batch(t for t in ("a b", "c d"))
+        assert batch.shape == (2, 32)
+
+    def test_empty_iterable(self):
+        m = EmbeddingModel(dim=32)
+        out = m.embed_batch(iter(()))
+        assert out.shape == (0, 32)
+        assert out.dtype == np.float64

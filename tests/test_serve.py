@@ -3,6 +3,7 @@
 import pytest
 
 from repro.errors import UnknownModelError
+from repro.llm.api import TransientApiError
 from repro.serve.cache import LruCache
 from repro.serve.gateway import PasGateway
 from repro.serve.types import ServeRequest
@@ -55,6 +56,18 @@ class TestLruCache:
     def test_invalid_capacity(self):
         with pytest.raises(ValueError):
             LruCache(capacity=0)
+
+    def test_peek_does_not_count_or_refresh(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.peek("a") == 1
+        assert cache.peek("missing") is None
+        assert cache.peek("missing", -1) == -1
+        assert cache.hits == cache.misses == 0
+        cache.put("c", 3)  # peek("a") must NOT have refreshed a
+        assert "a" not in cache
+        assert "b" in cache
 
 
 class TestServeTypes:
@@ -121,3 +134,80 @@ class TestGateway:
             ServeRequest(prompt="how do i fix my code? it fails under load.", model="gpt-4-0613", augment=False)
         )
         assert gateway.stats.augmentation_rate == 0.0
+
+
+class TestGatewayFailureAccounting:
+    def test_exhausted_retries_still_recorded(self, trained_pas, monkeypatch):
+        gateway = PasGateway(pas=trained_pas, cache_size=8)
+        client = gateway.client_for("gpt-4-0613")
+
+        def exploding_complete(messages):
+            raise TransientApiError("gpt-4-0613: all attempts failed transiently")
+
+        monkeypatch.setattr(client, "complete", exploding_complete)
+        request = ServeRequest(
+            prompt="how do i bake bread? walk me through it.", model="gpt-4-0613"
+        )
+        with pytest.raises(TransientApiError):
+            gateway.ask(request)
+        assert gateway.stats.requests == 1
+        assert gateway.stats.failures == 1
+        assert gateway.stats.per_model == {"gpt-4-0613": 1}
+        # the failed completion contributes no served-side accounting
+        assert gateway.stats.augmented == 0
+        assert gateway.stats.prompt_tokens == 0
+
+    def test_failures_default_zero(self, trained_pas):
+        gateway = PasGateway(pas=trained_pas, cache_size=8)
+        gateway.ask_text("how do i parse csv files? show me how.", "gpt-4-0613")
+        assert gateway.stats.failures == 0
+
+
+class TestGatewayBatch:
+    PROMPTS = [
+        "how do i parse csv files? show me how.",
+        "how do i bake bread? walk me through it.",
+        "how do i parse csv files? show me how.",  # duplicate of the first
+        "why does my regex backtrack so much? be concise.",
+    ]
+
+    def test_empty_batch_is_noop(self, trained_pas):
+        gateway = PasGateway(pas=trained_pas, cache_size=8)
+        assert gateway.ask_batch([]) == []
+        assert gateway.stats.requests == 0
+
+    def test_matches_scalar_loop(self, trained_pas):
+        requests = [
+            ServeRequest(prompt=p, model="gpt-4-0613") for p in self.PROMPTS
+        ]
+        scalar = PasGateway(pas=trained_pas, cache_size=8)
+        batched = PasGateway(pas=trained_pas, cache_size=8)
+        assert batched.ask_batch(requests) == [scalar.ask(r) for r in requests]
+        assert batched.stats == scalar.stats
+        inner_s = scalar._complement_cache
+        inner_b = batched._complement_cache
+        assert (inner_b.hits, inner_b.misses) == (inner_s.hits, inner_s.misses)
+
+    def test_duplicate_prompts_augmented_once(self, trained_pas):
+        gateway = PasGateway(pas=trained_pas, cache_size=8)
+        responses = gateway.ask_batch(
+            [ServeRequest(prompt=p, model="gpt-4-0613") for p in self.PROMPTS]
+        )
+        assert len(responses) == 4
+        assert responses[0].complement == responses[2].complement
+        assert responses[2].complement_cached  # second occurrence hits the cache
+        assert gateway.stats.cache_hits == 1
+
+    def test_respects_augment_flag(self, trained_pas):
+        gateway = PasGateway(pas=trained_pas, cache_size=8)
+        responses = gateway.ask_batch(
+            [
+                ServeRequest(
+                    prompt="how do i bake bread? walk me through it.",
+                    model="gpt-4-0613",
+                    augment=False,
+                )
+            ]
+        )
+        assert responses[0].complement == ""
+        assert gateway.stats.augmented == 0
