@@ -1,0 +1,77 @@
+"""Fail CI when a freshly measured benchmark speedup drops below 1.0.
+
+Walks a bench JSON (``BENCH_serving.json``) recursively and collects every
+key whose name is ``speedup`` or ends in ``_speedup``; any such value
+below the threshold is a regression — a batched/parallel path that is now
+slower than the scalar baseline it replaced.
+
+Only robust wins may live under ``speedup``-named keys.  Metrics that are
+legitimately below 1.0 in some environments (e.g. the sharded index's
+single-core search ratio) must be recorded under a different name, such
+as ``throughput_ratio_vs_single`` — the gate is a contract on naming as
+much as on performance.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py BENCH_serving.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+THRESHOLD = 1.0
+
+__all__ = ["collect_speedups", "main"]
+
+
+def collect_speedups(node: object, prefix: str = "") -> list[tuple[str, float]]:
+    """All ``(dotted.path, value)`` pairs for speedup-named keys in ``node``."""
+    found: list[tuple[str, float]] = []
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if (key == "speedup" or str(key).endswith("_speedup")) and isinstance(
+                value, (int, float)
+            ):
+                found.append((path, float(value)))
+            else:
+                found.extend(collect_speedups(value, path))
+    elif isinstance(node, list):
+        for i, item in enumerate(node):
+            found.extend(collect_speedups(item, f"{prefix}[{i}]"))
+    return found
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 1:
+        print("usage: check_bench_regression.py <bench.json>", file=sys.stderr)
+        return 2
+    path = Path(argv[0])
+    if not path.is_file():
+        print(f"bench file not found: {path}", file=sys.stderr)
+        return 2
+    payload = json.loads(path.read_text())
+    speedups = collect_speedups(payload)
+    if not speedups:
+        print(f"no speedup keys found in {path}", file=sys.stderr)
+        return 2
+    offenders = [(key, value) for key, value in speedups if value < THRESHOLD]
+    for key, value in sorted(speedups):
+        marker = "FAIL" if value < THRESHOLD else "ok"
+        print(f"  {marker:>4}  {key} = {value:.3f}")
+    if offenders:
+        names = ", ".join(key for key, _ in offenders)
+        print(
+            f"{len(offenders)} speedup(s) below {THRESHOLD}: {names}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"all {len(speedups)} speedups >= {THRESHOLD}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -3,5 +3,6 @@
 from repro.ann.bruteforce import BruteForceIndex
 from repro.ann.hnsw import HnswIndex
 from repro.ann.ivf import IvfFlatIndex
+from repro.ann.sharded import ShardedHnswIndex
 
-__all__ = ["HnswIndex", "BruteForceIndex", "IvfFlatIndex"]
+__all__ = ["HnswIndex", "BruteForceIndex", "IvfFlatIndex", "ShardedHnswIndex"]

@@ -1,0 +1,239 @@
+"""A sharded HNSW index: K independent graphs, one deterministic merge.
+
+The monolithic :class:`~repro.ann.hnsw.HnswIndex` builds one graph over the
+whole corpus; at serving scale both construction and the per-query beam
+search grow with corpus size.  ``ShardedHnswIndex`` partitions the vectors
+round-robin across K independent ``HnswIndex`` shards, so
+
+* **build** inserts into K graphs of ``n / K`` nodes each — cheaper even
+  serially, because insertion cost grows with graph size — and runs the
+  per-shard builds in a thread pool (numpy releases the GIL inside the
+  gather+gemv distance kernel);
+* **search** fans each query out to every shard and merges the per-shard
+  top-k lists.
+
+Parallelism never leaks into results: each shard's graph depends only on
+its own slice of the data, per-shard result lists are collected *by shard
+index* (not completion order), and the merge sorts candidates by the
+declared order ``(distance, shard index, within-shard rank)``.  The output
+is therefore bit-identical whatever the thread timing, and
+``search_batch`` is bit-identical to ``[search(q, k) for q in queries]``
+— the same contract every other batched path in the repo carries
+(``tests/test_ann_sharded.py`` pins it).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.ann.hnsw import HnswIndex
+from repro.errors import IndexError_
+
+__all__ = ["ShardedHnswIndex"]
+
+
+class ShardedHnswIndex:
+    """Round-robin sharded HNSW with deterministic top-k merging.
+
+    Parameters
+    ----------
+    dim:
+        Vector dimensionality.
+    n_shards:
+        Number of independent ``HnswIndex`` shards.  ``n_shards=1`` is
+        graph-identical to a plain ``HnswIndex`` with the same seed.
+    m / ef_construction / ef_search / metric:
+        Forwarded to every shard (see :class:`~repro.ann.hnsw.HnswIndex`).
+    seed:
+        Shard ``s`` draws its levels from ``seed + s``, so shard graphs
+        are independent but the whole index is reproducible.
+    max_workers:
+        Thread-pool width for parallel build/search (default: one thread
+        per shard).
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        n_shards: int = 4,
+        m: int = 16,
+        ef_construction: int = 200,
+        ef_search: int = 50,
+        metric: str = "cosine",
+        seed: int = 0,
+        max_workers: int | None = None,
+    ):
+        if n_shards < 1:
+            raise IndexError_(f"n_shards must be >= 1, got {n_shards}")
+        if max_workers is not None and max_workers < 1:
+            raise IndexError_(f"max_workers must be >= 1, got {max_workers}")
+        self.dim = dim
+        self.n_shards = n_shards
+        self.max_workers = max_workers
+        self._shards = [
+            HnswIndex(
+                dim=dim,
+                m=m,
+                ef_construction=ef_construction,
+                ef_search=ef_search,
+                metric=metric,
+                seed=seed + shard,
+            )
+            for shard in range(n_shards)
+        ]
+        self._count = 0
+        self._keys_seen: set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    # plumbing
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def shard_sizes(self) -> list[int]:
+        """Per-shard element counts (round-robin keeps them within 1)."""
+        return [len(shard) for shard in self._shards]
+
+    def _pool_width(self) -> int:
+        return self.max_workers if self.max_workers is not None else self.n_shards
+
+    def _check_key(self, key: int) -> int:
+        key = int(key)
+        if key in self._keys_seen:
+            raise IndexError_(f"duplicate key {key}")
+        self._keys_seen.add(key)
+        return key
+
+    @staticmethod
+    def _merge(per_shard: list[list[tuple[int, float]]], k: int) -> list[tuple[int, float]]:
+        """Merge per-shard top-k lists under the declared deterministic order.
+
+        Candidates sort by ``(distance, shard index, within-shard rank)``;
+        the shard lists are already nearest-first, so the merge is a pure
+        function of their contents — thread timing cannot reorder it.
+        """
+        merged = [
+            (dist, shard, rank, key)
+            for shard, hits in enumerate(per_shard)
+            for rank, (key, dist) in enumerate(hits)
+        ]
+        merged.sort()
+        return [(key, dist) for dist, _, _, key in merged[:k]]
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+
+    def add(self, vector: np.ndarray, key: int) -> None:
+        """Insert one vector; element ``i`` lands on shard ``i % n_shards``."""
+        key = self._check_key(key)
+        self._shards[self._count % self.n_shards].add(vector, key)
+        self._count += 1
+
+    def add_batch(
+        self,
+        vectors: np.ndarray,
+        keys: Iterable[int] | None = None,
+        parallel: bool = True,
+    ) -> None:
+        """Insert many vectors, building every shard's slice concurrently.
+
+        Round-robin assignment continues from the current element count,
+        so the shard contents are identical to calling :meth:`add` per
+        row; with ``parallel=True`` the per-shard ``add_batch`` calls run
+        in a thread pool (each shard is an independent graph, so the
+        result does not depend on scheduling).
+        """
+        matrix = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        if matrix.shape[0] == 0:
+            return
+        if matrix.shape[1] != self.dim:
+            raise IndexError_(f"expected dim {self.dim}, got {matrix.shape[1]}")
+        key_list = (
+            list(range(self._count, self._count + matrix.shape[0]))
+            if keys is None
+            else [int(k) for k in keys]
+        )
+        if len(key_list) != matrix.shape[0]:
+            raise IndexError_(
+                f"got {matrix.shape[0]} vectors but {len(key_list)} keys"
+            )
+        per_shard_rows: list[list[int]] = [[] for _ in self._shards]
+        per_shard_keys: list[list[int]] = [[] for _ in self._shards]
+        for row, key in enumerate(key_list):
+            shard = (self._count + row) % self.n_shards
+            per_shard_rows[shard].append(row)
+            per_shard_keys[shard].append(self._check_key(key))
+
+        def build(shard: int) -> None:
+            if per_shard_rows[shard]:
+                self._shards[shard].add_batch(
+                    matrix[per_shard_rows[shard]], per_shard_keys[shard]
+                )
+
+        if parallel and self.n_shards > 1:
+            with ThreadPoolExecutor(max_workers=self._pool_width()) as pool:
+                list(pool.map(build, range(self.n_shards)))
+        else:
+            for shard in range(self.n_shards):
+                build(shard)
+        self._count += matrix.shape[0]
+
+    def search(
+        self, query: np.ndarray, k: int, ef: int | None = None
+    ) -> list[tuple[int, float]]:
+        """Up to ``k`` ``(key, distance)`` pairs merged across all shards."""
+        if k < 1:
+            raise IndexError_(f"k must be >= 1, got {k}")
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        if query.shape[0] != self.dim:
+            raise IndexError_(f"expected dim {self.dim}, got {query.shape[0]}")
+        if self._count == 0:
+            return []
+        per_shard = [shard.search(query, k, ef) for shard in self._shards]
+        return self._merge(per_shard, k)
+
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        ef: int | None = None,
+        parallel: bool = True,
+    ) -> list[list[tuple[int, float]]]:
+        """k-NN lists for a ``(n, dim)`` query matrix, one per row.
+
+        Each shard answers the whole batch (in a thread pool when
+        ``parallel=True``); per-query merges then run over the per-shard
+        lists in shard order.  Bit-identical to
+        ``[self.search(q, k, ef) for q in queries]`` regardless of thread
+        timing, because shard results are keyed by shard index and each
+        shard's ``search_batch`` already matches its scalar ``search``.
+        """
+        if k < 1:
+            raise IndexError_(f"k must be >= 1, got {k}")
+        matrix = np.asarray(queries, dtype=np.float64)
+        if matrix.size == 0 and matrix.ndim <= 2:
+            return []
+        matrix = np.atleast_2d(matrix)
+        if matrix.ndim != 2:
+            raise IndexError_(f"queries must be 2-D, got shape {matrix.shape}")
+        if matrix.shape[1] != self.dim:
+            raise IndexError_(f"expected dim {self.dim}, got {matrix.shape[1]}")
+        if self._count == 0:
+            return [[] for _ in range(matrix.shape[0])]
+        if parallel and self.n_shards > 1:
+            with ThreadPoolExecutor(max_workers=self._pool_width()) as pool:
+                per_shard = list(
+                    pool.map(lambda s: s.search_batch(matrix, k, ef), self._shards)
+                )
+        else:
+            per_shard = [shard.search_batch(matrix, k, ef) for shard in self._shards]
+        return [
+            self._merge([hits[row] for hits in per_shard], k)
+            for row in range(matrix.shape[0])
+        ]

@@ -75,18 +75,21 @@ class PasModel:
         self._trained_on = len(pairs)
         return self
 
-    def augment(self, prompt_text: str) -> str:
+    def augment(self, prompt_text: str, embed_cache=None) -> str:
         """Produce the complementary prompt ``p_c = M_p(p)``.
 
         Returns an empty string when the model predicts no directive —
         plugging PAS in never degrades a prompt it has nothing to add to.
+        ``embed_cache`` (an :class:`~repro.serve.cache.LruCache`-shaped
+        memo of prompt → embedding) skips the hashing pass for prompts
+        embedded before; results are bit-identical either way.
         """
         if not self.is_trained:
             raise NotFittedError("PasModel must be trained before augment()")
-        aspects = self.predictor.predict_aspects(prompt_text)
+        aspects = self.predictor.predict_aspects(prompt_text, embed_cache=embed_cache)
         return self._render(prompt_text, aspects)
 
-    def augment_batch(self, prompts: Sequence[str]) -> list[str]:
+    def augment_batch(self, prompts: Sequence[str], embed_cache=None) -> list[str]:
         """Complementary prompts for a whole batch in one forward pass.
 
         Identical prompts are deduplicated (augmentation is a pure
@@ -94,6 +97,8 @@ class PasModel:
         :meth:`SftDirectivePredictor.predict_aspects_batch` call, and the
         results map back per request.  Bit-identical to
         ``[self.augment(p) for p in prompts]``; an empty batch is a no-op.
+        ``embed_cache`` is forwarded to the predictor (one lookup per
+        unique prompt).
         """
         if not self.is_trained:
             raise NotFittedError("PasModel must be trained before augment_batch()")
@@ -106,12 +111,44 @@ class PasModel:
             if prompt_text not in seen:
                 seen.add(prompt_text)
                 unique.append(prompt_text)
-        aspect_sets = self.predictor.predict_aspects_batch(unique)
+        aspect_sets = self.predictor.predict_aspects_batch(
+            unique, embed_cache=embed_cache
+        )
         complements = {
             text: self._render(text, aspects)
             for text, aspects in zip(unique, aspect_sets)
         }
         return [complements[prompt_text] for prompt_text in prompts]
+
+    def embed_prompts(self, prompts: Sequence[str]):
+        """Embeddings for ``prompts`` as an ``(n, dim)`` matrix.
+
+        Exposes the predictor's encoder so serving-layer caches can hold
+        the exact vectors augmentation would compute (``embed_batch``
+        rows are bit-identical to per-text ``embed`` calls).
+        """
+        return self.predictor.embedder.embed_batch(prompts)
+
+    def augment_with_embeddings(
+        self, prompts: Sequence[str], embeddings
+    ) -> list[str]:
+        """Complements for prompts whose embeddings are already in hand.
+
+        ``embeddings[i]`` must be the encoder's vector for
+        ``prompts[i]`` (from :meth:`embed_prompts` or an embedding
+        cache); each complement is then bit-identical to
+        ``self.augment(prompts[i])`` without re-embedding anything.
+        """
+        if not self.is_trained:
+            raise NotFittedError(
+                "PasModel must be trained before augment_with_embeddings()"
+            )
+        return [
+            self._render(
+                text, self.predictor.predict_aspects_from_embedding(text, vector)
+            )
+            for text, vector in zip(prompts, embeddings)
+        ]
 
     def _render(self, prompt_text: str, aspects: set[str]) -> str:
         if not aspects:

@@ -75,6 +75,24 @@ class EmbeddingModel:
             vec /= norm
         return vec
 
+    def embed_cached(self, text: str, cache) -> np.ndarray:
+        """Embed through a memo cache (any ``get``/``put`` mapping, e.g.
+        :class:`~repro.serve.cache.LruCache`).
+
+        Embedding is a pure function of the text, so a cached vector is
+        bit-identical to recomputation — memoisation never changes
+        results, only skips the hashing pass.  On a hit the vector is
+        returned as stored (``get`` refreshes recency); on a miss it is
+        computed and ``put``.  This is the lower tier of the serving
+        stack's two-tier cache: complement-LRU misses that re-augment a
+        prompt reuse the embedding computed the first time around.
+        """
+        vec = cache.get(text)
+        if vec is None:
+            vec = self.embed(text)
+            cache.put(text, vec)
+        return vec
+
     def embed_batch(self, texts: Iterable[str]) -> np.ndarray:
         """Embed many texts into an ``(n, dim)`` matrix.
 

@@ -123,35 +123,91 @@ class SftDirectivePredictor:
             return {}
         return {aspect: value / total for aspect, value in votes.items()}
 
-    def predict_aspects(self, prompt_text: str) -> set[str]:
+    def predict_aspects(self, prompt_text: str, embed_cache=None) -> set[str]:
         """Directive aspects the fine-tuned model would emit for a prompt.
 
         Voting produces the knowledge; the base model's capacity filters it:
         each voted aspect survives with probability ``sft_retention``, and
         with probability ``sft_confusion`` the model hallucinates an
         unrelated directive (weak bases drift off their training data).
+
+        ``embed_cache`` (an :class:`~repro.serve.cache.LruCache`-shaped
+        memo) skips re-embedding repeated prompts; embedding is a pure
+        function of the text, so the cached path is bit-identical.
         """
         if not self.is_fitted:
             raise NotFittedError("SftDirectivePredictor used before fit()")
-        return self._filter_by_capacity(self._vote(prompt_text), prompt_text)
+        if embed_cache is None:
+            return self._filter_by_capacity(self._vote(prompt_text), prompt_text)
+        embedding = self.embedder.embed_cached(prompt_text, embed_cache)
+        return self.predict_aspects_from_embedding(prompt_text, embedding)
 
-    def predict_aspects_batch(self, prompt_texts: Sequence[str]) -> list[set[str]]:
+    def predict_aspects_from_embedding(
+        self, prompt_text: str, embedding: np.ndarray
+    ) -> set[str]:
+        """Predict from a precomputed embedding of ``prompt_text``.
+
+        The vector must be the one :meth:`EmbeddingModel.embed` (or a
+        row of ``embed_batch``) produces for the text — callers that
+        cache embeddings pass them back through here, and because the
+        capacity filter is salted by the *text*, results stay identical
+        to :meth:`predict_aspects`.
+        """
+        if not self.is_fitted:
+            raise NotFittedError("SftDirectivePredictor used before fit()")
+        return self._filter_by_capacity(
+            self._vote_from_embedding(embedding), prompt_text
+        )
+
+    def predict_aspects_batch(
+        self, prompt_texts: Sequence[str], embed_cache=None
+    ) -> list[set[str]]:
         """Predict aspects for many prompts in one batched forward pass.
 
         One :meth:`EmbeddingModel.embed_batch` call embeds the whole batch;
         the k-NN vote then runs per row against ``_train_matrix``.  Results
         are bit-identical to ``[self.predict_aspects(p) for p in
         prompt_texts]``; an empty batch returns an empty list.
+
+        With ``embed_cache``, each *unique* text is looked up once (one
+        ``get``), the misses are embedded in a single ``embed_batch``
+        call, and the fresh vectors are ``put`` back in first-occurrence
+        order — the same final cache contents as the scalar loop, though
+        duplicate occurrences do not re-count as hits.
         """
         if not self.is_fitted:
             raise NotFittedError("SftDirectivePredictor used before fit()")
         texts = list(prompt_texts)
         if not texts:
             return []
-        embedded = self.embedder.embed_batch(texts)
+        if embed_cache is None:
+            embedded = self.embedder.embed_batch(texts)
+            return [
+                self._filter_by_capacity(self._vote_from_embedding(embedded[i]), text)
+                for i, text in enumerate(texts)
+            ]
+        unique: list[str] = []
+        seen: set[str] = set()
+        for text in texts:
+            if text not in seen:
+                seen.add(text)
+                unique.append(text)
+        vectors: dict[str, np.ndarray] = {}
+        missing: list[str] = []
+        for text in unique:
+            hit = embed_cache.get(text)
+            if hit is None:
+                missing.append(text)
+            else:
+                vectors[text] = hit
+        if missing:
+            computed = self.embedder.embed_batch(missing)
+            for text, row in zip(missing, computed):
+                embed_cache.put(text, row)
+                vectors[text] = row
         return [
-            self._filter_by_capacity(self._vote_from_embedding(embedded[i]), text)
-            for i, text in enumerate(texts)
+            self._filter_by_capacity(self._vote_from_embedding(vectors[text]), text)
+            for text in texts
         ]
 
     def _filter_by_capacity(self, votes: dict[str, float], prompt_text: str) -> set[str]:

@@ -2,13 +2,25 @@
 
 The paper positions PAS as a *system* that sits in front of any LLM
 (§3.4 / Figure 1a).  This package is that system's serving shape: a gateway
-that owns one trained PAS model and a pool of target-model clients, with a
-complement cache (the same prompt never pays for augmentation twice) and
-request telemetry.
+that owns one trained PAS model and a pool of target-model clients, with
+two cache tiers (complement LRU over an embedding memo — the same prompt
+never pays for augmentation or embedding twice), a deterministic
+micro-batching scheduler in front of the batch path, and request
+telemetry.
 """
 
 from repro.serve.cache import LruCache
 from repro.serve.gateway import GatewayStats, PasGateway
+from repro.serve.scheduler import BatchRecord, MicroBatcher, SchedulerStats
 from repro.serve.types import ServeRequest, ServeResponse
 
-__all__ = ["LruCache", "PasGateway", "GatewayStats", "ServeRequest", "ServeResponse"]
+__all__ = [
+    "BatchRecord",
+    "GatewayStats",
+    "LruCache",
+    "MicroBatcher",
+    "PasGateway",
+    "SchedulerStats",
+    "ServeRequest",
+    "ServeResponse",
+]

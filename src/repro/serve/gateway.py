@@ -6,23 +6,33 @@ prompt.  The gateway adds what a production front-end needs —
 
 * lazy per-model :class:`~repro.llm.api.ChatClient` construction with a
   shared retry/budget policy,
-* an LRU complement cache keyed by prompt text,
-* cumulative :class:`GatewayStats` for observability.
+* two tiers of caching: an LRU complement cache keyed by prompt text, and
+  under it an embedding memo cache so complement-cache misses that
+  re-augment a prompt skip re-embedding it,
+* cumulative :class:`GatewayStats` for observability, with optional
+  per-stage wall-clock timings (:meth:`PasGateway.enable_stage_timings`).
 """
 
 from __future__ import annotations
 
+import time
 from collections.abc import Sequence
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.core.pas import PasModel
 from repro.errors import UnknownModelError
 from repro.llm.api import ChatClient
 from repro.llm.engine import SimulatedLLM
+from repro.llm.types import Message
 from repro.serve.cache import LruCache
 from repro.serve.types import ServeRequest, ServeResponse
 
 __all__ = ["GatewayStats", "PasGateway"]
+
+#: Stage keys reported by :meth:`PasGateway.enable_stage_timings`.
+STAGES = ("augment", "cache", "completion", "stats")
 
 
 @dataclass
@@ -32,6 +42,11 @@ class GatewayStats:
     ``requests`` counts every request the gateway attempted, including the
     ones whose completion ultimately failed; ``failures`` counts just the
     failed ones, so ``requests - failures`` is the number served.
+    ``per_model`` mirrors ``requests`` per target model (attempts, served
+    *and* failed); ``failures_per_model`` mirrors ``failures``, so the
+    served count per model is their difference.  ``embed_cache_hits`` /
+    ``embed_cache_misses`` track the embedding memo tier under the
+    complement LRU (a hit means an augmentation skipped re-embedding).
     """
 
     requests: int = 0
@@ -40,7 +55,10 @@ class GatewayStats:
     failures: int = 0
     prompt_tokens: int = 0
     completion_tokens: int = 0
+    embed_cache_hits: int = 0
+    embed_cache_misses: int = 0
     per_model: dict[str, int] = field(default_factory=dict)
+    failures_per_model: dict[str, int] = field(default_factory=dict)
 
     @property
     def augmentation_rate(self) -> float:
@@ -49,13 +67,47 @@ class GatewayStats:
         return self.augmented / self.requests
 
 
+class _StageClock:
+    """Accumulate elapsed wall time into per-stage buckets via ``lap``."""
+
+    __slots__ = ("_timings", "_last")
+
+    def __init__(self, timings: dict[str, float]):
+        self._timings = timings
+        self._last = time.perf_counter()
+
+    def lap(self, stage: str) -> None:
+        now = time.perf_counter()
+        self._timings[stage] += now - self._last
+        self._last = now
+
+
+class _NullClock:
+    """No-op stand-in when stage timing is disabled."""
+
+    __slots__ = ()
+
+    def lap(self, stage: str) -> None:
+        pass
+
+
+_NULL_CLOCK = _NullClock()
+
+
 class PasGateway:
-    """Serve augmented completions for any registered target model."""
+    """Serve augmented completions for any registered target model.
+
+    ``cache_size`` bounds the complement LRU (prompt → complement);
+    ``embed_cache_size`` bounds the embedding memo tier beneath it
+    (prompt → embedding vector; ``0`` disables the tier).  Both caches
+    are transparent: cached values are bit-identical to recomputation.
+    """
 
     def __init__(
         self,
         pas: PasModel,
         cache_size: int = 1024,
+        embed_cache_size: int = 1024,
         failure_rate: float = 0.0,
         max_retries: int = 3,
         seed: int = 0,
@@ -66,7 +118,29 @@ class PasGateway:
         self._max_retries = max_retries
         self._clients: dict[str, ChatClient] = {}
         self._complement_cache: LruCache[str, str] = LruCache(capacity=cache_size)
+        self._embed_cache: LruCache[str, np.ndarray] | None = (
+            LruCache(capacity=embed_cache_size) if embed_cache_size > 0 else None
+        )
         self.stats = GatewayStats()
+        self.stage_timings: dict[str, float] | None = None
+
+    def enable_stage_timings(self) -> dict[str, float]:
+        """Turn on per-stage wall-clock accounting and return the buckets.
+
+        Every subsequent request accumulates elapsed seconds into
+        ``{"augment", "cache", "completion", "stats"}`` — augmentation
+        compute, cache bookkeeping (both tiers), target-model
+        completions, and stats/response assembly.  Timing never touches
+        results; it only reads the clock between stages.
+        """
+        if self.stage_timings is None:
+            self.stage_timings = {stage: 0.0 for stage in STAGES}
+        return self.stage_timings
+
+    def _stage_clock(self) -> _StageClock | _NullClock:
+        if self.stage_timings is None:
+            return _NULL_CLOCK
+        return _StageClock(self.stage_timings)
 
     def client_for(self, model: str) -> ChatClient:
         """The (lazily created) client serving one target model."""
@@ -80,16 +154,33 @@ class PasGateway:
         return self._clients[model]
 
     def _complement(
-        self, prompt: str, precomputed: dict[str, str] | None = None
+        self,
+        prompt: str,
+        precomputed: dict[str, tuple[str, np.ndarray | None]] | None,
+        clock: _StageClock | _NullClock,
     ) -> tuple[str, bool]:
         cached = self._complement_cache.get(prompt)
         if cached is not None:
+            clock.lap("cache")
             return cached, True
         if precomputed is not None and prompt in precomputed:
-            complement = precomputed[prompt]
+            complement, embedding = precomputed[prompt]
+            if self._embed_cache is not None:
+                # Replay the embedding-tier touches the scalar augment()
+                # would make: one get, and on a miss a put of the same
+                # vector (held from planning, or recomputed for prompts
+                # whose complement was held from the LRU peek).
+                if self._embed_cache.get(prompt) is None:
+                    if embedding is None:
+                        embedding = self.pas.embed_prompts([prompt])[0]
+                    self._embed_cache.put(prompt, embedding)
+            clock.lap("cache")
         else:
-            complement = self.pas.augment(prompt)
+            clock.lap("cache")
+            complement = self.pas.augment(prompt, embed_cache=self._embed_cache)
+            clock.lap("augment")
         self._complement_cache.put(prompt, complement)
+        clock.lap("cache")
         return complement, False
 
     def ask(self, request: ServeRequest) -> ServeResponse:
@@ -102,11 +193,15 @@ class PasGateway:
         return self._serve(request, None)
 
     def _serve(
-        self, request: ServeRequest, precomputed: dict[str, str] | None
+        self,
+        request: ServeRequest,
+        precomputed: dict[str, tuple[str, np.ndarray | None]] | None,
     ) -> ServeResponse:
+        clock = self._stage_clock()
         client = self.client_for(request.model)
+        clock.lap("completion")
         if request.augment:
-            complement, was_cached = self._complement(request.prompt, precomputed)
+            complement, was_cached = self._complement(request.prompt, precomputed, clock)
         else:
             complement, was_cached = "", False
         try:
@@ -117,7 +212,12 @@ class PasGateway:
             self.stats.per_model[request.model] = (
                 self.stats.per_model.get(request.model, 0) + 1
             )
+            self.stats.failures_per_model[request.model] = (
+                self.stats.failures_per_model.get(request.model, 0) + 1
+            )
+            self._sync_embed_stats()
             raise
+        clock.lap("completion")
 
         self.stats.requests += 1
         self.stats.augmented += bool(complement)
@@ -127,7 +227,8 @@ class PasGateway:
         self.stats.per_model[request.model] = (
             self.stats.per_model.get(request.model, 0) + 1
         )
-        return ServeResponse(
+        self._sync_embed_stats()
+        response = ServeResponse(
             request_id=request.request_id,
             model=request.model,
             response=completion.content,
@@ -136,27 +237,45 @@ class PasGateway:
             prompt_tokens=completion.prompt_tokens,
             completion_tokens=completion.completion_tokens,
         )
+        clock.lap("stats")
+        return response
+
+    def _sync_embed_stats(self) -> None:
+        """Mirror the embedding tier's counters into :class:`GatewayStats`.
+
+        The gateway is the cache's only writer, so assigning the
+        cumulative counters after each request equals per-request delta
+        accounting — and stays bit-identical between the scalar and
+        batched paths, which perform the same cache operations.
+        """
+        if self._embed_cache is not None:
+            self.stats.embed_cache_hits = self._embed_cache.hits
+            self.stats.embed_cache_misses = self._embed_cache.misses
 
     def ask_batch(self, requests: Sequence[ServeRequest]) -> list[ServeResponse]:
         """Serve many requests, augmenting all cache misses in one pass.
 
-        Planning phase: identical prompts are deduplicated, the complement
-        cache is peeked (without touching its accounting), and every
-        missing prompt goes through a single
-        :meth:`~repro.core.pas.PasModel.augment_batch` forward pass.
+        Planning phase: identical prompts are deduplicated, both cache
+        tiers are peeked (without touching their accounting), every
+        missing embedding is computed in one
+        :meth:`~repro.core.pas.PasModel.embed_prompts` pass, and every
+        missing complement in one
+        :meth:`~repro.core.pas.PasModel.augment_with_embeddings` pass.
         Serving phase: each request then replays the exact scalar
-        :meth:`ask` sequence — cache gets/puts, completions, and stats
-        happen in the same order with the same values, so responses,
-        ``GatewayStats``, and the cache's hit/miss/recency state are all
-        bit-identical to ``[self.ask(r) for r in requests]``.  If a
-        completion exhausts its retries the same exception propagates from
-        the same request (earlier responses are counted but not returned).
+        :meth:`ask` sequence — cache gets/puts on both tiers,
+        completions, and stats happen in the same order with the same
+        values, so responses, ``GatewayStats``, and both caches'
+        hit/miss/recency state are all bit-identical to
+        ``[self.ask(r) for r in requests]``.  If a completion exhausts
+        its retries the same exception propagates from the same request
+        (earlier responses are counted but not returned).
         """
         requests = list(requests)
         if not requests:
             return []
+        clock = self._stage_clock()
         planned: set[str] = set()
-        precomputed: dict[str, str] = {}
+        precomputed: dict[str, tuple[str, np.ndarray | None]] = {}
         to_augment: list[str] = []
         for request in requests:
             if not request.augment or request.prompt in planned:
@@ -168,9 +287,29 @@ class PasGateway:
             else:
                 # Hold the value: if the entry is evicted mid-batch, the
                 # replay below still serves what augment() would recompute.
-                precomputed[request.prompt] = cached
-        for prompt, complement in zip(to_augment, self.pas.augment_batch(to_augment)):
-            precomputed[prompt] = complement
+                precomputed[request.prompt] = (cached, None)
+        clock.lap("cache")
+        if to_augment:
+            if self._embed_cache is None:
+                complements = self.pas.augment_batch(to_augment)
+                vectors: list[np.ndarray | None] = [None] * len(to_augment)
+            else:
+                held: dict[str, np.ndarray] = {}
+                missing: list[str] = []
+                for prompt in to_augment:
+                    vector = self._embed_cache.peek(prompt)
+                    if vector is None:
+                        missing.append(prompt)
+                    else:
+                        held[prompt] = vector
+                if missing:
+                    for prompt, row in zip(missing, self.pas.embed_prompts(missing)):
+                        held[prompt] = row
+                vectors = [held[prompt] for prompt in to_augment]
+                complements = self.pas.augment_with_embeddings(to_augment, vectors)
+            for prompt, complement, vector in zip(to_augment, complements, vectors):
+                precomputed[prompt] = (complement, vector)
+            clock.lap("augment")
         return [self._serve(request, precomputed) for request in requests]
 
     def ask_text(self, prompt: str, model: str) -> str:
@@ -182,13 +321,18 @@ class PasGateway:
         return self._complement_cache.hit_rate
 
     @property
+    def embed_cache_hit_rate(self) -> float:
+        """Hit rate of the embedding memo tier (0.0 when disabled)."""
+        if self._embed_cache is None:
+            return 0.0
+        return self._embed_cache.hit_rate
+
+    @property
     def registered_models(self) -> list[str]:
         return sorted(self._clients)
 
 
-def _messages(prompt: str, complement: str):
-    from repro.llm.types import Message
-
+def _messages(prompt: str, complement: str) -> list[Message]:
     messages = [Message("user", prompt)]
     if complement:
         messages.insert(0, Message("system", complement))

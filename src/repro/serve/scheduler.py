@@ -1,0 +1,156 @@
+"""Deterministic micro-batching in front of the gateway's batch path.
+
+``PasGateway.ask_batch`` amortises augmentation across a batch, but live
+traffic arrives one request at a time.  The :class:`MicroBatcher` bridges
+the two: requests are queued as they arrive and drained into a batch
+handler when either
+
+* the queue reaches ``max_batch`` requests (**size** trigger), or
+* the oldest queued request has waited ``max_wait`` ticks (**wait**
+  trigger).
+
+"Time" is the repo's logical clock — one tick per :meth:`submit`, the
+same convention :class:`~repro.serve.middleware.RateLimitMiddleware`
+uses — so batch formation is a pure function of the request sequence:
+no wall clock, no races, fully replayable in tests.  Because
+``ask_batch`` is bit-identical to its scalar loop for *any* partition of
+the request stream, the scheduler's outputs, gateway stats, and cache
+state all match a direct ``ask_batch`` (or ``ask`` loop) over the same
+sequence (``tests/test_serve_scheduler.py`` pins this).
+
+Each drain appends a :class:`BatchRecord` with per-batch occupancy and
+queueing-latency stats, the observability a batching tier needs to tune
+its two knobs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.serve.types import ServeRequest, ServeResponse
+
+__all__ = ["BatchRecord", "MicroBatcher", "SchedulerStats"]
+
+Handler = Callable[[Sequence[ServeRequest]], "list[ServeResponse]"]
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """Accounting for one drained batch."""
+
+    tick: int  #: logical time at which the batch drained
+    size: int
+    trigger: str  #: ``"size"``, ``"wait"``, or ``"flush"``
+    occupancy: float  #: ``size / max_batch``
+    mean_wait_ticks: float  #: mean submit-to-drain latency, in ticks
+    max_wait_ticks: int
+
+
+@dataclass
+class SchedulerStats:
+    """Cumulative scheduler accounting across all drained batches."""
+
+    submitted: int = 0
+    drained: int = 0
+    batches: int = 0
+    triggers: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.drained / self.batches if self.batches else 0.0
+
+
+class MicroBatcher:
+    """Queue requests and drain them into a batch handler deterministically.
+
+    Parameters
+    ----------
+    handler:
+        The batch endpoint, typically ``gateway.ask_batch``.  Called with
+        the drained requests in arrival order; its return list is handed
+        back from the :meth:`submit`/:meth:`flush` call that triggered
+        the drain.  If it raises (a completion exhausting its retries),
+        the drained batch is consumed and the exception propagates —
+        exactly ``ask_batch``'s contract.
+    max_batch:
+        Size trigger: drain as soon as this many requests are queued.
+    max_wait:
+        Wait trigger: drain when the oldest queued request is this many
+        ticks old.  The clock only advances on submissions, so a quiet
+        stream must :meth:`flush` to drain its tail.
+    """
+
+    def __init__(self, handler: Handler, max_batch: int = 8, max_wait: int = 4):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait < 1:
+            raise ValueError(f"max_wait must be >= 1, got {max_wait}")
+        self._handler = handler
+        self.max_batch = max_batch
+        self.max_wait = max_wait
+        self._clock = 0
+        self._pending: list[tuple[int, ServeRequest]] = []
+        self.records: list[BatchRecord] = []
+        self.stats = SchedulerStats()
+
+    @property
+    def clock(self) -> int:
+        """The logical time: how many requests have been submitted."""
+        return self._clock
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def submit(self, request: ServeRequest) -> list[ServeResponse]:
+        """Enqueue one request; returns the batch it triggered, if any.
+
+        Most submissions return ``[]`` (the request is parked); when the
+        size or wait trigger fires, the whole queue drains and the
+        responses — including earlier requests' — come back in arrival
+        order.
+        """
+        self._clock += 1
+        self._pending.append((self._clock, request))
+        self.stats.submitted += 1
+        if len(self._pending) >= self.max_batch:
+            return self._drain("size")
+        if self._clock - self._pending[0][0] >= self.max_wait:
+            return self._drain("wait")
+        return []
+
+    def flush(self) -> list[ServeResponse]:
+        """Drain whatever is queued (end of stream, or idle tail)."""
+        if not self._pending:
+            return []
+        return self._drain("flush")
+
+    def run(self, requests: Iterable[ServeRequest]) -> list[ServeResponse]:
+        """Submit a whole stream and flush; responses in arrival order."""
+        responses: list[ServeResponse] = []
+        for request in requests:
+            responses.extend(self.submit(request))
+        responses.extend(self.flush())
+        return responses
+
+    def _drain(self, trigger: str) -> list[ServeResponse]:
+        arrivals = [tick for tick, _ in self._pending]
+        batch = [request for _, request in self._pending]
+        self._pending = []
+        responses = self._handler(batch)
+        waits = [self._clock - tick for tick in arrivals]
+        self.records.append(
+            BatchRecord(
+                tick=self._clock,
+                size=len(batch),
+                trigger=trigger,
+                occupancy=len(batch) / self.max_batch,
+                mean_wait_ticks=sum(waits) / len(waits),
+                max_wait_ticks=max(waits),
+            )
+        )
+        self.stats.drained += len(batch)
+        self.stats.batches += 1
+        self.stats.triggers[trigger] = self.stats.triggers.get(trigger, 0) + 1
+        return responses

@@ -16,7 +16,7 @@ import time
 from collections.abc import Callable
 from dataclasses import dataclass
 
-__all__ = ["TimingResult", "time_call", "speedup"]
+__all__ = ["TimingResult", "time_call", "time_pair", "speedup"]
 
 
 @dataclass(frozen=True)
@@ -90,6 +90,62 @@ def time_call(
         repeats=repeats,
         best_s=min(times),
         mean_s=sum(times) / len(times),
+    )
+
+
+def time_pair(
+    baseline: Callable[[], object],
+    contender: Callable[[], object],
+    *,
+    labels: tuple[str, str] = ("baseline", "contender"),
+    n_items: int = 1,
+    repeats: int = 3,
+    warmup: int = 1,
+) -> tuple[TimingResult, TimingResult]:
+    """Time two callables in interleaved rounds: baseline, contender, repeat.
+
+    :func:`time_call` measures each side in one contiguous block, so any
+    systematic drift between the blocks — CPU frequency scaling, another
+    process waking up, allocator state left by an earlier benchmark —
+    lands entirely on one side and biases the ratio.  That bias is
+    invisible for 3x speedups but decides the sign of a 1.1x one.
+    Alternating the two callables every round spreads drift evenly across
+    both sides; best-of-``repeats`` then discards the jittery rounds.
+
+    Returns ``(baseline_result, contender_result)``; feed them to
+    :func:`speedup` in the same order.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
+    for _ in range(warmup):
+        baseline()
+        contender()
+    base_times: list[float] = []
+    cont_times: list[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        baseline()
+        base_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        contender()
+        cont_times.append(time.perf_counter() - start)
+    return (
+        TimingResult(
+            label=labels[0],
+            n_items=n_items,
+            repeats=repeats,
+            best_s=min(base_times),
+            mean_s=sum(base_times) / len(base_times),
+        ),
+        TimingResult(
+            label=labels[1],
+            n_items=n_items,
+            repeats=repeats,
+            best_s=min(cont_times),
+            mean_s=sum(cont_times) / len(cont_times),
+        ),
     )
 
 

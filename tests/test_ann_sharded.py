@@ -1,0 +1,143 @@
+"""Tests for the sharded HNSW index (parallel build/search, deterministic merge)."""
+
+import numpy as np
+import pytest
+
+from repro.ann.bruteforce import BruteForceIndex
+from repro.ann.hnsw import HnswIndex
+from repro.ann.sharded import ShardedHnswIndex
+from repro.errors import IndexError_
+
+
+def _data(n, dim, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(n, dim))
+
+
+class TestConstruction:
+    def test_round_robin_balance(self):
+        index = ShardedHnswIndex(dim=8, n_shards=4)
+        index.add_batch(_data(10, 8), range(10))
+        assert index.shard_sizes == [3, 3, 2, 2]
+        assert len(index) == 10
+
+    def test_add_continues_round_robin_after_batch(self):
+        index = ShardedHnswIndex(dim=8, n_shards=3)
+        index.add_batch(_data(4, 8), range(4))
+        index.add(_data(1, 8, seed=9)[0], key=99)  # element 4 -> shard 1
+        assert index.shard_sizes == [2, 2, 1]
+
+    def test_duplicate_key_rejected_across_shards(self):
+        index = ShardedHnswIndex(dim=8, n_shards=2)
+        index.add_batch(_data(2, 8), [7, 8])
+        with pytest.raises(IndexError_):
+            index.add(_data(1, 8)[0], key=7)  # lives on the other shard
+
+    def test_parallel_and_serial_builds_identical(self):
+        points = _data(30, 8)
+        parallel = ShardedHnswIndex(dim=8, n_shards=4, seed=2)
+        parallel.add_batch(points, range(30), parallel=True)
+        serial = ShardedHnswIndex(dim=8, n_shards=4, seed=2)
+        serial.add_batch(points, range(30), parallel=False)
+        queries = _data(10, 8, seed=1)
+        assert parallel.search_batch(queries, 5) == serial.search_batch(queries, 5)
+
+    def test_validation(self):
+        with pytest.raises(IndexError_):
+            ShardedHnswIndex(dim=8, n_shards=0)
+        with pytest.raises(IndexError_):
+            ShardedHnswIndex(dim=8, max_workers=0)
+        index = ShardedHnswIndex(dim=8, n_shards=2)
+        with pytest.raises(IndexError_):
+            index.add_batch(_data(3, 5), range(3))  # wrong dim
+        with pytest.raises(IndexError_):
+            index.add_batch(_data(3, 8), [1, 2])  # key count mismatch
+        with pytest.raises(IndexError_):
+            index.search(np.zeros(8), k=0)
+        with pytest.raises(IndexError_):
+            index.search(np.zeros(5), k=1)  # wrong query dim
+
+    def test_empty_batch_is_noop(self):
+        index = ShardedHnswIndex(dim=8, n_shards=2)
+        index.add_batch(np.zeros((0, 8)))
+        assert len(index) == 0
+
+
+class TestSearchParity:
+    """The batched/parallel path is bit-identical to its scalar loop."""
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 4])
+    @pytest.mark.parametrize("metric", ["cosine", "l2"])
+    def test_search_batch_matches_scalar_loop(self, n_shards, metric):
+        index = ShardedHnswIndex(dim=12, n_shards=n_shards, metric=metric, seed=3)
+        index.add_batch(_data(90, 12), range(90))
+        queries = _data(15, 12, seed=4)
+        assert index.search_batch(queries, 6) == [
+            index.search(q, 6) for q in queries
+        ]
+
+    def test_single_shard_identical_to_monolithic(self):
+        points, queries = _data(80, 10), _data(12, 10, seed=5)
+        mono = HnswIndex(dim=10, seed=7)
+        mono.add_batch(points, range(80))
+        sharded = ShardedHnswIndex(dim=10, n_shards=1, seed=7)
+        sharded.add_batch(points, range(80))
+        assert sharded.search_batch(queries, 5) == mono.search_batch(queries, 5)
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 4])
+    def test_exact_overlap_with_monolithic(self, n_shards):
+        """At ef >= n both indexes are exhaustive, so top-k sets must agree."""
+        points, queries = _data(96, 12), _data(20, 12, seed=6)
+        mono = HnswIndex(dim=12, seed=0)
+        mono.add_batch(points, range(96))
+        sharded = ShardedHnswIndex(dim=12, n_shards=n_shards, seed=0)
+        sharded.add_batch(points, range(96))
+        overlaps = []
+        for query in queries:
+            exact = {key for key, _ in mono.search(query, 10, ef=128)}
+            mine = {key for key, _ in sharded.search(query, 10, ef=128)}
+            overlaps.append(len(mine & exact) / 10)
+        assert np.mean(overlaps) == 1.0
+
+    def test_recall_vs_bruteforce(self):
+        points, queries = _data(150, 12, seed=8), _data(20, 12, seed=9)
+        sharded = ShardedHnswIndex(dim=12, n_shards=3, ef_search=80, seed=0)
+        sharded.add_batch(points, range(150))
+        brute = BruteForceIndex(dim=12)
+        for i, p in enumerate(points):
+            brute.add(p, key=i)
+        recalls = []
+        for hits, query in zip(sharded.search_batch(queries, 10), queries):
+            exact = {key for key, _ in brute.search(query, 10)}
+            recalls.append(len({key for key, _ in hits} & exact) / 10)
+        assert np.mean(recalls) > 0.9
+
+    def test_results_sorted_nearest_first(self):
+        index = ShardedHnswIndex(dim=8, n_shards=3, seed=1)
+        index.add_batch(_data(40, 8), range(40))
+        hits = index.search(_data(1, 8, seed=2)[0], 8)
+        dists = [d for _, d in hits]
+        assert dists == sorted(dists)
+
+
+class TestEdgeShapes:
+    def test_fewer_elements_than_shards(self):
+        index = ShardedHnswIndex(dim=8, n_shards=4, seed=0)
+        index.add_batch(_data(3, 8), range(3))
+        assert index.shard_sizes == [1, 1, 1, 0]
+        hits = index.search(_data(1, 8, seed=1)[0], 5)
+        assert sorted(key for key, _ in hits) == [0, 1, 2]
+        queries = _data(4, 8, seed=2)
+        assert index.search_batch(queries, 5) == [index.search(q, 5) for q in queries]
+
+    def test_empty_index(self):
+        index = ShardedHnswIndex(dim=8, n_shards=4)
+        assert index.search(np.zeros(8), 3) == []
+        assert index.search_batch(_data(5, 8), 3) == [[] for _ in range(5)]
+        assert index.search_batch(np.zeros((0, 8)), 3) == []
+
+    def test_k_larger_than_population(self):
+        index = ShardedHnswIndex(dim=8, n_shards=2, seed=0)
+        index.add_batch(_data(5, 8), range(5))
+        hits = index.search(_data(1, 8, seed=3)[0], 20)
+        assert len(hits) == 5

@@ -16,10 +16,13 @@ import pytest
 from repro import build_default_dataset
 from repro.ann.bruteforce import BruteForceIndex
 from repro.ann.hnsw import HnswIndex
+from repro.ann.sharded import ShardedHnswIndex
 from repro.core.pas import PasModel
 from repro.embedding.model import EmbeddingModel
 from repro.errors import NotFittedError
+from repro.serve.cache import LruCache
 from repro.serve.gateway import PasGateway
+from repro.serve.scheduler import MicroBatcher
 from repro.serve.types import ServeRequest
 from repro.world.prompts import PromptFactory
 
@@ -105,6 +108,61 @@ class TestAugmentBatchParity:
             PasModel(base_model="qwen2-7b-chat").augment_batch(["hi there friend."])
 
 
+class TestShardedSearchParity:
+    """Thread-parallel sharded search == its scalar per-query loop, bitwise."""
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 4])
+    def test_bitwise_vs_per_query_search(self, n_shards):
+        rng = np.random.default_rng(n_shards)
+        points = rng.normal(size=(100, 16))
+        queries = rng.normal(size=(18, 16))
+        index = ShardedHnswIndex(dim=16, n_shards=n_shards, seed=0)
+        index.add_batch(points, range(len(points)))
+        assert index.search_batch(queries, 5) == [
+            index.search(q, 5) for q in queries
+        ]
+
+    def test_parallel_flag_changes_nothing(self):
+        rng = np.random.default_rng(11)
+        points = rng.normal(size=(60, 12))
+        queries = rng.normal(size=(10, 12))
+        index = ShardedHnswIndex(dim=12, n_shards=3, seed=2)
+        index.add_batch(points, range(len(points)))
+        assert index.search_batch(queries, 4, parallel=True) == index.search_batch(
+            queries, 4, parallel=False
+        )
+
+
+class TestAugmentEmbedCacheParity:
+    """The embedding memo is transparent: cached == uncached, bitwise."""
+
+    def test_augment_with_and_without_cache(self, trained_pas):
+        prompts = _corpus(10, 17)
+        cache: LruCache = LruCache(capacity=4)  # smaller than the prompt set
+        cached_twice = [
+            [trained_pas.augment(p, embed_cache=cache) for p in prompts]
+            for _ in range(2)
+        ]
+        plain = [trained_pas.augment(p) for p in prompts]
+        assert cached_twice[0] == cached_twice[1] == plain
+
+    def test_augment_batch_with_cache(self, trained_pas):
+        prompts = _corpus(8, 19)
+        prompts += prompts[:3]
+        cache: LruCache = LruCache(capacity=16)
+        warm = trained_pas.augment_batch(prompts, embed_cache=cache)
+        rewarm = trained_pas.augment_batch(prompts, embed_cache=cache)
+        assert warm == rewarm == trained_pas.augment_batch(prompts)
+        assert cache.hits > 0
+
+    def test_augment_with_embeddings_matches_scalar(self, trained_pas):
+        prompts = _corpus(6, 23)
+        vectors = trained_pas.embed_prompts(prompts)
+        assert trained_pas.augment_with_embeddings(prompts, vectors) == [
+            trained_pas.augment(p) for p in prompts
+        ]
+
+
 class TestGatewayBatchParity:
     def test_replay_matches_scalar_even_under_eviction(self, trained_pas):
         # cache capacity far below the number of unique prompts in the
@@ -120,3 +178,37 @@ class TestGatewayBatchParity:
         assert list(batched._complement_cache._data) == list(
             scalar._complement_cache._data
         )
+
+    def test_replay_matches_scalar_with_both_tiers_thrashing(self, trained_pas):
+        # Both cache tiers are smaller than the unique-prompt set, so the
+        # replay exercises every path: complement evictions forcing
+        # re-augmentation, embedding evictions forcing re-embeds, and the
+        # planning phase's held values standing in for both.
+        prompts = _corpus(10, 29)
+        traffic = prompts + prompts[:5] + prompts[::-1]
+        requests = [ServeRequest(prompt=p, model="gpt-4-0613") for p in traffic]
+        scalar = PasGateway(pas=trained_pas, cache_size=3, embed_cache_size=4)
+        batched = PasGateway(pas=trained_pas, cache_size=3, embed_cache_size=4)
+        assert batched.ask_batch(requests) == [scalar.ask(r) for r in requests]
+        assert batched.stats == scalar.stats
+        assert [
+            (key, value.tobytes())
+            for key, value in batched._embed_cache._data.items()
+        ] == [
+            (key, value.tobytes())
+            for key, value in scalar._embed_cache._data.items()
+        ]
+
+
+class TestMicroBatcherParity:
+    def test_any_partition_matches_one_batch(self, trained_pas):
+        prompts = _corpus(9, 31)
+        traffic = prompts + prompts[:4]
+        requests = [ServeRequest(prompt=p, model="gpt-4-0613") for p in traffic]
+        direct = PasGateway(pas=trained_pas, cache_size=4, embed_cache_size=4)
+        expected = direct.ask_batch(requests)
+        for max_batch, max_wait in ((1, 1), (3, 2), (5, 100)):
+            gateway = PasGateway(pas=trained_pas, cache_size=4, embed_cache_size=4)
+            batcher = MicroBatcher(gateway.ask_batch, max_batch=max_batch, max_wait=max_wait)
+            assert batcher.run(requests) == expected
+            assert gateway.stats == direct.stats

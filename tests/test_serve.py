@@ -153,6 +153,7 @@ class TestGatewayFailureAccounting:
         assert gateway.stats.requests == 1
         assert gateway.stats.failures == 1
         assert gateway.stats.per_model == {"gpt-4-0613": 1}
+        assert gateway.stats.failures_per_model == {"gpt-4-0613": 1}
         # the failed completion contributes no served-side accounting
         assert gateway.stats.augmented == 0
         assert gateway.stats.prompt_tokens == 0
@@ -161,6 +162,103 @@ class TestGatewayFailureAccounting:
         gateway = PasGateway(pas=trained_pas, cache_size=8)
         gateway.ask_text("how do i parse csv files? show me how.", "gpt-4-0613")
         assert gateway.stats.failures == 0
+        assert gateway.stats.failures_per_model == {}
+
+    def test_per_model_mixes_served_and_failed(self, trained_pas, monkeypatch):
+        """``per_model`` counts attempts; ``failures_per_model`` isolates
+        the failed ones, so served-per-model is their difference."""
+        gateway = PasGateway(pas=trained_pas, cache_size=8)
+        gateway.ask_text("how do i bake bread? walk me through it.", "gpt-4-0613")
+        client = gateway.client_for("gpt-4-0613")
+
+        def exploding_complete(messages):
+            raise TransientApiError("gpt-4-0613: all attempts failed transiently")
+
+        monkeypatch.setattr(client, "complete", exploding_complete)
+        with pytest.raises(TransientApiError):
+            gateway.ask_text("why does my regex backtrack so much? be concise.", "gpt-4-0613")
+        assert gateway.stats.per_model == {"gpt-4-0613": 2}
+        assert gateway.stats.failures_per_model == {"gpt-4-0613": 1}
+        served = {
+            model: count - gateway.stats.failures_per_model.get(model, 0)
+            for model, count in gateway.stats.per_model.items()
+        }
+        assert served == {"gpt-4-0613": 1}
+
+
+class TestEmbeddingCacheTier:
+    """The embedding memo under the complement LRU (two-tier caching)."""
+
+    def test_eviction_reaugment_hits_embed_tier(self, trained_pas):
+        # Complement LRU of 1 thrashes between two prompts; every
+        # re-augmentation after the first should reuse the embedding.
+        gateway = PasGateway(pas=trained_pas, cache_size=1, embed_cache_size=16)
+        prompts = [
+            "how do i bake bread? walk me through it.",
+            "how do i parse csv files? show me how.",
+        ]
+        for _ in range(3):
+            for prompt in prompts:
+                gateway.ask(ServeRequest(prompt=prompt, model="gpt-4-0613"))
+        assert gateway.stats.embed_cache_misses == 2  # first sight of each
+        assert gateway.stats.embed_cache_hits == 4  # every re-augmentation
+        assert gateway.embed_cache_hit_rate == pytest.approx(4 / 6)
+
+    def test_complement_hit_skips_embed_tier(self, trained_pas):
+        gateway = PasGateway(pas=trained_pas, cache_size=8, embed_cache_size=16)
+        request = ServeRequest(
+            prompt="how do i bake bread? walk me through it.", model="gpt-4-0613"
+        )
+        gateway.ask(request)
+        gateway.ask(request)  # complement LRU hit: the lower tier is idle
+        assert gateway.stats.embed_cache_misses == 1
+        assert gateway.stats.embed_cache_hits == 0
+
+    def test_disabled_tier(self, trained_pas):
+        gateway = PasGateway(pas=trained_pas, cache_size=1, embed_cache_size=0)
+        for _ in range(2):
+            gateway.ask_text("how do i bake bread? walk me through it.", "gpt-4-0613")
+        assert gateway.embed_cache_hit_rate == 0.0
+        assert gateway.stats.embed_cache_hits == 0
+        assert gateway.stats.embed_cache_misses == 0
+
+    def test_cached_embedding_changes_nothing(self, trained_pas):
+        prompt = "how do i bake bread? walk me through it."
+        with_tier = PasGateway(pas=trained_pas, cache_size=1, embed_cache_size=16)
+        without = PasGateway(pas=trained_pas, cache_size=1, embed_cache_size=0)
+        filler = "why does my regex backtrack so much? be concise."
+        answers = []
+        for gateway in (with_tier, without):
+            gateway.ask_text(prompt, "gpt-4-0613")
+            gateway.ask_text(filler, "gpt-4-0613")  # evicts the complement
+            answers.append(gateway.ask(ServeRequest(prompt=prompt, model="gpt-4-0613")))
+        assert answers[0] == answers[1]
+
+
+class TestStageTimings:
+    def test_disabled_by_default(self, trained_pas):
+        gateway = PasGateway(pas=trained_pas, cache_size=8)
+        gateway.ask_text("how do i parse csv files? show me how.", "gpt-4-0613")
+        assert gateway.stage_timings is None
+
+    def test_buckets_accumulate(self, trained_pas):
+        gateway = PasGateway(pas=trained_pas, cache_size=8)
+        timings = gateway.enable_stage_timings()
+        assert set(timings) == {"augment", "cache", "completion", "stats"}
+        gateway.ask_batch(
+            [
+                ServeRequest(prompt=p, model="gpt-4-0613")
+                for p in (
+                    "how do i bake bread? walk me through it.",
+                    "how do i parse csv files? show me how.",
+                )
+            ]
+        )
+        assert all(v >= 0.0 for v in timings.values())
+        assert timings["completion"] > 0.0
+        assert timings["augment"] > 0.0
+        # enabling twice keeps the same accumulator
+        assert gateway.enable_stage_timings() is timings
 
 
 class TestGatewayBatch:

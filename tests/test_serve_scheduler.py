@@ -1,0 +1,134 @@
+"""Tests for the deterministic micro-batching scheduler."""
+
+import pytest
+
+from repro.llm.api import TransientApiError
+from repro.serve.gateway import PasGateway
+from repro.serve.scheduler import MicroBatcher
+from repro.serve.types import ServeRequest
+
+PROMPTS = [
+    "how do i parse csv files? show me how.",
+    "how do i bake bread? walk me through it.",
+    "why does my regex backtrack so much? be concise.",
+    "how do i parse csv files? show me how.",  # duplicate
+    "how do i profile python code? please explain it in detail.",
+    "how do i sort a csv by two columns? show me how.",
+    "what is a good chess opening for beginners? be concise.",
+]
+
+
+def _requests(prompts=PROMPTS, model="gpt-4-0613"):
+    return [ServeRequest(prompt=p, model=model) for p in prompts]
+
+
+class TestTriggers:
+    def test_size_trigger_drains_full_batch(self):
+        batches = []
+        mb = MicroBatcher(lambda reqs: batches.append(list(reqs)) or [], max_batch=3, max_wait=10)
+        reqs = _requests()
+        for r in reqs[:2]:
+            assert mb.submit(r) == []
+        assert mb.pending == 2
+        mb.submit(reqs[2])  # third request fills the batch
+        assert mb.pending == 0
+        assert [len(b) for b in batches] == [3]
+        assert mb.records[0].trigger == "size"
+        assert mb.records[0].occupancy == 1.0
+
+    def test_wait_trigger_drains_partial_batch(self):
+        batches = []
+        mb = MicroBatcher(lambda reqs: batches.append(list(reqs)) or [], max_batch=100, max_wait=3)
+        for r in _requests()[:4]:
+            mb.submit(r)
+        # request 1 arrived at tick 1; by tick 4 it has waited 3 ticks.
+        assert [len(b) for b in batches] == [4]
+        assert mb.records[0].trigger == "wait"
+        assert mb.records[0].max_wait_ticks == 3
+        assert mb.records[0].occupancy == pytest.approx(0.04)
+
+    def test_flush_drains_tail(self):
+        batches = []
+        mb = MicroBatcher(lambda reqs: batches.append(list(reqs)) or [], max_batch=100, max_wait=100)
+        for r in _requests()[:2]:
+            mb.submit(r)
+        assert batches == []
+        mb.flush()
+        assert [len(b) for b in batches] == [2]
+        assert mb.records[0].trigger == "flush"
+        assert mb.flush() == []  # idempotent when empty
+
+    def test_logical_clock_counts_submissions(self):
+        mb = MicroBatcher(lambda reqs: [], max_batch=2, max_wait=2)
+        assert mb.clock == 0
+        for r in _requests()[:5]:
+            mb.submit(r)
+        assert mb.clock == 5
+
+    def test_stats_accumulate(self):
+        mb = MicroBatcher(lambda reqs: [], max_batch=3, max_wait=10)
+        for r in _requests()[:7]:
+            mb.submit(r)
+        mb.flush()
+        assert mb.stats.submitted == 7
+        assert mb.stats.drained == 7
+        assert mb.stats.batches == 3
+        assert mb.stats.triggers == {"size": 2, "flush": 1}
+        assert mb.stats.mean_batch_size == pytest.approx(7 / 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda reqs: [], max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda reqs: [], max_wait=0)
+
+
+class TestGatewayParity:
+    """Draining through the scheduler == one direct ask_batch == the ask loop."""
+
+    def test_run_matches_direct_ask_batch(self, trained_pas):
+        reqs = _requests()
+        direct = PasGateway(pas=trained_pas, cache_size=8)
+        scheduled = PasGateway(pas=trained_pas, cache_size=8)
+        mb = MicroBatcher(scheduled.ask_batch, max_batch=3, max_wait=2)
+        assert mb.run(reqs) == direct.ask_batch(reqs)
+        assert scheduled.stats == direct.stats
+        assert list(scheduled._complement_cache._data) == list(
+            direct._complement_cache._data
+        )
+
+    def test_run_matches_scalar_loop_under_eviction(self, trained_pas):
+        # Tiny caches force evictions across batch boundaries; the
+        # partitioned replay must still match the scalar sequence.
+        reqs = _requests(PROMPTS + PROMPTS[::-1])
+        scalar = PasGateway(pas=trained_pas, cache_size=3, embed_cache_size=3)
+        scheduled = PasGateway(pas=trained_pas, cache_size=3, embed_cache_size=3)
+        mb = MicroBatcher(scheduled.ask_batch, max_batch=4, max_wait=3)
+        assert mb.run(reqs) == [scalar.ask(r) for r in reqs]
+        assert scheduled.stats == scalar.stats
+
+    def test_responses_in_arrival_order(self, trained_pas):
+        gateway = PasGateway(pas=trained_pas, cache_size=8)
+        mb = MicroBatcher(gateway.ask_batch, max_batch=2, max_wait=5)
+        reqs = [
+            ServeRequest(prompt=p, model="gpt-4-0613", request_id=str(i))
+            for i, p in enumerate(PROMPTS)
+        ]
+        responses = mb.run(reqs)
+        assert [r.request_id for r in responses] == [str(i) for i in range(len(PROMPTS))]
+
+    def test_handler_exception_consumes_batch(self, trained_pas, monkeypatch):
+        gateway = PasGateway(pas=trained_pas, cache_size=8)
+        client = gateway.client_for("gpt-4-0613")
+
+        def exploding_complete(messages):
+            raise TransientApiError("gpt-4-0613: all attempts failed transiently")
+
+        monkeypatch.setattr(client, "complete", exploding_complete)
+        mb = MicroBatcher(gateway.ask_batch, max_batch=2, max_wait=10)
+        reqs = _requests()[:2]
+        mb.submit(reqs[0])
+        with pytest.raises(TransientApiError):
+            mb.submit(reqs[1])
+        assert mb.pending == 0  # the batch was consumed, as ask_batch's contract
+        assert gateway.stats.failures_per_model == {"gpt-4-0613": 1}

@@ -1,0 +1,117 @@
+"""Tests for the timing harness and the bench regression gate."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.utils.timing import TimingResult, speedup, time_call, time_pair
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "benchmarks"))
+from check_bench_regression import collect_speedups, main  # noqa: E402
+
+
+class TestTimeCall:
+    def test_counts_calls(self):
+        calls = []
+        time_call(lambda: calls.append(1), repeats=3, warmup=2)
+        assert len(calls) == 5
+
+    def test_result_fields(self):
+        result = time_call(lambda: None, label="noop", n_items=10, repeats=2)
+        assert result.label == "noop"
+        assert result.repeats == 2
+        assert result.best_s <= result.mean_s
+        assert result.items_per_s > 0.0
+        assert set(result.to_dict()) == {
+            "label", "n_items", "repeats", "best_s", "mean_s", "items_per_s",
+        }
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            time_call(lambda: None, repeats=0)
+        with pytest.raises(ValueError):
+            time_call(lambda: None, warmup=-1)
+
+
+class TestTimePair:
+    def test_interleaves_calls(self):
+        order = []
+        time_pair(
+            lambda: order.append("a"),
+            lambda: order.append("b"),
+            repeats=3,
+            warmup=1,
+        )
+        assert order == ["a", "b"] * 4  # warmup round + 3 measured rounds
+
+    def test_labels_and_shapes(self):
+        base, cont = time_pair(
+            lambda: None, lambda: None,
+            labels=("x", "y"), n_items=5, repeats=2,
+        )
+        assert (base.label, cont.label) == ("x", "y")
+        assert base.n_items == cont.n_items == 5
+        assert speedup(base, cont) > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            time_pair(lambda: None, lambda: None, repeats=0)
+        with pytest.raises(ValueError):
+            time_pair(lambda: None, lambda: None, warmup=-1)
+
+
+class TestSpeedup:
+    def test_per_item_normalised(self):
+        slow = TimingResult(label="s", n_items=10, repeats=1, best_s=2.0, mean_s=2.0)
+        fast = TimingResult(label="f", n_items=20, repeats=1, best_s=1.0, mean_s=1.0)
+        assert speedup(slow, fast) == pytest.approx(4.0)
+
+
+class TestBenchRegressionGate:
+    PAYLOAD = {
+        "embed": {"speedup": 2.5},
+        "augment": {"speedup": 1.2, "unique_only_speedup": 1.9},
+        "sharded": {
+            "build": {"speedup": 2.0},
+            "search": {"throughput_ratio_vs_single": 0.5},  # not gated
+        },
+        "scale": {"n_items": 100},
+    }
+
+    def test_collects_only_speedup_named_keys(self):
+        found = dict(collect_speedups(self.PAYLOAD))
+        assert found == {
+            "embed.speedup": 2.5,
+            "augment.speedup": 1.2,
+            "augment.unique_only_speedup": 1.9,
+            "sharded.build.speedup": 2.0,
+        }
+
+    def test_passes_when_all_above_threshold(self, tmp_path, capsys):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(self.PAYLOAD))
+        assert main([str(path)]) == 0
+        assert "all 4 speedups" in capsys.readouterr().out
+
+    def test_fails_on_regression(self, tmp_path, capsys):
+        bad = {"gateway": {"speedup": 0.9}, "embed": {"speedup": 3.0}}
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(bad))
+        assert main([str(path)]) == 1
+        captured = capsys.readouterr()
+        assert "gateway.speedup" in captured.err
+
+    def test_rejects_missing_file_and_empty_payload(self, tmp_path):
+        assert main([str(tmp_path / "absent.json")]) == 2
+        empty = tmp_path / "empty.json"
+        empty.write_text("{}")
+        assert main([str(empty)]) == 2
+        assert main([]) == 2
+
+    def test_current_bench_json_passes(self):
+        bench = Path(__file__).resolve().parents[1] / "BENCH_serving.json"
+        if not bench.is_file():
+            pytest.skip("BENCH_serving.json not generated yet")
+        assert main([str(bench)]) == 0
