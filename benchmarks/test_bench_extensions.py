@@ -26,7 +26,7 @@ from repro.pipeline.strategies import (
     TopQualitySelection,
     apply_strategy,
 )
-from repro.serve.gateway import PasGateway
+from repro.serve.gateway import GatewayConfig, PasGateway
 from repro.serve.types import ServeRequest
 from repro.world.prompts import PromptFactory
 
@@ -78,7 +78,7 @@ class TestSelectionStrategyAblation:
 
 class TestGatewayCache:
     def test_cache_under_heavy_tailed_traffic(self, benchmark, ctx):
-        gateway = PasGateway(pas=ctx.pas, cache_size=256)
+        gateway = PasGateway(pas=ctx.pas, config=GatewayConfig(cache_size=256))
         factory = PromptFactory(rng=np.random.default_rng(62))
         unique = [factory.make_prompt().text for _ in range(30)]
         rng = np.random.default_rng(63)

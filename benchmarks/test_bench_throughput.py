@@ -31,7 +31,7 @@ from repro.ann.hnsw import HnswIndex
 from repro.ann.sharded import ShardedHnswIndex
 from repro.core.pas import PasModel
 from repro.embedding.model import EmbeddingModel
-from repro.serve.gateway import PasGateway
+from repro.serve.gateway import GatewayConfig, PasGateway
 from repro.serve.scheduler import MicroBatcher
 from repro.serve.types import ServeRequest
 from repro.utils.timing import speedup, time_call, time_pair
@@ -479,11 +479,11 @@ def test_scheduler_throughput(trained_pas, cold_traffic):
     ]
 
     def serve_scalar():
-        gateway = PasGateway(pas=trained_pas, cache_size=1024)
+        gateway = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=1024))
         return [gateway.ask(r) for r in requests]
 
     def serve_scheduled():
-        gateway = PasGateway(pas=trained_pas, cache_size=1024)
+        gateway = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=1024))
         batcher = MicroBatcher(gateway.ask_batch, max_batch=32, max_wait=8)
         return batcher.run(requests)
 
@@ -495,7 +495,7 @@ def test_scheduler_throughput(trained_pas, cold_traffic):
         n_items=len(requests), repeats=3,
     )
     probe = MicroBatcher(
-        PasGateway(pas=trained_pas, cache_size=1024).ask_batch,
+        PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=1024)).ask_batch,
         max_batch=32, max_wait=8,
     )
     probe.run(requests)
@@ -531,11 +531,11 @@ def test_two_tier_cache_throughput(trained_pas, zipf_traffic):
     small = 8  # complement LRU capacity << N_UNIQUE_PROMPTS
 
     def serve_one_tier():
-        gateway = PasGateway(pas=trained_pas, cache_size=small, embed_cache_size=0)
+        gateway = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=small, embed_cache_size=0))
         return [gateway.ask(r) for r in requests]
 
     def serve_two_tier():
-        gateway = PasGateway(pas=trained_pas, cache_size=small, embed_cache_size=1024)
+        gateway = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=small, embed_cache_size=1024))
         return [gateway.ask(r) for r in requests]
 
     assert serve_one_tier() == serve_two_tier()  # the memo tier is transparent
@@ -545,7 +545,7 @@ def test_two_tier_cache_throughput(trained_pas, zipf_traffic):
         labels=("complement LRU only", "complement LRU + embed memo"),
         n_items=len(requests), repeats=3,
     )
-    probe = PasGateway(pas=trained_pas, cache_size=small, embed_cache_size=1024)
+    probe = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=small, embed_cache_size=1024))
     for request in requests:
         probe.ask(request)
     RESULTS["two_tier_cache"] = {
@@ -565,11 +565,11 @@ def test_gateway_throughput(trained_pas, zipf_traffic):
     ]
 
     def serve_scalar():
-        gateway = PasGateway(pas=trained_pas, cache_size=1024)
+        gateway = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=1024))
         return [gateway.ask(r) for r in requests]
 
     def serve_batched():
-        gateway = PasGateway(pas=trained_pas, cache_size=1024)
+        gateway = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=1024))
         return gateway.ask_batch(requests)
 
     assert serve_scalar() == serve_batched()  # replay parity, end to end
@@ -579,7 +579,7 @@ def test_gateway_throughput(trained_pas, zipf_traffic):
         labels=("gateway ask loop", "gateway ask_batch"),
         n_items=len(requests), repeats=4,
     )
-    probe = PasGateway(pas=trained_pas, cache_size=1024)
+    probe = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=1024))
     stage_s = probe.enable_stage_timings()
     probe.ask_batch(requests)
     stage_total = sum(stage_s.values())

@@ -22,7 +22,9 @@ from repro import PasModel, build_default_dataset
 from repro.ann.hnsw import HnswIndex
 from repro.ann.sharded import ShardedHnswIndex
 from repro.embedding.model import EmbeddingModel
-from repro.serve.gateway import PasGateway
+import json
+
+from repro.serve.gateway import GatewayConfig, PasGateway
 from repro.serve.scheduler import MicroBatcher
 from repro.serve.types import ServeRequest
 from repro.world.prompts import PromptFactory
@@ -69,24 +71,27 @@ def micro_batching_demo(gateway: PasGateway, traffic: list[str]) -> None:
         print(f"    tick {record.tick:3d}: size {record.size}, "
               f"trigger={record.trigger}, occupancy {record.occupancy:.2f}, "
               f"mean wait {record.mean_wait_ticks:.1f} ticks")
-    print(f"  responses in arrival order: {len(responses)}\n")
+    print(f"  responses in arrival order: {len(responses)}")
+    print(f"  first response as JSON: {json.dumps(responses[0].as_dict())[:100]}...\n")
 
 
 def two_tier_demo(pas: PasModel, traffic: list[str]) -> None:
     print("=== 3. two-tier caching ===")
     # A tiny complement LRU thrashes on this traffic; the embedding memo
     # underneath still absorbs the expensive half of each re-augmentation.
-    gateway = PasGateway(pas=pas, cache_size=4, embed_cache_size=256)
+    config = GatewayConfig(cache_size=4, embed_cache_size=256)
+    gateway = PasGateway(pas=pas, config=config)
     for prompt in traffic:
         gateway.ask(ServeRequest(prompt=prompt, model="gpt-4-0613"))
-    stats = gateway.stats
-    print(f"  {stats.requests} requests, "
+    stats = gateway.stats.as_dict()
+    print(f"  {stats['requests']} requests, "
           f"complement hit rate {gateway.cache_hit_rate:.2f}, "
           f"embed hit rate {gateway.embed_cache_hit_rate:.2f}")
-    print(f"  embed tier: {stats.embed_cache_hits} hits / "
-          f"{stats.embed_cache_misses} misses")
+    print(f"  embed tier: {stats['embed_cache_hits']} hits / "
+          f"{stats['embed_cache_misses']} misses")
+    print(f"  stats export keys: {', '.join(list(stats)[:6])}, ...")
 
-    timed = PasGateway(pas=pas, cache_size=4, embed_cache_size=256)
+    timed = PasGateway(pas=pas, config=config)
     timings = timed.enable_stage_timings()
     timed.ask_batch([ServeRequest(prompt=p, model="gpt-4-0613") for p in traffic])
     total = sum(timings.values())
@@ -105,7 +110,9 @@ def main() -> None:
     rng = np.random.default_rng(12)
     traffic = [pool[i] for i in rng.integers(0, len(pool), size=60)]
 
-    micro_batching_demo(PasGateway(pas=pas, cache_size=256), traffic)
+    micro_batching_demo(
+        PasGateway(pas=pas, config=GatewayConfig(cache_size=256)), traffic
+    )
     two_tier_demo(pas, traffic)
 
 

@@ -1,0 +1,125 @@
+"""Tour the resilient serving layer: outcomes, fault injection, breakers.
+
+The paper's plug-and-play promise (§3.4) means PAS must never cost the
+user their answer: if augmentation fails, the raw prompt still gets
+completed (a ``degraded`` outcome); only when the target model itself
+cannot answer does the gateway return a ``failed`` response — and even
+then it *returns* it rather than raising.  This example exercises that
+contract under a deterministic :class:`FaultPlan`:
+
+1. Outcome-based serving — one ``ServeResponse`` per request with
+   ``status`` in {ok, degraded, failed}, never an escaped exception.
+2. Deadlines and backoff — a ``RetryPolicy`` budgets logical time per
+   request; latency spikes and retries consume it.
+3. Per-model circuit breakers — an outage window trips the breaker,
+   requests fail fast while it is open, and a half-open probe closes it
+   once the backend recovers.
+
+Everything is seeded and runs on the logical clock (one tick per
+request), so the exact same failures, retries, and breaker transitions
+happen every run.
+
+Run:  python examples/resilient_serving.py
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+
+import numpy as np
+
+from repro import build_default_pas
+from repro.resilience import FaultPlan, OutageWindow, RetryPolicy
+from repro.serve.gateway import GatewayConfig, PasGateway
+from repro.serve.types import ServeRequest
+from repro.world.prompts import PromptFactory
+
+
+def outcome_demo(pas, traffic: list[str]) -> None:
+    print("=== 1. outcomes under injected faults ===")
+    plan = FaultPlan(
+        seed=7,
+        completion_failure_rate=0.35,
+        augment_failure_rate=0.25,
+    )
+    gateway = PasGateway(
+        pas=pas,
+        config=GatewayConfig(cache_size=64, max_retries=1, fault_plan=plan),
+    )
+    responses = gateway.ask_batch(
+        [ServeRequest(prompt=p, model="gpt-4-0613") for p in traffic]
+    )
+    counts = collections.Counter(r.status for r in responses)
+    print(f"  {len(responses)} requests -> {dict(counts)} (zero exceptions)")
+    degraded = next(r for r in responses if r.status == "degraded")
+    print(f"  a degraded response still answers the raw prompt: "
+          f"complement={degraded.complement!r}, error={degraded.error!r}")
+    failed = next(r for r in responses if r.status == "failed")
+    print(f"  a failed response reports why: attempts={failed.attempts}, "
+          f"error={failed.error!r}")
+    print(f"  stats: served={gateway.stats.served} "
+          f"(= requests {gateway.stats.requests} - failures {gateway.stats.failures}), "
+          f"degraded={gateway.stats.degraded}\n")
+
+
+def deadline_demo(pas, traffic: list[str]) -> None:
+    print("=== 2. deadlines and backoff ===")
+    plan = FaultPlan(
+        seed=3,
+        completion_failure_rate=0.5,
+        latency_spike_rate=0.3,
+        latency_spike_ticks=6,
+    )
+    policy = RetryPolicy(max_retries=4, base_backoff=1.0, max_backoff=8.0,
+                         deadline_ticks=6.0, seed=3)
+    gateway = PasGateway(
+        pas=pas,
+        config=GatewayConfig(cache_size=64, fault_plan=plan, retry_policy=policy),
+    )
+    responses = gateway.ask_batch(
+        [ServeRequest(prompt=p, model="gpt-4-0613") for p in traffic]
+    )
+    deadline_failures = [r for r in responses if r.failed and "Deadline" in r.error]
+    print(f"  {gateway.stats.retries} retried attempts, "
+          f"{gateway.stats.backoff_ticks:.1f} logical ticks spent backing off")
+    print(f"  {len(deadline_failures)} requests gave up at the deadline "
+          f"rather than retrying forever\n")
+
+
+def breaker_demo(pas, traffic: list[str]) -> None:
+    print("=== 3. per-model circuit breaker riding out an outage ===")
+    plan = FaultPlan(outages=(OutageWindow("gpt-4-0613", 0, 12),))
+    gateway = PasGateway(
+        pas=pas,
+        config=GatewayConfig(
+            cache_size=64,
+            max_retries=0,
+            fault_plan=plan,
+            breaker_threshold=3,
+            breaker_recovery_ticks=4,
+        ),
+    )
+    for prompt in (traffic * 2)[:20]:
+        gateway.ask(ServeRequest(prompt=prompt, model="gpt-4-0613"))
+    breaker = gateway.breaker_for("gpt-4-0613")
+    print(f"  outage over ticks [0, 12), breaker trips after 3 failures,")
+    print(f"  probes every 4 ticks: {breaker.trips} trips, now {breaker.state}")
+    print("  transitions (tick, state):", breaker.transitions)
+    print(f"  stats export: {json.dumps(gateway.stats.as_dict())[:120]}...\n")
+
+
+def main() -> None:
+    pas = build_default_pas(n_prompts=200, seed=0)
+    factory = PromptFactory(rng=np.random.default_rng(23))
+    traffic = [factory.make_prompt().text for _ in range(16)]
+
+    outcome_demo(pas, traffic)
+    deadline_demo(pas, traffic)
+    breaker_demo(pas, traffic)
+
+    print("same seeds, same faults, same transitions -- every run.")
+
+
+if __name__ == "__main__":
+    main()

@@ -14,7 +14,7 @@ from __future__ import annotations
 import tempfile
 from pathlib import Path
 
-from repro import PasGateway, build_default_pas
+from repro import GatewayConfig, PasGateway, build_default_pas
 from repro.core.iterative import IterativePas
 from repro.core.pas import PasModel
 from repro.llm.engine import SimulatedLLM
@@ -35,7 +35,10 @@ def main() -> None:
         # --- reload in the "serving process" ---
         served = PasModel.load(path)
 
-    gateway = PasGateway(pas=served, cache_size=512, failure_rate=0.1, max_retries=5)
+    gateway = PasGateway(
+        pas=served,
+        config=GatewayConfig(cache_size=512, failure_rate=0.1, max_retries=5),
+    )
 
     # --- route traffic for several targets, with repeats (cache food) ---
     factory = PromptFactory(rng=np.random.default_rng(17))

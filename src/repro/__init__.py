@@ -25,7 +25,8 @@ from repro.llm.engine import SimulatedLLM
 from repro.pipeline.collect import CollectionConfig, PromptCollector
 from repro.pipeline.dataset import PromptPairDataset
 from repro.pipeline.generate import GenerationConfig, PairGenerator
-from repro.serve.gateway import PasGateway
+from repro.resilience import CircuitBreaker, FaultPlan, RetryPolicy
+from repro.serve.gateway import GatewayConfig, PasGateway
 from repro.world.prompts import CorpusConfig, PromptFactory
 
 __all__ = [
@@ -40,6 +41,10 @@ __all__ = [
     "PromptPairDataset",
     "PromptFactory",
     "PasGateway",
+    "GatewayConfig",
+    "FaultPlan",
+    "RetryPolicy",
+    "CircuitBreaker",
     "CorpusConfig",
     "build_default_dataset",
     "build_default_pas",

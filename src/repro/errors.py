@@ -38,3 +38,20 @@ class IndexError_(ReproError):
 
 class BudgetExceededError(ReproError):
     """A simulated API budget (request or token limit) was exhausted."""
+
+
+class AugmentationError(ReproError):
+    """Producing the complementary prompt failed (the raw prompt still works)."""
+
+
+class DeadlineExceededError(ReproError):
+    """A request's logical-time deadline budget cannot fit another attempt.
+
+    Raised by :class:`~repro.llm.api.ChatClient` when a
+    :class:`~repro.resilience.RetryPolicy` deadline is set; carries an
+    ``attempts`` attribute with the number of attempts actually made.
+    """
+
+
+class CircuitOpenError(ReproError):
+    """A per-model circuit breaker rejected the request without trying it."""

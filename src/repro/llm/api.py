@@ -5,15 +5,29 @@ usage accounting, transient failures, and retries.  ``ChatClient`` adds all
 three on top of :class:`~repro.llm.engine.SimulatedLLM`, so pipeline code is
 written the way production data-generation code is written — and the failure
 path is testable.
+
+Resilience hooks (all optional, all no-ops when unset):
+
+* ``fault_plan`` — a :class:`~repro.resilience.FaultPlan` injecting
+  deterministic per-attempt completion failures, latency spikes, and
+  per-model outage windows on a logical clock;
+* ``retry_policy`` — a :class:`~repro.resilience.RetryPolicy` replacing the
+  flat ``max_retries`` loop with capped exponential backoff (deterministic
+  jitter) and an optional per-request deadline budget in logical ticks;
+* ``clock`` — a supplier of logical time used to evaluate outage windows
+  (the gateway passes its own request clock; standalone clients fall back
+  to their request counter).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
-from repro.errors import BudgetExceededError, ReproError
+from repro.errors import BudgetExceededError, DeadlineExceededError, ReproError
 from repro.llm.engine import SimulatedLLM
-from repro.llm.types import ChatCompletion, Message
+from repro.llm.types import ChatCompletion, Message, build_messages
+from repro.resilience import FaultPlan, RetryPolicy
 from repro.text.tokenizer import Tokenizer
 
 __all__ = ["Usage", "TransientApiError", "ChatClient"]
@@ -25,12 +39,18 @@ class TransientApiError(ReproError):
 
 @dataclass
 class Usage:
-    """Cumulative token / request accounting."""
+    """Cumulative token / request accounting.
+
+    ``failures`` counts failed *attempts* (each one either retried or
+    terminal); ``backoff_ticks`` totals the logical-time pauses a
+    :class:`~repro.resilience.RetryPolicy` inserted between attempts.
+    """
 
     requests: int = 0
     prompt_tokens: int = 0
     completion_tokens: int = 0
     failures: int = 0
+    backoff_ticks: float = 0.0
 
     @property
     def total_tokens(self) -> int:
@@ -49,16 +69,29 @@ class ChatClient:
         Probability that an individual attempt fails transiently; failures
         are deterministic per (input, attempt), so tests can rely on them.
     max_retries:
-        Attempts beyond the first before giving up.
+        Attempts beyond the first before giving up (superseded by
+        ``retry_policy.max_retries`` when a policy is set).
     max_requests:
         Optional hard request budget; exceeding it raises
         :class:`~repro.errors.BudgetExceededError`.
+    fault_plan:
+        Optional :class:`~repro.resilience.FaultPlan` injecting completion
+        failures, latency spikes, and outage windows.
+    retry_policy:
+        Optional :class:`~repro.resilience.RetryPolicy` adding backoff and a
+        per-request deadline budget.
+    clock:
+        Optional logical-time supplier for outage-window evaluation;
+        defaults to this client's own request counter.
     """
 
     engine: SimulatedLLM
     failure_rate: float = 0.0
     max_retries: int = 3
     max_requests: int | None = None
+    fault_plan: FaultPlan | None = None
+    retry_policy: RetryPolicy | None = None
+    clock: Callable[[], int] | None = None
     usage: Usage = field(default_factory=Usage)
     _tokenizer: Tokenizer = field(default_factory=Tokenizer, repr=False)
 
@@ -68,10 +101,21 @@ class ChatClient:
         if self.max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
 
-    def _attempt_fails(self, text: str, attempt: int) -> bool:
+    def _now(self) -> int:
+        """Logical time for outage windows (gateway clock or request count)."""
+        if self.clock is not None:
+            return self.clock()
+        return self.usage.requests
+
+    def _attempt_fails(self, text: str, attempt: int, tick: int) -> bool:
+        if self.fault_plan is not None:
+            if self.fault_plan.in_outage(self.engine.name, tick):
+                return True
+            if self.fault_plan.completion_fails(text, attempt):
+                return True
         if self.failure_rate <= 0.0:
             return False
-        rng = self.engine._call_rng("api-failure", text, str(attempt))
+        rng = self.engine.call_rng("api-failure", text, str(attempt))
         return bool(rng.random() < self.failure_rate)
 
     def complete(self, messages: list[Message]) -> ChatCompletion:
@@ -80,6 +124,11 @@ class ChatClient:
         The last user message is the prompt; an optional preceding system
         message is treated as the complementary supplement (this mirrors how
         PAS deploys: original prompt plus complement, concatenated).
+
+        Raises :class:`TransientApiError` when every allowed attempt failed,
+        or :class:`~repro.errors.DeadlineExceededError` when the retry
+        policy's deadline budget cannot fit another attempt; both carry an
+        ``attempts`` attribute with the number of attempts actually made.
         """
         if not messages:
             raise ValueError("messages must be non-empty")
@@ -96,11 +145,33 @@ class ChatClient:
             )
         self.usage.requests += 1
 
+        key = prompt + (supplement or "")
+        tick = self._now()
+        max_retries = (
+            self.retry_policy.max_retries if self.retry_policy is not None else self.max_retries
+        )
+        budget = self.retry_policy.deadline_ticks if self.retry_policy is not None else None
+        elapsed = 0.0
         retries = 0
-        for attempt in range(self.max_retries + 1):
-            if self._attempt_fails(prompt + (supplement or ""), attempt):
+        for attempt in range(max_retries + 1):
+            cost = 1.0
+            if self.fault_plan is not None:
+                cost += self.fault_plan.latency_ticks(key, attempt)
+            if budget is not None and elapsed + cost > budget:
+                error = DeadlineExceededError(
+                    f"{self.engine.name}: deadline of {budget} ticks cannot fit "
+                    f"attempt {attempt + 1} (elapsed {elapsed}, attempt cost {cost})"
+                )
+                error.attempts = attempt
+                raise error
+            elapsed += cost
+            if self._attempt_fails(key, attempt, tick):
                 self.usage.failures += 1
                 retries += 1
+                if self.retry_policy is not None and attempt < max_retries:
+                    pause = self.retry_policy.backoff_ticks(key, attempt)
+                    elapsed += pause
+                    self.usage.backoff_ticks += pause
                 continue
             content = self.engine.respond(prompt, supplement=supplement)
             prompt_tokens = self._tokenizer.count(prompt) + (
@@ -116,13 +187,12 @@ class ChatClient:
                 completion_tokens=completion_tokens,
                 retries=retries,
             )
-        raise TransientApiError(
-            f"{self.engine.name}: all {self.max_retries + 1} attempts failed transiently"
+        error = TransientApiError(
+            f"{self.engine.name}: all {max_retries + 1} attempts failed transiently"
         )
+        error.attempts = max_retries + 1
+        raise error
 
     def ask(self, prompt: str, supplement: str | None = None) -> str:
         """Convenience wrapper returning just the response text."""
-        messages = [Message("user", prompt)]
-        if supplement:
-            messages.insert(0, Message("system", supplement))
-        return self.complete(messages).content
+        return self.complete(build_messages(prompt, supplement or "")).content

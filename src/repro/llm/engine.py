@@ -55,10 +55,18 @@ class SimulatedLLM:
     def name(self) -> str:
         return self.profile.name
 
-    def _call_rng(self, purpose: str, *texts: str) -> np.random.Generator:
-        """Deterministic RNG for one faculty invocation."""
+    def call_rng(self, purpose: str, *texts: str) -> np.random.Generator:
+        """Deterministic RNG for one faculty invocation.
+
+        Public so wrappers (e.g. :class:`~repro.llm.api.ChatClient`) can
+        derive failure/noise streams that are reproducible per
+        ``(model, seed, purpose, texts)`` without sharing generator state.
+        """
         material = "␞".join((self.name, str(self.seed), purpose, *texts))
         return np.random.default_rng(stable_hash(material))
+
+    #: Backwards-compatible alias (pre-dates the public promotion).
+    _call_rng = call_rng
 
     # ------------------------------------------------------------------ #
     # faculties

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["Message", "ChatCompletion"]
+__all__ = ["Message", "ChatCompletion", "build_messages"]
 
 _VALID_ROLES = ("system", "user", "assistant")
 
@@ -19,6 +19,27 @@ class Message:
     def __post_init__(self) -> None:
         if self.role not in _VALID_ROLES:
             raise ValueError(f"invalid role {self.role!r}; expected one of {_VALID_ROLES}")
+
+
+def build_messages(prompt: str, complement: str = "") -> list[Message]:
+    """The library-wide prompt + complement chat convention.
+
+    PAS deploys by concatenation (§3.4): the user's prompt stays intact as
+    the ``user`` turn and the complementary prompt, when non-empty, rides
+    along as a preceding ``system`` turn.  Every layer that talks to a
+    chat model — the gateway, :meth:`ChatClient.ask <repro.llm.api.ChatClient.ask>`,
+    baselines, experiments — should build its message list here instead of
+    re-implementing the concat convention.
+
+    >>> [m.role for m in build_messages("question", "directive")]
+    ['system', 'user']
+    >>> [m.role for m in build_messages("question")]
+    ['user']
+    """
+    messages = [Message("user", prompt)]
+    if complement:
+        messages.insert(0, Message("system", complement))
+    return messages
 
 
 @dataclass(frozen=True)

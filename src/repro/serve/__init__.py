@@ -7,20 +7,37 @@ two cache tiers (complement LRU over an embedding memo — the same prompt
 never pays for augmentation or embedding twice), a deterministic
 micro-batching scheduler in front of the batch path, and request
 telemetry.
+
+Failure is a first-class outcome: every request put through the
+non-strict API yields exactly one :class:`ServeResponse` whose ``status``
+is ``ok``, ``degraded`` (augmentation failed, the raw prompt was served —
+the plug-and-play fallback), or ``failed`` (no completion).  Faults are
+injected with a seedable :class:`~repro.resilience.FaultPlan`, retries are
+shaped by a :class:`~repro.resilience.RetryPolicy`, and per-model
+:class:`~repro.resilience.CircuitBreaker`\\ s fail fast while a backend
+misbehaves.
 """
 
+from repro.llm.types import build_messages
+from repro.resilience import CircuitBreaker, FaultPlan, OutageWindow, RetryPolicy
 from repro.serve.cache import LruCache
-from repro.serve.gateway import GatewayStats, PasGateway
+from repro.serve.gateway import GatewayConfig, GatewayStats, PasGateway
 from repro.serve.scheduler import BatchRecord, MicroBatcher, SchedulerStats
 from repro.serve.types import ServeRequest, ServeResponse
 
 __all__ = [
     "BatchRecord",
+    "CircuitBreaker",
+    "FaultPlan",
+    "GatewayConfig",
     "GatewayStats",
     "LruCache",
     "MicroBatcher",
+    "OutageWindow",
     "PasGateway",
+    "RetryPolicy",
     "SchedulerStats",
     "ServeRequest",
     "ServeResponse",
+    "build_messages",
 ]

@@ -9,62 +9,151 @@ prompt.  The gateway adds what a production front-end needs —
 * two tiers of caching: an LRU complement cache keyed by prompt text, and
   under it an embedding memo cache so complement-cache misses that
   re-augment a prompt skip re-embedding it,
-* cumulative :class:`GatewayStats` for observability, with optional
-  per-stage wall-clock timings (:meth:`PasGateway.enable_stage_timings`).
+* **outcome-based serving**: :meth:`PasGateway.ask` / :meth:`ask_batch`
+  return one :class:`~repro.serve.types.ServeResponse` per request instead
+  of raising — augmentation failures *degrade* to completing the raw
+  prompt (the plug-and-play fallback: the user always gets an answer) and
+  completion failures come back as ``failed`` responses.  ``strict=True``
+  restores the raising behaviour for callers that want exceptions,
+* per-model **circuit breakers** (closed → open after N consecutive
+  completion failures → half-open probe on the logical clock) that fail
+  fast while a backend is down,
+* cumulative :class:`GatewayStats` for observability — outcome counts,
+  retry/backoff totals, breaker states — with optional per-stage
+  wall-clock timings (:meth:`PasGateway.enable_stage_timings`).
+
+Message construction follows the library-wide
+:func:`~repro.llm.types.build_messages` convention (prompt as the ``user``
+turn, complement as a preceding ``system`` turn).
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from collections.abc import Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.core.pas import PasModel
-from repro.errors import UnknownModelError
+from repro.errors import AugmentationError, CircuitOpenError, ReproError, UnknownModelError
 from repro.llm.api import ChatClient
 from repro.llm.engine import SimulatedLLM
-from repro.llm.types import Message
+from repro.llm.types import build_messages
+from repro.resilience import CircuitBreaker, FaultPlan, RetryPolicy, augment_fault
 from repro.serve.cache import LruCache
 from repro.serve.types import ServeRequest, ServeResponse
 
-__all__ = ["GatewayStats", "PasGateway"]
+__all__ = ["GatewayConfig", "GatewayStats", "PasGateway", "build_messages"]
 
 #: Stage keys reported by :meth:`PasGateway.enable_stage_timings`.
 STAGES = ("augment", "cache", "completion", "stats")
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Everything configurable about a :class:`PasGateway`.
+
+    ``cache_size`` bounds the complement LRU (prompt → complement);
+    ``embed_cache_size`` bounds the embedding memo tier beneath it (``0``
+    disables the tier).  ``failure_rate`` / ``max_retries`` configure the
+    per-model :class:`~repro.llm.api.ChatClient`\\ s; ``seed`` salts the
+    simulated engines.  ``strict`` picks the default serving mode
+    (``False``: every request yields a response; ``True``: failures
+    raise).  ``fault_plan`` / ``retry_policy`` are injected into every
+    client (and the fault plan into augmentation); ``breaker_threshold``
+    consecutive completion failures open a model's circuit, which
+    half-opens for a probe after ``breaker_recovery_ticks`` on the
+    gateway's logical clock.
+    """
+
+    cache_size: int = 1024
+    embed_cache_size: int = 1024
+    failure_rate: float = 0.0
+    max_retries: int = 3
+    seed: int = 0
+    strict: bool = False
+    fault_plan: FaultPlan | None = None
+    retry_policy: RetryPolicy | None = None
+    breaker_threshold: int = 5
+    breaker_recovery_ticks: int = 16
+
+
+#: The flat ``PasGateway.__init__`` kwargs that pre-date :class:`GatewayConfig`.
+_DEPRECATED_KWARGS = ("cache_size", "embed_cache_size", "failure_rate", "max_retries", "seed")
 
 
 @dataclass
 class GatewayStats:
     """Cumulative request accounting.
 
-    ``requests`` counts every request the gateway attempted, including the
-    ones whose completion ultimately failed; ``failures`` counts just the
-    failed ones, so ``requests - failures`` is the number served.
-    ``per_model`` mirrors ``requests`` per target model (attempts, served
-    *and* failed); ``failures_per_model`` mirrors ``failures``, so the
-    served count per model is their difference.  ``embed_cache_hits`` /
+    ``requests`` counts every request the gateway attempted; ``failures``
+    counts the ones that produced **no answer** — completion retries
+    exhausted, deadline budget blown, or the model's circuit breaker open
+    — so ``requests - failures`` is the number *served* (also available as
+    :attr:`served`).  ``degraded`` counts served requests whose
+    augmentation failed and fell back to the raw prompt; degraded
+    responses are answers, so they are **not** failures.  ``per_model``
+    mirrors ``requests`` per target model (attempts, served *and* failed);
+    ``failures_per_model`` mirrors ``failures``, so the served count per
+    model is their difference.  ``embed_cache_hits`` /
     ``embed_cache_misses`` track the embedding memo tier under the
     complement LRU (a hit means an augmentation skipped re-embedding).
+    ``retries`` totals failed completion attempts across all model
+    clients, ``backoff_ticks`` the logical-time pauses their retry
+    policies inserted; ``breaker_state`` / ``breaker_trips`` snapshot each
+    model's circuit (state string, and how often it opened).
     """
 
     requests: int = 0
     augmented: int = 0
     cache_hits: int = 0
     failures: int = 0
+    degraded: int = 0
     prompt_tokens: int = 0
     completion_tokens: int = 0
     embed_cache_hits: int = 0
     embed_cache_misses: int = 0
+    retries: int = 0
+    backoff_ticks: float = 0.0
     per_model: dict[str, int] = field(default_factory=dict)
     failures_per_model: dict[str, int] = field(default_factory=dict)
+    breaker_state: dict[str, str] = field(default_factory=dict)
+    breaker_trips: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def served(self) -> int:
+        """Requests that got an answer (``ok`` + ``degraded``)."""
+        return self.requests - self.failures
 
     @property
     def augmentation_rate(self) -> float:
         if self.requests == 0:
             return 0.0
         return self.augmented / self.requests
+
+    def as_dict(self) -> dict:
+        """JSON-safe dict with a stable key order (for structured export)."""
+        return {
+            "requests": self.requests,
+            "served": self.served,
+            "failures": self.failures,
+            "degraded": self.degraded,
+            "augmented": self.augmented,
+            "augmentation_rate": self.augmentation_rate,
+            "cache_hits": self.cache_hits,
+            "embed_cache_hits": self.embed_cache_hits,
+            "embed_cache_misses": self.embed_cache_misses,
+            "prompt_tokens": self.prompt_tokens,
+            "completion_tokens": self.completion_tokens,
+            "retries": self.retries,
+            "backoff_ticks": self.backoff_ticks,
+            "per_model": dict(sorted(self.per_model.items())),
+            "failures_per_model": dict(sorted(self.failures_per_model.items())),
+            "breaker_state": dict(sorted(self.breaker_state.items())),
+            "breaker_trips": dict(sorted(self.breaker_trips.items())),
+        }
 
 
 class _StageClock:
@@ -93,36 +182,62 @@ class _NullClock:
 
 _NULL_CLOCK = _NullClock()
 
+_EMPTY: frozenset[str] = frozenset()
+
 
 class PasGateway:
     """Serve augmented completions for any registered target model.
 
-    ``cache_size`` bounds the complement LRU (prompt → complement);
-    ``embed_cache_size`` bounds the embedding memo tier beneath it
-    (prompt → embedding vector; ``0`` disables the tier).  Both caches
-    are transparent: cached values are bit-identical to recomputation.
+    Configure with a :class:`GatewayConfig` (``PasGateway(pas, config=...)``).
+    The pre-config flat kwargs (``cache_size``, ``embed_cache_size``,
+    ``failure_rate``, ``max_retries``, ``seed``) still work but emit a
+    :class:`DeprecationWarning`.
+
+    Both caches are transparent: cached values are bit-identical to
+    recomputation.  The serving API is outcome-based — see :meth:`ask`.
     """
 
     def __init__(
         self,
         pas: PasModel,
-        cache_size: int = 1024,
-        embed_cache_size: int = 1024,
-        failure_rate: float = 0.0,
-        max_retries: int = 3,
-        seed: int = 0,
+        config: GatewayConfig | None = None,
+        **deprecated,
     ):
+        unknown = set(deprecated) - set(_DEPRECATED_KWARGS)
+        if unknown:
+            raise TypeError(
+                f"PasGateway() got unexpected keyword arguments {sorted(unknown)}"
+            )
+        if deprecated:
+            warnings.warn(
+                "PasGateway flat kwargs "
+                f"({', '.join(sorted(deprecated))}) are deprecated; pass "
+                "PasGateway(pas, config=GatewayConfig(...)) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = replace(config or GatewayConfig(), **deprecated)
+        self.config = config or GatewayConfig()
         self.pas = pas
-        self.seed = int(seed)
-        self._failure_rate = failure_rate
-        self._max_retries = max_retries
+        self.seed = int(self.config.seed)
+        self._clock = 0
         self._clients: dict[str, ChatClient] = {}
-        self._complement_cache: LruCache[str, str] = LruCache(capacity=cache_size)
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._complement_cache: LruCache[str, str] = LruCache(
+            capacity=self.config.cache_size
+        )
         self._embed_cache: LruCache[str, np.ndarray] | None = (
-            LruCache(capacity=embed_cache_size) if embed_cache_size > 0 else None
+            LruCache(capacity=self.config.embed_cache_size)
+            if self.config.embed_cache_size > 0
+            else None
         )
         self.stats = GatewayStats()
         self.stage_timings: dict[str, float] | None = None
+
+    @property
+    def clock(self) -> int:
+        """Logical time: how many requests this gateway has attempted."""
+        return self._clock
 
     def enable_stage_timings(self) -> dict[str, float]:
         """Turn on per-stage wall-clock accounting and return the buckets.
@@ -148,21 +263,39 @@ class PasGateway:
             engine = SimulatedLLM(model, seed=self.seed)  # raises for unknown names
             self._clients[model] = ChatClient(
                 engine=engine,
-                failure_rate=self._failure_rate,
-                max_retries=self._max_retries,
+                failure_rate=self.config.failure_rate,
+                max_retries=self.config.max_retries,
+                fault_plan=self.config.fault_plan,
+                retry_policy=self.config.retry_policy,
+                clock=lambda: self._clock,
             )
         return self._clients[model]
+
+    def breaker_for(self, model: str) -> CircuitBreaker:
+        """The (lazily created) circuit breaker guarding one target model."""
+        if model not in self._breakers:
+            self._breakers[model] = CircuitBreaker(
+                failure_threshold=self.config.breaker_threshold,
+                recovery_ticks=self.config.breaker_recovery_ticks,
+            )
+        return self._breakers[model]
 
     def _complement(
         self,
         prompt: str,
         precomputed: dict[str, tuple[str, np.ndarray | None]] | None,
         clock: _StageClock | _NullClock,
+        degraded: frozenset[str] | set[str] = _EMPTY,
     ) -> tuple[str, bool]:
         cached = self._complement_cache.get(prompt)
         if cached is not None:
             clock.lap("cache")
             return cached, True
+        if prompt in degraded:
+            # Replay of a fault the batch planner already detected; the
+            # scalar path raises the identical error out of augment().
+            clock.lap("cache")
+            raise augment_fault(prompt)
         if precomputed is not None and prompt in precomputed:
             complement, embedding = precomputed[prompt]
             if self._embed_cache is not None:
@@ -177,57 +310,136 @@ class PasGateway:
             clock.lap("cache")
         else:
             clock.lap("cache")
-            complement = self.pas.augment(prompt, embed_cache=self._embed_cache)
+            complement = self.pas.augment(
+                prompt,
+                embed_cache=self._embed_cache,
+                fault_plan=self.config.fault_plan,
+            )
             clock.lap("augment")
         self._complement_cache.put(prompt, complement)
         clock.lap("cache")
         return complement, False
 
-    def ask(self, request: ServeRequest) -> ServeResponse:
-        """Serve one request end to end.
+    def ask(self, request: ServeRequest, *, strict: bool | None = None) -> ServeResponse:
+        """Serve one request end to end, returning a structured outcome.
 
-        A completion that exhausts its retries still counts: the request,
-        its model, and a :attr:`GatewayStats.failures` tick are recorded
-        before the error propagates.
+        Non-strict (the default, ``config.strict=False``): always returns
+        a :class:`~repro.serve.types.ServeResponse` — ``ok`` on the happy
+        path, ``degraded`` when augmentation failed and the *raw prompt*
+        was completed instead (plug-and-play: the original prompt is
+        always a valid input), ``failed`` when no completion could be
+        produced (retries exhausted, deadline blown, or circuit open);
+        failed responses carry the error string and the attempt count.
+
+        Strict (``strict=True``): preserves the historical contract — the
+        underlying :class:`~repro.errors.ReproError` propagates.  Either
+        way the request, its model, and a :attr:`GatewayStats.failures`
+        tick are recorded before a failure surfaces.
+
+        An unknown model name raises :class:`~repro.errors.UnknownModelError`
+        in strict mode and yields a ``failed`` response otherwise.
         """
-        return self._serve(request, None)
+        return self._serve(request, None, strict=self._strictness(strict))
+
+    def _strictness(self, strict: bool | None) -> bool:
+        return self.config.strict if strict is None else strict
+
+    def _record_failure(self, model: str) -> None:
+        self.stats.requests += 1
+        self.stats.failures += 1
+        self.stats.per_model[model] = self.stats.per_model.get(model, 0) + 1
+        self.stats.failures_per_model[model] = (
+            self.stats.failures_per_model.get(model, 0) + 1
+        )
+        self._sync_embed_stats()
+        self._sync_resilience_stats()
+
+    def _failed_response(
+        self, request: ServeRequest, complement: str, was_cached: bool, error: Exception
+    ) -> ServeResponse:
+        return ServeResponse(
+            request_id=request.request_id,
+            model=request.model,
+            response="",
+            complement=complement,
+            complement_cached=was_cached,
+            prompt_tokens=0,
+            completion_tokens=0,
+            status="failed",
+            error=f"{type(error).__name__}: {error}",
+            attempts=getattr(error, "attempts", 0),
+        )
 
     def _serve(
         self,
         request: ServeRequest,
         precomputed: dict[str, tuple[str, np.ndarray | None]] | None,
+        *,
+        strict: bool,
+        degraded: frozenset[str] | set[str] = _EMPTY,
     ) -> ServeResponse:
         clock = self._stage_clock()
-        client = self.client_for(request.model)
+        self._clock += 1
+        try:
+            client = self.client_for(request.model)
+        except UnknownModelError as error:
+            self._record_failure(request.model)
+            if strict:
+                raise
+            return self._failed_response(request, "", False, error)
+        breaker = self.breaker_for(request.model)
         clock.lap("completion")
+
+        if not breaker.allow(self._clock):
+            self._record_failure(request.model)
+            error = CircuitOpenError(
+                f"circuit open for model {request.model!r}: "
+                f"{breaker.consecutive_failures} consecutive failures, "
+                f"probe at tick {(breaker.opened_at or 0) + breaker.recovery_ticks}"
+            )
+            if strict:
+                raise error
+            return self._failed_response(request, "", False, error)
+
+        degraded_error: str | None = None
         if request.augment:
-            complement, was_cached = self._complement(request.prompt, precomputed, clock)
+            try:
+                complement, was_cached = self._complement(
+                    request.prompt, precomputed, clock, degraded
+                )
+            except AugmentationError as error:
+                if strict:
+                    self._record_failure(request.model)
+                    raise
+                # The plug-and-play fallback: the raw prompt is always a
+                # valid input, so serve it unaugmented.
+                complement, was_cached = "", False
+                degraded_error = f"{type(error).__name__}: {error}"
         else:
             complement, was_cached = "", False
+
         try:
-            completion = client.complete(_messages(request.prompt, complement))
-        except Exception:
-            self.stats.requests += 1
-            self.stats.failures += 1
-            self.stats.per_model[request.model] = (
-                self.stats.per_model.get(request.model, 0) + 1
-            )
-            self.stats.failures_per_model[request.model] = (
-                self.stats.failures_per_model.get(request.model, 0) + 1
-            )
-            self._sync_embed_stats()
-            raise
+            completion = client.complete(build_messages(request.prompt, complement))
+        except ReproError as error:
+            breaker.record_failure(self._clock)
+            self._record_failure(request.model)
+            if strict:
+                raise
+            return self._failed_response(request, complement, was_cached, error)
+        breaker.record_success(self._clock)
         clock.lap("completion")
 
         self.stats.requests += 1
         self.stats.augmented += bool(complement)
         self.stats.cache_hits += was_cached
+        self.stats.degraded += degraded_error is not None
         self.stats.prompt_tokens += completion.prompt_tokens
         self.stats.completion_tokens += completion.completion_tokens
         self.stats.per_model[request.model] = (
             self.stats.per_model.get(request.model, 0) + 1
         )
         self._sync_embed_stats()
+        self._sync_resilience_stats()
         response = ServeResponse(
             request_id=request.request_id,
             model=request.model,
@@ -236,6 +448,9 @@ class PasGateway:
             complement_cached=was_cached,
             prompt_tokens=completion.prompt_tokens,
             completion_tokens=completion.completion_tokens,
+            status="ok" if degraded_error is None else "degraded",
+            error=degraded_error,
+            attempts=completion.retries + 1,
         )
         clock.lap("stats")
         return response
@@ -252,29 +467,58 @@ class PasGateway:
             self.stats.embed_cache_hits = self._embed_cache.hits
             self.stats.embed_cache_misses = self._embed_cache.misses
 
-    def ask_batch(self, requests: Sequence[ServeRequest]) -> list[ServeResponse]:
+    def _sync_resilience_stats(self) -> None:
+        """Mirror client retry/backoff totals and breaker snapshots.
+
+        Same idiom as :meth:`_sync_embed_stats`: the gateway is the only
+        driver of its clients and breakers, so cumulative mirroring after
+        each request equals per-request deltas on every path.
+        """
+        retries = 0
+        backoff = 0.0
+        for client in self._clients.values():
+            retries += client.usage.failures
+            backoff += client.usage.backoff_ticks
+        self.stats.retries = retries
+        self.stats.backoff_ticks = backoff
+        for model, breaker in self._breakers.items():
+            self.stats.breaker_state[model] = breaker.state
+            if breaker.trips:
+                self.stats.breaker_trips[model] = breaker.trips
+
+    def ask_batch(
+        self, requests: Sequence[ServeRequest], *, strict: bool | None = None
+    ) -> list[ServeResponse]:
         """Serve many requests, augmenting all cache misses in one pass.
 
         Planning phase: identical prompts are deduplicated, both cache
-        tiers are peeked (without touching their accounting), every
-        missing embedding is computed in one
+        tiers are peeked (without touching their accounting), prompts the
+        fault plan degrades are set aside, every remaining missing
+        embedding is computed in one
         :meth:`~repro.core.pas.PasModel.embed_prompts` pass, and every
         missing complement in one
         :meth:`~repro.core.pas.PasModel.augment_with_embeddings` pass.
         Serving phase: each request then replays the exact scalar
-        :meth:`ask` sequence — cache gets/puts on both tiers,
-        completions, and stats happen in the same order with the same
-        values, so responses, ``GatewayStats``, and both caches'
+        :meth:`ask` sequence — cache gets/puts on both tiers, breaker
+        transitions, completions, and stats happen in the same order with
+        the same values, so responses (including ``degraded`` and
+        ``failed`` outcomes), ``GatewayStats``, and both caches'
         hit/miss/recency state are all bit-identical to
-        ``[self.ask(r) for r in requests]``.  If a completion exhausts
-        its retries the same exception propagates from the same request
-        (earlier responses are counted but not returned).
+        ``[self.ask(r) for r in requests]``.
+
+        Non-strict (default): returns one response per request, always.
+        Strict: the first failure raises the same exception from the same
+        request the scalar loop would (earlier responses are counted but
+        not returned).
         """
+        strict = self._strictness(strict)
         requests = list(requests)
         if not requests:
             return []
         clock = self._stage_clock()
+        plan = self.config.fault_plan
         planned: set[str] = set()
+        degraded: set[str] = set()
         precomputed: dict[str, tuple[str, np.ndarray | None]] = {}
         to_augment: list[str] = []
         for request in requests:
@@ -282,12 +526,17 @@ class PasGateway:
                 continue
             planned.add(request.prompt)
             cached = self._complement_cache.peek(request.prompt)
-            if cached is None:
-                to_augment.append(request.prompt)
-            else:
+            if cached is not None:
                 # Hold the value: if the entry is evicted mid-batch, the
                 # replay below still serves what augment() would recompute.
                 precomputed[request.prompt] = (cached, None)
+            elif plan is not None and plan.augment_fails(request.prompt):
+                # The scalar augment() would raise for this prompt; keep it
+                # out of the batched forward pass (and both cache tiers) so
+                # the replay degrades it exactly where the scalar loop would.
+                degraded.add(request.prompt)
+            else:
+                to_augment.append(request.prompt)
         clock.lap("cache")
         if to_augment:
             if self._embed_cache is None:
@@ -310,10 +559,17 @@ class PasGateway:
             for prompt, complement, vector in zip(to_augment, complements, vectors):
                 precomputed[prompt] = (complement, vector)
             clock.lap("augment")
-        return [self._serve(request, precomputed) for request in requests]
+        return [
+            self._serve(request, precomputed, strict=strict, degraded=degraded)
+            for request in requests
+        ]
 
     def ask_text(self, prompt: str, model: str) -> str:
-        """Convenience: prompt in, augmented response text out."""
+        """Convenience: prompt in, augmented response text out.
+
+        Uses the configured strictness; a non-strict failure returns the
+        empty string (check :meth:`ask` for the structured outcome).
+        """
         return self.ask(ServeRequest(prompt=prompt, model=model)).response
 
     @property
@@ -331,9 +587,7 @@ class PasGateway:
     def registered_models(self) -> list[str]:
         return sorted(self._clients)
 
-
-def _messages(prompt: str, complement: str) -> list[Message]:
-    messages = [Message("user", prompt)]
-    if complement:
-        messages.insert(0, Message("system", complement))
-    return messages
+    @property
+    def breaker_states(self) -> dict[str, str]:
+        """Current circuit state per model (models seen so far)."""
+        return {model: breaker.state for model, breaker in sorted(self._breakers.items())}

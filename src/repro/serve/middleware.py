@@ -145,7 +145,9 @@ class LoggingMiddleware:
                 "completion_tokens": response.completion_tokens,
                 "augmented": response.augmented,
                 "cached": response.complement_cached,
-                "ok": True,
+                "ok": response.ok,
+                "status": response.status,
+                "error": response.error,
             }
         )
         return response

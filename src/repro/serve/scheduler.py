@@ -37,7 +37,14 @@ Handler = Callable[[Sequence[ServeRequest]], "list[ServeResponse]"]
 
 @dataclass(frozen=True)
 class BatchRecord:
-    """Accounting for one drained batch."""
+    """Accounting for one drained batch.
+
+    ``n_ok`` / ``n_degraded`` / ``n_failed`` split the handler's responses
+    by :attr:`~repro.serve.types.ServeResponse.status`, so a batching tier
+    in front of a non-strict gateway sees degradation per batch.  Handlers
+    that return fewer responses than requests (or plain objects without a
+    ``status``) count the ones they do return, defaulting to ``ok``.
+    """
 
     tick: int  #: logical time at which the batch drained
     size: int
@@ -45,6 +52,9 @@ class BatchRecord:
     occupancy: float  #: ``size / max_batch``
     mean_wait_ticks: float  #: mean submit-to-drain latency, in ticks
     max_wait_ticks: int
+    n_ok: int = 0
+    n_degraded: int = 0
+    n_failed: int = 0
 
 
 @dataclass
@@ -140,6 +150,7 @@ class MicroBatcher:
         self._pending = []
         responses = self._handler(batch)
         waits = [self._clock - tick for tick in arrivals]
+        statuses = [getattr(response, "status", "ok") for response in responses]
         self.records.append(
             BatchRecord(
                 tick=self._clock,
@@ -148,6 +159,9 @@ class MicroBatcher:
                 occupancy=len(batch) / self.max_batch,
                 mean_wait_ticks=sum(waits) / len(waits),
                 max_wait_ticks=max(waits),
+                n_ok=statuses.count("ok"),
+                n_degraded=statuses.count("degraded"),
+                n_failed=statuses.count("failed"),
             )
         )
         self.stats.drained += len(batch)

@@ -4,7 +4,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["ServeRequest", "ServeResponse"]
+__all__ = ["ServeRequest", "ServeResponse", "STATUSES"]
+
+#: The outcome vocabulary of one served request.  ``ok`` — augmented (or
+#: deliberately unaugmented) and completed; ``degraded`` — augmentation
+#: failed, so the *raw prompt* was completed instead (the plug-and-play
+#: fallback: the user still gets an answer); ``failed`` — no completion
+#: could be produced (retries exhausted, deadline blown, or the model's
+#: circuit breaker was open).
+STATUSES = ("ok", "degraded", "failed")
 
 
 @dataclass(frozen=True)
@@ -23,7 +31,14 @@ class ServeRequest:
 
 @dataclass(frozen=True)
 class ServeResponse:
-    """The gateway's answer, with provenance for observability."""
+    """The gateway's answer, with provenance and outcome for observability.
+
+    Every request put through the non-strict gateway API yields exactly one
+    response; :attr:`status` says what happened (see :data:`STATUSES`),
+    :attr:`error` carries the failure description for ``degraded``/``failed``
+    outcomes, and :attr:`attempts` counts completion attempts actually made
+    (0 when a circuit breaker rejected the request before trying).
+    """
 
     request_id: str | None
     model: str
@@ -32,7 +47,39 @@ class ServeResponse:
     complement_cached: bool
     prompt_tokens: int
     completion_tokens: int
+    status: str = "ok"
+    error: str | None = None
+    attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.status not in STATUSES:
+            raise ValueError(f"invalid status {self.status!r}; expected one of {STATUSES}")
 
     @property
     def augmented(self) -> bool:
         return bool(self.complement)
+
+    @property
+    def ok(self) -> bool:
+        """Was the user served an answer?  (``ok`` or ``degraded``.)"""
+        return self.status != "failed"
+
+    @property
+    def failed(self) -> bool:
+        return self.status == "failed"
+
+    def as_dict(self) -> dict:
+        """JSON-safe dict with a stable key order (for structured export)."""
+        return {
+            "request_id": self.request_id,
+            "model": self.model,
+            "status": self.status,
+            "response": self.response,
+            "complement": self.complement,
+            "complement_cached": self.complement_cached,
+            "augmented": self.augmented,
+            "prompt_tokens": self.prompt_tokens,
+            "completion_tokens": self.completion_tokens,
+            "attempts": self.attempts,
+            "error": self.error,
+        }

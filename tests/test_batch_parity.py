@@ -21,7 +21,7 @@ from repro.core.pas import PasModel
 from repro.embedding.model import EmbeddingModel
 from repro.errors import NotFittedError
 from repro.serve.cache import LruCache
-from repro.serve.gateway import PasGateway
+from repro.serve.gateway import GatewayConfig, PasGateway
 from repro.serve.scheduler import MicroBatcher
 from repro.serve.types import ServeRequest
 from repro.world.prompts import PromptFactory
@@ -171,8 +171,8 @@ class TestGatewayBatchParity:
         prompts = _corpus(10, 13)
         traffic = prompts + prompts[:4] + prompts[::-1]
         requests = [ServeRequest(prompt=p, model="gpt-4-0613") for p in traffic]
-        scalar = PasGateway(pas=trained_pas, cache_size=4)
-        batched = PasGateway(pas=trained_pas, cache_size=4)
+        scalar = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=4))
+        batched = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=4))
         assert batched.ask_batch(requests) == [scalar.ask(r) for r in requests]
         assert batched.stats == scalar.stats
         assert list(batched._complement_cache._data) == list(
@@ -187,8 +187,8 @@ class TestGatewayBatchParity:
         prompts = _corpus(10, 29)
         traffic = prompts + prompts[:5] + prompts[::-1]
         requests = [ServeRequest(prompt=p, model="gpt-4-0613") for p in traffic]
-        scalar = PasGateway(pas=trained_pas, cache_size=3, embed_cache_size=4)
-        batched = PasGateway(pas=trained_pas, cache_size=3, embed_cache_size=4)
+        scalar = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=3, embed_cache_size=4))
+        batched = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=3, embed_cache_size=4))
         assert batched.ask_batch(requests) == [scalar.ask(r) for r in requests]
         assert batched.stats == scalar.stats
         assert [
@@ -205,10 +205,10 @@ class TestMicroBatcherParity:
         prompts = _corpus(9, 31)
         traffic = prompts + prompts[:4]
         requests = [ServeRequest(prompt=p, model="gpt-4-0613") for p in traffic]
-        direct = PasGateway(pas=trained_pas, cache_size=4, embed_cache_size=4)
+        direct = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=4, embed_cache_size=4))
         expected = direct.ask_batch(requests)
         for max_batch, max_wait in ((1, 1), (3, 2), (5, 100)):
-            gateway = PasGateway(pas=trained_pas, cache_size=4, embed_cache_size=4)
+            gateway = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=4, embed_cache_size=4))
             batcher = MicroBatcher(gateway.ask_batch, max_batch=max_batch, max_wait=max_wait)
             assert batcher.run(requests) == expected
             assert gateway.stats == direct.stats

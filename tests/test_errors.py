@@ -16,6 +16,9 @@ class TestHierarchy:
             errors.GenerationError,
             errors.IndexError_,
             errors.BudgetExceededError,
+            errors.AugmentationError,
+            errors.DeadlineExceededError,
+            errors.CircuitOpenError,
         ],
     )
     def test_all_derive_from_repro_error(self, exc):

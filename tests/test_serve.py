@@ -5,7 +5,7 @@ import pytest
 from repro.errors import UnknownModelError
 from repro.llm.api import TransientApiError
 from repro.serve.cache import LruCache
-from repro.serve.gateway import PasGateway
+from repro.serve.gateway import GatewayConfig, PasGateway
 from repro.serve.types import ServeRequest
 
 
@@ -86,14 +86,22 @@ class TestServeTypes:
 class TestGateway:
     @pytest.fixture()
     def gateway(self, trained_pas):
-        return PasGateway(pas=trained_pas, cache_size=8)
+        return PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=8))
 
     def test_ask_text(self, gateway):
         assert gateway.ask_text("how do i parse csv files? show me how.", "gpt-4-0613")
 
-    def test_unknown_model_rejected(self, gateway):
+    def test_unknown_model_rejected_strict(self, gateway):
         with pytest.raises(UnknownModelError):
-            gateway.ask(ServeRequest(prompt="hello there friend", model="gpt-99"))
+            gateway.ask(
+                ServeRequest(prompt="hello there friend", model="gpt-99"), strict=True
+            )
+
+    def test_unknown_model_fails_non_strict(self, gateway):
+        response = gateway.ask(ServeRequest(prompt="hello there friend", model="gpt-99"))
+        assert response.failed
+        assert response.error.startswith("UnknownModelError")
+        assert gateway.stats.failures == 1
 
     def test_complement_cache_hits_on_repeat(self, gateway):
         request = ServeRequest(prompt="how do i bake bread? walk me through it.", model="gpt-4-0613")
@@ -137,8 +145,8 @@ class TestGateway:
 
 
 class TestGatewayFailureAccounting:
-    def test_exhausted_retries_still_recorded(self, trained_pas, monkeypatch):
-        gateway = PasGateway(pas=trained_pas, cache_size=8)
+    def test_exhausted_retries_still_recorded_strict(self, trained_pas, monkeypatch):
+        gateway = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=8, strict=True))
         client = gateway.client_for("gpt-4-0613")
 
         def exploding_complete(messages):
@@ -158,8 +166,28 @@ class TestGatewayFailureAccounting:
         assert gateway.stats.augmented == 0
         assert gateway.stats.prompt_tokens == 0
 
+    def test_exhausted_retries_yield_failed_response(self, trained_pas, monkeypatch):
+        gateway = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=8))
+        client = gateway.client_for("gpt-4-0613")
+
+        def exploding_complete(messages):
+            raise TransientApiError("gpt-4-0613: all attempts failed transiently")
+
+        monkeypatch.setattr(client, "complete", exploding_complete)
+        response = gateway.ask(
+            ServeRequest(prompt="how do i bake bread? walk me through it.", model="gpt-4-0613")
+        )
+        assert response.failed
+        assert not response.ok
+        assert response.response == ""
+        assert response.error == (
+            "TransientApiError: gpt-4-0613: all attempts failed transiently"
+        )
+        assert gateway.stats.failures == 1
+        assert gateway.stats.served == 0
+
     def test_failures_default_zero(self, trained_pas):
-        gateway = PasGateway(pas=trained_pas, cache_size=8)
+        gateway = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=8))
         gateway.ask_text("how do i parse csv files? show me how.", "gpt-4-0613")
         assert gateway.stats.failures == 0
         assert gateway.stats.failures_per_model == {}
@@ -167,7 +195,7 @@ class TestGatewayFailureAccounting:
     def test_per_model_mixes_served_and_failed(self, trained_pas, monkeypatch):
         """``per_model`` counts attempts; ``failures_per_model`` isolates
         the failed ones, so served-per-model is their difference."""
-        gateway = PasGateway(pas=trained_pas, cache_size=8)
+        gateway = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=8, strict=True))
         gateway.ask_text("how do i bake bread? walk me through it.", "gpt-4-0613")
         client = gateway.client_for("gpt-4-0613")
 
@@ -186,13 +214,41 @@ class TestGatewayFailureAccounting:
         assert served == {"gpt-4-0613": 1}
 
 
+class TestDeprecatedFlatKwargs:
+    def test_flat_kwargs_warn_and_fold_into_config(self, trained_pas):
+        with pytest.warns(DeprecationWarning, match="flat kwargs"):
+            gateway = PasGateway(pas=trained_pas, cache_size=8, seed=4)
+        assert gateway.config.cache_size == 8
+        assert gateway.config.seed == 4
+        assert gateway.config.embed_cache_size == GatewayConfig().embed_cache_size
+        assert gateway._complement_cache.capacity == 8
+
+    def test_flat_kwargs_override_explicit_config(self, trained_pas):
+        with pytest.warns(DeprecationWarning):
+            gateway = PasGateway(
+                pas=trained_pas,
+                config=GatewayConfig(cache_size=4, failure_rate=0.1),
+                cache_size=16,
+            )
+        assert gateway.config.cache_size == 16
+        assert gateway.config.failure_rate == 0.1
+
+    def test_unknown_kwargs_rejected(self, trained_pas):
+        with pytest.raises(TypeError):
+            PasGateway(pas=trained_pas, cache_sze=8)
+
+    def test_config_only_path_does_not_warn(self, trained_pas, recwarn):
+        PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=8))
+        assert not [w for w in recwarn.list if w.category is DeprecationWarning]
+
+
 class TestEmbeddingCacheTier:
     """The embedding memo under the complement LRU (two-tier caching)."""
 
     def test_eviction_reaugment_hits_embed_tier(self, trained_pas):
         # Complement LRU of 1 thrashes between two prompts; every
         # re-augmentation after the first should reuse the embedding.
-        gateway = PasGateway(pas=trained_pas, cache_size=1, embed_cache_size=16)
+        gateway = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=1, embed_cache_size=16))
         prompts = [
             "how do i bake bread? walk me through it.",
             "how do i parse csv files? show me how.",
@@ -205,7 +261,7 @@ class TestEmbeddingCacheTier:
         assert gateway.embed_cache_hit_rate == pytest.approx(4 / 6)
 
     def test_complement_hit_skips_embed_tier(self, trained_pas):
-        gateway = PasGateway(pas=trained_pas, cache_size=8, embed_cache_size=16)
+        gateway = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=8, embed_cache_size=16))
         request = ServeRequest(
             prompt="how do i bake bread? walk me through it.", model="gpt-4-0613"
         )
@@ -215,7 +271,7 @@ class TestEmbeddingCacheTier:
         assert gateway.stats.embed_cache_hits == 0
 
     def test_disabled_tier(self, trained_pas):
-        gateway = PasGateway(pas=trained_pas, cache_size=1, embed_cache_size=0)
+        gateway = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=1, embed_cache_size=0))
         for _ in range(2):
             gateway.ask_text("how do i bake bread? walk me through it.", "gpt-4-0613")
         assert gateway.embed_cache_hit_rate == 0.0
@@ -224,8 +280,8 @@ class TestEmbeddingCacheTier:
 
     def test_cached_embedding_changes_nothing(self, trained_pas):
         prompt = "how do i bake bread? walk me through it."
-        with_tier = PasGateway(pas=trained_pas, cache_size=1, embed_cache_size=16)
-        without = PasGateway(pas=trained_pas, cache_size=1, embed_cache_size=0)
+        with_tier = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=1, embed_cache_size=16))
+        without = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=1, embed_cache_size=0))
         filler = "why does my regex backtrack so much? be concise."
         answers = []
         for gateway in (with_tier, without):
@@ -237,12 +293,12 @@ class TestEmbeddingCacheTier:
 
 class TestStageTimings:
     def test_disabled_by_default(self, trained_pas):
-        gateway = PasGateway(pas=trained_pas, cache_size=8)
+        gateway = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=8))
         gateway.ask_text("how do i parse csv files? show me how.", "gpt-4-0613")
         assert gateway.stage_timings is None
 
     def test_buckets_accumulate(self, trained_pas):
-        gateway = PasGateway(pas=trained_pas, cache_size=8)
+        gateway = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=8))
         timings = gateway.enable_stage_timings()
         assert set(timings) == {"augment", "cache", "completion", "stats"}
         gateway.ask_batch(
@@ -270,7 +326,7 @@ class TestGatewayBatch:
     ]
 
     def test_empty_batch_is_noop(self, trained_pas):
-        gateway = PasGateway(pas=trained_pas, cache_size=8)
+        gateway = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=8))
         assert gateway.ask_batch([]) == []
         assert gateway.stats.requests == 0
 
@@ -278,8 +334,8 @@ class TestGatewayBatch:
         requests = [
             ServeRequest(prompt=p, model="gpt-4-0613") for p in self.PROMPTS
         ]
-        scalar = PasGateway(pas=trained_pas, cache_size=8)
-        batched = PasGateway(pas=trained_pas, cache_size=8)
+        scalar = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=8))
+        batched = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=8))
         assert batched.ask_batch(requests) == [scalar.ask(r) for r in requests]
         assert batched.stats == scalar.stats
         inner_s = scalar._complement_cache
@@ -287,7 +343,7 @@ class TestGatewayBatch:
         assert (inner_b.hits, inner_b.misses) == (inner_s.hits, inner_s.misses)
 
     def test_duplicate_prompts_augmented_once(self, trained_pas):
-        gateway = PasGateway(pas=trained_pas, cache_size=8)
+        gateway = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=8))
         responses = gateway.ask_batch(
             [ServeRequest(prompt=p, model="gpt-4-0613") for p in self.PROMPTS]
         )
@@ -297,7 +353,7 @@ class TestGatewayBatch:
         assert gateway.stats.cache_hits == 1
 
     def test_respects_augment_flag(self, trained_pas):
-        gateway = PasGateway(pas=trained_pas, cache_size=8)
+        gateway = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=8))
         responses = gateway.ask_batch(
             [
                 ServeRequest(

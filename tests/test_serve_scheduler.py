@@ -3,7 +3,7 @@
 import pytest
 
 from repro.llm.api import TransientApiError
-from repro.serve.gateway import PasGateway
+from repro.serve.gateway import GatewayConfig, PasGateway
 from repro.serve.scheduler import MicroBatcher
 from repro.serve.types import ServeRequest
 
@@ -88,8 +88,8 @@ class TestGatewayParity:
 
     def test_run_matches_direct_ask_batch(self, trained_pas):
         reqs = _requests()
-        direct = PasGateway(pas=trained_pas, cache_size=8)
-        scheduled = PasGateway(pas=trained_pas, cache_size=8)
+        direct = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=8))
+        scheduled = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=8))
         mb = MicroBatcher(scheduled.ask_batch, max_batch=3, max_wait=2)
         assert mb.run(reqs) == direct.ask_batch(reqs)
         assert scheduled.stats == direct.stats
@@ -101,14 +101,14 @@ class TestGatewayParity:
         # Tiny caches force evictions across batch boundaries; the
         # partitioned replay must still match the scalar sequence.
         reqs = _requests(PROMPTS + PROMPTS[::-1])
-        scalar = PasGateway(pas=trained_pas, cache_size=3, embed_cache_size=3)
-        scheduled = PasGateway(pas=trained_pas, cache_size=3, embed_cache_size=3)
+        scalar = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=3, embed_cache_size=3))
+        scheduled = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=3, embed_cache_size=3))
         mb = MicroBatcher(scheduled.ask_batch, max_batch=4, max_wait=3)
         assert mb.run(reqs) == [scalar.ask(r) for r in reqs]
         assert scheduled.stats == scalar.stats
 
     def test_responses_in_arrival_order(self, trained_pas):
-        gateway = PasGateway(pas=trained_pas, cache_size=8)
+        gateway = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=8))
         mb = MicroBatcher(gateway.ask_batch, max_batch=2, max_wait=5)
         reqs = [
             ServeRequest(prompt=p, model="gpt-4-0613", request_id=str(i))
@@ -118,7 +118,9 @@ class TestGatewayParity:
         assert [r.request_id for r in responses] == [str(i) for i in range(len(PROMPTS))]
 
     def test_handler_exception_consumes_batch(self, trained_pas, monkeypatch):
-        gateway = PasGateway(pas=trained_pas, cache_size=8)
+        gateway = PasGateway(
+            pas=trained_pas, config=GatewayConfig(cache_size=8, strict=True)
+        )
         client = gateway.client_for("gpt-4-0613")
 
         def exploding_complete(messages):
