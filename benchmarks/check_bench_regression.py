@@ -11,6 +11,11 @@ single-core search ratio) must be recorded under a different name, such
 as ``throughput_ratio_vs_single`` — the gate is a contract on naming as
 much as on performance.
 
+The gate also walks ``overhead``-named keys the other way: values like
+``obs_off_overhead`` (per-item cost of an instrumented-but-disabled path
+over its pre-instrumentation baseline) must stay **at or below** 1.05 —
+observability left off must be within noise of free.
+
 Usage::
 
     python benchmarks/check_bench_regression.py BENCH_serving.json
@@ -24,25 +29,40 @@ from pathlib import Path
 
 THRESHOLD = 1.0
 
-__all__ = ["collect_speedups", "main"]
+#: Ratio ceiling for ``*_overhead`` keys (instrumented-off vs baseline).
+OVERHEAD_THRESHOLD = 1.05
+
+__all__ = ["collect_overheads", "collect_speedups", "main"]
 
 
-def collect_speedups(node: object, prefix: str = "") -> list[tuple[str, float]]:
-    """All ``(dotted.path, value)`` pairs for speedup-named keys in ``node``."""
+def _collect(node: object, matches, prefix: str = "") -> list[tuple[str, float]]:
+    """All ``(dotted.path, value)`` pairs for keys where ``matches(key)``."""
     found: list[tuple[str, float]] = []
     if isinstance(node, dict):
         for key, value in node.items():
             path = f"{prefix}.{key}" if prefix else str(key)
-            if (key == "speedup" or str(key).endswith("_speedup")) and isinstance(
-                value, (int, float)
-            ):
+            if matches(str(key)) and isinstance(value, (int, float)):
                 found.append((path, float(value)))
             else:
-                found.extend(collect_speedups(value, path))
+                found.extend(_collect(value, matches, path))
     elif isinstance(node, list):
         for i, item in enumerate(node):
-            found.extend(collect_speedups(item, f"{prefix}[{i}]"))
+            found.extend(_collect(item, matches, f"{prefix}[{i}]"))
     return found
+
+
+def collect_speedups(node: object, prefix: str = "") -> list[tuple[str, float]]:
+    """All ``(dotted.path, value)`` pairs for speedup-named keys in ``node``."""
+    return _collect(
+        node, lambda key: key == "speedup" or key.endswith("_speedup"), prefix
+    )
+
+
+def collect_overheads(node: object, prefix: str = "") -> list[tuple[str, float]]:
+    """All ``(dotted.path, value)`` pairs for overhead-named keys in ``node``."""
+    return _collect(
+        node, lambda key: key == "overhead" or key.endswith("_overhead"), prefix
+    )
 
 
 def main(argv: list[str]) -> int:
@@ -58,18 +78,38 @@ def main(argv: list[str]) -> int:
     if not speedups:
         print(f"no speedup keys found in {path}", file=sys.stderr)
         return 2
+    overheads = collect_overheads(payload)
     offenders = [(key, value) for key, value in speedups if value < THRESHOLD]
     for key, value in sorted(speedups):
         marker = "FAIL" if value < THRESHOLD else "ok"
         print(f"  {marker:>4}  {key} = {value:.3f}")
+    over_offenders = [
+        (key, value) for key, value in overheads if value > OVERHEAD_THRESHOLD
+    ]
+    for key, value in sorted(overheads):
+        marker = "FAIL" if value > OVERHEAD_THRESHOLD else "ok"
+        print(f"  {marker:>4}  {key} = {value:.3f} (ceiling {OVERHEAD_THRESHOLD})")
+    failed = False
     if offenders:
         names = ", ".join(key for key, _ in offenders)
         print(
             f"{len(offenders)} speedup(s) below {THRESHOLD}: {names}",
             file=sys.stderr,
         )
+        failed = True
+    if over_offenders:
+        names = ", ".join(key for key, _ in over_offenders)
+        print(
+            f"{len(over_offenders)} overhead(s) above {OVERHEAD_THRESHOLD}: {names}",
+            file=sys.stderr,
+        )
+        failed = True
+    if failed:
         return 1
-    print(f"all {len(speedups)} speedups >= {THRESHOLD}")
+    summary = f"all {len(speedups)} speedups >= {THRESHOLD}"
+    if overheads:
+        summary += f"; all {len(overheads)} overheads <= {OVERHEAD_THRESHOLD}"
+    print(summary)
     return 0
 
 

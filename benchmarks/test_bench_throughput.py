@@ -31,7 +31,8 @@ from repro.ann.hnsw import HnswIndex
 from repro.ann.sharded import ShardedHnswIndex
 from repro.core.pas import PasModel
 from repro.embedding.model import EmbeddingModel
-from repro.serve.gateway import GatewayConfig, PasGateway
+from repro.obs import Observability
+from repro.serve.gateway import GatewayConfig, PasGateway, derive_stage_timings
 from repro.serve.scheduler import MicroBatcher
 from repro.serve.types import ServeRequest
 from repro.utils.timing import speedup, time_call, time_pair
@@ -265,7 +266,12 @@ def cold_traffic(trained_pas):
 
 @pytest.fixture(scope="module", autouse=True)
 def _write_bench_json():
-    """Persist everything RESULTS accumulated once the module finishes."""
+    """Persist everything RESULTS accumulated once the module finishes.
+
+    Merge-write: other bench modules (``test_bench_obs.py``) contribute
+    their own top-level keys to the same file, so read-modify-write
+    instead of clobbering.
+    """
     yield
     payload = {
         "scale": {
@@ -284,7 +290,9 @@ def _write_bench_json():
         **RESULTS,
     }
     path = Path(__file__).resolve().parents[1] / "BENCH_serving.json"
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    merged = json.loads(path.read_text()) if path.is_file() else {}
+    merged.update(payload)
+    path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
 
 
 # --------------------------------------------------------------------- #
@@ -574,14 +582,22 @@ def test_gateway_throughput(trained_pas, zipf_traffic):
 
     assert serve_scalar() == serve_batched()  # replay parity, end to end
 
+    # The end-to-end win is small (completion dominates; see
+    # stage_fraction below), so this ratio needs more interleaved rounds
+    # than the wide-margin benches to keep scheduler jitter from flipping
+    # its sign.
     scalar, batched = time_pair(
         serve_scalar, serve_batched,
         labels=("gateway ask loop", "gateway ask_batch"),
-        n_items=len(requests), repeats=4,
+        n_items=len(requests), repeats=8,
     )
-    probe = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=1024))
-    stage_s = probe.enable_stage_timings()
+    probe = PasGateway(
+        pas=trained_pas,
+        config=GatewayConfig(cache_size=1024),
+        obs=Observability.enabled(wall=True),
+    )
     probe.ask_batch(requests)
+    stage_s = derive_stage_timings(probe.obs.tracer)
     stage_total = sum(stage_s.values())
     RESULTS["gateway"] = {
         "scalar_requests_per_s": scalar.items_per_s,

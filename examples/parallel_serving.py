@@ -24,7 +24,8 @@ from repro.ann.sharded import ShardedHnswIndex
 from repro.embedding.model import EmbeddingModel
 import json
 
-from repro.serve.gateway import GatewayConfig, PasGateway
+from repro.obs import Observability
+from repro.serve.gateway import GatewayConfig, PasGateway, derive_stage_timings
 from repro.serve.scheduler import MicroBatcher
 from repro.serve.types import ServeRequest
 from repro.world.prompts import PromptFactory
@@ -91,9 +92,9 @@ def two_tier_demo(pas: PasModel, traffic: list[str]) -> None:
           f"{stats['embed_cache_misses']} misses")
     print(f"  stats export keys: {', '.join(list(stats)[:6])}, ...")
 
-    timed = PasGateway(pas=pas, config=config)
-    timings = timed.enable_stage_timings()
+    timed = PasGateway(pas=pas, config=config, obs=Observability.enabled(wall=True))
     timed.ask_batch([ServeRequest(prompt=p, model="gpt-4-0613") for p in traffic])
+    timings = derive_stage_timings(timed.obs.tracer)
     total = sum(timings.values())
     print("  per-stage time share:", ", ".join(
         f"{stage} {share / total:.0%}" for stage, share in timings.items()

@@ -25,6 +25,7 @@ from repro.llm.engine import SimulatedLLM
 from repro.pipeline.collect import CollectionConfig, PromptCollector
 from repro.pipeline.dataset import PromptPairDataset
 from repro.pipeline.generate import GenerationConfig, PairGenerator
+from repro.obs import Observability
 from repro.resilience import CircuitBreaker, FaultPlan, RetryPolicy
 from repro.serve.gateway import GatewayConfig, PasGateway
 from repro.world.prompts import CorpusConfig, PromptFactory
@@ -42,6 +43,7 @@ __all__ = [
     "PromptFactory",
     "PasGateway",
     "GatewayConfig",
+    "Observability",
     "FaultPlan",
     "RetryPolicy",
     "CircuitBreaker",

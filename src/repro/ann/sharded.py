@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.ann.hnsw import HnswIndex
 from repro.errors import IndexError_
+from repro.obs import NULL_OBS, Observability
 
 __all__ = ["ShardedHnswIndex"]
 
@@ -53,6 +54,12 @@ class ShardedHnswIndex:
     max_workers:
         Thread-pool width for parallel build/search (default: one thread
         per shard).
+    obs:
+        Optional :class:`~repro.obs.Observability` bundle: every
+        :meth:`search` / :meth:`search_batch` runs inside an
+        ``ann.search`` span (from the *calling* thread — worker threads
+        never touch the tracer) and counts into
+        ``pas_ann_searches_total``.  Null (free) by default.
     """
 
     def __init__(
@@ -65,6 +72,7 @@ class ShardedHnswIndex:
         metric: str = "cosine",
         seed: int = 0,
         max_workers: int | None = None,
+        obs: Observability = NULL_OBS,
     ):
         if n_shards < 1:
             raise IndexError_(f"n_shards must be >= 1, got {n_shards}")
@@ -73,6 +81,7 @@ class ShardedHnswIndex:
         self.dim = dim
         self.n_shards = n_shards
         self.max_workers = max_workers
+        self.obs = obs
         self._shards = [
             HnswIndex(
                 dim=dim,
@@ -195,8 +204,14 @@ class ShardedHnswIndex:
             raise IndexError_(f"expected dim {self.dim}, got {query.shape[0]}")
         if self._count == 0:
             return []
-        per_shard = [shard.search(query, k, ef) for shard in self._shards]
-        return self._merge(per_shard, k)
+        with self.obs.tracer.span(
+            "ann.search", mode="scalar", k=k, n_shards=self.n_shards
+        ):
+            self.obs.metrics.counter(
+                "pas_ann_searches_total", help="ANN searches by mode."
+            ).inc(mode="scalar")
+            per_shard = [shard.search(query, k, ef) for shard in self._shards]
+            return self._merge(per_shard, k)
 
     def search_batch(
         self,
@@ -226,14 +241,24 @@ class ShardedHnswIndex:
             raise IndexError_(f"expected dim {self.dim}, got {matrix.shape[1]}")
         if self._count == 0:
             return [[] for _ in range(matrix.shape[0])]
-        if parallel and self.n_shards > 1:
-            with ThreadPoolExecutor(max_workers=self._pool_width()) as pool:
-                per_shard = list(
-                    pool.map(lambda s: s.search_batch(matrix, k, ef), self._shards)
-                )
-        else:
-            per_shard = [shard.search_batch(matrix, k, ef) for shard in self._shards]
-        return [
-            self._merge([hits[row] for hits in per_shard], k)
-            for row in range(matrix.shape[0])
-        ]
+        with self.obs.tracer.span(
+            "ann.search",
+            mode="batch",
+            k=k,
+            n_queries=int(matrix.shape[0]),
+            n_shards=self.n_shards,
+        ):
+            self.obs.metrics.counter(
+                "pas_ann_searches_total", help="ANN searches by mode."
+            ).inc(mode="batch")
+            if parallel and self.n_shards > 1:
+                with ThreadPoolExecutor(max_workers=self._pool_width()) as pool:
+                    per_shard = list(
+                        pool.map(lambda s: s.search_batch(matrix, k, ef), self._shards)
+                    )
+            else:
+                per_shard = [shard.search_batch(matrix, k, ef) for shard in self._shards]
+            return [
+                self._merge([hits[row] for hits in per_shard], k)
+                for row in range(matrix.shape[0])
+            ]

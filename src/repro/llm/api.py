@@ -27,6 +27,7 @@ from typing import Callable
 from repro.errors import BudgetExceededError, DeadlineExceededError, ReproError
 from repro.llm.engine import SimulatedLLM
 from repro.llm.types import ChatCompletion, Message, build_messages
+from repro.obs import NULL_OBS, Observability
 from repro.resilience import FaultPlan, RetryPolicy
 from repro.text.tokenizer import Tokenizer
 
@@ -83,6 +84,12 @@ class ChatClient:
     clock:
         Optional logical-time supplier for outage-window evaluation;
         defaults to this client's own request counter.
+    obs:
+        Optional :class:`~repro.obs.Observability` bundle.  When live,
+        every :meth:`complete` runs inside a ``complete`` span (one
+        ``retry[n]`` child per failed attempt, carrying the failure cause
+        and backoff) and outcome counters land in the metrics registry.
+        Defaults to the all-null bundle: no overhead, no state.
     """
 
     engine: SimulatedLLM
@@ -92,6 +99,7 @@ class ChatClient:
     fault_plan: FaultPlan | None = None
     retry_policy: RetryPolicy | None = None
     clock: Callable[[], int] | None = None
+    obs: Observability = field(default=NULL_OBS, repr=False)
     usage: Usage = field(default_factory=Usage)
     _tokenizer: Tokenizer = field(default_factory=Tokenizer, repr=False)
 
@@ -107,16 +115,25 @@ class ChatClient:
             return self.clock()
         return self.usage.requests
 
-    def _attempt_fails(self, text: str, attempt: int, tick: int) -> bool:
+    def _attempt_cause(self, text: str, attempt: int, tick: int) -> str | None:
+        """Why this attempt fails — ``"outage"`` / ``"injected"`` /
+        ``"random"`` — or None for a clean attempt.
+
+        Checks run in the same order (and make the same RNG draws) as the
+        original boolean predicate, so fault sequences are unchanged.
+        """
         if self.fault_plan is not None:
             if self.fault_plan.in_outage(self.engine.name, tick):
-                return True
+                return "outage"
             if self.fault_plan.completion_fails(text, attempt):
-                return True
+                return "injected"
         if self.failure_rate <= 0.0:
-            return False
+            return None
         rng = self.engine.call_rng("api-failure", text, str(attempt))
-        return bool(rng.random() < self.failure_rate)
+        return "random" if bool(rng.random() < self.failure_rate) else None
+
+    def _attempt_fails(self, text: str, attempt: int, tick: int) -> bool:
+        return self._attempt_cause(text, attempt, tick) is not None
 
     def complete(self, messages: list[Message]) -> ChatCompletion:
         """Run one chat completion: system+user prompts in, response out.
@@ -151,47 +168,68 @@ class ChatClient:
             self.retry_policy.max_retries if self.retry_policy is not None else self.max_retries
         )
         budget = self.retry_policy.deadline_ticks if self.retry_policy is not None else None
+        model = self.engine.name
+        outcomes = self.obs.metrics.counter(
+            "pas_completions_total", help="Completion calls by model and outcome."
+        )
+        retry_counter = self.obs.metrics.counter(
+            "pas_completion_retries_total",
+            help="Failed completion attempts by model and cause.",
+        )
         elapsed = 0.0
         retries = 0
-        for attempt in range(max_retries + 1):
-            cost = 1.0
-            if self.fault_plan is not None:
-                cost += self.fault_plan.latency_ticks(key, attempt)
-            if budget is not None and elapsed + cost > budget:
-                error = DeadlineExceededError(
-                    f"{self.engine.name}: deadline of {budget} ticks cannot fit "
-                    f"attempt {attempt + 1} (elapsed {elapsed}, attempt cost {cost})"
+        with self.obs.tracer.span("complete", model=model) as span:
+            for attempt in range(max_retries + 1):
+                cost = 1.0
+                if self.fault_plan is not None:
+                    cost += self.fault_plan.latency_ticks(key, attempt)
+                if budget is not None and elapsed + cost > budget:
+                    error = DeadlineExceededError(
+                        f"{self.engine.name}: deadline of {budget} ticks cannot fit "
+                        f"attempt {attempt + 1} (elapsed {elapsed}, attempt cost {cost})"
+                    )
+                    error.attempts = attempt
+                    span.set(attempts=attempt, deadline_ticks=budget)
+                    outcomes.inc(model=model, outcome="deadline")
+                    raise error
+                elapsed += cost
+                cause = self._attempt_cause(key, attempt, tick)
+                if cause is not None:
+                    self.usage.failures += 1
+                    retries += 1
+                    retry_counter.inc(model=model, cause=cause)
+                    pause = 0.0
+                    if self.retry_policy is not None and attempt < max_retries:
+                        pause = self.retry_policy.backoff_ticks(key, attempt)
+                        elapsed += pause
+                        self.usage.backoff_ticks += pause
+                    with self.obs.tracer.span(f"retry[{attempt}]") as retry_span:
+                        retry_span.status = "error"
+                        retry_span.set(cause=cause, backoff_ticks=pause)
+                    continue
+                content = self.engine.respond(prompt, supplement=supplement)
+                prompt_tokens = self._tokenizer.count(prompt) + (
+                    self._tokenizer.count(supplement) if supplement else 0
                 )
-                error.attempts = attempt
-                raise error
-            elapsed += cost
-            if self._attempt_fails(key, attempt, tick):
-                self.usage.failures += 1
-                retries += 1
-                if self.retry_policy is not None and attempt < max_retries:
-                    pause = self.retry_policy.backoff_ticks(key, attempt)
-                    elapsed += pause
-                    self.usage.backoff_ticks += pause
-                continue
-            content = self.engine.respond(prompt, supplement=supplement)
-            prompt_tokens = self._tokenizer.count(prompt) + (
-                self._tokenizer.count(supplement) if supplement else 0
+                completion_tokens = self._tokenizer.count(content)
+                self.usage.prompt_tokens += prompt_tokens
+                self.usage.completion_tokens += completion_tokens
+                span.set(attempts=attempt + 1, retries=retries)
+                outcomes.inc(model=model, outcome="ok")
+                return ChatCompletion(
+                    model=self.engine.name,
+                    content=content,
+                    prompt_tokens=prompt_tokens,
+                    completion_tokens=completion_tokens,
+                    retries=retries,
+                )
+            error = TransientApiError(
+                f"{self.engine.name}: all {max_retries + 1} attempts failed transiently"
             )
-            completion_tokens = self._tokenizer.count(content)
-            self.usage.prompt_tokens += prompt_tokens
-            self.usage.completion_tokens += completion_tokens
-            return ChatCompletion(
-                model=self.engine.name,
-                content=content,
-                prompt_tokens=prompt_tokens,
-                completion_tokens=completion_tokens,
-                retries=retries,
-            )
-        error = TransientApiError(
-            f"{self.engine.name}: all {max_retries + 1} attempts failed transiently"
-        )
-        error.attempts = max_retries + 1
-        raise error
+            error.attempts = max_retries + 1
+            span.set(attempts=max_retries + 1)
+            outcomes.inc(model=model, outcome="exhausted")
+            raise error
 
     def ask(self, prompt: str, supplement: str | None = None) -> str:
         """Convenience wrapper returning just the response text."""

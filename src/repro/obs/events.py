@@ -1,0 +1,156 @@
+"""Append-only structured event log for the serving path.
+
+Where spans answer "what happened inside *this* request", the event log
+answers "what happened to the *system* over time": fault injections,
+breaker transitions, cache evictions, batch drains, failed and degraded
+serves.  Producers call :meth:`EventLog.emit` with a kind and flat
+attributes; consumers filter with :meth:`EventLog.by_kind` or export the
+whole stream as JSON lines via ``utils/io``.
+
+Timestamps are logical ticks from whatever clock the log is bound to
+(:meth:`EventLog.bind_clock` — the gateway binds its request clock), so a
+chaos run at a fixed seed produces a byte-identical event stream.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable, Iterator
+from pathlib import Path
+
+from repro.utils.io import dump_jsonl
+
+__all__ = ["Event", "EventLog", "NullEventLog", "NULL_EVENT_LOG"]
+
+
+class Event:
+    """One structured record: monotonic ``seq``, logical ``tick``, ``kind``,
+    and a flat attribute dict."""
+
+    __slots__ = ("seq", "tick", "kind", "attrs")
+
+    def __init__(self, seq: int, tick: int, kind: str, attrs: dict[str, object]):
+        self.seq = seq
+        self.tick = tick
+        self.kind = kind
+        self.attrs = attrs
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-safe view; attributes sorted for stable exports."""
+        return {
+            "seq": self.seq,
+            "tick": self.tick,
+            "kind": self.kind,
+            "attrs": {k: self.attrs[k] for k in sorted(self.attrs)},
+        }
+
+    def __repr__(self) -> str:
+        return f"Event(seq={self.seq}, tick={self.tick}, kind={self.kind!r}, attrs={self.attrs!r})"
+
+
+class EventLog:
+    """Bounded (or unbounded) append-only event buffer.
+
+    ``capacity=None`` keeps everything; an integer keeps the most recent N
+    (a ring, like :class:`~repro.obs.trace.TraceStore`).  ``seq`` keeps
+    counting across evictions, so exports reveal when the ring dropped
+    early events.
+    """
+
+    enabled = True
+
+    __slots__ = ("_events", "_clock", "_seq")
+
+    def __init__(
+        self,
+        capacity: int | None = None,
+        clock: Callable[[], int] | None = None,
+    ):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self._events: deque[Event] = deque(maxlen=capacity)
+        self._clock: Callable[[], int] = clock if clock is not None else (lambda: 0)
+        self._seq = 0
+
+    def bind_clock(self, clock: Callable[[], int]) -> None:
+        """Stamp future events with ``clock()`` (e.g. the gateway's ticks)."""
+        self._clock = clock
+
+    def emit(self, kind: str, **attrs: object) -> Event:
+        event = Event(self._seq, int(self._clock()), kind, attrs)
+        self._seq += 1
+        self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    @property
+    def emitted(self) -> int:
+        """Total events ever emitted (>= ``len`` once the ring wraps)."""
+        return self._seq
+
+    def by_kind(self, kind: str) -> list[Event]:
+        return [e for e in self._events if e.kind == kind]
+
+    def kinds(self) -> dict[str, int]:
+        """Event counts per kind (sorted), handy for quick assertions."""
+        counts: dict[str, int] = {}
+        for event in self._events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return {k: counts[k] for k in sorted(counts)}
+
+    def as_dicts(self) -> list[dict[str, object]]:
+        return [event.as_dict() for event in self._events]
+
+    def export_jsonl(self, path: str | Path) -> int:
+        """Write the buffered events as JSON lines; returns the count."""
+        return dump_jsonl(self.as_dicts(), path)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+
+class NullEventLog:
+    """Same surface as :class:`EventLog`; every emit is discarded."""
+
+    enabled = False
+
+    __slots__ = ()
+
+    def bind_clock(self, clock: Callable[[], int]) -> None:
+        pass
+
+    def emit(self, kind: str, **attrs: object) -> None:
+        return None
+
+    def __len__(self) -> int:
+        return 0
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(())
+
+    @property
+    def emitted(self) -> int:
+        return 0
+
+    def by_kind(self, kind: str) -> list[Event]:
+        return []
+
+    def kinds(self) -> dict[str, int]:
+        return {}
+
+    def as_dicts(self) -> list[dict[str, object]]:
+        return []
+
+    def export_jsonl(self, path: str | Path) -> int:
+        return 0
+
+    def clear(self) -> None:
+        pass
+
+
+NULL_EVENT_LOG = NullEventLog()

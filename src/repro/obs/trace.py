@@ -1,0 +1,393 @@
+"""Per-request traces of nested spans on the serving path's logical clock.
+
+A *span* is one named stage of work (``gateway.ask``, ``augment``,
+``complete``, ``retry[2]``, ...) with start/end ticks, a status, and flat
+attributes.  A *trace* is the tree of spans produced by one request —
+spans are stored flat in creation order with parent ids, root first.  The
+:class:`Tracer` is a context-manager factory: the first ``span()`` on an
+empty stack opens a new trace, nested calls attach children, and when the
+root closes the finished trace lands in a :class:`TraceStore` ring buffer.
+
+Timestamps come from the logical clock bound via :meth:`Tracer.bind_clock`
+(the gateway binds its per-request tick counter), never from wall time, so
+**identical seeds yield byte-identical trace exports** — ``as_dict()``
+emits sorted attributes and no wall-clock fields.  Wall-clock stage
+attribution is available separately: ``Tracer(wall=True)`` mirrors every
+span into a :class:`~repro.utils.timing.StageTimer`, which is what the
+deprecated ``enable_stage_timings`` shim reads.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable, Iterator
+from pathlib import Path
+
+from repro.utils.io import dump_jsonl
+from repro.utils.timing import StageTimer
+
+__all__ = [
+    "Span",
+    "Trace",
+    "Tracer",
+    "TraceStore",
+    "NullTracer",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "render_waterfall",
+]
+
+
+class Span:
+    """One timed stage inside a trace."""
+
+    __slots__ = ("name", "span_id", "parent_id", "start_tick", "end_tick", "status", "attrs")
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        parent_id: int | None,
+        start_tick: int,
+    ):
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_tick = start_tick
+        self.end_tick: int | None = None
+        self.status = "ok"
+        self.attrs: dict[str, object] = {}
+
+    def set(self, **attrs: object) -> "Span":
+        """Attach attributes; returns self for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def duration_ticks(self) -> int:
+        end = self.end_tick if self.end_tick is not None else self.start_tick
+        return end - self.start_tick
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-safe view; attributes sorted so exports are byte-stable."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_tick": self.start_tick,
+            "end_tick": self.end_tick,
+            "status": self.status,
+            "attrs": {k: self.attrs[k] for k in sorted(self.attrs)},
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, id={self.span_id}, parent={self.parent_id}, "
+            f"ticks={self.start_tick}..{self.end_tick}, status={self.status!r})"
+        )
+
+
+class Trace:
+    """The span tree of one request, flat in creation order (root first)."""
+
+    __slots__ = ("trace_id", "spans", "_next_span_id")
+
+    def __init__(self, trace_id: int):
+        self.trace_id = trace_id
+        self.spans: list[Span] = []
+        self._next_span_id = 0
+
+    def new_span(self, name: str, parent_id: int | None, start_tick: int) -> Span:
+        span = Span(name, self._next_span_id, parent_id, start_tick)
+        self._next_span_id += 1
+        self.spans.append(span)
+        return span
+
+    @property
+    def root(self) -> Span:
+        return self.spans[0]
+
+    @property
+    def status(self) -> str:
+        return self.root.status
+
+    @property
+    def start_tick(self) -> int:
+        return self.root.start_tick
+
+    @property
+    def duration_ticks(self) -> int:
+        return self.root.duration_ticks
+
+    def find(self, name: str) -> list[Span]:
+        """All spans with this name, in creation order."""
+        return [s for s in self.spans if s.name == name]
+
+    def first(self, name: str) -> Span | None:
+        for span in self.spans:
+            if span.name == name:
+                return span
+        return None
+
+    def depth_of(self, span: Span) -> int:
+        """Root distance, walking parent ids (root is depth 0)."""
+        depth = 0
+        current = span
+        while current.parent_id is not None:
+            current = self.spans[current.parent_id]
+            depth += 1
+        return depth
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "trace_id": self.trace_id,
+            "status": self.status,
+            "start_tick": self.start_tick,
+            "duration_ticks": self.duration_ticks,
+            "spans": [span.as_dict() for span in self.spans],
+        }
+
+    def waterfall(self, width: int = 32) -> str:
+        return render_waterfall(self, width=width)
+
+    def __repr__(self) -> str:
+        return f"Trace(id={self.trace_id}, status={self.status!r}, spans={len(self.spans)})"
+
+
+def render_waterfall(trace: Trace, width: int = 32) -> str:
+    """ASCII waterfall: one line per span, bar scaled to the trace window.
+
+    Most spans cover zero or one logical tick (the gateway clock ticks
+    once per request), so bars get a one-cell minimum — the point of the
+    rendering is the nesting and the attributes, not sub-tick precision.
+    """
+    if not trace.spans:
+        return f"trace {trace.trace_id} (empty)"
+    start = trace.start_tick
+    total = max(1, trace.duration_ticks)
+    header = (
+        f"trace {trace.trace_id} · status={trace.status} "
+        f"· ticks {start}..{start + trace.duration_ticks}"
+    )
+    lines = [header]
+    name_width = max(
+        2 * trace.depth_of(span) + len(span.name) for span in trace.spans
+    )
+    for span in trace.spans:
+        indent = "  " * trace.depth_of(span)
+        offset = round(width * (span.start_tick - start) / total)
+        length = max(1, round(width * span.duration_ticks / total))
+        offset = min(offset, width - 1)
+        length = min(length, width - offset)
+        bar = " " * offset + "#" * length + " " * (width - offset - length)
+        label = f"{indent}{span.name}".ljust(name_width)
+        attrs = " ".join(f"{k}={span.attrs[k]}" for k in sorted(span.attrs))
+        tail = f" status={span.status}" + (f" {attrs}" if attrs else "")
+        lines.append(
+            f"  {label} |{bar}| {span.start_tick}..{span.end_tick}{tail}"
+        )
+    return "\n".join(lines)
+
+
+class TraceStore:
+    """Ring buffer of finished traces with small query helpers."""
+
+    __slots__ = ("_traces", "added")
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._traces: deque[Trace] = deque(maxlen=capacity)
+        self.added = 0
+
+    def add(self, trace: Trace) -> None:
+        self._traces.append(trace)
+        self.added += 1
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def __iter__(self) -> Iterator[Trace]:
+        return iter(self._traces)
+
+    @property
+    def traces(self) -> list[Trace]:
+        return list(self._traces)
+
+    def slowest(self, n: int = 5) -> list[Trace]:
+        """Longest traces first; ties broken by trace id (oldest first)."""
+        return sorted(self._traces, key=lambda t: (-t.duration_ticks, t.trace_id))[:n]
+
+    def by_status(self, status: str) -> list[Trace]:
+        return [t for t in self._traces if t.status == status]
+
+    def by_root(self, name: str) -> list[Trace]:
+        return [t for t in self._traces if t.root.name == name]
+
+    def as_dicts(self) -> list[dict[str, object]]:
+        return [trace.as_dict() for trace in self._traces]
+
+    def export_jsonl(self, path: str | Path) -> int:
+        """Write buffered traces as JSON lines; returns the count."""
+        return dump_jsonl(self.as_dicts(), path)
+
+    def clear(self) -> None:
+        self._traces.clear()
+
+
+class _SpanContext:
+    """Context manager for one span; created per ``Tracer.span`` call."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None and self._span.status == "ok":
+            self._span.status = "error"
+            self._span.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._finish(self._span)
+        return False
+
+
+class Tracer:
+    """Builds traces; bound to a logical clock, backed by a store.
+
+    ``wall=True`` additionally mirrors spans into a
+    :class:`~repro.utils.timing.StageTimer` (``tracer.timer``) for
+    wall-clock stage attribution; the timer never leaks into exports.
+    """
+
+    enabled = True
+
+    __slots__ = ("store", "timer", "_clock", "_stack", "_active", "_next_trace_id")
+
+    def __init__(
+        self,
+        store: TraceStore | None = None,
+        clock: Callable[[], int] | None = None,
+        wall: bool = False,
+    ):
+        self.store = store if store is not None else TraceStore()
+        self.timer: StageTimer | None = StageTimer() if wall else None
+        self._clock: Callable[[], int] = clock if clock is not None else (lambda: 0)
+        self._stack: list[Span] = []
+        self._active: Trace | None = None
+        self._next_trace_id = 0
+
+    def bind_clock(self, clock: Callable[[], int]) -> None:
+        self._clock = clock
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, or None between traces."""
+        return self._stack[-1] if self._stack else None
+
+    def span(self, name: str, **attrs: object) -> _SpanContext:
+        """Open a span: a new trace if the stack is empty, else a child."""
+        tick = int(self._clock())
+        if not self._stack:
+            self._active = Trace(self._next_trace_id)
+            self._next_trace_id += 1
+            span = self._active.new_span(name, None, tick)
+        else:
+            assert self._active is not None
+            span = self._active.new_span(name, self._stack[-1].span_id, tick)
+        if attrs:
+            span.attrs.update(attrs)
+        self._stack.append(span)
+        if self.timer is not None:
+            self.timer.push(name)
+        return _SpanContext(self, span)
+
+    def _finish(self, span: Span) -> None:
+        if not self._stack or self._stack[-1] is not span:
+            raise RuntimeError(
+                f"span {span.name!r} closed out of order (open: "
+                f"{[s.name for s in self._stack]})"
+            )
+        if self.timer is not None:
+            self.timer.pop()
+        span.end_tick = int(self._clock())
+        self._stack.pop()
+        if not self._stack:
+            assert self._active is not None
+            self.store.add(self._active)
+            self._active = None
+
+
+class _NullSpan:
+    """Absorbs span mutations; always 'ok', never stores anything."""
+
+    __slots__ = ()
+
+    name = "null"
+    span_id = -1
+    parent_id = None
+    start_tick = 0
+    end_tick = 0
+    duration_ticks = 0
+
+    @property
+    def status(self) -> str:
+        return "ok"
+
+    @status.setter
+    def status(self, value: str) -> None:
+        pass
+
+    @property
+    def attrs(self) -> dict[str, object]:
+        return {}
+
+    def set(self, **attrs: object) -> "_NullSpan":
+        return self
+
+    def as_dict(self) -> dict[str, object]:
+        return {}
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _NullSpanContext:
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class NullTracer:
+    """Same surface as :class:`Tracer`; every span is discarded."""
+
+    enabled = False
+    timer = None
+
+    __slots__ = ("store",)
+
+    def __init__(self):
+        self.store = TraceStore(capacity=1)  # always empty; satisfies queries
+
+    def bind_clock(self, clock: Callable[[], int]) -> None:
+        pass
+
+    @property
+    def current(self) -> None:
+        return None
+
+    def span(self, name: str, **attrs: object) -> _NullSpanContext:
+        return _NULL_SPAN_CONTEXT
+
+
+NULL_TRACER = NullTracer()

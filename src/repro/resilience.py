@@ -125,6 +125,25 @@ class FaultPlan:
     def _draw(self, stage: str, *material: str) -> float:
         return _uniform("fault", str(self.seed), stage, *material)
 
+    def attach_observer(self, observer) -> None:
+        """Register ``observer(stage, key, detail)``, called once per fault
+        this plan actually *injects* (never on clean draws).
+
+        ``stage`` is ``"completion"`` / ``"augment"`` / ``"latency"`` /
+        ``"outage"``; ``key`` identifies the victim (request key, prompt
+        text, or model name); ``detail`` is the attempt index for per-attempt
+        stages, the spike ticks for latency, and the tick for outages.  The
+        gateway wires this to its event log.  Stored outside the dataclass
+        fields (the plan stays frozen, equal, and hashable); one observer
+        per plan — attaching again replaces it, ``None`` detaches.
+        """
+        object.__setattr__(self, "_observer", observer)
+
+    def _notify(self, stage: str, key: str, detail: int | None) -> None:
+        observer = getattr(self, "_observer", None)
+        if observer is not None:
+            observer(stage, key, detail)
+
     @property
     def is_noop(self) -> bool:
         """True when this plan can never inject anything."""
@@ -139,25 +158,35 @@ class FaultPlan:
         """Does completion attempt ``attempt`` for ``key`` fail transiently?"""
         if self.completion_failure_rate <= 0.0:
             return False
-        return self._draw("completion", key, str(attempt)) < self.completion_failure_rate
+        if self._draw("completion", key, str(attempt)) < self.completion_failure_rate:
+            self._notify("completion", key, attempt)
+            return True
+        return False
 
     def augment_fails(self, prompt_text: str) -> bool:
         """Does augmenting this prompt fail?  (Per prompt, attempt-free.)"""
         if self.augment_failure_rate <= 0.0:
             return False
-        return self._draw("augment", prompt_text) < self.augment_failure_rate
+        if self._draw("augment", prompt_text) < self.augment_failure_rate:
+            self._notify("augment", prompt_text, None)
+            return True
+        return False
 
     def latency_ticks(self, key: str, attempt: int) -> int:
         """Extra logical ticks this completion attempt costs (0 or a spike)."""
         if self.latency_spike_rate <= 0.0 or self.latency_spike_ticks == 0:
             return 0
         if self._draw("latency", key, str(attempt)) < self.latency_spike_rate:
+            self._notify("latency", key, self.latency_spike_ticks)
             return self.latency_spike_ticks
         return 0
 
     def in_outage(self, model: str, tick: int) -> bool:
         """Is ``model`` hard-down at logical time ``tick``?"""
-        return any(window.covers(model, tick) for window in self.outages)
+        if any(window.covers(model, tick) for window in self.outages):
+            self._notify("outage", model, tick)
+            return True
+        return False
 
 
 #: The no-op plan: injecting it anywhere changes nothing.
@@ -240,10 +269,15 @@ class CircuitBreaker:
         self.opened_at: int | None = None
         self.trips = 0  #: number of closed/half-open -> open transitions
         self.transitions: list[tuple[int, str]] = []
+        #: Optional ``observer(tick, state)`` called on every transition
+        #: (the gateway wires this to its event log).
+        self.observer = None
 
     def _transition(self, tick: int, state: str) -> None:
         self.state = state
         self.transitions.append((tick, state))
+        if self.observer is not None:
+            self.observer(tick, state)
 
     def allow(self, tick: int) -> bool:
         """May a request proceed at logical time ``tick``?

@@ -16,12 +16,24 @@ injected with a seedable :class:`~repro.resilience.FaultPlan`, retries are
 shaped by a :class:`~repro.resilience.RetryPolicy`, and per-model
 :class:`~repro.resilience.CircuitBreaker`\\ s fail fast while a backend
 misbehaves.
+
+Observability is woven through the whole path: pass
+``obs=Observability.enabled()`` to the gateway (and scheduler) to get
+per-request span traces on the logical clock, a shared metrics registry,
+and a structured event log — all deterministic at a fixed seed, all free
+when left at the :data:`~repro.obs.NULL_OBS` default.
 """
 
 from repro.llm.types import build_messages
+from repro.obs import NULL_OBS, Observability
 from repro.resilience import CircuitBreaker, FaultPlan, OutageWindow, RetryPolicy
 from repro.serve.cache import LruCache
-from repro.serve.gateway import GatewayConfig, GatewayStats, PasGateway
+from repro.serve.gateway import (
+    GatewayConfig,
+    GatewayStats,
+    PasGateway,
+    derive_stage_timings,
+)
 from repro.serve.scheduler import BatchRecord, MicroBatcher, SchedulerStats
 from repro.serve.types import ServeRequest, ServeResponse
 
@@ -33,6 +45,8 @@ __all__ = [
     "GatewayStats",
     "LruCache",
     "MicroBatcher",
+    "NULL_OBS",
+    "Observability",
     "OutageWindow",
     "PasGateway",
     "RetryPolicy",
@@ -40,4 +54,5 @@ __all__ = [
     "ServeRequest",
     "ServeResponse",
     "build_messages",
+    "derive_stage_timings",
 ]

@@ -34,6 +34,10 @@ class LruCache(Generic[K, V]):
         self._data: OrderedDict[K, V] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: Optional ``observer(op, key)`` called on ``"hit"`` / ``"miss"`` /
+        #: ``"evict"`` (observability hook; never fires on :meth:`peek`, which
+        #: by contract leaves no trace).
+        self.observer = None
 
     def __len__(self) -> int:
         return len(self._data)
@@ -46,8 +50,12 @@ class LruCache(Generic[K, V]):
         value = self._data.get(key, _MISSING)
         if value is _MISSING:
             self.misses += 1
+            if self.observer is not None:
+                self.observer("miss", key)
             return default
         self.hits += 1
+        if self.observer is not None:
+            self.observer("hit", key)
         self._data.move_to_end(key)
         return value  # type: ignore[return-value]
 
@@ -73,7 +81,9 @@ class LruCache(Generic[K, V]):
             self._data.move_to_end(key)
         self._data[key] = value
         if len(self._data) > self.capacity:
-            self._data.popitem(last=False)
+            evicted, _ = self._data.popitem(last=False)
+            if self.observer is not None:
+                self.observer("evict", evicted)
 
     @property
     def hit_rate(self) -> float:

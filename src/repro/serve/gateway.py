@@ -18,9 +18,14 @@ prompt.  The gateway adds what a production front-end needs —
 * per-model **circuit breakers** (closed → open after N consecutive
   completion failures → half-open probe on the logical clock) that fail
   fast while a backend is down,
-* cumulative :class:`GatewayStats` for observability — outcome counts,
-  retry/backoff totals, breaker states — with optional per-stage
-  wall-clock timings (:meth:`PasGateway.enable_stage_timings`).
+* **observability**: every request runs inside a ``gateway.ask`` span tree
+  (augment → cache/embed → complete → retry[n]) stamped on the logical
+  clock, outcome/cache/token counters land in a metrics registry, and
+  faults, breaker transitions, evictions, and failed/degraded serves emit
+  into an event log.  Pass ``obs=Observability.enabled()`` to collect;
+  the default all-null bundle makes instrumentation free.  Cumulative
+  :class:`GatewayStats` are a *view* over the registry plus the live
+  clients/breakers/caches — one source of truth, same public fields.
 
 Message construction follows the library-wide
 :func:`~repro.llm.types.build_messages` convention (prompt as the ``user``
@@ -29,10 +34,9 @@ turn, complement as a preceding ``system`` turn).
 
 from __future__ import annotations
 
-import time
 import warnings
-from collections.abc import Sequence
-from dataclasses import dataclass, field, replace
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -41,14 +45,26 @@ from repro.errors import AugmentationError, CircuitOpenError, ReproError, Unknow
 from repro.llm.api import ChatClient
 from repro.llm.engine import SimulatedLLM
 from repro.llm.types import build_messages
+from repro.obs import NULL_OBS, MetricsRegistry, Observability, Tracer, TraceStore
 from repro.resilience import CircuitBreaker, FaultPlan, RetryPolicy, augment_fault
 from repro.serve.cache import LruCache
 from repro.serve.types import ServeRequest, ServeResponse
+from repro.utils.timing import StageTimer
 
-__all__ = ["GatewayConfig", "GatewayStats", "PasGateway", "build_messages"]
+__all__ = [
+    "GatewayConfig",
+    "GatewayStats",
+    "PasGateway",
+    "build_messages",
+    "derive_stage_timings",
+]
 
-#: Stage keys reported by :meth:`PasGateway.enable_stage_timings`.
+#: Stage keys reported by the deprecated :meth:`PasGateway.enable_stage_timings`
+#: shim (and by :func:`derive_stage_timings`).
 STAGES = ("augment", "cache", "completion", "stats")
+
+#: Attempt-count buckets for the per-request ``pas_attempts`` histogram.
+_ATTEMPT_BUCKETS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0)
 
 
 @dataclass(frozen=True)
@@ -84,9 +100,16 @@ class GatewayConfig:
 _DEPRECATED_KWARGS = ("cache_size", "embed_cache_size", "failure_rate", "max_retries", "seed")
 
 
-@dataclass
 class GatewayStats:
-    """Cumulative request accounting.
+    """Cumulative request accounting — a live view, not a mutable bag.
+
+    The counters behind these properties live in the gateway's metrics
+    registry (``pas_requests_total{model,status}``, ``pas_augmented_total``,
+    ``pas_cache_hits_total``, ``pas_tokens_total{kind}``); retry/backoff
+    totals, breaker snapshots, and embedding-tier counters are read straight
+    off the live clients, breakers, and cache.  The public fields match the
+    pre-registry dataclass exactly, so existing callers (and the
+    scalar-vs-batch parity tests, via ``==``) are unaffected.
 
     ``requests`` counts every request the gateway attempted; ``failures``
     counts the ones that produced **no answer** — completion retries
@@ -106,21 +129,93 @@ class GatewayStats:
     model's circuit (state string, and how often it opened).
     """
 
-    requests: int = 0
-    augmented: int = 0
-    cache_hits: int = 0
-    failures: int = 0
-    degraded: int = 0
-    prompt_tokens: int = 0
-    completion_tokens: int = 0
-    embed_cache_hits: int = 0
-    embed_cache_misses: int = 0
-    retries: int = 0
-    backoff_ticks: float = 0.0
-    per_model: dict[str, int] = field(default_factory=dict)
-    failures_per_model: dict[str, int] = field(default_factory=dict)
-    breaker_state: dict[str, str] = field(default_factory=dict)
-    breaker_trips: dict[str, int] = field(default_factory=dict)
+    __slots__ = ("_gateway",)
+
+    def __init__(self, gateway: "PasGateway"):
+        self._gateway = gateway
+
+    # -- registry-backed counters -------------------------------------- #
+
+    @property
+    def requests(self) -> int:
+        return int(self._gateway._m_requests.total())
+
+    def _status_series(self) -> list[tuple[str, str, int]]:
+        """Flat ``(model, status, count)`` rows from the request counter."""
+        rows = []
+        for key, value in self._gateway._m_requests.series().items():
+            labels = dict(key)
+            rows.append((labels["model"], labels["status"], int(value)))
+        return rows
+
+    @property
+    def failures(self) -> int:
+        return sum(n for _, status, n in self._status_series() if status == "failed")
+
+    @property
+    def degraded(self) -> int:
+        return sum(n for _, status, n in self._status_series() if status == "degraded")
+
+    @property
+    def per_model(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for model, _, n in self._status_series():
+            out[model] = out.get(model, 0) + n
+        return out
+
+    @property
+    def failures_per_model(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for model, status, n in self._status_series():
+            if status == "failed":
+                out[model] = out.get(model, 0) + n
+        return out
+
+    @property
+    def augmented(self) -> int:
+        return int(self._gateway._m_augmented.total())
+
+    @property
+    def cache_hits(self) -> int:
+        return int(self._gateway._m_cache_hits.total())
+
+    @property
+    def prompt_tokens(self) -> int:
+        return int(self._gateway._m_tokens.value(kind="prompt"))
+
+    @property
+    def completion_tokens(self) -> int:
+        return int(self._gateway._m_tokens.value(kind="completion"))
+
+    # -- live component reads ------------------------------------------ #
+
+    @property
+    def embed_cache_hits(self) -> int:
+        cache = self._gateway._embed_cache
+        return cache.hits if cache is not None else 0
+
+    @property
+    def embed_cache_misses(self) -> int:
+        cache = self._gateway._embed_cache
+        return cache.misses if cache is not None else 0
+
+    @property
+    def retries(self) -> int:
+        return sum(c.usage.failures for c in self._gateway._clients.values())
+
+    @property
+    def backoff_ticks(self) -> float:
+        return sum(c.usage.backoff_ticks for c in self._gateway._clients.values())
+
+    @property
+    def breaker_state(self) -> dict[str, str]:
+        return {m: b.state for m, b in self._gateway._breakers.items()}
+
+    @property
+    def breaker_trips(self) -> dict[str, int]:
+        return {m: b.trips for m, b in self._gateway._breakers.items() if b.trips}
+
+    # -- derived ------------------------------------------------------- #
 
     @property
     def served(self) -> int:
@@ -155,32 +250,71 @@ class GatewayStats:
             "breaker_trips": dict(sorted(self.breaker_trips.items())),
         }
 
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, GatewayStats):
+            return self.as_dict() == other.as_dict()
+        return NotImplemented
 
-class _StageClock:
-    """Accumulate elapsed wall time into per-stage buckets via ``lap``."""
-
-    __slots__ = ("_timings", "_last")
-
-    def __init__(self, timings: dict[str, float]):
-        self._timings = timings
-        self._last = time.perf_counter()
-
-    def lap(self, stage: str) -> None:
-        now = time.perf_counter()
-        self._timings[stage] += now - self._last
-        self._last = now
+    def __repr__(self) -> str:
+        return f"GatewayStats({self.as_dict()!r})"
 
 
-class _NullClock:
-    """No-op stand-in when stage timing is disabled."""
+def derive_stage_timings(tracer) -> dict[str, float]:
+    """Per-stage wall-clock buckets from a wall-enabled tracer.
 
-    __slots__ = ()
+    This is the span-based replacement for the old flat stage clock.  The
+    mapping from span names to the legacy :data:`STAGES` buckets:
 
-    def lap(self, stage: str) -> None:
-        pass
+    * ``augment`` — the augment span's *exclusive* time (the PAS forward
+      pass, embedding included when it happens inside ``pas.augment``)
+      plus any explicit ``embed`` child spans;
+    * ``cache`` — all ``cache`` spans, inclusive (both tiers, scalar gets
+      and batch-planning peeks);
+    * ``completion`` — all ``complete`` spans, inclusive (retries and
+      backoff included);
+    * ``stats`` — the *exclusive* remainder of the ``gateway.ask`` and
+      ``gateway.plan`` roots: breaker checks, response assembly, batch
+      bookkeeping.
+
+    Returns all-zero buckets when the tracer has no wall timer.
+    """
+    timer: StageTimer | None = getattr(tracer, "timer", None)
+    if timer is None:
+        return {stage: 0.0 for stage in STAGES}
+    inc, exc = timer.inclusive_s, timer.exclusive_s
+    return {
+        "augment": exc.get("augment", 0.0) + inc.get("embed", 0.0),
+        "cache": inc.get("cache", 0.0),
+        "completion": inc.get("complete", 0.0),
+        "stats": exc.get("gateway.ask", 0.0) + exc.get("gateway.plan", 0.0),
+    }
 
 
-_NULL_CLOCK = _NullClock()
+class _StageTimingsView(Mapping):
+    """Live ``{stage: seconds}`` mapping over :func:`derive_stage_timings`.
+
+    Returned by the deprecated :meth:`PasGateway.enable_stage_timings` so
+    old callers that kept the returned dict around still see timings
+    accumulate.
+    """
+
+    __slots__ = ("_tracer",)
+
+    def __init__(self, tracer):
+        self._tracer = tracer
+
+    def __getitem__(self, stage: str) -> float:
+        return derive_stage_timings(self._tracer)[stage]
+
+    def __iter__(self):
+        return iter(STAGES)
+
+    def __len__(self) -> int:
+        return len(STAGES)
+
+    def __repr__(self) -> str:
+        return repr(derive_stage_timings(self._tracer))
+
 
 _EMPTY: frozenset[str] = frozenset()
 
@@ -193,6 +327,13 @@ class PasGateway:
     ``failure_rate``, ``max_retries``, ``seed``) still work but emit a
     :class:`DeprecationWarning`.
 
+    ``obs`` takes an :class:`~repro.obs.Observability` bundle; the gateway
+    binds its logical clock into it, threads it through every client and
+    both caches, and instruments the full request path.  The default
+    :data:`~repro.obs.NULL_OBS` keeps everything off.  Observability never
+    touches results: responses, stats, and cache state are bit-identical
+    with it on or off.
+
     Both caches are transparent: cached values are bit-identical to
     recomputation.  The serving API is outcome-based — see :meth:`ask`.
     """
@@ -201,6 +342,7 @@ class PasGateway:
         self,
         pas: PasModel,
         config: GatewayConfig | None = None,
+        obs: Observability = NULL_OBS,
         **deprecated,
     ):
         unknown = set(deprecated) - set(_DEPRECATED_KWARGS)
@@ -231,31 +373,117 @@ class PasGateway:
             if self.config.embed_cache_size > 0
             else None
         )
-        self.stats = GatewayStats()
-        self.stage_timings: dict[str, float] | None = None
+        self.obs = obs
+        self.obs.bind_clock(lambda: self._clock)
+        # The stats source of truth is always a real registry — the user's
+        # when they passed a live one (so their snapshots include gateway
+        # counters), a private one otherwise.
+        self._registry: MetricsRegistry = (
+            obs.metrics if obs.metrics.enabled else MetricsRegistry()
+        )
+        self._m_requests = self._registry.counter(
+            "pas_requests_total", help="Requests by model and outcome status."
+        )
+        self._m_augmented = self._registry.counter(
+            "pas_augmented_total", help="Served requests that carried a complement."
+        )
+        self._m_cache_hits = self._registry.counter(
+            "pas_cache_hits_total", help="Complement-cache hits on served requests."
+        )
+        self._m_tokens = self._registry.counter(
+            "pas_tokens_total", help="Tokens by kind (prompt/completion)."
+        )
+        self._m_attempts = self._registry.histogram(
+            "pas_attempts",
+            buckets=_ATTEMPT_BUCKETS,
+            help="Completion attempts per served request.",
+        )
+        if self.obs.active:
+            self._complement_cache.observer = self._cache_observer("complement")
+            if self._embed_cache is not None:
+                self._embed_cache.observer = self._cache_observer("embed")
+            if self.config.fault_plan is not None:
+                self.config.fault_plan.attach_observer(self._fault_observer)
+        self.stats = GatewayStats(self)
+        self._stage_view: _StageTimingsView | None = None
 
     @property
     def clock(self) -> int:
         """Logical time: how many requests this gateway has attempted."""
         return self._clock
 
-    def enable_stage_timings(self) -> dict[str, float]:
-        """Turn on per-stage wall-clock accounting and return the buckets.
+    # ------------------------------------------------------------------ #
+    # observability wiring
+    # ------------------------------------------------------------------ #
 
-        Every subsequent request accumulates elapsed seconds into
-        ``{"augment", "cache", "completion", "stats"}`` — augmentation
-        compute, cache bookkeeping (both tiers), target-model
-        completions, and stats/response assembly.  Timing never touches
-        results; it only reads the clock between stages.
+    def _cache_observer(self, tier: str):
+        ops = self.obs.metrics.counter(
+            "pas_cache_ops_total", help="Cache operations by tier and op."
+        )
+
+        def observe(op: str, key) -> None:
+            ops.inc(tier=tier, op=op)
+            if op == "evict":
+                self.obs.events.emit("cache.evict", tier=tier, key=key)
+
+        return observe
+
+    def _fault_observer(self, stage: str, key: str, detail) -> None:
+        self.obs.metrics.counter(
+            "pas_faults_total", help="Injected faults by stage."
+        ).inc(stage=stage)
+        self.obs.events.emit("fault.injected", stage=stage, key=key, detail=detail)
+
+    def _breaker_observer(self, model: str):
+        transitions = self.obs.metrics.counter(
+            "pas_breaker_transitions_total",
+            help="Circuit-breaker transitions by model and new state.",
+        )
+
+        def observe(tick: int, state: str) -> None:
+            transitions.inc(model=model, state=state)
+            self.obs.events.emit("breaker.transition", model=model, state=state)
+
+        return observe
+
+    @property
+    def stage_timings(self) -> _StageTimingsView | None:
+        """Deprecated stage-timing view (None until the shim enables it)."""
+        return self._stage_view
+
+    def enable_stage_timings(self) -> _StageTimingsView:
+        """Deprecated: use ``obs=Observability.enabled(wall=True)`` and
+        :func:`derive_stage_timings` (the span hierarchy carries strictly
+        more information).  This shim turns on wall-clock tracing and
+        returns a live mapping with the legacy
+        ``{"augment", "cache", "completion", "stats"}`` buckets derived
+        from span timings; timing never touches results.
         """
-        if self.stage_timings is None:
-            self.stage_timings = {stage: 0.0 for stage in STAGES}
-        return self.stage_timings
+        warnings.warn(
+            "PasGateway.enable_stage_timings() is deprecated; construct the "
+            "gateway with obs=Observability.enabled(wall=True) and derive "
+            "stage buckets via repro.serve.gateway.derive_stage_timings()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if self._stage_view is None:
+            tracer = self.obs.tracer
+            if not tracer.enabled:
+                tracer = Tracer(store=TraceStore(), wall=True)
+                self.obs = Observability(
+                    tracer=tracer, metrics=self.obs.metrics, events=self.obs.events
+                )
+                self.obs.bind_clock(lambda: self._clock)
+                for client in self._clients.values():
+                    client.obs = self.obs
+            elif tracer.timer is None:
+                tracer.timer = StageTimer()
+            self._stage_view = _StageTimingsView(tracer)
+        return self._stage_view
 
-    def _stage_clock(self) -> _StageClock | _NullClock:
-        if self.stage_timings is None:
-            return _NULL_CLOCK
-        return _StageClock(self.stage_timings)
+    # ------------------------------------------------------------------ #
+    # components
+    # ------------------------------------------------------------------ #
 
     def client_for(self, model: str) -> ChatClient:
         """The (lazily created) client serving one target model."""
@@ -268,33 +496,37 @@ class PasGateway:
                 fault_plan=self.config.fault_plan,
                 retry_policy=self.config.retry_policy,
                 clock=lambda: self._clock,
+                obs=self.obs,
             )
         return self._clients[model]
 
     def breaker_for(self, model: str) -> CircuitBreaker:
         """The (lazily created) circuit breaker guarding one target model."""
         if model not in self._breakers:
-            self._breakers[model] = CircuitBreaker(
+            breaker = CircuitBreaker(
                 failure_threshold=self.config.breaker_threshold,
                 recovery_ticks=self.config.breaker_recovery_ticks,
             )
+            if self.obs.active:
+                breaker.observer = self._breaker_observer(model)
+            self._breakers[model] = breaker
         return self._breakers[model]
 
     def _complement(
         self,
         prompt: str,
         precomputed: dict[str, tuple[str, np.ndarray | None]] | None,
-        clock: _StageClock | _NullClock,
         degraded: frozenset[str] | set[str] = _EMPTY,
     ) -> tuple[str, bool]:
-        cached = self._complement_cache.get(prompt)
+        tracer = self.obs.tracer
+        with tracer.span("cache", tier="complement") as cache_span:
+            cached = self._complement_cache.get(prompt)
+            cache_span.set(hit=cached is not None)
         if cached is not None:
-            clock.lap("cache")
             return cached, True
         if prompt in degraded:
             # Replay of a fault the batch planner already detected; the
             # scalar path raises the identical error out of augment().
-            clock.lap("cache")
             raise augment_fault(prompt)
         if precomputed is not None and prompt in precomputed:
             complement, embedding = precomputed[prompt]
@@ -303,22 +535,26 @@ class PasGateway:
                 # would make: one get, and on a miss a put of the same
                 # vector (held from planning, or recomputed for prompts
                 # whose complement was held from the LRU peek).
-                if self._embed_cache.get(prompt) is None:
+                with tracer.span("cache", tier="embed") as embed_span:
+                    hit = self._embed_cache.get(prompt) is not None
+                    embed_span.set(hit=hit)
+                if not hit:
                     if embedding is None:
-                        embedding = self.pas.embed_prompts([prompt])[0]
+                        with tracer.span("embed"):
+                            embedding = self.pas.embed_prompts([prompt])[0]
                     self._embed_cache.put(prompt, embedding)
-            clock.lap("cache")
         else:
-            clock.lap("cache")
             complement = self.pas.augment(
                 prompt,
                 embed_cache=self._embed_cache,
                 fault_plan=self.config.fault_plan,
             )
-            clock.lap("augment")
         self._complement_cache.put(prompt, complement)
-        clock.lap("cache")
         return complement, False
+
+    # ------------------------------------------------------------------ #
+    # serving
+    # ------------------------------------------------------------------ #
 
     def ask(self, request: ServeRequest, *, strict: bool | None = None) -> ServeResponse:
         """Serve one request end to end, returning a structured outcome.
@@ -344,19 +580,32 @@ class PasGateway:
     def _strictness(self, strict: bool | None) -> bool:
         return self.config.strict if strict is None else strict
 
-    def _record_failure(self, model: str) -> None:
-        self.stats.requests += 1
-        self.stats.failures += 1
-        self.stats.per_model[model] = self.stats.per_model.get(model, 0) + 1
-        self.stats.failures_per_model[model] = (
-            self.stats.failures_per_model.get(model, 0) + 1
-        )
-        self._sync_embed_stats()
-        self._sync_resilience_stats()
-
-    def _failed_response(
-        self, request: ServeRequest, complement: str, was_cached: bool, error: Exception
+    def _fail(
+        self,
+        root,
+        request: ServeRequest,
+        complement: str,
+        was_cached: bool,
+        error: Exception,
+        strict: bool,
+        *,
+        stage: str,
     ) -> ServeResponse:
+        """Record one no-answer outcome: counters, span, event, response."""
+        self._m_requests.inc(model=request.model, status="failed")
+        message = f"{type(error).__name__}: {error}"
+        attempts = getattr(error, "attempts", 0)
+        root.status = "failed"
+        root.set(stage=stage, error=message, attempts=attempts)
+        self.obs.events.emit(
+            "serve.failed",
+            model=request.model,
+            stage=stage,
+            error=message,
+            attempts=attempts,
+        )
+        if strict:
+            raise error
         return ServeResponse(
             request_id=request.request_id,
             model=request.model,
@@ -366,8 +615,8 @@ class PasGateway:
             prompt_tokens=0,
             completion_tokens=0,
             status="failed",
-            error=f"{type(error).__name__}: {error}",
-            attempts=getattr(error, "attempts", 0),
+            error=message,
+            attempts=attempts,
         )
 
     def _serve(
@@ -378,113 +627,92 @@ class PasGateway:
         strict: bool,
         degraded: frozenset[str] | set[str] = _EMPTY,
     ) -> ServeResponse:
-        clock = self._stage_clock()
         self._clock += 1
-        try:
-            client = self.client_for(request.model)
-        except UnknownModelError as error:
-            self._record_failure(request.model)
-            if strict:
-                raise
-            return self._failed_response(request, "", False, error)
-        breaker = self.breaker_for(request.model)
-        clock.lap("completion")
-
-        if not breaker.allow(self._clock):
-            self._record_failure(request.model)
-            error = CircuitOpenError(
-                f"circuit open for model {request.model!r}: "
-                f"{breaker.consecutive_failures} consecutive failures, "
-                f"probe at tick {(breaker.opened_at or 0) + breaker.recovery_ticks}"
-            )
-            if strict:
-                raise error
-            return self._failed_response(request, "", False, error)
-
-        degraded_error: str | None = None
-        if request.augment:
+        tracer = self.obs.tracer
+        with tracer.span("gateway.ask", model=request.model) as root:
+            if request.request_id is not None:
+                root.set(request_id=request.request_id)
             try:
-                complement, was_cached = self._complement(
-                    request.prompt, precomputed, clock, degraded
+                client = self.client_for(request.model)
+            except UnknownModelError as error:
+                return self._fail(root, request, "", False, error, strict, stage="route")
+            breaker = self.breaker_for(request.model)
+
+            if not breaker.allow(self._clock):
+                root.set(breaker="open")
+                error = CircuitOpenError(
+                    f"circuit open for model {request.model!r}: "
+                    f"{breaker.consecutive_failures} consecutive failures, "
+                    f"probe at tick {(breaker.opened_at or 0) + breaker.recovery_ticks}"
                 )
-            except AugmentationError as error:
-                if strict:
-                    self._record_failure(request.model)
-                    raise
-                # The plug-and-play fallback: the raw prompt is always a
-                # valid input, so serve it unaugmented.
+                return self._fail(
+                    root, request, "", False, error, strict, stage="breaker"
+                )
+
+            degraded_error: str | None = None
+            if request.augment:
+                try:
+                    with tracer.span("augment") as augment_span:
+                        complement, was_cached = self._complement(
+                            request.prompt, precomputed, degraded
+                        )
+                        augment_span.set(cached=was_cached)
+                except AugmentationError as error:
+                    if strict:
+                        self._m_requests.inc(model=request.model, status="failed")
+                        root.status = "failed"
+                        root.set(
+                            stage="augment", error=f"{type(error).__name__}: {error}"
+                        )
+                        raise
+                    # The plug-and-play fallback: the raw prompt is always a
+                    # valid input, so serve it unaugmented.
+                    complement, was_cached = "", False
+                    degraded_error = f"{type(error).__name__}: {error}"
+                    self.obs.events.emit(
+                        "serve.degraded", model=request.model, error=degraded_error
+                    )
+            else:
                 complement, was_cached = "", False
-                degraded_error = f"{type(error).__name__}: {error}"
-        else:
-            complement, was_cached = "", False
 
-        try:
-            completion = client.complete(build_messages(request.prompt, complement))
-        except ReproError as error:
-            breaker.record_failure(self._clock)
-            self._record_failure(request.model)
-            if strict:
-                raise
-            return self._failed_response(request, complement, was_cached, error)
-        breaker.record_success(self._clock)
-        clock.lap("completion")
+            try:
+                completion = client.complete(build_messages(request.prompt, complement))
+            except ReproError as error:
+                breaker.record_failure(self._clock)
+                return self._fail(
+                    root, request, complement, was_cached, error, strict, stage="complete"
+                )
+            breaker.record_success(self._clock)
 
-        self.stats.requests += 1
-        self.stats.augmented += bool(complement)
-        self.stats.cache_hits += was_cached
-        self.stats.degraded += degraded_error is not None
-        self.stats.prompt_tokens += completion.prompt_tokens
-        self.stats.completion_tokens += completion.completion_tokens
-        self.stats.per_model[request.model] = (
-            self.stats.per_model.get(request.model, 0) + 1
-        )
-        self._sync_embed_stats()
-        self._sync_resilience_stats()
-        response = ServeResponse(
-            request_id=request.request_id,
-            model=request.model,
-            response=completion.content,
-            complement=complement,
-            complement_cached=was_cached,
-            prompt_tokens=completion.prompt_tokens,
-            completion_tokens=completion.completion_tokens,
-            status="ok" if degraded_error is None else "degraded",
-            error=degraded_error,
-            attempts=completion.retries + 1,
-        )
-        clock.lap("stats")
-        return response
-
-    def _sync_embed_stats(self) -> None:
-        """Mirror the embedding tier's counters into :class:`GatewayStats`.
-
-        The gateway is the cache's only writer, so assigning the
-        cumulative counters after each request equals per-request delta
-        accounting — and stays bit-identical between the scalar and
-        batched paths, which perform the same cache operations.
-        """
-        if self._embed_cache is not None:
-            self.stats.embed_cache_hits = self._embed_cache.hits
-            self.stats.embed_cache_misses = self._embed_cache.misses
-
-    def _sync_resilience_stats(self) -> None:
-        """Mirror client retry/backoff totals and breaker snapshots.
-
-        Same idiom as :meth:`_sync_embed_stats`: the gateway is the only
-        driver of its clients and breakers, so cumulative mirroring after
-        each request equals per-request deltas on every path.
-        """
-        retries = 0
-        backoff = 0.0
-        for client in self._clients.values():
-            retries += client.usage.failures
-            backoff += client.usage.backoff_ticks
-        self.stats.retries = retries
-        self.stats.backoff_ticks = backoff
-        for model, breaker in self._breakers.items():
-            self.stats.breaker_state[model] = breaker.state
-            if breaker.trips:
-                self.stats.breaker_trips[model] = breaker.trips
+            status = "ok" if degraded_error is None else "degraded"
+            self._m_requests.inc(model=request.model, status=status)
+            if complement:
+                self._m_augmented.inc()
+            if was_cached:
+                self._m_cache_hits.inc()
+            self._m_tokens.inc(completion.prompt_tokens, kind="prompt")
+            self._m_tokens.inc(completion.completion_tokens, kind="completion")
+            self._m_attempts.observe(completion.retries + 1, model=request.model)
+            root.status = status
+            root.set(
+                attempts=completion.retries + 1,
+                cached=was_cached,
+                breaker=breaker.state,
+            )
+            if degraded_error is not None:
+                root.set(stage="augment", error=degraded_error)
+            return ServeResponse(
+                request_id=request.request_id,
+                model=request.model,
+                response=completion.content,
+                complement=complement,
+                complement_cached=was_cached,
+                prompt_tokens=completion.prompt_tokens,
+                completion_tokens=completion.completion_tokens,
+                status=status,
+                error=degraded_error,
+                attempts=completion.retries + 1,
+            )
 
     def ask_batch(
         self, requests: Sequence[ServeRequest], *, strict: bool | None = None
@@ -506,6 +734,11 @@ class PasGateway:
         hit/miss/recency state are all bit-identical to
         ``[self.ask(r) for r in requests]``.
 
+        With tracing on, planning runs inside its own ``gateway.plan``
+        trace (cache peeks + the batched augment), then each request
+        produces the same ``gateway.ask`` trace shape the scalar path
+        would.
+
         Non-strict (default): returns one response per request, always.
         Strict: the first failure raises the same exception from the same
         request the scalar loop would (earlier responses are counted but
@@ -515,50 +748,62 @@ class PasGateway:
         requests = list(requests)
         if not requests:
             return []
-        clock = self._stage_clock()
+        tracer = self.obs.tracer
         plan = self.config.fault_plan
         planned: set[str] = set()
         degraded: set[str] = set()
         precomputed: dict[str, tuple[str, np.ndarray | None]] = {}
         to_augment: list[str] = []
-        for request in requests:
-            if not request.augment or request.prompt in planned:
-                continue
-            planned.add(request.prompt)
-            cached = self._complement_cache.peek(request.prompt)
-            if cached is not None:
-                # Hold the value: if the entry is evicted mid-batch, the
-                # replay below still serves what augment() would recompute.
-                precomputed[request.prompt] = (cached, None)
-            elif plan is not None and plan.augment_fails(request.prompt):
-                # The scalar augment() would raise for this prompt; keep it
-                # out of the batched forward pass (and both cache tiers) so
-                # the replay degrades it exactly where the scalar loop would.
-                degraded.add(request.prompt)
-            else:
-                to_augment.append(request.prompt)
-        clock.lap("cache")
-        if to_augment:
-            if self._embed_cache is None:
-                complements = self.pas.augment_batch(to_augment)
-                vectors: list[np.ndarray | None] = [None] * len(to_augment)
-            else:
-                held: dict[str, np.ndarray] = {}
-                missing: list[str] = []
-                for prompt in to_augment:
-                    vector = self._embed_cache.peek(prompt)
-                    if vector is None:
-                        missing.append(prompt)
+        with tracer.span("gateway.plan", n_requests=len(requests)) as plan_span:
+            with tracer.span("cache", tier="complement"):
+                for request in requests:
+                    if not request.augment or request.prompt in planned:
+                        continue
+                    planned.add(request.prompt)
+                    cached = self._complement_cache.peek(request.prompt)
+                    if cached is not None:
+                        # Hold the value: if the entry is evicted mid-batch, the
+                        # replay below still serves what augment() would recompute.
+                        precomputed[request.prompt] = (cached, None)
+                    elif plan is not None and plan.augment_fails(request.prompt):
+                        # The scalar augment() would raise for this prompt; keep it
+                        # out of the batched forward pass (and both cache tiers) so
+                        # the replay degrades it exactly where the scalar loop would.
+                        degraded.add(request.prompt)
                     else:
-                        held[prompt] = vector
-                if missing:
-                    for prompt, row in zip(missing, self.pas.embed_prompts(missing)):
-                        held[prompt] = row
-                vectors = [held[prompt] for prompt in to_augment]
-                complements = self.pas.augment_with_embeddings(to_augment, vectors)
-            for prompt, complement, vector in zip(to_augment, complements, vectors):
-                precomputed[prompt] = (complement, vector)
-            clock.lap("augment")
+                        to_augment.append(request.prompt)
+            if to_augment:
+                with tracer.span("augment", n_prompts=len(to_augment)):
+                    if self._embed_cache is None:
+                        complements = self.pas.augment_batch(to_augment)
+                        vectors: list[np.ndarray | None] = [None] * len(to_augment)
+                    else:
+                        held: dict[str, np.ndarray] = {}
+                        missing: list[str] = []
+                        for prompt in to_augment:
+                            vector = self._embed_cache.peek(prompt)
+                            if vector is None:
+                                missing.append(prompt)
+                            else:
+                                held[prompt] = vector
+                        if missing:
+                            for prompt, row in zip(
+                                missing, self.pas.embed_prompts(missing)
+                            ):
+                                held[prompt] = row
+                        vectors = [held[prompt] for prompt in to_augment]
+                        complements = self.pas.augment_with_embeddings(
+                            to_augment, vectors
+                        )
+                    for prompt, complement, vector in zip(
+                        to_augment, complements, vectors
+                    ):
+                        precomputed[prompt] = (complement, vector)
+            plan_span.set(
+                unique=len(planned),
+                augmented=len(to_augment),
+                degraded=len(degraded),
+            )
         return [
             self._serve(request, precomputed, strict=strict, degraded=degraded)
             for request in requests

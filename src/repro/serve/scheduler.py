@@ -18,21 +18,29 @@ the request stream, the scheduler's outputs, gateway stats, and cache
 state all match a direct ``ask_batch`` (or ``ask`` loop) over the same
 sequence (``tests/test_serve_scheduler.py`` pins this).
 
-Each drain appends a :class:`BatchRecord` with per-batch occupancy and
-queueing-latency stats, the observability a batching tier needs to tune
-its two knobs.
+Each drain appends a :class:`BatchRecord` (the per-batch compatibility
+view), feeds the same numbers into the metrics registry — batch-size /
+occupancy / wait histograms, per-trigger counters that
+:class:`SchedulerStats` reads back — and emits a ``batch.drain`` event
+when an :class:`~repro.obs.Observability` bundle is attached.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable, Iterable, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
+from repro.obs import NULL_OBS, MetricsRegistry, Observability
 from repro.serve.types import ServeRequest, ServeResponse
 
 __all__ = ["BatchRecord", "MicroBatcher", "SchedulerStats"]
 
 Handler = Callable[[Sequence[ServeRequest]], "list[ServeResponse]"]
+
+#: Fixed buckets for the scheduler's histograms (sizes, occupancy, waits).
+_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+_OCCUPANCY_BUCKETS = (0.25, 0.5, 0.75, 1.0)
+_WAIT_BUCKETS = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0)
 
 
 @dataclass(frozen=True)
@@ -44,6 +52,9 @@ class BatchRecord:
     in front of a non-strict gateway sees degradation per batch.  Handlers
     that return fewer responses than requests (or plain objects without a
     ``status``) count the ones they do return, defaulting to ``ok``.
+
+    Every field is also observed into the scheduler's metrics registry at
+    drain time, so the record list and the registry histograms agree.
     """
 
     tick: int  #: logical time at which the batch drained
@@ -57,18 +68,60 @@ class BatchRecord:
     n_failed: int = 0
 
 
-@dataclass
 class SchedulerStats:
-    """Cumulative scheduler accounting across all drained batches."""
+    """Cumulative scheduler accounting — a live view over the registry.
 
-    submitted: int = 0
-    drained: int = 0
-    batches: int = 0
-    triggers: dict[str, int] = field(default_factory=dict)
+    Backed by ``pas_batch_submitted_total`` / ``pas_batch_drained_total``
+    / ``pas_batches_total{trigger}``; the public fields match the
+    pre-registry dataclass, and ``==`` compares the numbers (used by the
+    scheduler-vs-direct parity tests).
+    """
+
+    __slots__ = ("_batcher",)
+
+    def __init__(self, batcher: "MicroBatcher"):
+        self._batcher = batcher
+
+    @property
+    def submitted(self) -> int:
+        return int(self._batcher._m_submitted.total())
+
+    @property
+    def drained(self) -> int:
+        return int(self._batcher._m_drained.total())
+
+    @property
+    def batches(self) -> int:
+        return int(self._batcher._m_batches.total())
+
+    @property
+    def triggers(self) -> dict[str, int]:
+        return {
+            dict(key)["trigger"]: int(value)
+            for key, value in self._batcher._m_batches.series().items()
+        }
 
     @property
     def mean_batch_size(self) -> float:
         return self.drained / self.batches if self.batches else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-safe dict with a stable key order."""
+        return {
+            "submitted": self.submitted,
+            "drained": self.drained,
+            "batches": self.batches,
+            "mean_batch_size": self.mean_batch_size,
+            "triggers": dict(sorted(self.triggers.items())),
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, SchedulerStats):
+            return self.as_dict() == other.as_dict()
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"SchedulerStats({self.as_dict()!r})"
 
 
 class MicroBatcher:
@@ -89,9 +142,22 @@ class MicroBatcher:
         Wait trigger: drain when the oldest queued request is this many
         ticks old.  The clock only advances on submissions, so a quiet
         stream must :meth:`flush` to drain its tail.
+    obs:
+        Optional :class:`~repro.obs.Observability` bundle.  Live metrics
+        land batch size / occupancy / wait histograms there and every
+        drain emits a ``batch.drain`` event (stamped with the drain tick
+        in its attributes — the batcher never rebinds the event log's
+        clock, so a bundle shared with a gateway keeps the gateway's).
+        Stats counters always work, registry or not.
     """
 
-    def __init__(self, handler: Handler, max_batch: int = 8, max_wait: int = 4):
+    def __init__(
+        self,
+        handler: Handler,
+        max_batch: int = 8,
+        max_wait: int = 4,
+        obs: Observability = NULL_OBS,
+    ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if max_wait < 1:
@@ -99,10 +165,37 @@ class MicroBatcher:
         self._handler = handler
         self.max_batch = max_batch
         self.max_wait = max_wait
+        self.obs = obs
         self._clock = 0
         self._pending: list[tuple[int, ServeRequest]] = []
         self.records: list[BatchRecord] = []
-        self.stats = SchedulerStats()
+        # Stats source of truth: the user's registry when live, else private.
+        self._registry: MetricsRegistry = (
+            obs.metrics if obs.metrics.enabled else MetricsRegistry()
+        )
+        self._m_submitted = self._registry.counter(
+            "pas_batch_submitted_total", help="Requests submitted to the batcher."
+        )
+        self._m_drained = self._registry.counter(
+            "pas_batch_drained_total", help="Requests drained into the handler."
+        )
+        self._m_batches = self._registry.counter(
+            "pas_batches_total", help="Drained batches by trigger."
+        )
+        self._m_size = self._registry.histogram(
+            "pas_batch_size", buckets=_SIZE_BUCKETS, help="Drained batch sizes."
+        )
+        self._m_occupancy = self._registry.histogram(
+            "pas_batch_occupancy",
+            buckets=_OCCUPANCY_BUCKETS,
+            help="Batch size over max_batch at drain.",
+        )
+        self._m_wait = self._registry.histogram(
+            "pas_batch_wait_ticks",
+            buckets=_WAIT_BUCKETS,
+            help="Per-request submit-to-drain wait, in logical ticks.",
+        )
+        self.stats = SchedulerStats(self)
 
     @property
     def clock(self) -> int:
@@ -123,7 +216,7 @@ class MicroBatcher:
         """
         self._clock += 1
         self._pending.append((self._clock, request))
-        self.stats.submitted += 1
+        self._m_submitted.inc()
         if len(self._pending) >= self.max_batch:
             return self._drain("size")
         if self._clock - self._pending[0][0] >= self.max_wait:
@@ -151,20 +244,34 @@ class MicroBatcher:
         responses = self._handler(batch)
         waits = [self._clock - tick for tick in arrivals]
         statuses = [getattr(response, "status", "ok") for response in responses]
-        self.records.append(
-            BatchRecord(
-                tick=self._clock,
-                size=len(batch),
-                trigger=trigger,
-                occupancy=len(batch) / self.max_batch,
-                mean_wait_ticks=sum(waits) / len(waits),
-                max_wait_ticks=max(waits),
-                n_ok=statuses.count("ok"),
-                n_degraded=statuses.count("degraded"),
-                n_failed=statuses.count("failed"),
-            )
+        record = BatchRecord(
+            tick=self._clock,
+            size=len(batch),
+            trigger=trigger,
+            occupancy=len(batch) / self.max_batch,
+            mean_wait_ticks=sum(waits) / len(waits),
+            max_wait_ticks=max(waits),
+            n_ok=statuses.count("ok"),
+            n_degraded=statuses.count("degraded"),
+            n_failed=statuses.count("failed"),
         )
-        self.stats.drained += len(batch)
-        self.stats.batches += 1
-        self.stats.triggers[trigger] = self.stats.triggers.get(trigger, 0) + 1
+        self.records.append(record)
+        self._m_drained.inc(record.size)
+        self._m_batches.inc(trigger=trigger)
+        self._m_size.observe(record.size)
+        self._m_occupancy.observe(record.occupancy)
+        for wait in waits:
+            self._m_wait.observe(wait)
+        self.obs.events.emit(
+            "batch.drain",
+            tick=record.tick,
+            trigger=trigger,
+            size=record.size,
+            occupancy=record.occupancy,
+            mean_wait_ticks=record.mean_wait_ticks,
+            max_wait_ticks=record.max_wait_ticks,
+            n_ok=record.n_ok,
+            n_degraded=record.n_degraded,
+            n_failed=record.n_failed,
+        )
         return responses

@@ -83,3 +83,20 @@ class ServeResponse:
             "attempts": self.attempts,
             "error": self.error,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServeResponse":
+        """Inverse of :meth:`as_dict` (derived fields are recomputed):
+        ``ServeResponse.from_dict(r.as_dict()) == r``."""
+        return cls(
+            request_id=data["request_id"],
+            model=data["model"],
+            response=data["response"],
+            complement=data["complement"],
+            complement_cached=data["complement_cached"],
+            prompt_tokens=data["prompt_tokens"],
+            completion_tokens=data["completion_tokens"],
+            status=data["status"],
+            error=data["error"],
+            attempts=data["attempts"],
+        )

@@ -1,0 +1,88 @@
+"""Unit tests for the append-only structured event log."""
+
+import pytest
+
+from repro.obs.events import NULL_EVENT_LOG, EventLog, NullEventLog
+from repro.utils.io import load_jsonl
+
+
+class TestEventLog:
+    def test_emit_assigns_seq_and_clock_tick(self):
+        tick = {"now": 7}
+        log = EventLog(clock=lambda: tick["now"])
+        first = log.emit("fault.injected", stage="completion")
+        tick["now"] = 9
+        second = log.emit("breaker.transition", model="m", state="open")
+        assert (first.seq, first.tick) == (0, 7)
+        assert (second.seq, second.tick) == (1, 9)
+        assert second.attrs == {"model": "m", "state": "open"}
+        assert len(log) == 2
+
+    def test_bind_clock_rebinds(self):
+        log = EventLog()
+        assert log.emit("x").tick == 0
+        log.bind_clock(lambda: 42)
+        assert log.emit("x").tick == 42
+
+    def test_ring_capacity_keeps_recent_but_counts_all(self):
+        log = EventLog(capacity=2)
+        for i in range(5):
+            log.emit("e", i=i)
+        assert len(log) == 2
+        assert log.emitted == 5
+        assert [e.attrs["i"] for e in log] == [3, 4]
+        # seq reveals the drop: the survivors are not seq 0 and 1.
+        assert [e.seq for e in log] == [3, 4]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+    def test_by_kind_and_kinds(self):
+        log = EventLog()
+        log.emit("a")
+        log.emit("b")
+        log.emit("a")
+        assert [e.kind for e in log.by_kind("a")] == ["a", "a"]
+        assert log.kinds() == {"a": 2, "b": 1}
+
+    def test_as_dicts_sorted_attrs(self):
+        log = EventLog()
+        log.emit("e", zebra=1, apple=2)
+        (d,) = log.as_dicts()
+        assert list(d["attrs"]) == ["apple", "zebra"]
+        assert set(d) == {"seq", "tick", "kind", "attrs"}
+
+    def test_export_jsonl_round_trip(self, tmp_path):
+        log = EventLog(clock=lambda: 3)
+        log.emit("cache.evict", tier="complement", key="p")
+        log.emit("serve.degraded", model="m", error="AugmentationError: x")
+        path = tmp_path / "events.jsonl"
+        assert log.export_jsonl(path) == 2
+        assert list(load_jsonl(path)) == log.as_dicts()
+
+    def test_clear_keeps_seq(self):
+        log = EventLog()
+        log.emit("a")
+        log.clear()
+        assert len(log) == 0
+        assert log.emit("b").seq == 1
+
+
+class TestNullEventLog:
+    def test_surface_is_inert(self, tmp_path):
+        log = NullEventLog()
+        assert not log.enabled
+        assert log.emit("anything", a=1) is None
+        log.bind_clock(lambda: 5)
+        assert len(log) == 0
+        assert list(log) == []
+        assert log.emitted == 0
+        assert log.by_kind("anything") == []
+        assert log.kinds() == {}
+        assert log.as_dicts() == []
+        assert log.export_jsonl(tmp_path / "x.jsonl") == 0
+        log.clear()
+
+    def test_singleton_exists(self):
+        assert not NULL_EVENT_LOG.enabled

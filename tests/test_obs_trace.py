@@ -1,0 +1,230 @@
+"""Unit tests for spans, traces, the tracer, and the trace store."""
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Trace,
+    Tracer,
+    TraceStore,
+    render_waterfall,
+)
+from repro.utils.io import load_jsonl
+
+
+class FakeClock:
+    """A manually advanced logical clock."""
+
+    def __init__(self):
+        self.tick = 0
+
+    def __call__(self):
+        return self.tick
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def tracer(clock):
+    return Tracer(store=TraceStore(), clock=clock)
+
+
+class TestTracer:
+    def test_nested_spans_build_one_trace(self, tracer, clock):
+        with tracer.span("gateway.ask", model="m") as root:
+            clock.tick = 1
+            with tracer.span("augment") as child:
+                with tracer.span("embed") as grandchild:
+                    pass
+            clock.tick = 2
+        (trace,) = tracer.store.traces
+        assert [s.name for s in trace.spans] == ["gateway.ask", "augment", "embed"]
+        assert [s.span_id for s in trace.spans] == [0, 1, 2]
+        assert root.parent_id is None
+        assert child.parent_id == 0
+        assert grandchild.parent_id == 1
+        assert trace.depth_of(root) == 0
+        assert trace.depth_of(grandchild) == 2
+        assert root.start_tick == 0 and root.end_tick == 2
+        assert trace.duration_ticks == 2
+        assert root.attrs == {"model": "m"}
+
+    def test_sibling_spans_share_parent(self, tracer):
+        with tracer.span("root"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        (trace,) = tracer.store.traces
+        a, b = trace.find("a")[0], trace.find("b")[0]
+        assert a.parent_id == b.parent_id == 0
+
+    def test_trace_ids_are_sequential(self, tracer):
+        for _ in range(3):
+            with tracer.span("r"):
+                pass
+        assert [t.trace_id for t in tracer.store] == [0, 1, 2]
+
+    def test_current_tracks_innermost_open_span(self, tracer):
+        assert tracer.current is None
+        with tracer.span("root"):
+            assert tracer.current.name == "root"
+            with tracer.span("child"):
+                assert tracer.current.name == "child"
+            assert tracer.current.name == "root"
+        assert tracer.current is None
+
+    def test_exception_marks_span_error_and_propagates(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("root"):
+                with tracer.span("augment"):
+                    raise ValueError("boom")
+        (trace,) = tracer.store.traces  # trace still finishes and lands
+        augment = trace.first("augment")
+        assert augment.status == "error"
+        assert augment.attrs["error"] == "ValueError"
+        # the root caught the same in-flight exception on the way out
+        assert trace.status == "error"
+
+    def test_explicit_status_wins_over_exception(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("root") as root:
+                root.status = "failed"
+                root.set(error="already recorded")
+                raise RuntimeError("x")
+        (trace,) = tracer.store.traces
+        assert trace.status == "failed"
+        assert trace.root.attrs["error"] == "already recorded"
+
+    def test_out_of_order_close_raises(self, tracer):
+        outer = tracer.span("outer")
+        tracer.span("inner")
+        with pytest.raises(RuntimeError, match="out of order"):
+            outer.__exit__(None, None, None)
+
+    def test_bind_clock(self, tracer):
+        tracer.bind_clock(lambda: 11)
+        with tracer.span("r"):
+            pass
+        assert tracer.store.traces[0].start_tick == 11
+
+    def test_wall_mirrors_into_stage_timer(self):
+        tracer = Tracer(wall=True)
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        assert tracer.timer.calls == {"root": 1, "child": 1}
+        assert tracer.timer.inclusive_s["root"] >= tracer.timer.inclusive_s["child"]
+
+    def test_span_set_chains(self, tracer):
+        with tracer.span("r") as span:
+            assert span.set(a=1).set(b=2) is span
+        assert tracer.store.traces[0].root.attrs == {"a": 1, "b": 2}
+
+
+class TestTraceQueries:
+    def _make(self, tracer, clock, duration):
+        start = clock.tick
+        with tracer.span("gateway.ask"):
+            clock.tick = start + duration
+
+    def test_find_first_missing(self, tracer):
+        with tracer.span("r"):
+            pass
+        (trace,) = tracer.store.traces
+        assert trace.find("absent") == []
+        assert trace.first("absent") is None
+
+    def test_slowest_orders_by_duration_then_id(self, tracer, clock):
+        for duration in (1, 3, 3, 0):
+            self._make(tracer, clock, duration)
+        slowest = tracer.store.slowest(3)
+        assert [(t.duration_ticks, t.trace_id) for t in slowest] == [
+            (3, 1),
+            (3, 2),
+            (1, 0),
+        ]
+
+    def test_by_status_and_by_root(self, tracer):
+        with tracer.span("gateway.ask") as root:
+            root.status = "failed"
+        with tracer.span("gateway.plan"):
+            pass
+        assert [t.root.name for t in tracer.store.by_status("failed")] == ["gateway.ask"]
+        assert len(tracer.store.by_root("gateway.plan")) == 1
+
+    def test_ring_capacity(self, tracer):
+        tracer.store = store = TraceStore(capacity=2)
+        for _ in range(4):
+            with tracer.span("r"):
+                pass
+        assert len(store) == 2
+        assert store.added == 4
+        assert [t.trace_id for t in store] == [2, 3]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            TraceStore(capacity=0)
+
+
+class TestExports:
+    def test_as_dict_shape(self, tracer, clock):
+        with tracer.span("root", zebra=1, apple=2):
+            clock.tick = 1
+        d = tracer.store.traces[0].as_dict()
+        assert set(d) == {"trace_id", "status", "start_tick", "duration_ticks", "spans"}
+        (span,) = d["spans"]
+        assert list(span["attrs"]) == ["apple", "zebra"]
+
+    def test_export_jsonl_round_trip(self, tracer, clock, tmp_path):
+        with tracer.span("gateway.ask", model="m") as root:
+            clock.tick = 1
+            with tracer.span("complete"):
+                pass
+            root.status = "degraded"
+        path = tmp_path / "traces.jsonl"
+        assert tracer.store.export_jsonl(path) == 1
+        assert list(load_jsonl(path)) == tracer.store.as_dicts()
+
+    def test_waterfall_render(self, tracer, clock):
+        with tracer.span("gateway.ask", model="m"):
+            with tracer.span("augment", cached=False):
+                clock.tick = 2
+            with tracer.span("complete"):
+                clock.tick = 4
+        (trace,) = tracer.store.traces
+        text = trace.waterfall(width=8)
+        lines = text.splitlines()
+        assert lines[0] == "trace 0 · status=ok · ticks 0..4"
+        assert len(lines) == 4
+        assert "gateway.ask" in lines[1] and "model=m" in lines[1]
+        assert "    augment" in lines[2] and "cached=False" in lines[2]
+        assert all("#" in line for line in lines[1:])
+
+    def test_waterfall_empty_trace(self):
+        assert "empty" in render_waterfall(Trace(5))
+
+
+class TestNullTracer:
+    def test_span_is_inert(self):
+        tracer = NullTracer()
+        assert not tracer.enabled
+        assert tracer.current is None
+        tracer.bind_clock(lambda: 3)
+        with tracer.span("anything", a=1) as span:
+            assert span is NULL_SPAN
+            span.status = "failed"  # absorbed
+            assert span.status == "ok"
+            assert span.set(x=1) is span
+            assert span.attrs == {}
+        assert len(tracer.store) == 0
+
+    def test_exceptions_propagate(self):
+        with pytest.raises(ValueError):
+            with NULL_TRACER.span("x"):
+                raise ValueError("boom")

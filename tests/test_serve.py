@@ -299,7 +299,8 @@ class TestStageTimings:
 
     def test_buckets_accumulate(self, trained_pas):
         gateway = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=8))
-        timings = gateway.enable_stage_timings()
+        with pytest.warns(DeprecationWarning, match="enable_stage_timings"):
+            timings = gateway.enable_stage_timings()
         assert set(timings) == {"augment", "cache", "completion", "stats"}
         gateway.ask_batch(
             [
@@ -314,7 +315,8 @@ class TestStageTimings:
         assert timings["completion"] > 0.0
         assert timings["augment"] > 0.0
         # enabling twice keeps the same accumulator
-        assert gateway.enable_stage_timings() is timings
+        with pytest.warns(DeprecationWarning):
+            assert gateway.enable_stage_timings() is timings
 
 
 class TestGatewayBatch:

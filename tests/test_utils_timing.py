@@ -6,10 +6,99 @@ from pathlib import Path
 
 import pytest
 
-from repro.utils.timing import TimingResult, speedup, time_call, time_pair
+from repro.utils.timing import StageTimer, TimingResult, speedup, time_call, time_pair
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "benchmarks"))
-from check_bench_regression import collect_speedups, main  # noqa: E402
+from check_bench_regression import collect_overheads, collect_speedups, main  # noqa: E402
+
+
+class ManualClock:
+    """Deterministic seconds counter; advance() stands in for elapsed time."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def advance(self, seconds):
+        self.now += seconds
+
+    def __call__(self):
+        return self.now
+
+
+class TestStageTimer:
+    def test_three_level_nesting_attribution(self):
+        """Regression: the flat lap clock either lost or double-counted a
+        nested stage's time; the stack-based timer charges each level its
+        own exclusive share while inclusive keeps the caller's view."""
+        clock = ManualClock()
+        timer = StageTimer(clock=clock)
+        with timer.section("ask"):
+            clock.advance(1.0)  # gateway bookkeeping
+            with timer.section("augment"):
+                clock.advance(2.0)  # PAS forward pass
+                with timer.section("embed"):
+                    clock.advance(4.0)  # the innermost cost
+                clock.advance(0.5)  # augment epilogue
+            clock.advance(0.25)  # response assembly
+        assert timer.inclusive_s == {
+            "ask": pytest.approx(7.75),
+            "augment": pytest.approx(6.5),
+            "embed": pytest.approx(4.0),
+        }
+        assert timer.exclusive_s == {
+            "ask": pytest.approx(1.25),
+            "augment": pytest.approx(2.5),
+            "embed": pytest.approx(4.0),
+        }
+        # exclusive times always sum to the root's inclusive time
+        assert sum(timer.exclusive_s.values()) == pytest.approx(
+            timer.inclusive_s["ask"]
+        )
+
+    def test_reentrant_sections_accumulate(self):
+        clock = ManualClock()
+        timer = StageTimer(clock=clock)
+        for _ in range(3):
+            with timer.section("stage"):
+                clock.advance(1.0)
+        assert timer.calls == {"stage": 3}
+        assert timer.inclusive_s["stage"] == pytest.approx(3.0)
+        assert timer.exclusive_s["stage"] == pytest.approx(3.0)
+
+    def test_siblings_both_charged_to_parent(self):
+        clock = ManualClock()
+        timer = StageTimer(clock=clock)
+        with timer.section("parent"):
+            with timer.section("a"):
+                clock.advance(1.0)
+            with timer.section("b"):
+                clock.advance(2.0)
+        assert timer.exclusive_s["parent"] == pytest.approx(0.0)
+        assert timer.inclusive_s["parent"] == pytest.approx(3.0)
+
+    def test_exception_still_records(self):
+        clock = ManualClock()
+        timer = StageTimer(clock=clock)
+        with pytest.raises(ValueError):
+            with timer.section("stage"):
+                clock.advance(1.0)
+                raise ValueError("boom")
+        assert timer.depth == 0
+        assert timer.inclusive_s["stage"] == pytest.approx(1.0)
+
+    def test_pop_without_push_raises(self):
+        with pytest.raises(RuntimeError):
+            StageTimer().pop()
+
+    def test_as_dict_sorted(self):
+        clock = ManualClock()
+        timer = StageTimer(clock=clock)
+        with timer.section("zebra"):
+            with timer.section("apple"):
+                clock.advance(1.0)
+        d = timer.as_dict()
+        assert list(d) == ["apple", "zebra"]
+        assert d["apple"] == {"calls": 1, "inclusive_s": 1.0, "exclusive_s": 1.0}
 
 
 class TestTimeCall:
@@ -102,6 +191,27 @@ class TestBenchRegressionGate:
         assert main([str(path)]) == 1
         captured = capsys.readouterr()
         assert "gateway.speedup" in captured.err
+
+    def test_collects_overhead_named_keys(self):
+        payload = {
+            "obs": {"obs_off_overhead": 1.01, "tracing_on_slowdown": 1.4},
+            "embed": {"speedup": 2.5},
+        }
+        assert dict(collect_overheads(payload)) == {"obs.obs_off_overhead": 1.01}
+
+    def test_passes_when_overhead_at_ceiling(self, tmp_path, capsys):
+        payload = {"embed": {"speedup": 2.0}, "obs": {"obs_off_overhead": 1.05}}
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(payload))
+        assert main([str(path)]) == 0
+        assert "overheads <= 1.05" in capsys.readouterr().out
+
+    def test_fails_on_overhead_above_ceiling(self, tmp_path, capsys):
+        payload = {"embed": {"speedup": 2.0}, "obs": {"obs_off_overhead": 1.2}}
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(payload))
+        assert main([str(path)]) == 1
+        assert "obs.obs_off_overhead" in capsys.readouterr().err
 
     def test_rejects_missing_file_and_empty_payload(self, tmp_path):
         assert main([str(tmp_path / "absent.json")]) == 2
