@@ -23,8 +23,10 @@ from repro.core.plug import PasEnhancedLLM
 from repro.llm.api import ChatClient
 from repro.llm.engine import SimulatedLLM
 from repro.pipeline.collect import CollectionConfig, PromptCollector
+from repro.pipeline.config import PipelineConfig, RunnerConfig
 from repro.pipeline.dataset import PromptPairDataset
 from repro.pipeline.generate import GenerationConfig, PairGenerator
+from repro.pipeline.runner import PipelineRunner
 from repro.obs import Observability
 from repro.resilience import CircuitBreaker, FaultPlan, RetryPolicy
 from repro.serve.gateway import GatewayConfig, PasGateway
@@ -39,6 +41,9 @@ __all__ = [
     "CollectionConfig",
     "PairGenerator",
     "GenerationConfig",
+    "PipelineConfig",
+    "RunnerConfig",
+    "PipelineRunner",
     "PromptPairDataset",
     "PromptFactory",
     "PasGateway",

@@ -14,9 +14,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.ann.hnsw import HnswIndex
+from repro.ann.sharded import ShardedHnswIndex
 from repro.utils.unionfind import UnionFind
 
 __all__ = ["DedupResult", "deduplicate"]
+
+#: Dedup ANN backends: ``auto`` picks sharded iff ``n_shards > 1``.
+_BACKENDS = ("auto", "hnsw", "sharded")
 
 
 @dataclass(frozen=True)
@@ -44,6 +48,31 @@ class DedupResult:
         return len(self.representative_of) - len(self.kept)
 
 
+def _knn_graph_sharded(
+    matrix: np.ndarray,
+    k_neighbors: int,
+    ef_search: int,
+    seed: int,
+    n_shards: int,
+) -> dict[int, list[tuple[int, float]]]:
+    """k-NN lists over a :class:`ShardedHnswIndex` (self-match excluded).
+
+    Each element queries the whole sharded index for ``k + 1`` neighbours
+    (one batched fan-out per shard), then drops its self-hit — the same
+    contract :meth:`HnswIndex.knn_graph` provides, so with ``n_shards=1``
+    and an equal seed the graph is bit-identical to the monolithic one.
+    """
+    index = ShardedHnswIndex(
+        dim=matrix.shape[1], n_shards=n_shards, ef_search=ef_search, seed=seed
+    )
+    index.add_batch(matrix)
+    hits = index.search_batch(matrix, k_neighbors + 1, ef=ef_search)
+    return {
+        i: [(other, dist) for other, dist in hits[i] if other != i][:k_neighbors]
+        for i in range(matrix.shape[0])
+    }
+
+
 def deduplicate(
     embeddings: np.ndarray,
     threshold: float = 0.9,
@@ -51,6 +80,8 @@ def deduplicate(
     keep_per_group: int = 1,
     ef_search: int = 64,
     seed: int = 0,
+    n_shards: int = 1,
+    backend: str = "auto",
 ) -> DedupResult:
     """Group near-duplicate embeddings and pick representatives.
 
@@ -65,22 +96,39 @@ def deduplicate(
     keep_per_group:
         Representatives retained per duplicate group (paper keeps "a small
         amount of data" per cluster).
+    n_shards:
+        Shard count for the sharded backend.  With ``backend="auto"`` the
+        sharded index is used iff ``n_shards > 1``.
+    backend:
+        ``"hnsw"`` forces the monolithic index, ``"sharded"`` forces
+        :class:`~repro.ann.sharded.ShardedHnswIndex` (valid at any shard
+        count — a 1-shard sharded run is bit-identical to monolithic,
+        which the dedup tests pin), ``"auto"`` picks by ``n_shards``.
     """
     if not 0.0 < threshold <= 1.0:
         raise ValueError(f"threshold must be in (0, 1], got {threshold}")
     if keep_per_group < 1:
         raise ValueError(f"keep_per_group must be >= 1, got {keep_per_group}")
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    if backend not in _BACKENDS:
+        raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
     matrix = np.atleast_2d(np.asarray(embeddings, dtype=np.float64))
     n = matrix.shape[0]
     if n == 0:
         return DedupResult(kept=[], groups=[], representative_of={})
 
-    index = HnswIndex(dim=matrix.shape[1], ef_search=ef_search, seed=seed)
-    index.add_batch(matrix, range(n))
+    use_sharded = backend == "sharded" or (backend == "auto" and n_shards > 1)
+    if use_sharded:
+        graph = _knn_graph_sharded(matrix, k_neighbors, ef_search, seed, n_shards)
+    else:
+        index = HnswIndex(dim=matrix.shape[1], ef_search=ef_search, seed=seed)
+        index.add_batch(matrix, range(n))
+        graph = index.knn_graph(k_neighbors, ef=ef_search)
 
     uf = UnionFind(n)
     max_distance = 1.0 - threshold  # cosine distance equivalent
-    for key, hits in index.knn_graph(k_neighbors, ef=ef_search).items():
+    for key, hits in graph.items():
         for other, dist in hits:
             if dist <= max_distance:
                 uf.union(key, other)

@@ -196,3 +196,14 @@ class SimulatedLLM:
         noise = float(self._call_rng("grade", prompt_text).normal(0.0, 0.4))
         penalty = 0.0 if len(toks) >= 5 else 3.0
         return float(np.clip(score + noise - penalty, 0.0, 10.0))
+
+    def grade_prompt_quality_batch(self, prompt_texts: list[str]) -> list[float]:
+        """Grade many prompts; bit-identical to the scalar loop.
+
+        Each grade's noise draw is keyed on the prompt text alone (never on
+        batch position or shared RNG state), so
+        ``grade_prompt_quality_batch(ts) == [grade_prompt_quality(t) for t
+        in ts]`` holds exactly — the contract every batched path in the
+        repo carries.
+        """
+        return [self.grade_prompt_quality(text) for text in prompt_texts]

@@ -1,9 +1,39 @@
-"""The PAS data pipeline: collection (§3.1) and generation (§3.2)."""
+"""The PAS data pipeline: collection (§3.1) and generation (§3.2).
 
-from repro.pipeline.collect import CollectionConfig, CollectionResult, PromptCollector
+Interactive use goes through :class:`PromptCollector` /
+:class:`PairGenerator`; production runs go through
+:class:`PipelineRunner`, which executes the same stages batched,
+checkpointed, and observable under one :class:`PipelineConfig`.
+"""
+
+from repro.pipeline.collect import (
+    CollectionConfig,
+    CollectionResult,
+    PromptCollector,
+    SelectedPrompt,
+)
+from repro.pipeline.config import PipelineConfig, RunnerConfig
 from repro.pipeline.dataset import PromptPair, PromptPairDataset
-from repro.pipeline.diagnostics import pipeline_health
-from repro.pipeline.generate import GenerationConfig, PairCritic, PairGenerator
+from repro.pipeline.diagnostics import (
+    StageReport,
+    classifier_report,
+    dedup_report,
+    junk_filter_report,
+    pipeline_health,
+)
+from repro.pipeline.generate import (
+    CritiqueResult,
+    FewShotGenerator,
+    GenerationConfig,
+    PairCritic,
+    PairGenerator,
+)
+from repro.pipeline.runner import (
+    CheckpointError,
+    PipelineInterrupted,
+    PipelineResult,
+    PipelineRunner,
+)
 from repro.pipeline.select import QualityScorer
 from repro.pipeline.strategies import (
     ModsSelection,
@@ -17,13 +47,26 @@ from repro.pipeline.strategies import (
 __all__ = [
     "CollectionConfig",
     "CollectionResult",
+    "SelectedPrompt",
     "PromptCollector",
+    "PipelineConfig",
+    "RunnerConfig",
+    "PipelineRunner",
+    "PipelineResult",
+    "PipelineInterrupted",
+    "CheckpointError",
     "PromptPair",
     "PromptPairDataset",
     "GenerationConfig",
+    "FewShotGenerator",
+    "CritiqueResult",
     "PairCritic",
     "PairGenerator",
     "QualityScorer",
+    "StageReport",
+    "dedup_report",
+    "junk_filter_report",
+    "classifier_report",
     "pipeline_health",
     "SelectionStrategy",
     "RandomSelection",

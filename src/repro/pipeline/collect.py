@@ -15,7 +15,8 @@ An optional k-center-greedy diversity stage caps the output size.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, fields, replace
 
 from repro.classify.model import CategoryClassifier
 from repro.cluster.dedup import deduplicate
@@ -31,7 +32,15 @@ __all__ = ["CollectionConfig", "SelectedPrompt", "CollectionResult", "PromptColl
 
 @dataclass(frozen=True)
 class CollectionConfig:
-    """Knobs for the three collection stages."""
+    """Knobs for the three collection stages.
+
+    ``dedup_shards`` / ``dedup_backend`` pick the ANN index behind the
+    dedup stage (see :func:`~repro.cluster.dedup.deduplicate`): the
+    default is the monolithic HNSW graph; ``dedup_shards > 1`` (or
+    ``dedup_backend="sharded"``) routes through
+    :class:`~repro.ann.sharded.ShardedHnswIndex`, whose 1-shard graph is
+    bit-identical to the monolithic one.
+    """
 
     dedup_threshold: float = 0.88
     dedup_neighbors: int = 8
@@ -40,6 +49,8 @@ class CollectionConfig:
     target_size: int | None = None
     skip_dedup: bool = False
     skip_quality_filter: bool = False
+    dedup_shards: int = 1
+    dedup_backend: str = "auto"
 
     def validate(self) -> None:
         if not 0.0 < self.dedup_threshold <= 1.0:
@@ -50,6 +61,21 @@ class CollectionConfig:
             )
         if self.target_size is not None and self.target_size < 1:
             raise ConfigError(f"target_size must be >= 1: {self.target_size}")
+        if self.dedup_shards < 1:
+            raise ConfigError(f"dedup_shards must be >= 1: {self.dedup_shards}")
+        if self.dedup_backend not in ("auto", "hnsw", "sharded"):
+            raise ConfigError(
+                f"dedup_backend must be auto/hnsw/sharded: {self.dedup_backend!r}"
+            )
+
+    def as_dict(self) -> dict:
+        """JSON-safe dict of every field, in declaration order."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CollectionConfig":
+        """Inverse of :meth:`as_dict`: ``from_dict(c.as_dict()) == c``."""
+        return cls(**data)
 
 
 @dataclass(frozen=True)
@@ -59,6 +85,23 @@ class SelectedPrompt:
     prompt: SyntheticPrompt
     predicted_category: str
     quality: float
+
+    def as_dict(self) -> dict:
+        """JSON-safe dict with a stable key order."""
+        return {
+            "prompt": self.prompt.as_dict(),
+            "predicted_category": self.predicted_category,
+            "quality": self.quality,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SelectedPrompt":
+        """Inverse of :meth:`as_dict`: ``from_dict(s.as_dict()) == s``."""
+        return cls(
+            prompt=SyntheticPrompt.from_dict(data["prompt"]),
+            predicted_category=data["predicted_category"],
+            quality=float(data["quality"]),
+        )
 
 
 @dataclass
@@ -80,24 +123,94 @@ class CollectionResult:
         junk = sum(1 for s in self.selected if s.prompt.is_junk)
         return junk / len(self.selected)
 
+    #: ``stats`` keys holding uid sets (serialised as sorted lists).
+    _SET_STATS = ("dedup_removed_uids", "quality_removed_uids")
+
+    def as_dict(self) -> dict:
+        """JSON-safe dict with a stable key order (uid sets become sorted
+        lists), mirroring :meth:`ServeResponse.as_dict`."""
+        stats = {}
+        for key in sorted(self.stats):
+            value = self.stats[key]
+            stats[key] = sorted(value) if isinstance(value, (set, frozenset)) else value
+        return {
+            "selected": [s.as_dict() for s in self.selected],
+            "n_input": self.n_input,
+            "n_after_dedup": self.n_after_dedup,
+            "n_after_quality": self.n_after_quality,
+            "n_final": self.n_final,
+            "stats": stats,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CollectionResult":
+        """Inverse of :meth:`as_dict` (uid-set stats are restored as sets):
+        ``CollectionResult.from_dict(r.as_dict()) == r``."""
+        stats = dict(data["stats"])
+        for key in cls._SET_STATS:
+            if key in stats:
+                stats[key] = {int(uid) for uid in stats[key]}
+        return cls(
+            selected=[SelectedPrompt.from_dict(s) for s in data["selected"]],
+            n_input=int(data["n_input"]),
+            n_after_dedup=int(data["n_after_dedup"]),
+            n_after_quality=int(data["n_after_quality"]),
+            n_final=int(data["n_final"]),
+            stats=stats,
+        )
+
+
+#: The flat ``PromptCollector.__init__`` kwargs unified under
+#: :class:`~repro.pipeline.config.PipelineConfig` (same shim pattern as
+#: ``PasGateway``'s ``_DEPRECATED_KWARGS``).
+_DEPRECATED_KWARGS = tuple(f.name for f in fields(CollectionConfig))
+
 
 class PromptCollector:
-    """Runs the full Figure-3a pipeline over a raw corpus."""
+    """Runs the full Figure-3a pipeline over a raw corpus.
+
+    Configure with a :class:`CollectionConfig` — or pass a whole
+    :class:`~repro.pipeline.config.PipelineConfig`, whose ``collection``
+    section (and ``seed``, unless given explicitly) is used.  The flat
+    stage kwargs (``dedup_threshold=...`` etc.) still work but emit a
+    :class:`DeprecationWarning`.
+    """
 
     def __init__(
         self,
         embedder: EmbeddingModel | None = None,
         grader: SimulatedLLM | None = None,
         classifier: CategoryClassifier | None = None,
-        config: CollectionConfig | None = None,
-        seed: int = 0,
+        config=None,
+        seed: int | None = None,
+        **deprecated,
     ):
+        unknown = set(deprecated) - set(_DEPRECATED_KWARGS)
+        if unknown:
+            raise TypeError(
+                f"PromptCollector() got unexpected keyword arguments {sorted(unknown)}"
+            )
+        # A PipelineConfig carries the collection section plus the run seed
+        # (duck-typed to keep this module import-cycle free).
+        if config is not None and hasattr(config, "collection"):
+            if seed is None:
+                seed = config.seed
+            config = config.collection
+        if deprecated:
+            warnings.warn(
+                "PromptCollector flat kwargs "
+                f"({', '.join(sorted(deprecated))}) are deprecated; pass "
+                "config=PipelineConfig(collection=CollectionConfig(...)) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = replace(config or CollectionConfig(), **deprecated)
         self.embedder = embedder or EmbeddingModel()
         self.grader = grader or SimulatedLLM("baichuan-13b")
         self.classifier = classifier
         self.config = config or CollectionConfig()
         self.config.validate()
-        self.seed = int(seed)
+        self.seed = int(seed if seed is not None else 0)
 
     def _ensure_classifier(self) -> CategoryClassifier:
         if self.classifier is None:
@@ -121,19 +234,22 @@ class PromptCollector:
                 k_neighbors=self.config.dedup_neighbors,
                 keep_per_group=self.config.keep_per_group,
                 seed=self.seed,
+                n_shards=self.config.dedup_shards,
+                backend=self.config.dedup_backend,
             )
             survivors = [corpus[i] for i in result.kept]
         n_after_dedup = len(survivors)
 
-        # Stage 2: quality filtering.
+        # Stage 2: quality filtering (batched; bit-identical to the loop).
         if self.config.skip_quality_filter:
             graded = [(p, 1.0) for p in survivors]
         else:
-            scorer = QualityScorer(grader=self.grader).fit([p.text for p in survivors])
+            texts = [p.text for p in survivors]
+            scorer = QualityScorer(grader=self.grader).fit(texts)
             graded = [
                 (p, score)
-                for p in survivors
-                if (score := scorer.score(p.text)) >= self.config.quality_threshold
+                for p, score in zip(survivors, scorer.score_batch(texts), strict=True)
+                if score >= self.config.quality_threshold
             ]
         n_after_quality = len(graded)
 

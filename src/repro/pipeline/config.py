@@ -1,0 +1,190 @@
+"""The unified configuration surface for the offline curation pipeline.
+
+:class:`PipelineConfig` mirrors :class:`~repro.serve.gateway.GatewayConfig`
+on the serving side: one frozen dataclass with nested per-stage sections —
+``collection`` (:class:`~repro.pipeline.collect.CollectionConfig`),
+``generation`` (:class:`~repro.pipeline.generate.GenerationConfig`), and
+``runner`` (:class:`RunnerConfig`, the execution knobs that belong to the
+*run* rather than to any stage's math) — plus the run ``seed``.  It
+round-trips losslessly through :meth:`PipelineConfig.as_dict` /
+:meth:`PipelineConfig.from_dict`, fault plans and retry policies included,
+so a checkpointed run can re-validate that it resumes under the exact
+configuration it started with.
+
+``PromptCollector`` and ``PairGenerator`` both accept a ``PipelineConfig``
+directly (they read their own section); their old flat kwargs keep working
+behind a :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+from repro.errors import ConfigError
+from repro.pipeline.collect import CollectionConfig
+from repro.pipeline.generate import GenerationConfig
+from repro.resilience import FaultPlan, OutageWindow, RetryPolicy
+
+__all__ = ["RunnerConfig", "PipelineConfig"]
+
+#: Stage order of the industrial pipeline; ``fail_after_stage`` must name one.
+PIPELINE_STAGES = ("dedup", "quality", "classify", "generate", "dataset")
+
+
+def _fault_plan_as_dict(plan: FaultPlan) -> dict:
+    return {
+        "seed": plan.seed,
+        "completion_failure_rate": plan.completion_failure_rate,
+        "augment_failure_rate": plan.augment_failure_rate,
+        "latency_spike_rate": plan.latency_spike_rate,
+        "latency_spike_ticks": plan.latency_spike_ticks,
+        "outages": [
+            {"model": w.model, "start": w.start, "end": w.end} for w in plan.outages
+        ],
+    }
+
+
+def _fault_plan_from_dict(data: dict) -> FaultPlan:
+    return FaultPlan(
+        seed=int(data["seed"]),
+        completion_failure_rate=float(data["completion_failure_rate"]),
+        augment_failure_rate=float(data["augment_failure_rate"]),
+        latency_spike_rate=float(data["latency_spike_rate"]),
+        latency_spike_ticks=int(data["latency_spike_ticks"]),
+        outages=tuple(
+            OutageWindow(model=w["model"], start=int(w["start"]), end=int(w["end"]))
+            for w in data["outages"]
+        ),
+    )
+
+
+def _retry_policy_as_dict(policy: RetryPolicy) -> dict:
+    return {f.name: getattr(policy, f.name) for f in fields(policy)}
+
+
+def _retry_policy_from_dict(data: dict) -> RetryPolicy:
+    return RetryPolicy(**data)
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """Execution knobs for :class:`~repro.pipeline.runner.PipelineRunner`.
+
+    These govern *how* the run executes — checkpoint cadence, which
+    simulated models play each role, what faults are injected and how
+    they are retried — never *what* the stages compute; stage math lives
+    in the ``collection`` / ``generation`` sections of
+    :class:`PipelineConfig`.
+
+    ``fail_after_stage`` / ``fail_after_pairs`` are deterministic kill
+    switches for the resume tests and the example: the runner raises
+    :class:`~repro.pipeline.runner.PipelineInterrupted` right after the
+    named stage's checkpoint (or after that many generated pairs) lands
+    on disk, exactly like a SIGKILL between two units of work.
+    """
+
+    checkpoint_every: int = 64
+    teacher_model: str = "teacher-gpt-4"
+    critic_model: str = "teacher-gpt-4"
+    grader_model: str = "baichuan-13b"
+    fault_plan: FaultPlan | None = None
+    retry_policy: RetryPolicy | None = None
+    fail_after_stage: str | None = None
+    fail_after_pairs: int | None = None
+
+    def validate(self) -> None:
+        if self.checkpoint_every < 1:
+            raise ConfigError(
+                f"checkpoint_every must be >= 1: {self.checkpoint_every}"
+            )
+        if self.fail_after_stage is not None and self.fail_after_stage not in PIPELINE_STAGES:
+            raise ConfigError(
+                f"fail_after_stage must be one of {PIPELINE_STAGES}: "
+                f"{self.fail_after_stage!r}"
+            )
+        if self.fail_after_pairs is not None and self.fail_after_pairs < 1:
+            raise ConfigError(
+                f"fail_after_pairs must be >= 1: {self.fail_after_pairs}"
+            )
+
+    def as_dict(self) -> dict:
+        """JSON-safe dict (fault plan and retry policy flattened)."""
+        return {
+            "checkpoint_every": self.checkpoint_every,
+            "teacher_model": self.teacher_model,
+            "critic_model": self.critic_model,
+            "grader_model": self.grader_model,
+            "fault_plan": (
+                None if self.fault_plan is None else _fault_plan_as_dict(self.fault_plan)
+            ),
+            "retry_policy": (
+                None
+                if self.retry_policy is None
+                else _retry_policy_as_dict(self.retry_policy)
+            ),
+            "fail_after_stage": self.fail_after_stage,
+            "fail_after_pairs": self.fail_after_pairs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunnerConfig":
+        """Inverse of :meth:`as_dict`: ``from_dict(c.as_dict()) == c``."""
+        return cls(
+            checkpoint_every=int(data["checkpoint_every"]),
+            teacher_model=data["teacher_model"],
+            critic_model=data["critic_model"],
+            grader_model=data["grader_model"],
+            fault_plan=(
+                None
+                if data["fault_plan"] is None
+                else _fault_plan_from_dict(data["fault_plan"])
+            ),
+            retry_policy=(
+                None
+                if data["retry_policy"] is None
+                else _retry_policy_from_dict(data["retry_policy"])
+            ),
+            fail_after_stage=data["fail_after_stage"],
+            fail_after_pairs=data["fail_after_pairs"],
+        )
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Every knob of the offline curation pipeline, in one place.
+
+    Mirrors ``GatewayConfig``'s shape: nested frozen sections, a
+    ``validate()`` that recurses, and a lossless ``as_dict()`` /
+    ``from_dict()`` round-trip.  The ``seed`` is the single source of
+    randomness for the whole run (dedup graph, classifier fit salt,
+    checkpoint run key).
+    """
+
+    collection: CollectionConfig = field(default_factory=CollectionConfig)
+    generation: GenerationConfig = field(default_factory=GenerationConfig)
+    runner: RunnerConfig = field(default_factory=RunnerConfig)
+    seed: int = 0
+
+    def validate(self) -> None:
+        self.collection.validate()
+        self.generation.validate()
+        self.runner.validate()
+
+    def as_dict(self) -> dict:
+        """JSON-safe nested dict with a stable key order."""
+        return {
+            "collection": self.collection.as_dict(),
+            "generation": self.generation.as_dict(),
+            "runner": self.runner.as_dict(),
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PipelineConfig":
+        """Inverse of :meth:`as_dict`: ``from_dict(c.as_dict()) == c``."""
+        return cls(
+            collection=CollectionConfig.from_dict(data["collection"]),
+            generation=GenerationConfig.from_dict(data["generation"]),
+            runner=RunnerConfig.from_dict(data["runner"]),
+            seed=int(data["seed"]),
+        )

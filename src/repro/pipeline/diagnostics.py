@@ -48,14 +48,23 @@ class StageReport:
         return 2 * p * r / (p + r) if (p + r) else 0.0
 
 
+def _collection(result) -> CollectionResult:
+    """Normalise the argument: every report accepts a plain
+    :class:`CollectionResult` (from ``PromptCollector`` — monolithic or
+    sharded dedup alike) or anything carrying one as ``.collection``
+    (e.g. :class:`~repro.pipeline.runner.PipelineResult`)."""
+    return result.collection if hasattr(result, "collection") else result
+
+
 def _removed_uids(
     corpus: list[SyntheticPrompt], result: CollectionResult, stage_key: str
 ) -> set[int]:
     """Uids removed by one stage; falls back to total removals when the
-    collector did not record per-stage sets (older results)."""
+    collector did not record per-stage sets (older results).  Accepts the
+    set either as a set or as the sorted list a JSON round trip yields."""
     per_stage = result.stats.get(stage_key)
     if per_stage is not None:
-        return set(per_stage)
+        return {int(uid) for uid in per_stage}
     surviving = {s.prompt.uid for s in result.selected}
     return {p.uid for p in corpus} - surviving
 
@@ -69,6 +78,7 @@ def dedup_report(corpus: list[SyntheticPrompt], result: CollectionResult) -> Sta
     was collapsed.  A false positive is a removed prompt that was neither a
     duplicate, a duplicate's base, nor junk.
     """
+    result = _collection(result)
     removed = _removed_uids(corpus, result, "dedup_removed_uids")
     duplicates = [p for p in corpus if p.dup_of is not None]
     base_uids = {p.dup_of for p in duplicates}
@@ -95,6 +105,7 @@ def junk_filter_report(
     dedup; the rest falls to the quality filter), so the grade is over the
     union of removals.
     """
+    result = _collection(result)
     removed = _removed_uids(corpus, result, "dedup_removed_uids") | _removed_uids(
         corpus, result, "quality_removed_uids"
     )
@@ -110,6 +121,7 @@ def junk_filter_report(
 
 def classifier_report(result: CollectionResult) -> dict[str, float]:
     """Accuracy and per-category error mass of the category stage."""
+    result = _collection(result)
     if not result.selected:
         return {"accuracy": 0.0, "n": 0}
     hits = sum(
@@ -133,6 +145,7 @@ def pipeline_health(
     corpus: list[SyntheticPrompt], result: CollectionResult
 ) -> dict[str, object]:
     """One-call health report over all stages."""
+    result = _collection(result)
     dedup = dedup_report(corpus, result)
     junk = junk_filter_report(corpus, result)
     return {

@@ -19,7 +19,9 @@ critic implements each listed criterion.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from collections.abc import Callable
+from dataclasses import dataclass, field, fields, replace
 
 from repro.core.golden import MAX_DIRECTIVES, GoldenData, build_golden_data, render_complement
 from repro.errors import ConfigError
@@ -119,6 +121,15 @@ class GenerationConfig:
                 raise ConfigError(f"{name} must be in [0, 1], got {value}")
         if self.max_rounds < 0:
             raise ConfigError(f"max_rounds must be >= 0, got {self.max_rounds}")
+
+    def as_dict(self) -> dict:
+        """JSON-safe dict of every field, in declaration order."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GenerationConfig":
+        """Inverse of :meth:`as_dict`: ``from_dict(c.as_dict()) == c``."""
+        return cls(**data)
 
 
 class FewShotGenerator:
@@ -241,17 +252,58 @@ class PairCritic:
             )
         return CritiqueResult(True, "valid supplement")
 
+    def critique_batch(
+        self, pairs: list[tuple[str, str]]
+    ) -> list[CritiqueResult]:
+        """Verdicts for many ``(prompt, ape)`` pairs in one call.
+
+        Each verdict is a pure function of its own pair (the critic's cue
+        perception is content-keyed), so the result is bit-identical to
+        ``[critique(p, a) for p, a in pairs]`` — the repo-wide batching
+        contract.
+        """
+        return [self.critique(prompt, ape) for prompt, ape in pairs]
+
+
+#: The flat ``PairGenerator.__init__`` kwargs unified under
+#: :class:`~repro.pipeline.config.PipelineConfig` (same shim pattern as
+#: ``PasGateway``'s ``_DEPRECATED_KWARGS``).
+_DEPRECATED_KWARGS = tuple(f.name for f in fields(GenerationConfig))
+
 
 class PairGenerator:
-    """Algorithm 1 end to end: generate, critique, regenerate."""
+    """Algorithm 1 end to end: generate, critique, regenerate.
+
+    Configure with a :class:`GenerationConfig` — or pass a whole
+    :class:`~repro.pipeline.config.PipelineConfig`, whose ``generation``
+    section is used.  The flat loop kwargs (``max_rounds=...`` etc.) still
+    work but emit a :class:`DeprecationWarning`.
+    """
 
     def __init__(
         self,
         teacher: SimulatedLLM | None = None,
         critic: SimulatedLLM | None = None,
         golden: GoldenData | None = None,
-        config: GenerationConfig | None = None,
+        config=None,
+        **deprecated,
     ):
+        unknown = set(deprecated) - set(_DEPRECATED_KWARGS)
+        if unknown:
+            raise TypeError(
+                f"PairGenerator() got unexpected keyword arguments {sorted(unknown)}"
+            )
+        if config is not None and hasattr(config, "generation"):
+            config = config.generation
+        if deprecated:
+            warnings.warn(
+                "PairGenerator flat kwargs "
+                f"({', '.join(sorted(deprecated))}) are deprecated; pass "
+                "config=PipelineConfig(generation=GenerationConfig(...)) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = replace(config or GenerationConfig(), **deprecated)
         self.config = config or GenerationConfig()
         self.config.validate()
         self.teacher = teacher or SimulatedLLM("teacher-gpt-4")
@@ -260,23 +312,33 @@ class PairGenerator:
         self.generator = FewShotGenerator(self.teacher, self.golden, self.config)
         self.critic = PairCritic(self.critic_model)
 
-    def build_pair(self, selected: SelectedPrompt) -> PromptPair | None:
+    def build_pair(
+        self,
+        selected: SelectedPrompt,
+        critique: Callable[[str, str], CritiqueResult] | None = None,
+    ) -> PromptPair | None:
         """Run the generate/critique/regenerate loop for one prompt.
 
         Returns ``None`` when curation is on and no draft passed within
         ``max_rounds`` regenerations (Algorithm 1 loops forever; a cap plus
         drop keeps the pipeline total and is recorded in the dataset stats).
+
+        ``critique`` overrides the critic call (default:
+        ``self.critic.critique``) — the pipeline runner injects a
+        fault-aware wrapper here so a grader outage can skip the pair
+        without changing the loop itself.
         """
+        check = critique if critique is not None else self.critic.critique
         prompt = selected.prompt
         category = selected.predicted_category
         draft = self.generator.generate(prompt.text, category, salt=0)
         rounds = 0
         if self.config.curate:
-            verdict = self.critic.critique(prompt.text, draft)
+            verdict = check(prompt.text, draft)
             while not verdict.is_correct and rounds < self.config.max_rounds:
                 rounds += 1
                 draft = self.generator.generate(prompt.text, category, salt=rounds)
-                verdict = self.critic.critique(prompt.text, draft)
+                verdict = check(prompt.text, draft)
             if not verdict.is_correct:
                 return None
         return PromptPair(

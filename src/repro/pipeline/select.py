@@ -52,3 +52,19 @@ class QualityScorer:
             return llm_part
         fluency_part = self._lm.fluency(text)
         return self.llm_weight * llm_part + (1.0 - self.llm_weight) * fluency_part
+
+    def score_batch(self, texts: list[str]) -> list[float]:
+        """Scores for many texts in one call; bit-identical to the loop.
+
+        Grades go through the engine's batched grading entry point;
+        each text's score is a pure function of the text (the grader's
+        noise is keyed on content, the fluency LM is already fitted), so
+        ``score_batch(ts) == [score(t) for t in ts]`` holds exactly.
+        """
+        llm_parts = [g / 10.0 for g in self.grader.grade_prompt_quality_batch(texts)]
+        if self._lm is None:
+            return llm_parts
+        return [
+            self.llm_weight * llm_part + (1.0 - self.llm_weight) * self._lm.fluency(text)
+            for llm_part, text in zip(llm_parts, texts, strict=True)
+        ]

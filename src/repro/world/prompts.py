@@ -135,6 +135,33 @@ class SyntheticPrompt:
     def topic_words(self) -> frozenset[str]:
         return frozenset(w for w in self.topic.lower().split() if len(w) > 3)
 
+    def as_dict(self) -> dict:
+        """JSON-safe dict with a stable key order (for structured export)."""
+        return {
+            "uid": self.uid,
+            "text": self.text,
+            "category": self.category,
+            "needs": sorted(self.needs),
+            "topic": self.topic,
+            "is_junk": self.is_junk,
+            "dup_of": self.dup_of,
+            "hard": self.hard,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SyntheticPrompt":
+        """Inverse of :meth:`as_dict`: ``from_dict(p.as_dict()) == p``."""
+        return cls(
+            uid=int(data["uid"]),
+            text=data["text"],
+            category=data["category"],
+            needs=frozenset(data["needs"]),
+            topic=data["topic"],
+            is_junk=bool(data["is_junk"]),
+            dup_of=None if data["dup_of"] is None else int(data["dup_of"]),
+            hard=bool(data["hard"]),
+        )
+
 
 @dataclass(frozen=True)
 class CorpusConfig:

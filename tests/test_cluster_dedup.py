@@ -74,6 +74,44 @@ class TestDeduplicate:
         assert a.kept == b.kept
 
 
+class TestShardedBackend:
+    def test_one_shard_bit_identical_to_monolithic(self):
+        matrix = _clusters(seed=2)
+        mono = deduplicate(matrix, threshold=0.95, seed=4)
+        sharded = deduplicate(
+            matrix, threshold=0.95, seed=4, backend="sharded", n_shards=1
+        )
+        assert sharded.kept == mono.kept
+        assert sharded.groups == mono.groups
+        assert sharded.representative_of == mono.representative_of
+
+    def test_auto_picks_sharded_above_one_shard(self):
+        matrix = _clusters(seed=5)
+        explicit = deduplicate(matrix, threshold=0.95, n_shards=4, backend="sharded")
+        auto = deduplicate(matrix, threshold=0.95, n_shards=4)
+        assert auto.kept == explicit.kept
+
+    def test_multi_shard_collapses_tight_clusters(self):
+        result = deduplicate(_clusters(), threshold=0.95, n_shards=4)
+        assert len(result.kept) == 3
+        assert sorted(len(g) for g in result.groups) == [5, 5, 5]
+
+    def test_invalid_backend(self):
+        with pytest.raises(ValueError):
+            deduplicate(np.ones((2, 2)), backend="faiss")
+
+    def test_invalid_n_shards(self):
+        with pytest.raises(ValueError):
+            deduplicate(np.ones((2, 2)), n_shards=0)
+
+    def test_real_embeddings_one_shard_parity(self, factory):
+        prompts = [factory.make_prompt() for _ in range(30)]
+        embeddings = EmbeddingModel().embed_batch([p.text for p in prompts])
+        mono = deduplicate(embeddings, threshold=0.85)
+        sharded = deduplicate(embeddings, threshold=0.85, backend="sharded")
+        assert sharded.kept == mono.kept
+
+
 class TestDedupOnRealPromptEmbeddings:
     def test_near_duplicate_prompts_collapse(self, factory):
         base = [factory.make_prompt() for _ in range(20)]

@@ -84,6 +84,46 @@ class TestDataset:
         assert loaded.pairs[0].true_needs == ds.pairs[0].true_needs
 
 
+class TestSerialization:
+    """as_dict()/from_dict() parity with ServeResponse/GatewayStats."""
+
+    def test_pair_round_trip(self):
+        pair = _pair(3, aspects=("depth", "examples"), needs=("depth", "brevity"))
+        assert PromptPair.from_dict(pair.as_dict()) == pair
+
+    def test_pair_dict_is_stable_and_sorted(self):
+        data = _pair(needs=("format", "brevity", "depth")).as_dict()
+        assert data["true_needs"] == sorted(data["true_needs"])
+
+    def test_dataset_round_trip(self):
+        ds = PromptPairDataset([_pair(i) for i in range(4)], curated=False, n_dropped=3)
+        restored = PromptPairDataset.from_dict(ds.as_dict())
+        assert restored.pairs == ds.pairs
+        assert restored.curated == ds.curated
+        assert restored.n_dropped == ds.n_dropped
+
+    def test_dataset_round_trip_through_utils_io(self, tmp_path):
+        from repro.utils.io import dump_jsonl, load_jsonl
+
+        ds = PromptPairDataset([_pair(i) for i in range(4)], n_dropped=1)
+        path = tmp_path / "dataset.jsonl"
+        dump_jsonl([ds.as_dict()], path)
+        restored = PromptPairDataset.from_dict(next(load_jsonl(path)))
+        assert restored.pairs == ds.pairs
+        assert restored.n_dropped == ds.n_dropped
+
+    def test_collection_result_round_trip_through_utils_io(self, tmp_path, small_corpus):
+        from repro.pipeline.collect import CollectionResult, PromptCollector
+        from repro.utils.io import dump_jsonl, load_jsonl
+
+        result = PromptCollector(seed=4).collect(list(small_corpus)[:60])
+        path = tmp_path / "collection.jsonl"
+        dump_jsonl([result.as_dict()], path)
+        restored = CollectionResult.from_dict(next(load_jsonl(path)))
+        assert restored == result
+        assert isinstance(restored.stats["dedup_removed_uids"], set)
+
+
 class TestPipelineProducedDataset(object):
     """Checks on a dataset built by the real pipeline (session fixture)."""
 

@@ -84,3 +84,54 @@ class TestPipelineHealth:
             "survival_rate",
         }
         assert 0.0 < health["survival_rate"] <= 1.0
+
+
+class TestRunnerAndShardedInputs:
+    """The reports accept PipelineResult and sharded-dedup output alike."""
+
+    @pytest.fixture(scope="class")
+    def runner_result(self, small_corpus):
+        from repro.pipeline import PipelineConfig, PipelineRunner
+
+        return PipelineRunner(PipelineConfig(seed=9)).run(list(small_corpus))
+
+    def test_reports_accept_pipeline_result(self, small_corpus, runner_result):
+        corpus = list(small_corpus)
+        health = pipeline_health(corpus, runner_result)
+        assert health["dedup"] == dedup_report(corpus, runner_result.collection)
+        assert classifier_report(runner_result) == classifier_report(
+            runner_result.collection
+        )
+
+    def test_one_shard_sharded_reports_identical(self, small_corpus):
+        from repro.pipeline.collect import CollectionConfig
+
+        corpus = list(small_corpus)
+        mono = PromptCollector(seed=9).collect(corpus)
+        sharded = PromptCollector(
+            config=CollectionConfig(dedup_shards=1, dedup_backend="sharded"), seed=9
+        ).collect(corpus)
+        mono_health = pipeline_health(corpus, mono)
+        sharded_health = pipeline_health(corpus, sharded)
+        assert sharded_health["dedup"] == mono_health["dedup"]
+        assert sharded_health["junk_filter"] == mono_health["junk_filter"]
+        assert sharded_health["classifier"] == mono_health["classifier"]
+        assert sharded_health["survival_rate"] == mono_health["survival_rate"]
+
+    def test_list_valued_stats_accepted(self, graded):
+        """A JSON round trip turns the uid sets into lists; reports must
+        still produce identical numbers."""
+        import dataclasses
+
+        corpus, result = graded
+        listified = dataclasses.replace(
+            result,
+            stats={
+                k: sorted(v) if isinstance(v, (set, frozenset)) else v
+                for k, v in result.stats.items()
+            },
+        )
+        assert dedup_report(corpus, listified) == dedup_report(corpus, result)
+        assert junk_filter_report(corpus, listified) == junk_filter_report(
+            corpus, result
+        )

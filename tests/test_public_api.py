@@ -12,6 +12,18 @@ class TestPublicApi:
         for name in repro.__all__:
             assert hasattr(repro, name), name
 
+    def test_pipeline_all_exports_resolve(self):
+        import repro.pipeline as pipeline
+
+        for name in pipeline.__all__:
+            assert hasattr(pipeline, name), name
+
+    def test_pipeline_surface_exported(self):
+        from repro import PipelineConfig, PipelineRunner, RunnerConfig
+
+        config = PipelineConfig(runner=RunnerConfig(checkpoint_every=8))
+        assert PipelineRunner(config).config is config
+
     def test_quickstart_path(self, trained_pas):
         """The README example, using the session-trained PAS."""
         target = SimulatedLLM("gpt-4-0613")
