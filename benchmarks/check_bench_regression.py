@@ -5,11 +5,16 @@ key whose name is ``speedup`` or ends in ``_speedup``; any such value
 below the threshold is a regression — a batched/parallel path that is now
 slower than the scalar baseline it replaced.
 
-Only robust wins may live under ``speedup``-named keys.  Metrics that are
-legitimately below 1.0 in some environments (e.g. the sharded index's
-single-core search ratio) must be recorded under a different name, such
-as ``throughput_ratio_vs_single`` — the gate is a contract on naming as
-much as on performance.
+Only robust wins may live under ``speedup``-named keys — the gate is a
+contract on naming as much as on performance.  Since the scan/split-ef
+rework of the sharded fan-out, ``sharded_index.search.speedup`` is such a
+key: sharded search must beat the monolithic index even on one core, at
+both the quick tier and the 100k tier.
+
+This module also owns the bench writers' merge helper
+(:func:`merge_write`): every bench module read-modify-writes the same
+``BENCH_serving.json`` with a *deep* merge, so sibling modules — and
+sibling tiers under the shared ``scale`` key — never clobber each other.
 
 The gate also walks ``overhead``-named keys the other way: values like
 ``obs_off_overhead`` (per-item cost of an instrumented-but-disabled path
@@ -32,7 +37,29 @@ THRESHOLD = 1.0
 #: Ratio ceiling for ``*_overhead`` keys (instrumented-off vs baseline).
 OVERHEAD_THRESHOLD = 1.05
 
-__all__ = ["collect_overheads", "collect_speedups", "main"]
+__all__ = ["collect_overheads", "collect_speedups", "deep_merge", "main", "merge_write"]
+
+
+def deep_merge(base: dict, update: dict) -> dict:
+    """Recursively merge ``update`` into ``base`` (in place, returned).
+
+    Dict values merge key by key; everything else is last-writer-wins.
+    This is what keeps e.g. ``scale.quick`` and ``scale.large`` alive when
+    the two bench tiers run in either order.
+    """
+    for key, value in update.items():
+        if isinstance(value, dict) and isinstance(base.get(key), dict):
+            deep_merge(base[key], value)
+        else:
+            base[key] = value
+    return base
+
+
+def merge_write(path: Path, payload: dict) -> None:
+    """Deep-merge ``payload`` into the JSON document at ``path``."""
+    merged = json.loads(path.read_text()) if path.is_file() else {}
+    deep_merge(merged, payload)
+    path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
 
 
 def _collect(node: object, matches, prefix: str = "") -> list[tuple[str, float]]:

@@ -22,11 +22,12 @@ Results merge into ``BENCH_serving.json`` next to the throughput keys:
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 
 import numpy as np
 import pytest
+
+from check_bench_regression import merge_write
 
 from repro import build_default_dataset
 from repro.core.pas import PasModel
@@ -150,12 +151,9 @@ def zipf_requests(trained_pas):
 
 @pytest.fixture(scope="module", autouse=True)
 def _write_bench_json():
-    """Merge this module's keys into BENCH_serving.json (never clobber)."""
+    """Deep-merge this module's keys into BENCH_serving.json (never clobber)."""
     yield
-    path = Path(__file__).resolve().parents[1] / "BENCH_serving.json"
-    merged = json.loads(path.read_text()) if path.is_file() else {}
-    merged.update(RESULTS)
-    path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+    merge_write(Path(__file__).resolve().parents[1] / "BENCH_serving.json", RESULTS)
 
 
 def test_obs_off_overhead(trained_pas, zipf_requests):

@@ -28,11 +28,11 @@ Results merge into ``BENCH_serving.json`` next to the serving keys:
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 
 import numpy as np
 import pytest
+from check_bench_regression import merge_write
 from test_bench_throughput import ScalarReferenceHnsw
 
 from repro.classify.model import CategoryClassifier
@@ -131,12 +131,9 @@ def classifier():
 
 @pytest.fixture(scope="module", autouse=True)
 def _write_bench_json():
-    """Merge this module's keys into BENCH_serving.json (never clobber)."""
+    """Deep-merge this module's keys into BENCH_serving.json (never clobber)."""
     yield
-    path = Path(__file__).resolve().parents[1] / "BENCH_serving.json"
-    merged = json.loads(path.read_text()) if path.is_file() else {}
-    merged.update(RESULTS)
-    path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+    merge_write(Path(__file__).resolve().parents[1] / "BENCH_serving.json", RESULTS)
 
 
 def test_pipeline_batch_speedup(corpus, classifier):

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from collections.abc import Iterable
+
 import numpy as np
 
 from repro.errors import IndexError_
@@ -14,6 +16,11 @@ class BruteForceIndex:
 
     Distances follow the same convention as :class:`repro.ann.hnsw.HnswIndex`:
     cosine *distance* (``1 - cosine similarity``) or squared L2.
+
+    The stacked ``(n, dim)`` matrix and its row norms are cached between
+    searches and invalidated on insert, so ground-truth sweeps at bench
+    scale (1k queries against 100k rows) do not re-stack the corpus per
+    query.
     """
 
     def __init__(self, dim: int, metric: str = "cosine"):
@@ -25,6 +32,8 @@ class BruteForceIndex:
         self.metric = metric
         self._vectors: list[np.ndarray] = []
         self._keys: list[int] = []
+        self._matrix: np.ndarray | None = None
+        self._row_norms: np.ndarray | None = None
 
     def __len__(self) -> int:
         return len(self._keys)
@@ -35,14 +44,40 @@ class BruteForceIndex:
             raise IndexError_(f"expected dim {self.dim}, got {vec.shape[0]}")
         self._vectors.append(vec)
         self._keys.append(int(key))
+        self._matrix = None
+        self._row_norms = None
+
+    def add_batch(
+        self, vectors: np.ndarray, keys: Iterable[int] | None = None
+    ) -> None:
+        """Insert many vectors at once (keys default to ``0..n-1``)."""
+        matrix = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        if matrix.shape[0] == 0:
+            return
+        if matrix.shape[1] != self.dim:
+            raise IndexError_(f"expected dim {self.dim}, got {matrix.shape[1]}")
+        key_list = list(range(matrix.shape[0])) if keys is None else [int(k) for k in keys]
+        if len(key_list) != matrix.shape[0]:
+            raise IndexError_(
+                f"got {matrix.shape[0]} vectors but {len(key_list)} keys"
+            )
+        for row, key in zip(matrix, key_list):
+            self.add(row, key)
+
+    def _ensure_matrix(self) -> np.ndarray:
+        if self._matrix is None:
+            self._matrix = np.vstack(self._vectors)
+            if self.metric == "cosine":
+                self._row_norms = np.linalg.norm(self._matrix, axis=1)
+        return self._matrix
 
     def _distances(self, query: np.ndarray) -> np.ndarray:
-        mat = np.vstack(self._vectors)
+        mat = self._ensure_matrix()
         if self.metric == "l2":
             diff = mat - query
             return np.einsum("ij,ij->i", diff, diff)
         qn = np.linalg.norm(query)
-        mn = np.linalg.norm(mat, axis=1)
+        mn = self._row_norms
         denom = np.where(mn * qn < 1e-12, 1.0, mn * qn)
         return 1.0 - (mat @ query) / denom
 
@@ -57,3 +92,21 @@ class BruteForceIndex:
         k = min(k, len(self._keys))
         order = np.argsort(dists, kind="stable")[:k]
         return [(self._keys[i], float(dists[i])) for i in order]
+
+    def search_batch(
+        self, queries: np.ndarray, k: int
+    ) -> list[list[tuple[int, float]]]:
+        """k-NN lists for a ``(n, dim)`` query matrix, one per row.
+
+        Result-identical to ``[self.search(q, k) for q in queries]`` (each
+        row runs through the same per-query kernel).
+        """
+        matrix = np.asarray(queries, dtype=np.float64)
+        if matrix.size == 0 and matrix.ndim <= 2:
+            return []
+        matrix = np.atleast_2d(matrix)
+        if matrix.ndim != 2:
+            raise IndexError_(f"queries must be 2-D, got shape {matrix.shape}")
+        if matrix.shape[1] != self.dim:
+            raise IndexError_(f"expected dim {self.dim}, got {matrix.shape[1]}")
+        return [self.search(row, k) for row in matrix]

@@ -20,6 +20,20 @@ BLAS matrix-vector product (:meth:`HnswIndex._distances_to`) instead of a
 per-neighbour Python loop — the same kernel serves ``add``, ``search``,
 ``search_batch`` and ``knn_graph``, which is what makes the batched paths
 bit-identical to their scalar counterparts.
+
+Two result surfaces share one search core: the tuple API (``search`` /
+``search_batch``, lists of ``(key, distance)`` pairs) and the array API
+(:meth:`HnswIndex.search_batch_arrays`, ``(keys, dists)`` ndarrays padded
+with ``-1`` / ``inf``).  The tuple lists are a thin view over the array
+results, so the two never disagree — bit for bit.
+
+``quantization="int8"`` turns on a scalar-quantised traversal kernel:
+vectors are additionally stored as contiguous int8 codes with one scale
+per vector, beam traversal measures distances on the codes, and the final
+candidate set is re-ranked with the exact float kernel before the top-k
+cut (see :meth:`HnswIndex._search_one_raw`).  Returned distances are
+therefore always exact; only the *traversal order* is approximate, and
+the recall tests pin it against :class:`~repro.ann.bruteforce.BruteForceIndex`.
 """
 
 from __future__ import annotations
@@ -36,6 +50,10 @@ __all__ = ["HnswIndex"]
 
 #: First allocation; capacity doubles whenever the table fills.
 _INITIAL_CAPACITY = 64
+
+#: Row-chunk size for the offline router-assignment matmul, bounding the
+#: (chunk x n_centroids) score block's memory whatever the index size.
+_ROUTER_ASSIGN_CHUNK = 8192
 
 
 class HnswIndex:
@@ -56,6 +74,11 @@ class HnswIndex:
         (squared Euclidean).
     seed:
         Seed for the level-assignment RNG; fixes the graph shape.
+    quantization:
+        ``"none"`` (default) or ``"int8"``.  With ``"int8"``, beam
+        traversal measures distances on scalar-quantised codes (one int8
+        row + one scale per vector) and the final candidate set is
+        re-ranked exactly before the top-k cut.
     """
 
     def __init__(
@@ -66,6 +89,7 @@ class HnswIndex:
         ef_search: int = 50,
         metric: str = "cosine",
         seed: int = 0,
+        quantization: str = "none",
     ):
         if dim <= 0:
             raise IndexError_(f"dim must be positive, got {dim}")
@@ -75,18 +99,26 @@ class HnswIndex:
             raise IndexError_("ef parameters must be >= 1")
         if metric not in ("cosine", "l2"):
             raise IndexError_(f"unknown metric {metric!r}")
+        if quantization not in ("none", "int8"):
+            raise IndexError_(f"unknown quantization {quantization!r}")
         self.dim = dim
         self.m = m
         self.m0 = 2 * m
         self.ef_construction = ef_construction
         self.ef_search = ef_search
         self.metric = metric
+        self.quantization = quantization
+        self._quantized = quantization == "int8"
         self._level_mult = 1.0 / math.log(m)
         self._rng = np.random.default_rng(seed)
         self._vectors = np.zeros((0, dim), dtype=np.float64)
         self._norms = np.zeros(0, dtype=np.float64)
+        # int8 scalar quantisation: codes[i] * scales[i] ~= vectors[i].
+        self._codes = np.zeros((0, dim), dtype=np.int8)
+        self._code_scales = np.zeros(0, dtype=np.float64)
         self._count = 0
         self._keys: list[int] = []
+        self._key_arr = np.zeros(0, dtype=np.int64)  # same keys, array view
         # _neighbors[node_id][layer] -> list of node ids
         self._neighbors: list[list[list[int]]] = []
         self._entry: int | None = None  # node id of the entry point
@@ -97,6 +129,22 @@ class HnswIndex:
         self._packed_version = -1
         self._packed0 = np.zeros((0, 0), dtype=np.intp)
         self._packed0_counts = np.zeros(0, dtype=np.intp)
+        # Per-search visited marks: a stamp array beats allocating a fresh
+        # boolean mask per query (node visited iff _visited_mark[nid] == stamp).
+        self._visited_mark = np.zeros(0, dtype=np.int64)
+        self._visit_stamp = 0
+        # Coarse routing structure for routed scans (see _ensure_router):
+        # ~sqrt(n) sampled rows act as centroids; every row is bucketed
+        # under its nearest centroid.  Rebuilt lazily whenever the element
+        # count changes.
+        self._router_version = -1
+        self._router_centroid_ids = np.zeros(0, dtype=np.intp)
+        self._router_bucket_ids = np.zeros(0, dtype=np.intp)
+        self._router_offsets = np.zeros(1, dtype=np.intp)
+        self._router_rows = np.zeros((0, dim), dtype=np.float32)
+        self._router_bias = np.zeros(0, dtype=np.float32)
+        self._router_centroid_rows = np.zeros((0, dim), dtype=np.float32)
+        self._router_centroid_bias = np.zeros(0, dtype=np.float32)
 
     # ------------------------------------------------------------------ #
     # basic plumbing
@@ -126,6 +174,16 @@ class HnswIndex:
         norms[: self._count] = self._norms[: self._count]
         self._vectors = vectors
         self._norms = norms
+        keys = np.zeros(new_capacity, dtype=np.int64)
+        keys[: self._count] = self._key_arr[: self._count]
+        self._key_arr = keys
+        if self._quantized:
+            codes = np.zeros((new_capacity, self.dim), dtype=np.int8)
+            codes[: self._count] = self._codes[: self._count]
+            scales = np.zeros(new_capacity, dtype=np.float64)
+            scales[: self._count] = self._code_scales[: self._count]
+            self._codes = codes
+            self._code_scales = scales
 
     def _distances_to(
         self, query: np.ndarray, ids: Sequence[int], qnorm: float
@@ -157,6 +215,50 @@ class HnswIndex:
     def _query_norm(self, query: np.ndarray) -> float:
         return float(np.linalg.norm(query)) if self.metric == "cosine" else 0.0
 
+    @staticmethod
+    def _quantize(vec: np.ndarray) -> tuple[np.ndarray, float]:
+        """Scalar-quantise one vector: ``codes * scale ~= vec`` (codes in ±127)."""
+        peak = float(np.max(np.abs(vec))) if vec.size else 0.0
+        scale = peak / 127.0 if peak > 0.0 else 1.0
+        return np.rint(vec / scale).astype(np.int8), scale
+
+    def _qdistances_to(
+        self, qcodes: np.ndarray, qscale: float, qnorm: float, qsq: float, ids
+    ) -> np.ndarray:
+        """Approximate distances on the int8 codes (traversal only).
+
+        ``qcodes`` is the query's code row pre-cast to float64 so each call
+        is one int8 gather, one cast, one GEMV.  Cosine uses the *true*
+        cached norms in the denominator; l2 expands ``|a-q|^2`` around the
+        quantised dot product with the true squared norms.
+        """
+        idx = np.asarray(ids, dtype=np.intp)
+        dots = (self._codes[idx].astype(np.float64) @ qcodes) * (
+            self._code_scales[idx] * qscale
+        )
+        if self.metric == "l2":
+            return self._norms[idx] ** 2 + qsq - 2.0 * dots
+        denom = self._norms[idx] * qnorm
+        if self._min_norm * qnorm >= 1e-12:
+            return 1.0 - dots / denom
+        near_zero = denom < 1e-12
+        return np.where(near_zero, 1.0, 1.0 - dots / np.where(near_zero, 1.0, denom))
+
+    def _query_kernel(self, query: np.ndarray, qnorm: float):
+        """Distance kernel bound to one query: ``kernel(ids) -> distances``.
+
+        Float mode binds the exact gather+GEMV kernel; int8 mode quantises
+        the query once and binds the code kernel.  Every traversal routine
+        (greedy descent, beam search on any layer) goes through the kernel,
+        so the two modes share identical control flow.
+        """
+        if not self._quantized:
+            return lambda ids: self._distances_to(query, ids, qnorm)
+        codes, qscale = self._quantize(query)
+        qcodes = codes.astype(np.float64)
+        qsq = float(query @ query) if self.metric == "l2" else 0.0
+        return lambda ids: self._qdistances_to(qcodes, qscale, qnorm, qsq, ids)
+
     def _draw_level(self) -> int:
         u = float(self._rng.random())
         u = max(u, 1e-12)
@@ -167,14 +269,14 @@ class HnswIndex:
     # ------------------------------------------------------------------ #
 
     def _greedy_descend(
-        self, query: np.ndarray, qnorm: float, curr: int, d_curr: float, layer: int
+        self, kernel, curr: int, d_curr: float, layer: int
     ) -> tuple[int, float]:
         """Move to the closest neighbour until no neighbour improves."""
         while True:
             nbrs = self._neighbors[curr][layer]
             if not nbrs:
                 return curr, d_curr
-            dists = self._distances_to(query, nbrs, qnorm)
+            dists = kernel(nbrs)
             best = int(np.argmin(dists))
             if dists[best] < d_curr:
                 curr = nbrs[best]
@@ -183,11 +285,11 @@ class HnswIndex:
                 return curr, d_curr
 
     def _search_layer(
-        self, query: np.ndarray, qnorm: float, entry_ids: list[int], ef: int, layer: int
+        self, kernel, entry_ids: list[int], ef: int, layer: int
     ) -> list[tuple[float, int]]:
         """Beam search on one layer; returns (distance, node_id), unsorted."""
         visited = set(entry_ids)
-        entry_dists = self._distances_to(query, entry_ids, qnorm)
+        entry_dists = kernel(entry_ids)
         # candidates: min-heap by distance; results: max-heap via negation
         candidates: list[tuple[float, int]] = []
         results: list[tuple[float, int]] = []
@@ -204,7 +306,7 @@ class HnswIndex:
             if not fresh:
                 continue
             visited.update(fresh)
-            dists = self._distances_to(query, fresh, qnorm)
+            dists = kernel(fresh)
             for i, nb in enumerate(fresh):
                 d = float(dists[i])
                 if len(results) < ef or d < -results[0][0]:
@@ -234,24 +336,30 @@ class HnswIndex:
         self._packed0 = rows
         self._packed0_counts = counts
         self._packed_version = self._graph_version
+        if self._visited_mark.shape[0] < n:
+            self._visited_mark = np.zeros(max(n, _INITIAL_CAPACITY), dtype=np.int64)
+            self._visit_stamp = 0
 
     def _search_layer0(
-        self, query: np.ndarray, qnorm: float, entry_ids: list[int], ef: int
+        self, kernel, entry_ids: list[int], ef: int
     ) -> list[tuple[float, int]]:
         """Layer-0 beam search over the packed adjacency (read-only paths).
 
         Mirrors :meth:`_search_layer` exactly — same visit order through
         the same distance kernel, so the same results bit for bit — but
         gathers neighbours from the packed arrays and tracks visited nodes
-        in a boolean mask instead of a set, which is what makes the
-        batched search paths fast.
+        with a reusable stamp array instead of a set (``mark[nid] == stamp``
+        means visited; bumping the stamp clears all marks for free), which
+        is what makes the batched search paths fast.
         """
         rows = self._packed0
         counts = self._packed0_counts
-        visited = np.zeros(self._count, dtype=bool)
+        self._visit_stamp += 1
+        stamp = self._visit_stamp
+        mark = self._visited_mark
         entry_idx = np.asarray(entry_ids, dtype=np.intp)
-        visited[entry_idx] = True
-        entry_dists = self._distances_to(query, entry_idx, qnorm)
+        mark[entry_idx] = stamp
+        entry_dists = kernel(entry_idx)
         candidates: list[tuple[float, int]] = []
         results: list[tuple[float, int]] = []
         for d, nid in zip(entry_dists.tolist(), entry_ids):
@@ -263,11 +371,11 @@ class HnswIndex:
             if d_cand > -results[0][0] and len(results) >= ef:
                 break
             nbrs = rows[nid, : counts[nid]]
-            fresh = nbrs[~visited[nbrs]]
+            fresh = nbrs[mark[nbrs] != stamp]
             if fresh.size == 0:
                 continue
-            visited[fresh] = True
-            dists = self._distances_to(query, fresh, qnorm)
+            mark[fresh] = stamp
+            dists = kernel(fresh)
             for d, nb in zip(dists.tolist(), fresh.tolist()):
                 if len(results) < ef or d < -results[0][0]:
                     push(candidates, (d, nb))
@@ -337,9 +445,14 @@ class HnswIndex:
         self._vectors[node_id] = vec
         self._norms[node_id] = float(np.linalg.norm(self._vectors[node_id]))
         self._min_norm = min(self._min_norm, float(self._norms[node_id]))
+        if self._quantized:
+            codes, scale = self._quantize(vec)
+            self._codes[node_id] = codes
+            self._code_scales[node_id] = scale
         self._graph_version += 1
         self._count += 1
         self._keys.append(key)
+        self._key_arr[node_id] = key
         self._neighbors.append([[] for _ in range(level + 1)])
         stored = self._vectors[node_id]
         qnorm = self._norms[node_id] if self.metric == "cosine" else 0.0
@@ -350,17 +463,18 @@ class HnswIndex:
 
         entry = self._entry
         top = len(self._neighbors[entry]) - 1
+        kernel = self._query_kernel(stored, qnorm)
 
         # 1. greedy descent through layers above the new node's level
         curr = entry
-        d_curr = float(self._distances_to(stored, [curr], qnorm)[0])
+        d_curr = float(kernel([curr])[0])
         for layer in range(top, level, -1):
-            curr, d_curr = self._greedy_descend(stored, qnorm, curr, d_curr, layer)
+            curr, d_curr = self._greedy_descend(kernel, curr, d_curr, layer)
 
         # 2. insert on each layer from min(level, top) down to 0
         entries = [curr]
         for layer in range(min(level, top), -1, -1):
-            found = self._search_layer(stored, qnorm, entries, self.ef_construction, layer)
+            found = self._search_layer(kernel, entries, self.ef_construction, layer)
             cap = self.m0 if layer == 0 else self.m
             neighbors = self._select_neighbors(found, self.m)
             self._neighbors[node_id][layer] = list(neighbors)
@@ -376,9 +490,10 @@ class HnswIndex:
     ) -> None:
         """Insert many vectors at once (keys default to ``0..n-1``).
 
-        Validates shapes once and reserves table capacity up front;
-        insertion order (and therefore the graph) is identical to calling
-        :meth:`add` per row.
+        Validates shapes *and keys* once, up front, before any insertion —
+        a rejected batch leaves the index untouched instead of stranding a
+        prefix of it inserted.  Insertion order (and therefore the graph)
+        is identical to calling :meth:`add` per row.
         """
         matrix = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
         if matrix.shape[0] == 0:
@@ -390,26 +505,268 @@ class HnswIndex:
             raise IndexError_(
                 f"got {matrix.shape[0]} vectors but {len(key_list)} keys"
             )
+        batch_seen: set[int] = set()
+        for key in key_list:
+            if key in self._keys_seen or key in batch_seen:
+                raise IndexError_(f"duplicate key {key}")
+            batch_seen.add(key)
         self._reserve(self._count + matrix.shape[0])
         for row, key in zip(matrix, key_list):
             self.add(row, key)
 
-    def _search_one(
+    def _search_one_raw(
         self, query: np.ndarray, qnorm: float, k: int, ef: int | None
-    ) -> list[tuple[int, float]]:
-        """Search with a validated query; shared by every public path."""
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Array-native search core: ``(node_ids, distances)``, nearest first.
+
+        Shared by every public path (scalar, batched, tuple, array), which
+        is what keeps them bit-identical.  Ties on distance break by node
+        id, i.e. insertion order.  In int8 mode the beam runs on the code
+        kernel and the surviving candidate set is re-ranked here with the
+        exact float kernel before the top-k cut, so returned distances are
+        always exact.
+        """
         assert self._entry is not None
         self._ensure_packed()
         width = max(ef if ef is not None else self.ef_search, k)
+        kernel = self._query_kernel(query, qnorm)
         curr = self._entry
         top = len(self._neighbors[curr]) - 1
         if top > 0:
-            d_curr = float(self._distances_to(query, [curr], qnorm)[0])
+            d_curr = float(kernel([curr])[0])
             for layer in range(top, 0, -1):
-                curr, d_curr = self._greedy_descend(query, qnorm, curr, d_curr, layer)
-        found = self._search_layer0(query, qnorm, [curr], width)
-        found.sort()
-        return [(self._keys[nid], d) for d, nid in found[:k]]
+                curr, d_curr = self._greedy_descend(kernel, curr, d_curr, layer)
+        found = self._search_layer0(kernel, [curr], width)
+        ids = np.fromiter((nid for _, nid in found), dtype=np.intp, count=len(found))
+        if self._quantized:
+            dists = self._distances_to(query, ids, qnorm)
+        else:
+            dists = np.fromiter(
+                (d for d, _ in found), dtype=np.float64, count=len(found)
+            )
+        order = np.lexsort((ids, dists))[:k]
+        return ids[order], dists[order]
+
+    def _scan_raw(
+        self, query: np.ndarray, qnorm: float, k: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Exact top-k by full scan: ``(node_ids, distances)``, nearest first.
+
+        Same result contract as :meth:`_search_one_raw` (ties break by node
+        id) but exhaustive, always on the exact float kernel, and without
+        touching the graph.  The sharded layer uses this for shards small
+        enough that one vectorised scan beats a beam traversal.
+        """
+        n = self._count
+        if n == 0:
+            empty = np.zeros(0, dtype=np.intp)
+            return empty, np.zeros(0, dtype=np.float64)
+        ids = np.arange(n, dtype=np.intp)
+        dists = self._distances_to(query, ids, qnorm)
+        order = np.lexsort((ids, dists))[:k]
+        return ids[order], dists[order]
+
+    def _ensure_router(self) -> None:
+        """(Re)build the coarse routing structure for :meth:`_routed_scan_raw`.
+
+        ~sqrt(n) stored rows, sampled at a deterministic stride, act as
+        centroids; every row is bucketed under its nearest centroid (one
+        chunked float32 matmul, offline).  Alongside the bucket layout the
+        router keeps a bucket-ordered *contiguous float32 copy* of the rows
+        (normalised for cosine, plus squared norms for l2) so a routed query
+        can rank every candidate with a single dense GEMV instead of a
+        float64 gather — that is the difference between the routed scan
+        beating and losing to the beam at 100k vectors on one core.  The
+        structure is a pure function of the stored vectors, so identical
+        indexes route identically; it is invalidated by any insert
+        (version = element count) and rebuilt on the next routed search.
+        """
+        n = self._count
+        if self._router_version == n:
+            return
+        c = max(1, int(round(math.sqrt(n))))
+        cids = np.unique(np.linspace(0, n - 1, c).round().astype(np.intp))
+        vecs = self._vectors[:n].astype(np.float32)
+        assign = np.empty(n, dtype=np.intp)
+        if self.metric == "cosine":
+            norms = np.maximum(self._norms[:n], 1e-12).astype(np.float32)
+            vecs /= norms[:, None]
+            centroids_t = vecs[cids].T
+            for lo in range(0, n, _ROUTER_ASSIGN_CHUNK):
+                hi = min(n, lo + _ROUTER_ASSIGN_CHUNK)
+                assign[lo:hi] = np.argmax(vecs[lo:hi] @ centroids_t, axis=1)
+        else:
+            sq = np.einsum("ij,ij->i", vecs, vecs)
+            centroids_t = vecs[cids].T
+            centroid_sq = sq[cids]
+            for lo in range(0, n, _ROUTER_ASSIGN_CHUNK):
+                hi = min(n, lo + _ROUTER_ASSIGN_CHUNK)
+                block = centroid_sq[None, :] - 2.0 * (vecs[lo:hi] @ centroids_t)
+                assign[lo:hi] = np.argmin(block, axis=1)
+        order = np.argsort(assign, kind="stable").astype(np.intp)
+        counts = np.bincount(assign, minlength=cids.shape[0])
+        self._router_centroid_ids = cids
+        self._router_bucket_ids = order
+        self._router_offsets = np.concatenate(([0], np.cumsum(counts))).astype(np.intp)
+        self._router_rows = np.ascontiguousarray(vecs[order])
+        self._router_centroid_rows = np.ascontiguousarray(vecs[cids])
+        if self.metric == "l2":
+            self._router_bias = sq[order].astype(np.float32)
+            self._router_centroid_bias = centroid_sq.astype(np.float32)
+        else:
+            self._router_bias = np.zeros(0, dtype=np.float32)
+            self._router_centroid_bias = np.zeros(0, dtype=np.float32)
+        self._router_version = n
+
+    def _routed_scan_raw(
+        self, query: np.ndarray, qnorm: float, k: int, n_probes: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Single-query view over :meth:`_routed_scan_batch` (same path)."""
+        ids, dists = self._routed_scan_batch(query[np.newaxis, :], k, n_probes)
+        valid = ids[0] >= 0
+        return ids[0][valid], dists[0][valid]
+
+    def _routed_scan_batch(
+        self, matrix: np.ndarray, k: int, n_probes: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Approximate top-k via the coarse router: probe, score, re-rank.
+
+        Returns ``(node_ids, distances)`` blocks of shape ``(n_queries,
+        k)``, padded with ``-1`` / ``+inf``.  Three stages:
+
+        1. Every query ranks the ~sqrt(n) centroids with one *per-query*
+           float32 GEMV over the contiguous centroid matrix and keeps the
+           ``n_probes`` nearest — bucket choice is therefore bit-identical
+           between the scalar and batched public paths by construction (a
+           GEMM over the whole batch would not be: this BLAS is not
+           row-consistent across batch shapes).
+        2. Queries are grouped *by probed bucket* and each bucket's rows
+           are scored against all its queries with one dense float32 GEMM
+           over the router's contiguous row copy.  This is what makes the
+           routed scan win on one core: each candidate row is read once
+           per *batch* instead of once per *query*.
+        3. Per query, the leading ``k + 32`` pool by float32 score is
+           re-ranked with the exact float64 kernel under the shared
+           ``(distance, node id)`` contract — returned distances are
+           always exact, and only *coverage* is approximate.  The float32
+           scores never decide the final order, so the last-ulp GEMM wobble
+           between batch shapes cannot change the answer unless ~32
+           candidates crowd within ~1e-6 of the pool boundary; an exact
+           float32 tie straddling the boundary falls back to re-ranking
+           every candidate, so mass duplicates keep the deterministic
+           contract.
+
+        ``n_probes >= n_centroids`` (and a query whose probed buckets are
+        all empty) degenerates to the exhaustive scan.
+        """
+        nq = matrix.shape[0]
+        out_ids = np.full((nq, k), -1, dtype=np.intp)
+        out_dists = np.full((nq, k), np.inf, dtype=np.float64)
+        n = self._count
+        if n == 0 or nq == 0:
+            return out_ids, out_dists
+        qnorms = [self._query_norm(row) for row in matrix]
+
+        def fill_row(i: int, ids: np.ndarray, dists: np.ndarray) -> None:
+            out_ids[i, : ids.shape[0]] = ids
+            out_dists[i, : dists.shape[0]] = dists
+
+        self._ensure_router()
+        cids = self._router_centroid_ids
+        c = cids.shape[0]
+        p = min(max(1, n_probes), c)
+        if p >= c:
+            for i in range(nq):
+                fill_row(i, *self._scan_raw(matrix[i], qnorms[i], k))
+            return out_ids, out_dists
+
+        offsets = self._router_offsets
+        bucket_len = offsets[1:] - offsets[:-1]
+        q32 = matrix.astype(np.float32)
+        cmat_t = self._router_centroid_rows.T
+        probes = np.empty((nq, p), dtype=np.intp)
+        for i in range(nq):
+            if self.metric == "l2":
+                centroid_scores = self._router_centroid_bias - np.float32(
+                    2.0
+                ) * (q32[i] @ cmat_t)
+            else:
+                centroid_scores = -(q32[i] @ cmat_t)
+            probes[i] = np.sort(np.argpartition(centroid_scores, p - 1)[:p])
+
+        # Flat per-query candidate segments, pieces laid out in sorted
+        # bucket order; (query, bucket) pairs grouped by bucket for GEMM.
+        pair_q = np.repeat(np.arange(nq, dtype=np.intp), p)
+        pair_b = probes.reshape(-1)
+        pair_len = bucket_len[pair_b].reshape(nq, p)
+        seg_len = pair_len.sum(axis=1)
+        seg_start = np.concatenate(([0], np.cumsum(seg_len)))
+        within = np.zeros_like(pair_len)
+        within[:, 1:] = np.cumsum(pair_len[:, :-1], axis=1)
+        pair_pos = (seg_start[:-1, np.newaxis] + within).reshape(-1)
+        total = int(seg_start[-1])
+        flat_scores = np.empty(total, dtype=np.float32)
+
+        rows = self._router_rows
+        by_bucket = np.argsort(pair_b, kind="stable")
+        b_sorted = pair_b[by_bucket]
+        group_edges = np.concatenate(
+            ([0], np.nonzero(np.diff(b_sorted))[0] + 1, [b_sorted.size])
+        )
+        for g in range(group_edges.size - 1):
+            glo, ghi = group_edges[g], group_edges[g + 1]
+            b = int(b_sorted[glo])
+            lo, hi = int(offsets[b]), int(offsets[b + 1])
+            if hi == lo:
+                continue
+            pairs = by_bucket[glo:ghi]
+            block = q32[pair_q[pairs]] @ rows[lo:hi].T
+            if self.metric == "l2":
+                # |r - q|^2 minus the constant |q|^2: same ranking.
+                scores = self._router_bias[lo:hi][np.newaxis, :] - np.float32(
+                    2.0
+                ) * block
+            else:
+                # Rows are unit-normalised; -dot ranks identically to
+                # cosine distance for any query scale.
+                scores = -block
+            dest = pair_pos[pairs][:, np.newaxis] + np.arange(hi - lo)
+            flat_scores[dest] = scores
+
+        def segment_ids(i: int, positions: np.ndarray) -> np.ndarray:
+            # Map within-segment positions back to node ids through the
+            # per-query piece layout (cheaper than scattering an id copy
+            # alongside every score).
+            piece = np.searchsorted(within[i], positions, side="right") - 1
+            starts = offsets[probes[i][piece]]
+            return self._router_bucket_ids[starts + (positions - within[i][piece])]
+
+        width = k + 32
+        for i in range(nq):
+            s0, s1 = int(seg_start[i]), int(seg_start[i + 1])
+            if s0 == s1:
+                fill_row(i, *self._scan_raw(matrix[i], qnorms[i], k))
+                continue
+            scores = flat_scores[s0:s1]
+            pool = None
+            if scores.shape[0] > width:
+                part = np.argpartition(scores, width - 1)[:width]
+                threshold = scores[part].max()
+                if int(np.count_nonzero(scores <= threshold)) <= width:
+                    pool = segment_ids(i, part)
+            if pool is None:
+                pool = segment_ids(i, np.arange(s1 - s0))
+            dists = self._distances_to(matrix[i], pool, qnorms[i])
+            order = np.lexsort((pool, dists))[:k]
+            fill_row(i, pool[order], dists[order])
+        return out_ids, out_dists
+
+    def _search_one(
+        self, query: np.ndarray, qnorm: float, k: int, ef: int | None
+    ) -> list[tuple[int, float]]:
+        """Tuple view over :meth:`_search_one_raw`."""
+        ids, dists = self._search_one_raw(query, qnorm, k, ef)
+        return list(zip(self._key_arr[ids].tolist(), dists.tolist()))
 
     def search(
         self, query: np.ndarray, k: int, ef: int | None = None
@@ -449,6 +806,41 @@ class HnswIndex:
         return [
             self._search_one(row, self._query_norm(row), k, ef) for row in matrix
         ]
+
+    def search_batch_arrays(
+        self, queries: np.ndarray, k: int, ef: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Array-native batch search: ``(keys, dists)`` of shape ``(n, k)``.
+
+        Row ``i`` holds the same hits, in the same order, as
+        ``search_batch(queries, k, ef)[i]``; when fewer than ``k`` elements
+        exist the row tail is padded with key ``-1`` and distance ``+inf``
+        (a pad entry always has both).  No Python tuples are materialised,
+        which is what the sharded hot loop rides.
+        """
+        if k < 1:
+            raise IndexError_(f"k must be >= 1, got {k}")
+        matrix = np.asarray(queries, dtype=np.float64)
+        if matrix.size == 0 and matrix.ndim <= 2:
+            return (
+                np.full((0, k), -1, dtype=np.int64),
+                np.full((0, k), np.inf, dtype=np.float64),
+            )
+        matrix = np.atleast_2d(matrix)
+        if matrix.ndim != 2:
+            raise IndexError_(f"queries must be 2-D, got shape {matrix.shape}")
+        if matrix.shape[1] != self.dim:
+            raise IndexError_(f"expected dim {self.dim}, got {matrix.shape[1]}")
+        n_queries = matrix.shape[0]
+        keys = np.full((n_queries, k), -1, dtype=np.int64)
+        dists = np.full((n_queries, k), np.inf, dtype=np.float64)
+        if self._entry is None:
+            return keys, dists
+        for i, row in enumerate(matrix):
+            ids, row_dists = self._search_one_raw(row, self._query_norm(row), k, ef)
+            keys[i, : ids.shape[0]] = self._key_arr[ids]
+            dists[i, : row_dists.shape[0]] = row_dists
+        return keys, dists
 
     def knn_graph(self, k: int, ef: int | None = None) -> dict[int, list[tuple[int, float]]]:
         """k-NN lists for every indexed element (self-match excluded).

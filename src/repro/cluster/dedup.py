@@ -66,11 +66,17 @@ def _knn_graph_sharded(
         dim=matrix.shape[1], n_shards=n_shards, ef_search=ef_search, seed=seed
     )
     index.add_batch(matrix)
-    hits = index.search_batch(matrix, k_neighbors + 1, ef=ef_search)
-    return {
-        i: [(other, dist) for other, dist in hits[i] if other != i][:k_neighbors]
-        for i in range(matrix.shape[0])
-    }
+    keys, dists = index.search_batch_arrays(matrix, k_neighbors + 1, ef=ef_search)
+    graph: dict[int, list[tuple[int, float]]] = {}
+    for i in range(matrix.shape[0]):
+        row_keys, row_dists = keys[i], dists[i]
+        valid = ~((row_keys == -1) & np.isinf(row_dists))
+        graph[i] = [
+            (other, dist)
+            for other, dist in zip(row_keys[valid].tolist(), row_dists[valid].tolist())
+            if other != i
+        ][:k_neighbors]
+    return graph
 
 
 def deduplicate(

@@ -1,0 +1,205 @@
+"""Parity suite for the array-native search surface.
+
+``search_batch_arrays`` is the hot-loop API; these tests pin it against
+the tuple API and the scalar ``search`` loop — same hits, same order,
+bit-identical distances — across the edge shapes the sharded fan-out has
+to survive (empty shards, ``k`` larger than the corpus, exact distance
+ties, one-shard delegation).
+"""
+
+import numpy as np
+import pytest
+
+from repro.ann.hnsw import HnswIndex
+from repro.ann.sharded import ShardedHnswIndex
+
+
+def _data(n, dim, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(n, dim))
+
+
+def _strip_pads(row_keys, row_dists):
+    valid = ~((row_keys == -1) & np.isinf(row_dists))
+    return list(zip(row_keys[valid].tolist(), row_dists[valid].tolist()))
+
+
+class TestMonolithicArrays:
+    @pytest.mark.parametrize("metric", ["cosine", "l2"])
+    def test_arrays_match_tuple_api_and_scalar_loop(self, metric):
+        index = HnswIndex(dim=16, metric=metric, seed=3)
+        index.add_batch(_data(120, 16), range(120))
+        queries = _data(20, 16, seed=4)
+        keys, dists = index.search_batch_arrays(queries, 7)
+        as_tuples = index.search_batch(queries, 7)
+        scalar = [index.search(q, 7) for q in queries]
+        assert as_tuples == scalar
+        for i in range(len(queries)):
+            assert _strip_pads(keys[i], dists[i]) == as_tuples[i]
+
+    def test_array_shapes_and_dtypes(self):
+        index = HnswIndex(dim=8, seed=0)
+        index.add_batch(_data(30, 8), range(30))
+        keys, dists = index.search_batch_arrays(_data(5, 8, seed=1), 4)
+        assert keys.shape == (5, 4) and dists.shape == (5, 4)
+        assert keys.dtype == np.int64 and dists.dtype == np.float64
+
+    def test_k_larger_than_corpus_pads_tail(self):
+        index = HnswIndex(dim=8, seed=0)
+        index.add_batch(_data(3, 8), [10, 11, 12])
+        keys, dists = index.search_batch_arrays(_data(2, 8, seed=1), 6)
+        assert sorted(keys[0, :3].tolist()) == [10, 11, 12]
+        assert np.all(keys[:, 3:] == -1)
+        assert np.all(np.isinf(dists[:, 3:]))
+        assert np.all(np.isfinite(dists[:, :3]))
+
+    def test_empty_index_and_empty_batch(self):
+        index = HnswIndex(dim=8)
+        keys, dists = index.search_batch_arrays(_data(4, 8), 3)
+        assert keys.shape == (4, 3) and np.all(keys == -1)
+        assert np.all(np.isinf(dists))
+        keys, dists = index.search_batch_arrays(np.zeros((0, 8)), 3)
+        assert keys.shape == (0, 3) and dists.shape == (0, 3)
+
+
+class TestShardedArrays:
+    @pytest.mark.parametrize("n_shards", [1, 2, 4])
+    def test_arrays_match_tuple_api_and_scalar_loop(self, n_shards):
+        index = ShardedHnswIndex(dim=12, n_shards=n_shards, seed=5)
+        index.add_batch(_data(90, 12), range(90))
+        queries = _data(15, 12, seed=6)
+        keys, dists = index.search_batch_arrays(queries, 6)
+        as_tuples = index.search_batch(queries, 6)
+        assert as_tuples == [index.search(q, 6) for q in queries]
+        for i in range(len(queries)):
+            assert _strip_pads(keys[i], dists[i]) == as_tuples[i]
+
+    def test_single_shard_arrays_identical_to_monolithic(self):
+        points, queries = _data(80, 10), _data(12, 10, seed=7)
+        mono = HnswIndex(dim=10, seed=9)
+        mono.add_batch(points, range(80))
+        sharded = ShardedHnswIndex(dim=10, n_shards=1, seed=9)
+        sharded.add_batch(points, range(80))
+        mono_keys, mono_dists = mono.search_batch_arrays(queries, 5)
+        shard_keys, shard_dists = sharded.search_batch_arrays(queries, 5)
+        assert np.array_equal(mono_keys, shard_keys)
+        assert np.array_equal(mono_dists, shard_dists)
+
+    def test_empty_shards_contribute_nothing(self):
+        index = ShardedHnswIndex(dim=8, n_shards=4, seed=0)
+        index.add_batch(_data(3, 8), range(3))  # shard 3 stays empty
+        keys, dists = index.search_batch_arrays(_data(4, 8, seed=1), 5)
+        for i in range(4):
+            hits = _strip_pads(keys[i], dists[i])
+            assert sorted(key for key, _ in hits) == [0, 1, 2]
+        assert np.all(keys[:, 3:] == -1)
+
+    def test_duplicate_distance_tie_breaking(self):
+        """Exact ties order by (distance, shard index, within-shard rank).
+
+        Eight copies of one point land round-robin on four shards; with the
+        query equal to the point every L2 distance is exactly 0.0, so the
+        merge order is decided purely by the declared tie-break.
+        """
+        point = np.array([1.0, -2.0, 0.5, 3.0])
+        points = np.tile(point, (8, 1))
+        sharded = ShardedHnswIndex(dim=4, n_shards=4, metric="l2", seed=0)
+        sharded.add_batch(points, range(8))
+        hits = sharded.search(point, 8)
+        assert [key for key, _ in hits] == [0, 4, 1, 5, 2, 6, 3, 7]
+        assert all(d == 0.0 for _, d in hits)
+        # The monolithic index breaks the same ties by insertion order.
+        mono = HnswIndex(dim=4, metric="l2", seed=0)
+        mono.add_batch(points, range(8))
+        assert [key for key, _ in mono.search(point, 8)] == list(range(8))
+
+    def test_scan_and_beam_shards_agree_with_bruteforce_order(self):
+        """Forcing the beam path keeps the contract."""
+        points, queries = _data(96, 12), _data(10, 12, seed=2)
+        scan = ShardedHnswIndex(dim=12, n_shards=4, seed=1)
+        beam = ShardedHnswIndex(
+            dim=12, n_shards=4, seed=1, scan_threshold=0, large_shard_search="beam"
+        )
+        scan.add_batch(points, range(96))
+        beam.add_batch(points, range(96))
+        for q in queries:
+            scan_hits = scan.search(q, 5, ef=128)
+            beam_hits = beam.search(q, 5, ef=128)
+            assert {k for k, _ in scan_hits} == {k for k, _ in beam_hits}
+
+
+class TestRoutedShards:
+    """The routed-scan path for shards above ``scan_threshold``."""
+
+    def _routed(self, n=1200, dim=16, metric="cosine", probes=None, seed=5):
+        index = ShardedHnswIndex(
+            dim=dim,
+            n_shards=4,
+            m=8,
+            ef_construction=32,
+            metric=metric,
+            seed=seed,
+            scan_threshold=16,
+            route_probes=probes,
+        )
+        points = _data(n, dim, seed=seed)
+        index.add_batch(points, range(n))
+        return index, points
+
+    @pytest.mark.parametrize("metric", ["cosine", "l2"])
+    def test_batch_matches_scalar_and_arrays(self, metric):
+        index, _ = self._routed(metric=metric)
+        queries = _data(12, 16, seed=6)
+        scalar = [index.search(q, 5) for q in queries]
+        batch = index.search_batch(queries, 5)
+        keys, dists = index.search_batch_arrays(queries, 5)
+        assert batch == scalar
+        for i in range(len(queries)):
+            assert _strip_pads(keys[i], dists[i]) == batch[i]
+
+    def test_recall_against_exact_scan(self):
+        index, points = self._routed()
+        exact = ShardedHnswIndex(dim=16, n_shards=4, seed=5, scan_threshold=10**9)
+        exact.add_batch(points, range(len(points)))
+        queries = _data(40, 16, seed=7)
+        routed_hits = index.search_batch(queries, 10)
+        exact_hits = exact.search_batch(queries, 10)
+        recall = np.mean(
+            [
+                len({k for k, _ in r} & {k for k, _ in e}) / 10
+                for r, e in zip(routed_hits, exact_hits)
+            ]
+        )
+        assert recall >= 0.9
+        # Returned distances are always exact, even on the routed path.
+        for qi, q in enumerate(queries):
+            for key, dist in routed_hits[qi]:
+                v = points[key]
+                expect = 1.0 - float(v @ q) / (
+                    float(np.linalg.norm(v)) * float(np.linalg.norm(q))
+                )
+                assert abs(dist - expect) < 1e-9
+
+    def test_probing_everything_equals_exact_scan(self):
+        index, points = self._routed(probes=10**6)
+        exact = ShardedHnswIndex(dim=16, n_shards=4, seed=5, scan_threshold=10**9)
+        exact.add_batch(points, range(len(points)))
+        queries = _data(10, 16, seed=8)
+        assert index.search_batch(queries, 6) == exact.search_batch(queries, 6)
+
+    def test_deterministic_across_instances(self):
+        a, _ = self._routed()
+        b, _ = self._routed()
+        queries = _data(8, 16, seed=9)
+        assert a.search_batch(queries, 5) == b.search_batch(queries, 5)
+
+    def test_router_invalidated_by_inserts(self):
+        index, points = self._routed()
+        query = _data(1, 16, seed=11)[0]
+        before = index.search(query, 3)
+        # Insert the query itself; the rebuilt router must surface it.
+        index.add(query, key=999_999)
+        after = index.search(query, 3)
+        assert after[0][0] == 999_999
+        assert after[0][1] < 1e-9
+        assert before[0][0] != 999_999

@@ -63,6 +63,86 @@ class TestConstruction:
         assert len(index) == 0
 
 
+def _snapshot(index):
+    """Byte-level state fingerprint of a sharded index."""
+    return (
+        len(index),
+        set(index._keys_seen),
+        [len(s) for s in index._shards],
+        [s.vectors.tobytes() for s in index._shards],
+        [list(s._keys) for s in index._shards],
+        [set(s._keys_seen) for s in index._shards],
+    )
+
+
+class TestRejectedBatchAtomicity:
+    """A rejected add_batch must leave the index byte-identical."""
+
+    @pytest.fixture()
+    def index(self):
+        idx = ShardedHnswIndex(dim=8, n_shards=3, seed=0)
+        idx.add_batch(_data(10, 8), range(10))
+        return idx
+
+    def test_key_clashing_with_index_rejected_upfront(self, index):
+        before = _snapshot(index)
+        with pytest.raises(IndexError_):
+            index.add_batch(_data(4, 8, seed=1), [100, 101, 5, 102])  # 5 exists
+        assert _snapshot(index) == before
+        index.add_batch(_data(2, 8, seed=2), [100, 101])  # clean retry works
+        assert len(index) == 12
+
+    def test_duplicate_key_within_batch_rejected_upfront(self, index):
+        before = _snapshot(index)
+        with pytest.raises(IndexError_):
+            index.add_batch(_data(3, 8, seed=1), [100, 101, 100])
+        assert _snapshot(index) == before
+
+    def test_monolithic_add_batch_is_atomic_too(self):
+        mono = HnswIndex(dim=8, seed=0)
+        mono.add_batch(_data(5, 8), range(5))
+        before = (len(mono), mono.vectors.tobytes(), set(mono._keys_seen))
+        with pytest.raises(IndexError_):
+            mono.add_batch(_data(3, 8, seed=1), [10, 3, 11])  # 3 exists
+        with pytest.raises(IndexError_):
+            mono.add_batch(_data(3, 8, seed=1), [10, 10, 11])  # intra-batch dup
+        assert (len(mono), mono.vectors.tobytes(), set(mono._keys_seen)) == before
+
+
+class TestExecutorLifecycle:
+    def test_pool_is_lazy_and_reused(self):
+        index = ShardedHnswIndex(dim=8, n_shards=3, seed=0)
+        assert index._pool is None
+        index.add_batch(_data(12, 8), range(12))
+        pool = index._pool
+        assert pool is not None
+        index.search_batch(_data(4, 8, seed=1), 3)
+        assert index._pool is pool  # reused, not respawned per call
+
+    def test_close_is_idempotent_and_pool_recreated_on_demand(self):
+        index = ShardedHnswIndex(dim=8, n_shards=3, seed=0)
+        index.add_batch(_data(12, 8), range(12))
+        index.close()
+        assert index._pool is None
+        index.close()  # second close is a no-op
+        hits = index.search_batch(_data(3, 8, seed=1), 3)
+        assert len(hits) == 3  # lazily recreated
+        assert index._pool is not None
+
+    def test_context_manager_closes_pool(self):
+        with ShardedHnswIndex(dim=8, n_shards=2, seed=0) as index:
+            index.add_batch(_data(8, 8), range(8))
+            assert index._pool is not None
+        assert index._pool is None
+
+    def test_serial_paths_never_spawn_a_pool(self):
+        index = ShardedHnswIndex(dim=8, n_shards=3, seed=0)
+        index.add_batch(_data(12, 8), range(12), parallel=False)
+        index.search(_data(1, 8, seed=1)[0], 3)
+        index.search_batch(_data(4, 8, seed=2), 3, parallel=False)
+        assert index._pool is None
+
+
 class TestSearchParity:
     """The batched/parallel path is bit-identical to its scalar loop."""
 
@@ -141,3 +221,38 @@ class TestEdgeShapes:
         index.add_batch(_data(5, 8), range(5))
         hits = index.search(_data(1, 8, seed=3)[0], 20)
         assert len(hits) == 5
+
+
+class TestObservability:
+    """The ann.search span/counter/histogram record under a live registry."""
+
+    def _live_index(self, quantization="none"):
+        from repro.obs import Observability
+
+        obs = Observability.enabled()
+        index = ShardedHnswIndex(
+            dim=8, n_shards=2, seed=0, obs=obs, quantization=quantization
+        )
+        index.add_batch(_data(12, 8), range(12))
+        return index, obs
+
+    def test_scalar_search_records_histogram(self):
+        index, obs = self._live_index()
+        index.search(_data(1, 8, seed=1)[0], 3)
+        hist = obs.metrics.histogram("pas_ann_search_ticks", buckets=())
+        assert hist.count(mode="scalar", quantized="false") == 1
+        assert obs.metrics.counter("pas_ann_searches_total").value(mode="scalar") == 1
+
+    def test_batch_search_records_once_per_call(self):
+        index, obs = self._live_index(quantization="int8")
+        index.search_batch(_data(5, 8, seed=1), 3)
+        index.search_batch_arrays(_data(5, 8, seed=2), 3)
+        hist = obs.metrics.histogram("pas_ann_search_ticks", buckets=())
+        assert hist.count(mode="batch", quantized="true") == 2
+        assert hist.count(mode="scalar", quantized="true") == 0
+
+    def test_null_obs_records_nothing(self):
+        index = ShardedHnswIndex(dim=8, n_shards=2, seed=0)
+        index.add_batch(_data(12, 8), range(12))
+        index.search(_data(1, 8, seed=1)[0], 3)
+        assert not index.obs.metrics.enabled
