@@ -11,6 +11,12 @@ rework of the sharded fan-out, ``sharded_index.search.speedup`` is such a
 key: sharded search must beat the monolithic index even on one core, at
 both the quick tier and the 100k tier.
 
+Latency-percentile keys (``*_p50`` / ``*_p99``) are *trend* keys: the
+gate prints them so CI logs carry a tail-latency trajectory PR over PR,
+but never fails on them — a p99 is a property of the traffic shape and
+the latency model, not a win/loss ratio, so thresholding it would turn
+every traffic retune into a false regression.
+
 This module also owns the bench writers' merge helper
 (:func:`merge_write`): every bench module read-modify-writes the same
 ``BENCH_serving.json`` with a *deep* merge, so sibling modules — and
@@ -37,7 +43,14 @@ THRESHOLD = 1.0
 #: Ratio ceiling for ``*_overhead`` keys (instrumented-off vs baseline).
 OVERHEAD_THRESHOLD = 1.05
 
-__all__ = ["collect_overheads", "collect_speedups", "deep_merge", "main", "merge_write"]
+__all__ = [
+    "collect_overheads",
+    "collect_speedups",
+    "collect_trends",
+    "deep_merge",
+    "main",
+    "merge_write",
+]
 
 
 def deep_merge(base: dict, update: dict) -> dict:
@@ -92,6 +105,13 @@ def collect_overheads(node: object, prefix: str = "") -> list[tuple[str, float]]
     )
 
 
+def collect_trends(node: object, prefix: str = "") -> list[tuple[str, float]]:
+    """All latency-percentile keys — reported, never gated."""
+    return _collect(
+        node, lambda key: key.endswith("_p50") or key.endswith("_p99"), prefix
+    )
+
+
 def main(argv: list[str]) -> int:
     if len(argv) != 1:
         print("usage: check_bench_regression.py <bench.json>", file=sys.stderr)
@@ -131,6 +151,11 @@ def main(argv: list[str]) -> int:
             file=sys.stderr,
         )
         failed = True
+    trends = collect_trends(payload)
+    if trends:
+        print(f"  trend (not gated): {len(trends)} latency percentile(s)")
+        for key, value in sorted(trends):
+            print(f"  trnd  {key} = {value:.3f}")
     if failed:
         return 1
     summary = f"all {len(speedups)} speedups >= {THRESHOLD}"

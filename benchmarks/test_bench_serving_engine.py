@@ -1,0 +1,299 @@
+"""Continuous-serving bench: overlapped completions vs the compat path.
+
+``test_bench_throughput.py`` measures the *batched* serving path — how
+fast ``ask_batch`` and the micro-batcher chew through a trace when every
+completion is free.  This module measures the thing the event-loop engine
+was built for: completions that *cost ticks*.  Under the simulated
+latency model every in-flight request holds a slot for a deterministic
+number of logical ticks, so the compat path (``max_inflight=1``) stalls
+on every completion while the overlapped engine keeps ``max_inflight``
+of them in the air.
+
+The headline number is ``serving_engine.speedup``: compat makespan over
+overlapped makespan on the *same* traffic trace, in logical ticks.  Both
+runs are seed-pure, so the ratio is deterministic — no timer noise — and
+``check_bench_regression.py`` gates it at >= 1.0 like every other
+``speedup`` key (the quick tier asserts >= 2x locally, and measures
+~7x at ``max_inflight=8``).
+
+Latency percentiles (``latency_p50`` / ``latency_p99``,
+``queue_wait_p50`` / ``queue_wait_p99``) are recorded as *trend* keys:
+the regression gate prints them but never fails on them, because a p99
+is a property of the traffic shape, not a win/loss ratio.
+
+The million-request tier (``PAS_BENCH_SCALE=large``) runs a synthetic
+day — diurnal arrivals, two tenant classes, admission control and
+deadline shedding — with ``keep_responses=False``, and reports sustained
+wall-clock requests/sec plus an informational ``overlap_ratio`` (total
+completion ticks over makespan: how much serialized stall the engine
+actually hid).  Quick tier::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_serving_engine.py -q
+
+Results deep-merge into ``BENCH_serving.json`` under ``serving_engine``
+(and ``serving_engine_1m`` + ``scale.large`` for the big tier).
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from check_bench_regression import merge_write
+from repro import build_default_dataset
+from repro.core.pas import PasModel
+from repro.serve.engine import EngineConfig, ServingEngine
+from repro.serve.gateway import GatewayConfig, PasGateway
+from repro.serve.traffic import TenantProfile, TrafficConfig, TrafficGenerator
+from repro.world.prompts import PromptFactory
+
+# Quick tier: enough traffic that the event heap and batcher see every
+# trigger, small enough for CI smoke.
+N_REQUESTS = 300
+N_UNIQUE_PROMPTS = 32
+MAX_INFLIGHT = 8
+
+# Large tier: the million-request synthetic day.
+N_REQUESTS_LARGE = 1_000_000
+N_UNIQUE_PROMPTS_LARGE = 512
+MEAN_GAP_LARGE = 2.0
+MAX_QUEUE_LARGE = 4096
+
+RESULTS: dict[str, object] = {}
+
+_LARGE_ONLY = pytest.mark.skipif(
+    os.environ.get("PAS_BENCH_SCALE", "").lower() != "large",
+    reason="million-request tier only runs with PAS_BENCH_SCALE=large",
+)
+
+
+# --------------------------------------------------------------------- #
+# shared fixtures
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def trained_pas():
+    dataset = build_default_dataset(n_prompts=150, seed=3, curate=True)
+    return PasModel(base_model="qwen2-7b-chat", seed=3).train(dataset)
+
+
+def _prompt_pool(n: int, seed: int) -> list[str]:
+    factory = PromptFactory(rng=np.random.default_rng(seed))
+    return [factory.make_prompt().text for _ in range(n)]
+
+
+def _gateway(pas: PasModel, **overrides) -> PasGateway:
+    return PasGateway(pas=pas, config=GatewayConfig(seed=5, **overrides))
+
+
+@pytest.fixture(scope="module")
+def quick_trace():
+    """A poisson trace over a Zipf-skewed pool — the cache-friendly shape."""
+    config = TrafficConfig(
+        n_requests=N_REQUESTS, seed=11, process="poisson", mean_gap_ticks=1.0
+    )
+    return TrafficGenerator(_prompt_pool(N_UNIQUE_PROMPTS, 2), config).trace()
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_bench_json():
+    """Persist everything RESULTS accumulated once the module finishes."""
+    yield
+    scale: dict[str, object] = {
+        "quick": {
+            "engine_n_requests": N_REQUESTS,
+            "engine_n_unique_prompts": N_UNIQUE_PROMPTS,
+            "engine_max_inflight": MAX_INFLIGHT,
+        },
+    }
+    if "serving_engine_1m" in RESULTS:
+        scale["large"] = {
+            "engine_n_requests": N_REQUESTS_LARGE,
+            "engine_n_unique_prompts": N_UNIQUE_PROMPTS_LARGE,
+            "engine_mean_gap_ticks": MEAN_GAP_LARGE,
+            "engine_max_queue": MAX_QUEUE_LARGE,
+        }
+    payload = {
+        "scale": scale,
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        **RESULTS,
+    }
+    merge_write(Path(__file__).resolve().parents[1] / "BENCH_serving.json", payload)
+
+
+# --------------------------------------------------------------------- #
+# quick tier
+# --------------------------------------------------------------------- #
+
+
+def test_overlap_speedup(trained_pas, quick_trace):
+    """The gated number: overlapped makespan beats compat on the same trace."""
+    compat = ServingEngine(
+        _gateway(trained_pas), EngineConfig(max_inflight=1)
+    ).run(quick_trace)
+    start = time.perf_counter()
+    overlapped = ServingEngine(
+        _gateway(trained_pas), EngineConfig(max_inflight=MAX_INFLIGHT)
+    ).run(quick_trace)
+    wall_s = time.perf_counter() - start
+
+    ratio = compat.stats.makespan_ticks / overlapped.stats.makespan_ticks
+    RESULTS["serving_engine"] = {
+        "speedup": ratio,
+        "max_inflight": MAX_INFLIGHT,
+        "compat_makespan_ticks": compat.stats.makespan_ticks,
+        "makespan_ticks": overlapped.stats.makespan_ticks,
+        "served_per_ktick": overlapped.stats.served_per_ktick,
+        "latency_p50": overlapped.stats.latency_p50,
+        "latency_p99": overlapped.stats.latency_p99,
+        "queue_wait_p50": overlapped.stats.queue_wait_p50,
+        "queue_wait_p99": overlapped.stats.queue_wait_p99,
+        "peak_inflight": overlapped.stats.peak_inflight,
+        "occupancy": overlapped.stats.occupancy,
+        "shed_rate": overlapped.stats.shed_rate,
+        "wall_requests_per_s": N_REQUESTS / wall_s,
+    }
+    # The ISSUE gate: >= 2x at max_inflight=8 on the quick trace (measured
+    # ~7x; the slack absorbs future latency-model retuning).
+    assert ratio >= 2.0
+    assert overlapped.stats.served == N_REQUESTS
+    assert overlapped.stats.peak_inflight > 1
+    assert compat.stats.peak_inflight == 1
+
+
+def test_bursty_shedding(trained_pas):
+    """Bursty overload with admission + deadlines: p99 stays bounded.
+
+    With no shedding a burst at 8x the base rate pushes queue waits (and
+    so tail latency) toward the burst length; with a deadline budget and
+    a queue bound the engine sheds the overflow instead.  Both p99s are
+    recorded as un-gated trend keys; the bench only asserts the shape —
+    shedding happened, and it kept the tail below the unshed tail.
+    """
+    config = TrafficConfig(
+        n_requests=N_REQUESTS,
+        seed=13,
+        process="bursty",
+        mean_gap_ticks=1.0,
+        burst_factor=8.0,
+        burst_len=48,
+        idle_len=16,
+    )
+    trace = TrafficGenerator(_prompt_pool(N_UNIQUE_PROMPTS, 2), config).trace()
+
+    unshed = ServingEngine(
+        _gateway(trained_pas), EngineConfig(max_inflight=MAX_INFLIGHT)
+    ).run(trace)
+    shed = ServingEngine(
+        _gateway(trained_pas),
+        EngineConfig(
+            max_inflight=MAX_INFLIGHT,
+            max_queue=32,
+            deadline_ticks=64,
+        ),
+    ).run(trace)
+
+    RESULTS["serving_engine_bursty"] = {
+        "unshed_latency_p99": unshed.stats.latency_p99,
+        "unshed_queue_wait_p99": unshed.stats.queue_wait_p99,
+        "shed_latency_p99": shed.stats.latency_p99,
+        "shed_queue_wait_p99": shed.stats.queue_wait_p99,
+        "shed_rate": shed.stats.shed_rate,
+        "shed_by_reason": dict(shed.stats.shed),
+    }
+    assert shed.stats.shed_total > 0
+    assert shed.stats.queue_wait_p99 <= unshed.stats.queue_wait_p99
+    assert shed.stats.arrived == shed.stats.served + shed.stats.failed
+
+
+# --------------------------------------------------------------------- #
+# large tier: the million-request synthetic day
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.slow
+@_LARGE_ONLY
+def test_million_request_day(trained_pas):
+    """A full synthetic day of traffic through the overlapped engine.
+
+    Diurnal arrivals near the engine's saturation point, two tenant
+    classes (interactive traffic carries a deadline and outranks batch),
+    admission control bounding the queue, ``keep_responses=False`` so
+    memory stays flat.  The serialized baseline is free: total busy
+    ticks (slot-holding time summed over every served request) *is* the
+    compat makespan at saturation, so ``overlap_ratio`` (serialized
+    ticks / actual makespan) reports how much stall the engine hid
+    without a second million-request run.
+    """
+    tenants = (
+        TenantProfile(
+            name="interactive",
+            weight=0.7,
+            priority=1,
+            deadline_ticks=256,
+        ),
+        TenantProfile(name="batch", weight=0.3, priority=0),
+    )
+    config = TrafficConfig(
+        n_requests=N_REQUESTS_LARGE,
+        seed=17,
+        process="diurnal",
+        mean_gap_ticks=MEAN_GAP_LARGE,
+        period_ticks=N_REQUESTS_LARGE,  # one full day over the trace
+        amplitude=0.8,
+        tenants=tenants,
+    )
+    build_start = time.perf_counter()
+    trace = TrafficGenerator(
+        _prompt_pool(N_UNIQUE_PROMPTS_LARGE, 4), config
+    ).trace()
+    trace_build_s = time.perf_counter() - build_start
+
+    engine = ServingEngine(
+        _gateway(trained_pas),
+        EngineConfig(
+            max_inflight=MAX_INFLIGHT,
+            max_queue=MAX_QUEUE_LARGE,
+            shed_policy="reject",
+            keep_responses=False,
+        ),
+    )
+    start = time.perf_counter()
+    result = engine.run(trace)
+    wall_s = time.perf_counter() - start
+    stats = result.stats
+
+    serialized_ticks = sum(stats.busy_ticks.values())
+    RESULTS["serving_engine_1m"] = {
+        "n_requests": N_REQUESTS_LARGE,
+        "trace_build_s": trace_build_s,
+        "run_s": wall_s,
+        "wall_requests_per_s": N_REQUESTS_LARGE / wall_s,
+        "served": stats.served,
+        "shed_rate": stats.shed_rate,
+        "shed_by_reason": dict(stats.shed),
+        "makespan_ticks": stats.makespan_ticks,
+        "served_per_ktick": stats.served_per_ktick,
+        "overlap_ratio": serialized_ticks / stats.makespan_ticks,
+        "latency_p50": stats.latency_p50,
+        "latency_p99": stats.latency_p99,
+        "queue_wait_p50": stats.queue_wait_p50,
+        "queue_wait_p99": stats.queue_wait_p99,
+        "peak_inflight": stats.peak_inflight,
+        "occupancy": stats.occupancy,
+    }
+    assert stats.arrived == N_REQUESTS_LARGE
+    assert stats.arrived == stats.served + stats.failed
+    assert result.responses == []
+    # The engine must actually overlap at scale: hiding less than 2x the
+    # serialized stall would mean the event loop degenerated to lockstep.
+    assert serialized_ticks / stats.makespan_ticks >= 2.0

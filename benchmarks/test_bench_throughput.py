@@ -495,7 +495,7 @@ def test_scheduler_throughput(trained_pas, cold_traffic):
     def serve_scheduled():
         gateway = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=1024))
         batcher = MicroBatcher(gateway.ask_batch, max_batch=32, max_wait=8)
-        return batcher.run(requests)
+        return batcher.run_arrivals(enumerate(requests, start=1))
 
     assert serve_scheduled() == serve_scalar()  # partition parity, end to end
 
@@ -508,7 +508,7 @@ def test_scheduler_throughput(trained_pas, cold_traffic):
         PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=1024)).ask_batch,
         max_batch=32, max_wait=8,
     )
-    probe.run(requests)
+    probe.run_arrivals(enumerate(requests, start=1))
     RESULTS["scheduler"] = {
         "max_batch": probe.max_batch,
         "max_wait": probe.max_wait,
@@ -517,14 +517,18 @@ def test_scheduler_throughput(trained_pas, cold_traffic):
         "speedup": speedup(scalar, scheduled),
         "batches": probe.stats.batches,
         "mean_batch_size": probe.stats.mean_batch_size,
-        "mean_occupancy": float(
-            np.mean([record.occupancy for record in probe.records])
-        ),
+        "mean_occupancy": probe.stats.mean_occupancy,
+        "occupancy_p50": probe.stats.occupancy_p50,
+        "occupancy_p99": probe.stats.occupancy_p99,
         "mean_wait_ticks": float(
             np.mean([record.mean_wait_ticks for record in probe.records])
         ),
+        "max_wait_ticks": float(
+            max(record.max_wait_ticks for record in probe.records)
+        ),
         "triggers": probe.stats.triggers,
     }
+    assert RESULTS["scheduler"]["mean_wait_ticks"] <= probe.max_wait
     assert speedup(scalar, scheduled) > 1.0
 
 

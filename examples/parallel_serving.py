@@ -62,8 +62,9 @@ def sharded_index_demo() -> None:
 def micro_batching_demo(gateway: PasGateway, traffic: list[str]) -> None:
     print("=== 2. deterministic micro-batching ===")
     batcher = MicroBatcher(gateway.ask_batch, max_batch=8, max_wait=4)
-    responses = batcher.run(
-        [ServeRequest(prompt=p, model="gpt-4-0613") for p in traffic]
+    responses = batcher.run_arrivals(
+        (i, ServeRequest(prompt=p, model="gpt-4-0613"))
+        for i, p in enumerate(traffic, start=1)
     )
     stats = batcher.stats
     print(f"  {stats.submitted} requests -> {stats.batches} batches "

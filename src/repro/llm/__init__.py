@@ -8,7 +8,7 @@ engine reads prompts, optionally a complementary prompt, and writes a
 response whose quality the oracle can assess.
 """
 
-from repro.llm.api import ChatClient, Usage
+from repro.llm.api import DEFAULT_LATENCY, ChatClient, LatencyModel, Usage
 from repro.llm.engine import SimulatedLLM
 from repro.llm.profiles import PROFILES, CapabilityProfile, get_profile, model_names
 from repro.llm.sft import SftConfig, SftDirectivePredictor
@@ -16,6 +16,8 @@ from repro.llm.types import ChatCompletion, Message
 
 __all__ = [
     "ChatClient",
+    "DEFAULT_LATENCY",
+    "LatencyModel",
     "Usage",
     "SimulatedLLM",
     "PROFILES",

@@ -24,14 +24,64 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.errors import BudgetExceededError, DeadlineExceededError, ReproError
+from repro.errors import BudgetExceededError, ConfigError, DeadlineExceededError, ReproError
 from repro.llm.engine import SimulatedLLM
 from repro.llm.types import ChatCompletion, Message, build_messages
 from repro.obs import NULL_OBS, Observability
 from repro.resilience import FaultPlan, RetryPolicy
 from repro.text.tokenizer import Tokenizer
 
-__all__ = ["Usage", "TransientApiError", "ChatClient"]
+__all__ = ["Usage", "TransientApiError", "LatencyModel", "DEFAULT_LATENCY", "ChatClient"]
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Deterministic simulated service latency for one completion.
+
+    Real API completions take time — roughly an affine function of the
+    work (tokens in/out) stretched by load jitter.  This model reproduces
+    that shape on the repo's logical clock so the serving engine can
+    overlap completions in flight: each request costs
+
+    ``(base_ticks + per_token_ticks * n_tokens) * (1 + jitter * u)``
+
+    rounded to an integer >= 1, where ``u`` is one U[0, 1) draw from the
+    engine's per-call RNG keyed on ``(model, seed, "latency", prompt,
+    supplement)``.  Latency is therefore a pure function of the request —
+    never of arrival order or wall time — which is what keeps the event
+    loop's schedules byte-reproducible.
+    """
+
+    base_ticks: float = 6.0
+    per_token_ticks: float = 0.25
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.base_ticks < 0 or self.per_token_ticks < 0:
+            raise ConfigError(
+                "latency components must be >= 0, got "
+                f"base_ticks={self.base_ticks}, per_token_ticks={self.per_token_ticks}"
+            )
+        if self.jitter < 0:
+            raise ConfigError(f"jitter must be >= 0, got {self.jitter}")
+
+    def ticks(
+        self,
+        engine: SimulatedLLM,
+        prompt: str,
+        supplement: str | None,
+        n_tokens: int,
+    ) -> int:
+        """Simulated service ticks for one completion (always >= 1)."""
+        raw = self.base_ticks + self.per_token_ticks * n_tokens
+        if self.jitter > 0.0:
+            u = float(engine.call_rng("latency", prompt, supplement or "").random())
+            raw *= 1.0 + self.jitter * u
+        return max(1, int(round(raw)))
+
+
+#: The latency profile assumed when a client has none configured.
+DEFAULT_LATENCY = LatencyModel()
 
 
 class TransientApiError(ReproError):
@@ -84,6 +134,17 @@ class ChatClient:
     clock:
         Optional logical-time supplier for outage-window evaluation;
         defaults to this client's own request counter.
+    latency_model:
+        Optional :class:`LatencyModel` giving each completion a simulated
+        service time on the logical clock (see :meth:`completion_latency`).
+        ``None`` falls back to :data:`DEFAULT_LATENCY`; latency never
+        affects :meth:`complete` itself — it is advisory, consumed by the
+        event-loop serving engine.
+    max_inflight:
+        Advisory concurrency limit for this model, mirroring real API
+        per-key concurrency caps.  The client itself is synchronous; the
+        serving engine reads this as the default number of completions it
+        may hold in flight against this model.
     obs:
         Optional :class:`~repro.obs.Observability` bundle.  When live,
         every :meth:`complete` runs inside a ``complete`` span (one
@@ -99,6 +160,8 @@ class ChatClient:
     fault_plan: FaultPlan | None = None
     retry_policy: RetryPolicy | None = None
     clock: Callable[[], int] | None = None
+    latency_model: LatencyModel | None = None
+    max_inflight: int = 1
     obs: Observability = field(default=NULL_OBS, repr=False)
     usage: Usage = field(default_factory=Usage)
     _tokenizer: Tokenizer = field(default_factory=Tokenizer, repr=False)
@@ -108,6 +171,8 @@ class ChatClient:
             raise ValueError(f"failure_rate must be in [0, 1), got {self.failure_rate}")
         if self.max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {self.max_inflight}")
 
     def _now(self) -> int:
         """Logical time for outage windows (gateway clock or request count)."""
@@ -135,6 +200,43 @@ class ChatClient:
     def _attempt_fails(self, text: str, attempt: int, tick: int) -> bool:
         return self._attempt_cause(text, attempt, tick) is not None
 
+    @staticmethod
+    def _parse(messages: list[Message]) -> tuple[str, str | None]:
+        """Extract ``(prompt, supplement)`` from a message list.
+
+        The last user message is the prompt; system messages join into the
+        complementary supplement — the same convention :meth:`complete`
+        applies, factored out so latency estimation sees identical keys.
+        """
+        if not messages:
+            raise ValueError("messages must be non-empty")
+        user_messages = [m for m in messages if m.role == "user"]
+        if not user_messages:
+            raise ValueError("at least one user message is required")
+        prompt = user_messages[-1].content
+        system_parts = [m.content for m in messages if m.role == "system"]
+        return prompt, (" ".join(system_parts) if system_parts else None)
+
+    def completion_latency(self, messages: list[Message]) -> int:
+        """Simulated service ticks this completion will occupy in flight.
+
+        A pure function of the request: the configured (or default)
+        :class:`LatencyModel` evaluated on this client's engine, plus any
+        deterministic latency spike the fault plan injects for the first
+        attempt.  Never calls the engine's response faculty and never
+        advances usage — safe to evaluate at scheduling time, before (or
+        without) :meth:`complete`.
+        """
+        prompt, supplement = self._parse(messages)
+        n_tokens = self._tokenizer.count(prompt) + (
+            self._tokenizer.count(supplement) if supplement else 0
+        )
+        model = self.latency_model if self.latency_model is not None else DEFAULT_LATENCY
+        ticks = model.ticks(self.engine, prompt, supplement, n_tokens)
+        if self.fault_plan is not None:
+            ticks += self.fault_plan.latency_ticks(prompt + (supplement or ""), 0)
+        return ticks
+
     def complete(self, messages: list[Message]) -> ChatCompletion:
         """Run one chat completion: system+user prompts in, response out.
 
@@ -147,14 +249,7 @@ class ChatClient:
         policy's deadline budget cannot fit another attempt; both carry an
         ``attempts`` attribute with the number of attempts actually made.
         """
-        if not messages:
-            raise ValueError("messages must be non-empty")
-        user_messages = [m for m in messages if m.role == "user"]
-        if not user_messages:
-            raise ValueError("at least one user message is required")
-        prompt = user_messages[-1].content
-        system_parts = [m.content for m in messages if m.role == "system"]
-        supplement = " ".join(system_parts) if system_parts else None
+        prompt, supplement = self._parse(messages)
 
         if self.max_requests is not None and self.usage.requests >= self.max_requests:
             raise BudgetExceededError(

@@ -28,18 +28,30 @@ from repro.llm.types import build_messages
 from repro.obs import NULL_OBS, Observability
 from repro.resilience import CircuitBreaker, FaultPlan, OutageWindow, RetryPolicy
 from repro.serve.cache import LruCache
+from repro.serve.engine import EngineConfig, EngineResult, EngineStats, ServingEngine
 from repro.serve.gateway import (
+    BatchPlan,
     GatewayConfig,
     GatewayStats,
     PasGateway,
     derive_stage_timings,
 )
 from repro.serve.scheduler import BatchRecord, MicroBatcher, SchedulerStats
+from repro.serve.traffic import (
+    TenantProfile,
+    TimedRequest,
+    TrafficConfig,
+    TrafficGenerator,
+)
 from repro.serve.types import ServeRequest, ServeResponse
 
 __all__ = [
+    "BatchPlan",
     "BatchRecord",
     "CircuitBreaker",
+    "EngineConfig",
+    "EngineResult",
+    "EngineStats",
     "FaultPlan",
     "GatewayConfig",
     "GatewayStats",
@@ -53,6 +65,11 @@ __all__ = [
     "SchedulerStats",
     "ServeRequest",
     "ServeResponse",
+    "ServingEngine",
+    "TenantProfile",
+    "TimedRequest",
+    "TrafficConfig",
+    "TrafficGenerator",
     "build_messages",
     "derive_stage_timings",
 ]

@@ -1,0 +1,525 @@
+"""The event-loop serving engine: overlapped completions on the logical clock.
+
+The synchronous gateway serves one completion at a time, so the batch
+bench's makespan is ~89% completion stall.  Real serving overlaps: while
+one completion is in flight, the gateway plans, embeds, and augments for
+*other* requests, and up to ``max_inflight`` completions per model run
+concurrently.  :class:`ServingEngine` reproduces that discipline
+deterministically — every completion is a simulated-latency interval on
+the logical clock (priced by the client's seeded
+:class:`~repro.llm.api.LatencyModel`), and the engine advances through a
+heap of events:
+
+* **arrivals** — a timed trace (see :mod:`repro.serve.traffic`) feeds a
+  continuous :class:`~repro.serve.scheduler.MicroBatcher`, subject to
+  admission control (queue overflow sheds at the door);
+* **completion finishes** — the heap's clockwork; a finish frees an
+  in-flight slot, serves the planned request through the gateway, and
+  triggers another dispatch round;
+* **batch-window expiries** — wake-ups that fire the batcher's wait
+  trigger when no arrival or finish would.
+
+Dispatch drains ready batches as capacity frees: each drained batch is
+deadline-checked (stale requests are shed — rejected or degraded to
+unaugmented, per :attr:`EngineConfig.shed_policy`), planned once with
+:meth:`~repro.serve.gateway.PasGateway.plan_batch`, ordered by priority,
+and its requests start completions as their model's slots allow.
+
+**Compatibility mode**: at ``max_inflight=1`` completions serialize, the
+gateway sees the same request order as the synchronous path, and — by the
+partition-invariance the batch-parity suite pins — the responses are
+bit-identical to ``MicroBatcher(gateway.ask_batch, ...).run_arrivals(trace)``
+on the same trace (with admission control off).  Everything is a pure
+function of seed: same trace + same gateway seed → byte-identical
+responses, traces, events, and metrics.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from repro.errors import ConfigError, UnknownModelError
+from repro.obs import MetricsRegistry, Observability
+from repro.serve.gateway import BatchPlan, PasGateway
+from repro.serve.scheduler import MicroBatcher, _percentile
+from repro.serve.traffic import TimedRequest
+from repro.serve.types import ServeRequest, ServeResponse
+
+__all__ = [
+    "SHED_POLICIES",
+    "EngineConfig",
+    "EngineResult",
+    "EngineStats",
+    "ServingEngine",
+]
+
+#: What happens to a request that outlives its deadline in the queue:
+#: ``reject`` — fail it (``attempts=0``, it never reaches the gateway);
+#: ``degrade`` — strip augmentation and serve the raw prompt instead.
+SHED_POLICIES = ("reject", "degrade")
+
+_LATENCY_BUCKETS = (8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0)
+_QUEUE_WAIT_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+# Heap-event ranks: completions land before expiry wake-ups on a tick
+# (arrivals are merged from the sorted trace between the two).
+_FINISH, _EXPIRE = 0, 2
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Everything configurable about a :class:`ServingEngine`.
+
+    ``max_inflight`` overrides every model's concurrency limit (``None``
+    defers to each client's own, i.e. ``GatewayConfig.max_inflight``).
+    ``max_batch`` / ``max_wait`` parameterize the continuous batcher.
+    ``max_queue`` is the admission bound: arrivals beyond this many
+    queued-but-unstarted requests are shed at the door (``None`` admits
+    everything).  ``deadline_ticks`` is the default queueing budget for
+    requests whose trace entry carries none (``None`` falls back to the
+    gateway retry policy's ``deadline_ticks``; if that is also unset,
+    requests never expire).  ``keep_responses=False`` discards response
+    objects as they complete (stats only) — the million-request bench
+    runs that way.
+    """
+
+    max_inflight: int | None = None
+    max_batch: int = 8
+    max_wait: int = 4
+    max_queue: int | None = None
+    deadline_ticks: int | None = None
+    shed_policy: str = "reject"
+    keep_responses: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ConfigError(
+                f"max_inflight must be >= 1 or None, got {self.max_inflight}"
+            )
+        if self.max_batch < 1:
+            raise ConfigError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait < 1:
+            raise ConfigError(f"max_wait must be >= 1, got {self.max_wait}")
+        if self.max_queue is not None and self.max_queue < 1:
+            raise ConfigError(
+                f"max_queue must be >= 1 or None, got {self.max_queue}"
+            )
+        if self.deadline_ticks is not None and self.deadline_ticks < 1:
+            raise ConfigError(
+                f"deadline_ticks must be >= 1 or None, got {self.deadline_ticks}"
+            )
+        if self.shed_policy not in SHED_POLICIES:
+            raise ConfigError(
+                f"unknown shed_policy {self.shed_policy!r}; "
+                f"expected one of {SHED_POLICIES}"
+            )
+
+
+@dataclass
+class EngineStats:
+    """One run's accounting.  Invariant: ``arrived == served + failed``
+    (shed rejects are ``failed`` responses with ``attempts=0``), and
+    ``shed`` counts rejects by reason (``queue`` / ``deadline``) while
+    ``degraded_on_shed`` counts deadline sheds the ``degrade`` policy
+    turned into unaugmented serves instead."""
+
+    arrived: int = 0
+    served: int = 0
+    failed: int = 0
+    shed: dict[str, int] = field(default_factory=dict)
+    degraded_on_shed: int = 0
+    first_tick: int = 0
+    last_tick: int = 0
+    peak_inflight: int = 0
+    latency_ticks: list[int] = field(default_factory=list)
+    queue_wait_ticks: list[int] = field(default_factory=list)
+    busy_ticks: dict[str, int] = field(default_factory=dict)
+    slot_limits: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def shed_total(self) -> int:
+        return sum(self.shed.values())
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed_total / self.arrived if self.arrived else 0.0
+
+    @property
+    def makespan_ticks(self) -> int:
+        return max(1, self.last_tick - self.first_tick)
+
+    @property
+    def served_per_ktick(self) -> float:
+        """Sustained throughput: served requests per 1000 logical ticks."""
+        return 1000.0 * self.served / self.makespan_ticks
+
+    @property
+    def latency_p50(self) -> float:
+        return _percentile(self.latency_ticks, 50.0)
+
+    @property
+    def latency_p99(self) -> float:
+        return _percentile(self.latency_ticks, 99.0)
+
+    @property
+    def queue_wait_p50(self) -> float:
+        return _percentile(self.queue_wait_ticks, 50.0)
+
+    @property
+    def queue_wait_p99(self) -> float:
+        return _percentile(self.queue_wait_ticks, 99.0)
+
+    @property
+    def occupancy(self) -> dict[str, float]:
+        """Per-model slot utilisation: busy ticks over makespan × slots."""
+        span = self.makespan_ticks
+        return {
+            model: self.busy_ticks.get(model, 0) / (span * slots)
+            for model, slots in sorted(self.slot_limits.items())
+        }
+
+    def as_dict(self) -> dict:
+        """JSON-safe dict with a stable key order (samples summarized)."""
+        return {
+            "arrived": self.arrived,
+            "served": self.served,
+            "failed": self.failed,
+            "shed": dict(sorted(self.shed.items())),
+            "shed_rate": self.shed_rate,
+            "degraded_on_shed": self.degraded_on_shed,
+            "makespan_ticks": self.makespan_ticks,
+            "served_per_ktick": self.served_per_ktick,
+            "latency_p50": self.latency_p50,
+            "latency_p99": self.latency_p99,
+            "queue_wait_p50": self.queue_wait_p50,
+            "queue_wait_p99": self.queue_wait_p99,
+            "peak_inflight": self.peak_inflight,
+            "occupancy": self.occupancy,
+        }
+
+
+@dataclass
+class EngineResult:
+    """What one :meth:`ServingEngine.run` hands back.
+
+    ``responses`` is in **trace order** — index *i* answers trace entry
+    *i*, shed requests included — or empty when the run discarded
+    responses (``keep_responses=False``).  ``batch_records`` are the
+    continuous batcher's drain records (outcome splits all-zero: the
+    engine, not the batcher, owns outcomes).
+    """
+
+    responses: list[ServeResponse]
+    stats: EngineStats
+    batch_records: list
+
+
+class ServingEngine:
+    """Drive a :class:`~repro.serve.gateway.PasGateway` through a timed trace.
+
+    The engine shares the gateway's observability bundle: engine metrics
+    (``pas_engine_inflight``, ``pas_request_latency_ticks``,
+    ``pas_queue_wait_ticks``, ``pas_engine_shed_total``) land in the same
+    registry as the gateway's counters, shed events join the gateway's
+    event log, and gateway spans keep their synchronous shape.  One
+    engine can :meth:`run` several traces; gateway state (caches,
+    breakers, clock) carries across runs exactly as it would across
+    ``ask_batch`` calls.
+    """
+
+    def __init__(self, gateway: PasGateway, config: EngineConfig | None = None):
+        self.gateway = gateway
+        self.config = config or EngineConfig()
+        self.obs: Observability = gateway.obs
+        self._registry: MetricsRegistry = (
+            self.obs.metrics if self.obs.metrics.enabled else MetricsRegistry()
+        )
+        self._m_inflight = self._registry.gauge(
+            "pas_engine_inflight", help="Completions currently in flight."
+        )
+        self._m_latency = self._registry.histogram(
+            "pas_request_latency_ticks",
+            buckets=_LATENCY_BUCKETS,
+            help="Arrival-to-finish latency of completed requests, in ticks.",
+        )
+        self._m_queue_wait = self._registry.histogram(
+            "pas_queue_wait_ticks",
+            buckets=_QUEUE_WAIT_BUCKETS,
+            help="Arrival-to-dispatch wait of completed requests, in ticks.",
+        )
+        self._m_shed = self._registry.counter(
+            "pas_engine_shed_total", help="Requests shed by reason."
+        )
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+
+    def _slot_limit(self, model: str, limits: dict[str, int]) -> int:
+        """Per-model in-flight slots.  Unknown models get one slot — their
+        requests fail at routing after a nominal 1-tick latency, which
+        keeps serve order identical to the synchronous path."""
+        if model not in limits:
+            try:
+                client_limit = self.gateway.client_for(model).max_inflight
+            except UnknownModelError:
+                client_limit = 1
+            limits[model] = (
+                self.config.max_inflight
+                if self.config.max_inflight is not None
+                else client_limit
+            )
+        return limits[model]
+
+    @staticmethod
+    def _shed_response(request: ServeRequest, error: str) -> ServeResponse:
+        return ServeResponse(
+            request_id=request.request_id,
+            model=request.model,
+            response="",
+            complement="",
+            complement_cached=False,
+            prompt_tokens=0,
+            completion_tokens=0,
+            status="failed",
+            error=error,
+            attempts=0,
+        )
+
+    def _deadline_for(self, timed: TimedRequest) -> int | None:
+        if timed.deadline_ticks is not None:
+            return timed.deadline_ticks
+        if self.config.deadline_ticks is not None:
+            return self.config.deadline_ticks
+        policy = self.gateway.config.retry_policy
+        return policy.deadline_ticks if policy is not None else None
+
+    # ------------------------------------------------------------------ #
+    # the event loop
+    # ------------------------------------------------------------------ #
+
+    def run(self, trace: Sequence[TimedRequest]) -> EngineResult:
+        """Serve a timed trace to completion; see the module docstring.
+
+        The trace must be in non-decreasing tick order (what
+        :meth:`~repro.serve.traffic.TrafficGenerator.trace` produces).
+        """
+        cfg = self.config
+        gateway = self.gateway
+        trace = list(trace)
+        for earlier, later in zip(trace, trace[1:]):
+            if later.tick < earlier.tick:
+                raise ValueError(
+                    "trace ticks must be non-decreasing: "
+                    f"got {later.tick} after {earlier.tick}"
+                )
+
+        n = len(trace)
+        stats = EngineStats(arrived=n)
+        responses: list[ServeResponse | None] = [None] * n if cfg.keep_responses else []
+        if not trace:
+            return EngineResult(responses=[], stats=stats, batch_records=[])
+        stats.first_tick = stats.last_tick = trace[0].tick
+
+        batcher = MicroBatcher(
+            None, max_batch=cfg.max_batch, max_wait=cfg.max_wait, obs=self.obs
+        )
+        # Parallel FIFO of (trace index, TimedRequest) for the batcher queue.
+        meta: deque[tuple[int, TimedRequest]] = deque()
+        # Planned requests waiting for their model's slot.
+        spill: deque[tuple[int, TimedRequest, ServeRequest, BatchPlan]] = deque()
+        heap: list[tuple[int, int, int, object]] = []
+        seq = 0
+        limits: dict[str, int] = {}
+        busy: dict[str, int] = {}
+        inflight = 0
+        wake_at: int | None = None
+
+        def record(index: int, response: ServeResponse) -> None:
+            if cfg.keep_responses:
+                responses[index] = response
+            if response.failed:
+                stats.failed += 1
+            else:
+                stats.served += 1
+
+        def shed(index: int, timed: TimedRequest, reason: str, error: str) -> None:
+            stats.shed[reason] = stats.shed.get(reason, 0) + 1
+            self._m_shed.inc(reason=reason)
+            self.obs.events.emit(
+                "engine.shed",
+                tick=timed.tick,
+                reason=reason,
+                model=timed.request.model,
+                tenant=timed.tenant,
+            )
+            record(index, self._shed_response(timed.request, error))
+
+        def finish(tick: int, payload) -> None:
+            nonlocal inflight
+            index, timed, request, plan, grant_tick = payload
+            response = gateway.serve_planned(request, plan)
+            busy[request.model] -= 1
+            inflight -= 1
+            stats.busy_ticks[request.model] = (
+                stats.busy_ticks.get(request.model, 0) + tick - grant_tick
+            )
+            self._m_inflight.set(inflight)
+            latency = tick - timed.tick
+            stats.latency_ticks.append(latency)
+            self._m_latency.observe(latency)
+            record(index, response)
+
+        def start(index: int, timed: TimedRequest, request: ServeRequest,
+                  plan: BatchPlan, now: int) -> None:
+            nonlocal inflight, seq
+            wait = now - timed.tick
+            stats.queue_wait_ticks.append(wait)
+            self._m_queue_wait.observe(wait)
+            try:
+                latency = gateway.completion_latency(request, plan)
+            except UnknownModelError:
+                latency = 1  # fails at routing when the finish event serves it
+            busy[request.model] = busy.get(request.model, 0) + 1
+            inflight += 1
+            stats.peak_inflight = max(stats.peak_inflight, inflight)
+            self._m_inflight.set(inflight)
+            heapq.heappush(
+                heap,
+                (now + latency, _FINISH, seq, (index, timed, request, plan, now)),
+            )
+            seq += 1
+
+        def capacity_free() -> bool:
+            if not busy:
+                return True
+            return any(
+                count < limits[model] for model, count in busy.items()
+            )
+
+        def dispatch(now: int, force: bool) -> None:
+            progressed = True
+            while progressed:
+                progressed = False
+                while spill:
+                    index, timed, request, plan = spill[0]
+                    if busy.get(request.model, 0) >= self._slot_limit(request.model, limits):
+                        break
+                    spill.popleft()
+                    start(index, timed, request, plan, now)
+                    progressed = True
+                if spill:
+                    break
+                if batcher.ready(now) is None and not (force and batcher.pending):
+                    break
+                if not capacity_free():
+                    break
+                batch = batcher.take(now, force=force)
+                if not batch:
+                    break
+                kept: list[tuple[int, TimedRequest, ServeRequest]] = []
+                for _ in batch:
+                    index, timed = meta.popleft()
+                    deadline = self._deadline_for(timed)
+                    if deadline is not None and now - timed.tick > deadline:
+                        if cfg.shed_policy == "degrade":
+                            if timed.request.augment:
+                                stats.degraded_on_shed += 1
+                                self.obs.events.emit(
+                                    "engine.shed",
+                                    tick=now,
+                                    reason="deadline",
+                                    action="degrade",
+                                    model=timed.request.model,
+                                    tenant=timed.tenant,
+                                )
+                                kept.append(
+                                    (index, timed, replace(timed.request, augment=False))
+                                )
+                            else:
+                                kept.append((index, timed, timed.request))
+                        else:
+                            shed(
+                                index,
+                                timed,
+                                "deadline",
+                                "DeadlineExceededError: queued for "
+                                f"{now - timed.tick} ticks, budget {deadline}",
+                            )
+                    else:
+                        kept.append((index, timed, timed.request))
+                if not kept:
+                    progressed = True
+                    continue
+                plan = gateway.plan_batch([request for _, _, request in kept])
+                # Higher priority dispatches first; the sort is stable, so
+                # equal priorities keep arrival order (compat parity).
+                kept.sort(key=lambda item: -item[1].priority)
+                for index, timed, request in kept:
+                    if busy.get(request.model, 0) < self._slot_limit(request.model, limits):
+                        start(index, timed, request, plan, now)
+                    else:
+                        spill.append((index, timed, request, plan))
+                progressed = True
+
+        i = 0
+        now = trace[0].tick
+        while True:
+            next_arrival = trace[i].tick if i < n else None
+            next_event = heap[0][0] if heap else None
+            if next_arrival is None and next_event is None:
+                if batcher.pending or spill:
+                    dispatch(now, force=True)
+                    continue
+                break
+            if next_event is not None and (
+                next_arrival is None or next_event <= next_arrival
+            ):
+                now = next_event
+            else:
+                now = next_arrival
+            stats.last_tick = max(stats.last_tick, now)
+
+            # 1. completion finishes at this tick (heap rank 0)
+            while heap and heap[0][0] == now and heap[0][1] == _FINISH:
+                _, _, _, payload = heapq.heappop(heap)
+                finish(now, payload)
+            # 2. arrivals at this tick (admission control at the door)
+            while i < n and trace[i].tick == now:
+                timed = trace[i]
+                queued = batcher.pending + len(spill)
+                if cfg.max_queue is not None and queued >= cfg.max_queue:
+                    shed(
+                        i,
+                        timed,
+                        "queue",
+                        f"AdmissionError: queue full ({queued} >= {cfg.max_queue})",
+                    )
+                else:
+                    batcher.submit_at(timed.tick, timed.request)
+                    meta.append((i, timed))
+                i += 1
+            # 3. expiry wake-ups are pure wake-ups — just pop them
+            while heap and heap[0][0] == now:
+                heapq.heappop(heap)
+                wake_at = None
+            # 4. dispatch whatever is ready into free capacity
+            dispatch(now, force=(i == n))
+            # 5. make sure a parked queue's wait trigger can still fire
+            if batcher.pending and batcher.ready(now) is None:
+                due = batcher.oldest_tick + batcher.max_wait
+                if wake_at != due:
+                    heapq.heappush(heap, (due, _EXPIRE, seq, None))
+                    seq += 1
+                    wake_at = due
+
+        self._m_inflight.set(0)
+        stats.slot_limits = dict(sorted(limits.items()))
+        return EngineResult(
+            responses=responses if cfg.keep_responses else [],
+            stats=stats,
+            batch_records=batcher.records,
+        )

@@ -42,7 +42,7 @@ import numpy as np
 
 from repro.core.pas import PasModel
 from repro.errors import AugmentationError, CircuitOpenError, ReproError, UnknownModelError
-from repro.llm.api import ChatClient
+from repro.llm.api import ChatClient, LatencyModel
 from repro.llm.engine import SimulatedLLM
 from repro.llm.types import build_messages
 from repro.obs import NULL_OBS, MetricsRegistry, Observability, Tracer, TraceStore
@@ -52,6 +52,7 @@ from repro.serve.types import ServeRequest, ServeResponse
 from repro.utils.timing import StageTimer
 
 __all__ = [
+    "BatchPlan",
     "GatewayConfig",
     "GatewayStats",
     "PasGateway",
@@ -81,7 +82,11 @@ class GatewayConfig:
     client (and the fault plan into augmentation); ``breaker_threshold``
     consecutive completion failures open a model's circuit, which
     half-opens for a probe after ``breaker_recovery_ticks`` on the
-    gateway's logical clock.
+    gateway's logical clock.  ``latency_model`` gives every client a
+    seeded per-completion latency distribution (``None`` picks the
+    library default) and ``max_inflight`` is the per-model concurrency
+    limit the :class:`~repro.serve.engine.ServingEngine` honours — both
+    are inert on the synchronous paths, which never consult them.
     """
 
     cache_size: int = 1024
@@ -94,10 +99,36 @@ class GatewayConfig:
     retry_policy: RetryPolicy | None = None
     breaker_threshold: int = 5
     breaker_recovery_ticks: int = 16
+    latency_model: LatencyModel | None = None
+    max_inflight: int = 1
 
 
 #: The flat ``PasGateway.__init__`` kwargs that pre-date :class:`GatewayConfig`.
 _DEPRECATED_KWARGS = ("cache_size", "embed_cache_size", "failure_rate", "max_retries", "seed")
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """The augmentation plan for one drained batch of requests.
+
+    Produced by :meth:`PasGateway.plan_batch`: ``precomputed`` maps each
+    unique augmentable prompt to its ``(complement, embedding)`` (the
+    embedding is ``None`` when the complement was held from the LRU
+    peek), ``degraded`` holds the prompts the fault plan will degrade.
+    Feed it back through :meth:`PasGateway.serve_planned` — immediately
+    (what :meth:`PasGateway.ask_batch` does) or spread over later ticks
+    (what the serving engine does while completions overlap).
+    """
+
+    precomputed: Mapping[str, tuple[str, np.ndarray | None]]
+    degraded: frozenset[str]
+
+    def complement_for(self, request: ServeRequest) -> str:
+        """The complement ``serve_planned`` will concatenate (may be "")."""
+        if not request.augment or request.prompt in self.degraded:
+            return ""
+        entry = self.precomputed.get(request.prompt)
+        return entry[0] if entry is not None else ""
 
 
 class GatewayStats:
@@ -496,6 +527,8 @@ class PasGateway:
                 fault_plan=self.config.fault_plan,
                 retry_policy=self.config.retry_policy,
                 clock=lambda: self._clock,
+                latency_model=self.config.latency_model,
+                max_inflight=self.config.max_inflight,
                 obs=self.obs,
             )
         return self._clients[model]
@@ -515,7 +548,7 @@ class PasGateway:
     def _complement(
         self,
         prompt: str,
-        precomputed: dict[str, tuple[str, np.ndarray | None]] | None,
+        precomputed: Mapping[str, tuple[str, np.ndarray | None]] | None,
         degraded: frozenset[str] | set[str] = _EMPTY,
     ) -> tuple[str, bool]:
         tracer = self.obs.tracer
@@ -622,7 +655,7 @@ class PasGateway:
     def _serve(
         self,
         request: ServeRequest,
-        precomputed: dict[str, tuple[str, np.ndarray | None]] | None,
+        precomputed: Mapping[str, tuple[str, np.ndarray | None]] | None,
         *,
         strict: bool,
         degraded: frozenset[str] | set[str] = _EMPTY,
@@ -748,6 +781,25 @@ class PasGateway:
         requests = list(requests)
         if not requests:
             return []
+        plan = self.plan_batch(requests)
+        return [
+            self._serve(request, plan.precomputed, strict=strict, degraded=plan.degraded)
+            for request in requests
+        ]
+
+    def plan_batch(self, requests: Sequence[ServeRequest]) -> BatchPlan:
+        """The planning phase of :meth:`ask_batch`, as a reusable step.
+
+        Dedupes prompts, peeks both cache tiers, sets fault-degraded
+        prompts aside, and runs the batched embed + augment passes —
+        exactly the work ``ask_batch`` does before its serving replay,
+        inside the same ``gateway.plan`` span.  The returned
+        :class:`BatchPlan` can be replayed through :meth:`serve_planned`
+        at any later tick; the serving engine plans each drained batch
+        once, then finishes its requests as their simulated completions
+        land.
+        """
+        requests = list(requests)
         tracer = self.obs.tracer
         plan = self.config.fault_plan
         planned: set[str] = set()
@@ -804,10 +856,41 @@ class PasGateway:
                 augmented=len(to_augment),
                 degraded=len(degraded),
             )
-        return [
-            self._serve(request, precomputed, strict=strict, degraded=degraded)
-            for request in requests
-        ]
+        return BatchPlan(precomputed=precomputed, degraded=frozenset(degraded))
+
+    def serve_planned(
+        self, request: ServeRequest, plan: BatchPlan, *, strict: bool | None = None
+    ) -> ServeResponse:
+        """Serve one request against a prepared :class:`BatchPlan`.
+
+        Identical to the per-request replay inside :meth:`ask_batch` —
+        same cache touches, breaker transitions, counters, and span
+        shape — but callable one request at a time, so the serving
+        engine can finish planned requests in completion order rather
+        than arrival order.
+        """
+        return self._serve(
+            request,
+            plan.precomputed,
+            strict=self._strictness(strict),
+            degraded=plan.degraded,
+        )
+
+    def completion_latency(self, request: ServeRequest, plan: BatchPlan | None = None) -> int:
+        """Simulated completion cost of ``request``, in logical ticks.
+
+        Builds the exact messages :meth:`serve_planned` would send (the
+        planned complement as the system turn) and asks the model's
+        client for its seeded latency draw.  Pure — no clocks move, no
+        caches are touched — and deterministic per (engine seed, prompt,
+        complement), so the serving engine can price a completion at
+        dispatch time and the finish event lands where a re-run lands it.
+        Raises :class:`~repro.errors.UnknownModelError` for unregistered
+        model names (such requests fail at routing with no latency).
+        """
+        complement = plan.complement_for(request) if plan is not None else ""
+        client = self.client_for(request.model)
+        return client.completion_latency(build_messages(request.prompt, complement))
 
     def ask_text(self, prompt: str, model: str) -> str:
         """Convenience: prompt in, augmented response text out.

@@ -15,7 +15,7 @@ __all__ = ["ServeRequest", "ServeResponse", "STATUSES"]
 STATUSES = ("ok", "degraded", "failed")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ServeRequest:
     """One augmentation-and-completion request."""
 
@@ -29,7 +29,7 @@ class ServeRequest:
             raise ValueError("prompt must be non-empty")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ServeResponse:
     """The gateway's answer, with provenance and outcome for observability.
 

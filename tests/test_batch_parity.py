@@ -210,5 +210,5 @@ class TestMicroBatcherParity:
         for max_batch, max_wait in ((1, 1), (3, 2), (5, 100)):
             gateway = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=4, embed_cache_size=4))
             batcher = MicroBatcher(gateway.ask_batch, max_batch=max_batch, max_wait=max_wait)
-            assert batcher.run(requests) == expected
+            assert batcher.run_arrivals(enumerate(requests, start=1)) == expected
             assert gateway.stats == direct.stats

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.errors import BudgetExceededError
-from repro.llm.api import ChatClient, TransientApiError, Usage
+from repro.errors import BudgetExceededError, ConfigError
+from repro.llm.api import ChatClient, LatencyModel, TransientApiError, Usage
 from repro.llm.engine import SimulatedLLM
 from repro.llm.types import ChatCompletion, Message
 
@@ -126,3 +126,48 @@ class TestFailureInjection:
     def test_invalid_retries(self):
         with pytest.raises(ValueError):
             ChatClient(engine=SimulatedLLM("gpt-4-0613"), max_retries=-1)
+
+
+class TestLatencyModel:
+    def test_ticks_deterministic_and_positive(self):
+        engine = SimulatedLLM("gpt-4-0613")
+        model = LatencyModel(base_ticks=6.0, per_token_ticks=0.25, jitter=0.25)
+        a = model.ticks(engine, "what is a monad? be concise.", None, 12)
+        b = model.ticks(engine, "what is a monad? be concise.", None, 12)
+        assert a == b >= 1
+
+    def test_token_count_raises_latency(self):
+        engine = SimulatedLLM("gpt-4-0613")
+        model = LatencyModel(jitter=0.0)
+        short = model.ticks(engine, "short prompt here", None, 4)
+        long = model.ticks(engine, "short prompt here", None, 400)
+        assert long > short
+
+    def test_zero_jitter_is_exact(self):
+        engine = SimulatedLLM("gpt-4-0613")
+        model = LatencyModel(base_ticks=10.0, per_token_ticks=0.5, jitter=0.0)
+        assert model.ticks(engine, "any prompt at all", None, 20) == 20
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            LatencyModel(base_ticks=-1.0)
+        with pytest.raises(ConfigError):
+            LatencyModel(per_token_ticks=-0.1)
+        with pytest.raises(ConfigError):
+            LatencyModel(jitter=-0.5)
+
+    def test_client_completion_latency(self):
+        client = ChatClient(engine=SimulatedLLM("gpt-4-0613"))
+        messages = [Message("user", "how do i parse csv files? show me how.")]
+        first = client.completion_latency(messages)
+        assert first == client.completion_latency(messages) >= 1
+        # A system supplement adds tokens, so latency can only grow.
+        augmented = [Message("system", "use the csv module and show code"), *messages]
+        assert client.completion_latency(augmented) >= first
+        # Pricing a completion never consumes the engine's RNG state or
+        # usage accounting.
+        assert client.usage.requests == 0
+
+    def test_max_inflight_validation(self):
+        with pytest.raises(ValueError):
+            ChatClient(engine=SimulatedLLM("gpt-4-0613"), max_inflight=0)

@@ -370,8 +370,9 @@ class TestSchedulerObservability:
         obs = Observability.enabled()
         gateway = PasGateway(pas=trained_pas, config=GatewayConfig(), obs=obs)
         batcher = MicroBatcher(gateway.ask_batch, max_batch=3, max_wait=5, obs=obs)
-        responses = batcher.run(
-            ServeRequest(prompt=p, model="gpt-4-0613") for p in PROMPTS[:7]
+        responses = batcher.run_arrivals(
+            (i, ServeRequest(prompt=p, model="gpt-4-0613"))
+            for i, p in enumerate(PROMPTS[:7], start=1)
         )
         assert len(responses) == 7
         drains = obs.events.by_kind("batch.drain")
@@ -392,7 +393,10 @@ class TestSchedulerObservability:
         obs = Observability.enabled()
         gateway = PasGateway(pas=trained_pas, config=GatewayConfig(), obs=obs)
         batcher = MicroBatcher(gateway.ask_batch, max_batch=2, obs=obs)
-        batcher.run(ServeRequest(prompt=p, model="gpt-4-0613") for p in PROMPTS[:2])
+        batcher.run_arrivals(
+            (i, ServeRequest(prompt=p, model="gpt-4-0613"))
+            for i, p in enumerate(PROMPTS[:2], start=1)
+        )
         (drain,) = obs.events.by_kind("batch.drain")
         # event ticks come from the *gateway* clock; the batcher's own tick
         # rides in the attributes.

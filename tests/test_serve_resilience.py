@@ -414,7 +414,7 @@ class TestChaos:
     def test_microbatcher_surfaces_outcomes(self, trained_pas, seed):
         gateway = self._gateway(trained_pas, seed)
         batcher = MicroBatcher(gateway.ask_batch, max_batch=5, max_wait=3)
-        responses = batcher.run(self._traffic())
+        responses = batcher.run_arrivals(enumerate(self._traffic(), start=1))
         assert len(responses) == len(self._traffic())
         assert sum(r.n_ok + r.n_degraded + r.n_failed for r in batcher.records) == len(
             responses

@@ -82,6 +82,105 @@ class TestTriggers:
         with pytest.raises(ValueError):
             MicroBatcher(lambda reqs: [], max_wait=0)
 
+    def test_occupancy_percentiles_in_stats(self):
+        mb = MicroBatcher(lambda reqs: [], max_batch=4, max_wait=10)
+        for r in _requests()[:6]:
+            mb.submit(r)
+        mb.flush()  # one full batch (1.0), one half batch (0.5)
+        stats = mb.stats.as_dict()
+        assert stats["mean_occupancy"] == pytest.approx(0.75)
+        assert stats["occupancy_p50"] == pytest.approx(0.5)
+        assert stats["occupancy_p99"] == pytest.approx(1.0)
+
+
+class TestTimedSubmission:
+    def test_submit_at_fires_wait_trigger_on_trace_gaps(self):
+        batches = []
+        mb = MicroBatcher(lambda reqs: batches.append(list(reqs)) or [], max_batch=10, max_wait=3)
+        reqs = _requests()
+        mb.submit_at(1, reqs[0])
+        mb.submit_at(2, reqs[1])
+        assert batches == []
+        mb.submit_at(9, reqs[2])  # the 7-tick gap ages the queue past max_wait
+        assert [len(b) for b in batches] == [3]
+        assert mb.records[0].trigger == "wait"
+        assert mb.records[0].max_wait_ticks == 8
+
+    def test_submit_at_rejects_time_travel(self):
+        mb = MicroBatcher(lambda reqs: [], max_batch=10, max_wait=10)
+        mb.submit_at(5, _requests()[0])
+        mb.submit_at(5, _requests()[1])  # same tick is fine
+        with pytest.raises(ValueError):
+            mb.submit_at(4, _requests()[2])
+
+    def test_run_arrivals_matches_direct_ask_batch(self, trained_pas):
+        reqs = _requests()
+        direct = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=8))
+        scheduled = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=8))
+        mb = MicroBatcher(scheduled.ask_batch, max_batch=3, max_wait=2)
+        arrivals = [(i + 1, r) for i, r in enumerate(reqs)]
+        assert mb.run_arrivals(arrivals) == direct.ask_batch(reqs)
+        assert scheduled.stats == direct.stats
+
+
+class TestContinuousMode:
+    def test_submissions_only_queue(self):
+        mb = MicroBatcher(None, max_batch=2, max_wait=2)
+        for tick, r in enumerate(_requests()[:5], start=1):
+            assert mb.submit_at(tick, r) == []
+        assert mb.pending == 5
+        assert mb.continuous
+
+    def test_take_respects_triggers_and_limit(self):
+        mb = MicroBatcher(None, max_batch=3, max_wait=10)
+        reqs = _requests()
+        mb.submit_at(1, reqs[0])
+        assert mb.ready(1) is None
+        assert mb.take(1) == []  # nothing ready yet
+        mb.submit_at(1, reqs[1])
+        mb.submit_at(2, reqs[2])
+        assert mb.ready(2) == "size"
+        taken = mb.take(2, limit=2)
+        assert [t.prompt for t in taken] == [r.prompt for r in reqs[:2]]
+        assert mb.pending == 1
+        assert mb.records[0].trigger == "size"
+        assert mb.records[0].n_ok == 0  # outcomes belong to the engine
+
+    def test_take_force_flushes_tail(self):
+        mb = MicroBatcher(None, max_batch=10, max_wait=10)
+        mb.submit_at(1, _requests()[0])
+        assert mb.take(2) == []
+        assert len(mb.take(2, force=True)) == 1
+        assert mb.records[0].trigger == "flush"
+
+    def test_wait_trigger_uses_take_clock(self):
+        mb = MicroBatcher(None, max_batch=10, max_wait=4)
+        mb.submit_at(1, _requests()[0])
+        assert mb.ready(4) is None
+        assert mb.ready(5) == "wait"
+        assert len(mb.take(5)) == 1
+        assert mb.clock == 5
+
+    def test_flush_requires_a_handler(self):
+        mb = MicroBatcher(None)
+        mb.submit_at(1, _requests()[0])
+        with pytest.raises(RuntimeError):
+            mb.flush()
+
+
+class TestDeprecatedRun:
+    def test_run_warns_and_matches_run_arrivals(self, trained_pas):
+        reqs = _requests()
+        old = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=8))
+        new = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=8))
+        mb_old = MicroBatcher(old.ask_batch, max_batch=3, max_wait=2)
+        mb_new = MicroBatcher(new.ask_batch, max_batch=3, max_wait=2)
+        with pytest.warns(DeprecationWarning, match="run_arrivals"):
+            responses = mb_old.run(reqs)
+        assert responses == mb_new.run_arrivals((i + 1, r) for i, r in enumerate(reqs))
+        assert old.stats == new.stats
+        assert [r.trigger for r in mb_old.records] == [r.trigger for r in mb_new.records]
+
 
 class TestGatewayParity:
     """Draining through the scheduler == one direct ask_batch == the ask loop."""
@@ -91,7 +190,7 @@ class TestGatewayParity:
         direct = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=8))
         scheduled = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=8))
         mb = MicroBatcher(scheduled.ask_batch, max_batch=3, max_wait=2)
-        assert mb.run(reqs) == direct.ask_batch(reqs)
+        assert mb.run_arrivals(enumerate(reqs, start=1)) == direct.ask_batch(reqs)
         assert scheduled.stats == direct.stats
         assert list(scheduled._complement_cache._data) == list(
             direct._complement_cache._data
@@ -104,7 +203,7 @@ class TestGatewayParity:
         scalar = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=3, embed_cache_size=3))
         scheduled = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=3, embed_cache_size=3))
         mb = MicroBatcher(scheduled.ask_batch, max_batch=4, max_wait=3)
-        assert mb.run(reqs) == [scalar.ask(r) for r in reqs]
+        assert mb.run_arrivals(enumerate(reqs, start=1)) == [scalar.ask(r) for r in reqs]
         assert scheduled.stats == scalar.stats
 
     def test_responses_in_arrival_order(self, trained_pas):
@@ -114,7 +213,7 @@ class TestGatewayParity:
             ServeRequest(prompt=p, model="gpt-4-0613", request_id=str(i))
             for i, p in enumerate(PROMPTS)
         ]
-        responses = mb.run(reqs)
+        responses = mb.run_arrivals(enumerate(reqs, start=1))
         assert [r.request_id for r in responses] == [str(i) for i in range(len(PROMPTS))]
 
     def test_handler_exception_consumes_batch(self, trained_pas, monkeypatch):
