@@ -1,0 +1,177 @@
+"""Horizontal scale-out bench: one overloaded gateway vs a routed fleet.
+
+``test_bench_serving_engine.py`` measures how much stall *one* gateway
+can hide by overlapping completions; this module measures what replicas
+buy on top.  The trace saturates a single gateway (arrivals faster than
+one replica's slot capacity drains), then the same trace runs through a
+4-replica :class:`~repro.serve.router.Router` under the least-loaded
+policy.  Every replica holds the same trained PAS model and the same
+config, so responses are content-identical — only the schedule changes.
+
+The headline number is ``router.speedup``: single-gateway makespan over
+fleet makespan, in logical ticks.  Both runs are seed-pure, so the ratio
+is deterministic and ``check_bench_regression.py`` gates it at >= 1.0
+like every other ``speedup`` key (the quick tier asserts >= 2x locally —
+4 replicas on a saturating trace measure ~3x, and the slack absorbs
+latency-model retuning).
+
+``router_affinity`` records the cache story as un-gated trend keys: the
+fleet-wide complement-cache hit rate under consistent-hash placement vs
+least-loaded placement on a Zipf-skewed trace (affinity keeps repeats on
+the replica that already cached them) plus the shared-scope hit rate.
+
+Quick tier::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_router.py -q
+
+Results deep-merge into ``BENCH_serving.json`` under ``router`` /
+``router_affinity``.
+"""
+
+from __future__ import annotations
+
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from check_bench_regression import merge_write
+from repro import build_default_dataset
+from repro.core.pas import PasModel
+from repro.serve.config import ServingConfig
+from repro.serve.engine import EngineConfig, ServingEngine
+from repro.serve.gateway import GatewayConfig, PasGateway
+from repro.serve.router import Router, RouterConfig
+from repro.serve.traffic import TrafficConfig, TrafficGenerator
+from repro.world.prompts import PromptFactory
+
+N_REQUESTS = 300
+N_UNIQUE_PROMPTS = 32
+N_REPLICAS = 4
+MAX_INFLIGHT = 8  # per replica
+
+RESULTS: dict[str, object] = {}
+
+
+@pytest.fixture(scope="module")
+def trained_pas():
+    dataset = build_default_dataset(n_prompts=150, seed=3, curate=True)
+    return PasModel(base_model="qwen2-7b-chat", seed=3).train(dataset)
+
+
+def _prompt_pool(n: int, seed: int) -> list[str]:
+    factory = PromptFactory(rng=np.random.default_rng(seed))
+    return [factory.make_prompt().text for _ in range(n)]
+
+
+def _config(router: RouterConfig) -> ServingConfig:
+    return ServingConfig(
+        router=router,
+        gateway=GatewayConfig(seed=5),
+        engine=EngineConfig(max_inflight=MAX_INFLIGHT),
+    )
+
+
+@pytest.fixture(scope="module")
+def saturating_trace():
+    """Arrivals fast enough to drown one gateway's slot capacity."""
+    config = TrafficConfig(
+        n_requests=N_REQUESTS, seed=11, process="poisson", mean_gap_ticks=0.25
+    )
+    return TrafficGenerator(_prompt_pool(N_UNIQUE_PROMPTS, 2), config).trace()
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_bench_json():
+    """Persist everything RESULTS accumulated once the module finishes."""
+    yield
+    payload = {
+        "scale": {
+            "quick": {
+                "router_n_requests": N_REQUESTS,
+                "router_n_unique_prompts": N_UNIQUE_PROMPTS,
+                "router_n_replicas": N_REPLICAS,
+                "router_max_inflight": MAX_INFLIGHT,
+            },
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        **RESULTS,
+    }
+    merge_write(Path(__file__).resolve().parents[1] / "BENCH_serving.json", payload)
+
+
+def test_fleet_speedup(trained_pas, saturating_trace):
+    """The gated number: N replicas beat one gateway on the same trace."""
+    single = ServingEngine(
+        PasGateway(trained_pas, config=GatewayConfig(seed=5)),
+        EngineConfig(max_inflight=MAX_INFLIGHT),
+    ).run(saturating_trace)
+
+    config = _config(RouterConfig(n_replicas=N_REPLICAS, policy="least_loaded"))
+    router = Router(trained_pas, config)
+    start = time.perf_counter()
+    fleet = ServingEngine(router, config).run(saturating_trace)
+    wall_s = time.perf_counter() - start
+
+    ratio = single.stats.makespan_ticks / fleet.stats.makespan_ticks
+    RESULTS["router"] = {
+        "speedup": ratio,
+        "n_replicas": N_REPLICAS,
+        "max_inflight_per_replica": MAX_INFLIGHT,
+        "single_makespan_ticks": single.stats.makespan_ticks,
+        "fleet_makespan_ticks": fleet.stats.makespan_ticks,
+        "served_per_ktick": fleet.stats.served_per_ktick,
+        "latency_p50": fleet.stats.latency_p50,
+        "latency_p99": fleet.stats.latency_p99,
+        "queue_wait_p99": fleet.stats.queue_wait_p99,
+        "routed_per_replica": router.stats.routed,
+        "wall_requests_per_s": N_REQUESTS / wall_s,
+    }
+    # 4 replicas on a saturating trace measure ~3x; >= 2x leaves slack.
+    assert ratio >= 2.0
+    assert fleet.stats.served == N_REQUESTS
+    # Content parity: same completions, different schedule.
+    assert [r.response for r in fleet.responses] == [
+        r.response for r in single.responses
+    ]
+    # Balance actually spread the work.
+    assert min(router.stats.routed) > 0
+
+
+def test_affinity_cache_hit_rates(trained_pas):
+    """Trend keys: hash affinity preserves locality that balance scatters."""
+    trace_config = TrafficConfig(
+        n_requests=N_REQUESTS,
+        seed=13,
+        process="poisson",
+        mean_gap_ticks=0.5,
+        zipf_exponent=1.2,
+    )
+    trace = TrafficGenerator(_prompt_pool(N_UNIQUE_PROMPTS, 2), trace_config).trace()
+
+    def hit_rate(policy: str, cache_scope: str = "replica") -> float:
+        config = _config(
+            RouterConfig(
+                n_replicas=N_REPLICAS, policy=policy, cache_scope=cache_scope
+            )
+        )
+        router = Router(trained_pas, config)
+        ServingEngine(router, config).run(trace)
+        return router.cache_hit_rate
+
+    affinity = hit_rate("hash")
+    balance = hit_rate("least_loaded")
+    shared = hit_rate("least_loaded", cache_scope="shared")
+    RESULTS["router_affinity"] = {
+        "hash_hit_rate": affinity,
+        "least_loaded_hit_rate": balance,
+        "shared_cache_hit_rate": shared,
+        "zipf_exponent": trace_config.zipf_exponent,
+    }
+    assert affinity >= balance
+    assert shared >= balance

@@ -1,0 +1,184 @@
+"""Horizontal scale-out: one drowning gateway vs a routed replica fleet.
+
+Four acts, one logical clock:
+
+1. A diurnal trace arrives faster at peak than one gateway's slots can
+   drain: the single-gateway engine's queue waits blow up through the
+   busy hours.
+2. The same trace through a 4-replica :class:`Router` under the
+   least-loaded policy: same completions (every replica holds the same
+   trained PAS model and config), a fraction of the makespan.
+3. Consistent-hash affinity vs balance on a Zipf-skewed stream: hash
+   placement keeps a prompt's repeats on the replica that already cached
+   its complement, and the fleet hit rate shows it.  ``cache_scope=
+   "shared"`` buys the same hits back for the balance policy by
+   threading one cache through every replica.
+4. Multi-tenancy and failover: a quota'd free tier sheds its overflow at
+   admission (``attempts=0`` — the fleet never sees it), and a weighted
+   model pool fails over around a model whose circuit breaker an outage
+   forced open.
+
+Everything is seed-pure: one :class:`ServingConfig` describes the whole
+deployment and survives a round trip through JSON.
+
+Run:  python examples/router_serving.py
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro import PasModel, build_default_dataset
+from repro.resilience import FaultPlan, OutageWindow
+from repro.serve import (
+    EngineConfig,
+    GatewayConfig,
+    ModelPool,
+    Router,
+    RouterConfig,
+    ServingConfig,
+    ServingEngine,
+    TenantPolicy,
+    TenantProfile,
+    TrafficConfig,
+    TrafficGenerator,
+)
+from repro.world.prompts import PromptFactory
+
+
+def _pool() -> list[str]:
+    factory = PromptFactory(rng=np.random.default_rng(4))
+    return [factory.make_prompt().text for _ in range(48)]
+
+
+def day_trace(n_requests: int, **kwargs):
+    config = TrafficConfig(
+        n_requests=n_requests,
+        seed=17,
+        process="diurnal",
+        mean_gap_ticks=0.5,  # peak arrivals outrun one replica
+        period_ticks=n_requests,
+        amplitude=0.8,
+        **kwargs,
+    )
+    return TrafficGenerator(_pool(), config).trace()
+
+
+def report(label: str, stats) -> None:
+    print(f"  {label}:")
+    print(f"    makespan {stats.makespan_ticks} ticks, "
+          f"{stats.served_per_ktick:.0f} served/ktick, "
+          f"latency p50/p99 {stats.latency_p50:.0f}/{stats.latency_p99:.0f}, "
+          f"queue wait p99 {stats.queue_wait_p99:.0f}")
+    print(f"    served {stats.served}, shed {dict(stats.shed) or '{}'}")
+
+
+def main() -> None:
+    dataset = build_default_dataset(n_prompts=120, seed=5, curate=True)
+    pas = PasModel(base_model="qwen2-7b-chat", seed=5).train(dataset)
+    trace = day_trace(400)
+
+    # --- act 1: one gateway drowns at peak -------------------------------
+    print(f"=== one gateway vs the diurnal peak: {len(trace)} requests ===\n")
+    single_config = ServingConfig(
+        gateway=GatewayConfig(seed=5), engine=EngineConfig(max_inflight=8)
+    )
+    single_router = Router(pas, single_config)  # 1 replica: the trivial router
+    single = ServingEngine(single_router, single_config).run(trace)
+    report("single gateway (max_inflight=8)", single.stats)
+
+    # --- act 2: the same day over four replicas --------------------------
+    fleet_config = ServingConfig(
+        router=RouterConfig(n_replicas=4, policy="least_loaded"),
+        gateway=GatewayConfig(seed=5),
+        engine=EngineConfig(max_inflight=8),
+    )
+    fleet_router = Router(pas, fleet_config)
+    fleet = ServingEngine(fleet_router, fleet_config).run(trace)
+    report("4-replica fleet (least_loaded)", fleet.stats)
+    assert [r.response for r in fleet.responses] == [
+        r.response for r in single.responses
+    ]
+    ratio = single.stats.makespan_ticks / fleet.stats.makespan_ticks
+    print(f"\n  fleet speedup: {ratio:.1f}x on the same trace, identical "
+          f"completions; placements {fleet_router.stats.routed}\n")
+
+    # --- act 3: affinity keeps caches warm -------------------------------
+    print("=== placement policy vs fleet cache hit rate (Zipf stream) ===\n")
+    zipf = TrafficGenerator(
+        _pool(),
+        TrafficConfig(n_requests=300, seed=11, mean_gap_ticks=0.5,
+                      zipf_exponent=1.2),
+    ).trace()
+    for policy, scope in (("least_loaded", "replica"), ("hash", "replica"),
+                          ("least_loaded", "shared")):
+        config = ServingConfig(
+            router=RouterConfig(n_replicas=4, policy=policy, cache_scope=scope),
+            gateway=GatewayConfig(seed=5),
+            engine=EngineConfig(max_inflight=8),
+        )
+        router = Router(pas, config)
+        ServingEngine(router, config).run(zipf)
+        print(f"  {policy:>12} / cache_scope={scope:<7} -> "
+              f"hit rate {router.cache_hit_rate:.2f}")
+
+    # --- act 4: tenancy and pool failover, one config --------------------
+    print("\n=== tenancy + failover, one ServingConfig ===\n")
+    config = ServingConfig(
+        router=RouterConfig(
+            n_replicas=2,
+            tenants=(
+                TenantPolicy("free", quota=60, quota_window_ticks=128),
+                TenantPolicy("paid", priority=5),
+            ),
+            pools=(
+                ModelPool("frontier",
+                          (("gpt-4-0613", 3.0), ("gpt-3.5-turbo-1106", 1.0))),
+            ),
+        ),
+        gateway=GatewayConfig(
+            seed=5,
+            max_retries=1,
+            breaker_threshold=2,
+            fault_plan=FaultPlan(
+                seed=23, outages=(OutageWindow("gpt-4-0613", 40, 100_000),)
+            ),
+        ),
+        engine=EngineConfig(max_inflight=8),
+        traffic=TrafficConfig(
+            n_requests=400,
+            seed=17,
+            process="diurnal",
+            mean_gap_ticks=0.5,
+            period_ticks=400,
+            amplitude=0.8,
+            tenants=(
+                TenantProfile("free", weight=3.0,
+                              models=(("frontier", 1.0),)),
+                TenantProfile("paid", weight=1.0,
+                              models=(("frontier", 1.0),)),
+            ),
+        ),
+    )
+    config.validate()
+    config = ServingConfig.from_dict(json.loads(json.dumps(config.as_dict())))
+
+    router = Router(pas, config)
+    tenant_trace = TrafficGenerator(_pool(), config.traffic).trace()
+    result = ServingEngine(router, config).run(tenant_trace)
+    report("policed fleet", result.stats)
+    print(f"    router sheds {router.stats.sheds}, "
+          f"failovers {router.stats.failovers}")
+    breakers = router.replicas[0].stats.breaker_state
+    print(f"    replica 0 breakers: {breakers}")
+    shed = next((r for r in result.responses
+                 if r.error and "QuotaExceededError" in r.error), None)
+    if shed is not None:
+        print(f"    a quota shed never reaches the fleet: "
+              f"status={shed.status!r}, attempts={shed.attempts}")
+
+
+if __name__ == "__main__":
+    main()

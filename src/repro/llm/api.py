@@ -65,6 +65,22 @@ class LatencyModel:
         if self.jitter < 0:
             raise ConfigError(f"jitter must be >= 0, got {self.jitter}")
 
+    def as_dict(self) -> dict:
+        """JSON-safe dict: ``LatencyModel.from_dict(m.as_dict()) == m``."""
+        return {
+            "base_ticks": self.base_ticks,
+            "per_token_ticks": self.per_token_ticks,
+            "jitter": self.jitter,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LatencyModel":
+        return cls(
+            base_ticks=float(data["base_ticks"]),
+            per_token_ticks=float(data["per_token_ticks"]),
+            jitter=float(data["jitter"]),
+        )
+
     def ticks(
         self,
         engine: SimulatedLLM,

@@ -18,12 +18,12 @@ behind a :class:`DeprecationWarning`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
 from repro.pipeline.collect import CollectionConfig
 from repro.pipeline.generate import GenerationConfig
-from repro.resilience import FaultPlan, OutageWindow, RetryPolicy
+from repro.resilience import FaultPlan, RetryPolicy
 
 __all__ = ["RunnerConfig", "PipelineConfig"]
 
@@ -31,39 +31,23 @@ __all__ = ["RunnerConfig", "PipelineConfig"]
 PIPELINE_STAGES = ("dedup", "quality", "classify", "generate", "dataset")
 
 
+# Serialization now lives on the resilience types themselves (they are
+# shared with the serving side's ServingConfig); these thin wrappers keep
+# the historical private names importable.
 def _fault_plan_as_dict(plan: FaultPlan) -> dict:
-    return {
-        "seed": plan.seed,
-        "completion_failure_rate": plan.completion_failure_rate,
-        "augment_failure_rate": plan.augment_failure_rate,
-        "latency_spike_rate": plan.latency_spike_rate,
-        "latency_spike_ticks": plan.latency_spike_ticks,
-        "outages": [
-            {"model": w.model, "start": w.start, "end": w.end} for w in plan.outages
-        ],
-    }
+    return plan.as_dict()
 
 
 def _fault_plan_from_dict(data: dict) -> FaultPlan:
-    return FaultPlan(
-        seed=int(data["seed"]),
-        completion_failure_rate=float(data["completion_failure_rate"]),
-        augment_failure_rate=float(data["augment_failure_rate"]),
-        latency_spike_rate=float(data["latency_spike_rate"]),
-        latency_spike_ticks=int(data["latency_spike_ticks"]),
-        outages=tuple(
-            OutageWindow(model=w["model"], start=int(w["start"]), end=int(w["end"]))
-            for w in data["outages"]
-        ),
-    )
+    return FaultPlan.from_dict(data)
 
 
 def _retry_policy_as_dict(policy: RetryPolicy) -> dict:
-    return {f.name: getattr(policy, f.name) for f in fields(policy)}
+    return policy.as_dict()
 
 
 def _retry_policy_from_dict(data: dict) -> RetryPolicy:
-    return RetryPolicy(**data)
+    return RetryPolicy.from_dict(data)
 
 
 @dataclass(frozen=True)

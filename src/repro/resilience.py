@@ -25,7 +25,7 @@ rate limiter use, so every transition is replayable in tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 import numpy as np
 
@@ -74,6 +74,14 @@ class OutageWindow:
 
     def covers(self, model: str, tick: int) -> bool:
         return self.model == model and self.start <= tick < self.end
+
+    def as_dict(self) -> dict:
+        """JSON-safe dict: ``OutageWindow.from_dict(w.as_dict()) == w``."""
+        return {"model": self.model, "start": self.start, "end": self.end}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "OutageWindow":
+        return cls(model=data["model"], start=int(data["start"]), end=int(data["end"]))
 
 
 @dataclass(frozen=True)
@@ -188,6 +196,32 @@ class FaultPlan:
             return True
         return False
 
+    def as_dict(self) -> dict:
+        """JSON-safe dict: ``FaultPlan.from_dict(p.as_dict()) == p``.
+
+        The attached observer (if any) is runtime wiring, not
+        configuration, and is deliberately not serialized.
+        """
+        return {
+            "seed": self.seed,
+            "completion_failure_rate": self.completion_failure_rate,
+            "augment_failure_rate": self.augment_failure_rate,
+            "latency_spike_rate": self.latency_spike_rate,
+            "latency_spike_ticks": self.latency_spike_ticks,
+            "outages": [window.as_dict() for window in self.outages],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        return cls(
+            seed=int(data["seed"]),
+            completion_failure_rate=float(data["completion_failure_rate"]),
+            augment_failure_rate=float(data["augment_failure_rate"]),
+            latency_spike_rate=float(data["latency_spike_rate"]),
+            latency_spike_ticks=int(data["latency_spike_ticks"]),
+            outages=tuple(OutageWindow.from_dict(w) for w in data["outages"]),
+        )
+
 
 #: The no-op plan: injecting it anywhere changes nothing.
 NO_FAULTS = FaultPlan()
@@ -237,6 +271,14 @@ class RetryPolicy:
             return base
         stretch = 1.0 + self.jitter * _uniform("backoff", str(self.seed), key, str(attempt))
         return base * stretch
+
+    def as_dict(self) -> dict:
+        """JSON-safe dict: ``RetryPolicy.from_dict(p.as_dict()) == p``."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RetryPolicy":
+        return cls(**data)
 
 
 class CircuitBreaker:
@@ -291,6 +333,18 @@ class CircuitBreaker:
                 self._transition(tick, self.HALF_OPEN)
                 return True
             return False
+        return True
+
+    def would_allow(self, tick: int) -> bool:
+        """:meth:`allow` without the half-open transition — a pure peek.
+
+        Routing layers use this to drop hard-open models out of a pool
+        draw without consuming the recovery probe: the breaker only
+        transitions when the gateway's real :meth:`allow` runs.
+        """
+        if self.state == self.OPEN:
+            assert self.opened_at is not None
+            return tick - self.opened_at >= self.recovery_ticks
         return True
 
     def record_success(self, tick: int) -> None:

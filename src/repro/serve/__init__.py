@@ -17,6 +17,15 @@ shaped by a :class:`~repro.resilience.RetryPolicy`, and per-model
 :class:`~repro.resilience.CircuitBreaker`\\ s fail fast while a backend
 misbehaves.
 
+The stack scales horizontally: a deterministic
+:class:`~repro.serve.router.Router` places requests over N gateway
+replicas (consistent-hash affinity or least-loaded balance), enforces
+per-tenant quotas/rate limits via :class:`~repro.serve.router.TenantPolicy`,
+and fails over weighted :class:`~repro.serve.router.ModelPool`\\ s around
+open circuit breakers; one nested
+:class:`~repro.serve.config.ServingConfig` describes the whole deployment
+and round-trips losslessly through dicts.
+
 Observability is woven through the whole path: pass
 ``obs=Observability.enabled()`` to the gateway (and scheduler) to get
 per-request span traces on the logical clock, a shared metrics registry,
@@ -28,7 +37,14 @@ from repro.llm.types import build_messages
 from repro.obs import NULL_OBS, Observability
 from repro.resilience import CircuitBreaker, FaultPlan, OutageWindow, RetryPolicy
 from repro.serve.cache import LruCache
-from repro.serve.engine import EngineConfig, EngineResult, EngineStats, ServingEngine
+from repro.serve.config import ServingConfig
+from repro.serve.engine import (
+    SHED_POLICIES,
+    EngineConfig,
+    EngineResult,
+    EngineStats,
+    ServingEngine,
+)
 from repro.serve.gateway import (
     BatchPlan,
     GatewayConfig,
@@ -36,18 +52,32 @@ from repro.serve.gateway import (
     PasGateway,
     derive_stage_timings,
 )
+from repro.serve.router import (
+    CACHE_SCOPES,
+    HASH_KEYS,
+    ROUTING_POLICIES,
+    ModelPool,
+    Router,
+    RouterConfig,
+    RouterStats,
+    SharedLruCache,
+    TenantPolicy,
+)
 from repro.serve.scheduler import BatchRecord, MicroBatcher, SchedulerStats
 from repro.serve.traffic import (
+    ARRIVAL_PROCESSES,
     TenantProfile,
     TimedRequest,
     TrafficConfig,
     TrafficGenerator,
 )
-from repro.serve.types import ServeRequest, ServeResponse
+from repro.serve.types import STATUSES, ServeRequest, ServeResponse
 
 __all__ = [
+    "ARRIVAL_PROCESSES",
     "BatchPlan",
     "BatchRecord",
+    "CACHE_SCOPES",
     "CircuitBreaker",
     "EngineConfig",
     "EngineResult",
@@ -55,17 +85,28 @@ __all__ = [
     "FaultPlan",
     "GatewayConfig",
     "GatewayStats",
+    "HASH_KEYS",
     "LruCache",
     "MicroBatcher",
+    "ModelPool",
     "NULL_OBS",
     "Observability",
     "OutageWindow",
     "PasGateway",
+    "ROUTING_POLICIES",
     "RetryPolicy",
+    "Router",
+    "RouterConfig",
+    "RouterStats",
+    "SHED_POLICIES",
+    "STATUSES",
     "SchedulerStats",
     "ServeRequest",
     "ServeResponse",
+    "ServingConfig",
     "ServingEngine",
+    "SharedLruCache",
+    "TenantPolicy",
     "TenantProfile",
     "TimedRequest",
     "TrafficConfig",

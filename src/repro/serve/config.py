@@ -1,0 +1,89 @@
+"""One nested configuration surface for the whole serving stack.
+
+:class:`ServingConfig` mirrors :class:`~repro.pipeline.config.PipelineConfig`
+on the serving side: one frozen dataclass with nested per-layer sections —
+``router`` (:class:`~repro.serve.router.RouterConfig`), ``gateway``
+(:class:`~repro.serve.gateway.GatewayConfig`), ``engine``
+(:class:`~repro.serve.engine.EngineConfig`), and ``traffic``
+(:class:`~repro.serve.traffic.TrafficConfig`) — that round-trips
+losslessly through :meth:`ServingConfig.as_dict` /
+:meth:`ServingConfig.from_dict`, fault plans, retry policies, latency
+models, tenant profiles/policies, and model pools included.
+
+Both :class:`~repro.serve.router.Router` and
+:class:`~repro.serve.engine.ServingEngine` accept a ``ServingConfig``
+directly (each reads its own section), so one dict describes one
+deployment end to end::
+
+    config = ServingConfig(
+        router=RouterConfig(n_replicas=4, policy="least_loaded"),
+        gateway=GatewayConfig(seed=5),
+        engine=EngineConfig(max_inflight=8),
+        traffic=TrafficConfig(n_requests=1000, process="diurnal"),
+    )
+    router = Router(pas, config)
+    result = ServingEngine(router, config).run(
+        TrafficGenerator(prompts, config.traffic).trace()
+    )
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.serve.engine import EngineConfig
+from repro.serve.gateway import GatewayConfig
+from repro.serve.router import RouterConfig
+from repro.serve.traffic import TrafficConfig
+
+__all__ = ["ServingConfig"]
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Every knob of the serving stack, in one place.
+
+    Each section validates itself at construction; :meth:`validate` adds
+    the cross-section checks no single section can see.
+    """
+
+    router: RouterConfig = field(default_factory=RouterConfig)
+    gateway: GatewayConfig = field(default_factory=GatewayConfig)
+    engine: EngineConfig = field(default_factory=EngineConfig)
+    traffic: TrafficConfig = field(default_factory=TrafficConfig)
+
+    def validate(self) -> None:
+        """Cross-section consistency checks (sections self-validate).
+
+        A :class:`~repro.serve.router.TenantPolicy` for a tenant the
+        traffic section never emits is almost certainly a typo'd name, as
+        is a traffic model mix naming a pool the router doesn't define
+        while pools are in play.
+        """
+        tenant_names = {profile.name for profile in self.traffic.tenants}
+        for policy in self.router.tenants:
+            if policy.tenant not in tenant_names:
+                raise ConfigError(
+                    f"router has a TenantPolicy for {policy.tenant!r} but the "
+                    f"traffic section only emits tenants {sorted(tenant_names)}"
+                )
+
+    def as_dict(self) -> dict:
+        """JSON-safe dict: ``ServingConfig.from_dict(c.as_dict()) == c``."""
+        return {
+            "router": self.router.as_dict(),
+            "gateway": self.gateway.as_dict(),
+            "engine": self.engine.as_dict(),
+            "traffic": self.traffic.as_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServingConfig":
+        """Inverse of :meth:`as_dict` (lossless, JSON-safe)."""
+        return cls(
+            router=RouterConfig.from_dict(data["router"]),
+            gateway=GatewayConfig.from_dict(data["gateway"]),
+            engine=EngineConfig.from_dict(data["engine"]),
+            traffic=TrafficConfig.from_dict(data["traffic"]),
+        )

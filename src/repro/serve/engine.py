@@ -25,6 +25,15 @@ unaugmented, per :attr:`EngineConfig.shed_policy`), planned once with
 :meth:`~repro.serve.gateway.PasGateway.plan_batch`, ordered by priority,
 and its requests start completions as their model's slots allow.
 
+The engine always drives a :class:`~repro.serve.router.Router`: hand it
+a bare gateway and it is adopted as a trivial single-replica router
+(invisible — no spans, metrics, or routing state), hand it a multi-replica
+router and every dispatch round routes, admission enforces tenant
+policies, and pool-addressed requests resolve to concrete models before
+planning.  Per-slot accounting is keyed ``(replica, model)``; with one
+replica the stats keys stay bare model names, so single-gateway callers
+see exactly the PR 7 shapes.
+
 **Compatibility mode**: at ``max_inflight=1`` completions serialize, the
 gateway sees the same request order as the synchronous path, and — by the
 partition-invariance the batch-parity suite pins — the responses are
@@ -37,13 +46,15 @@ responses, traces, events, and metrics.
 from __future__ import annotations
 
 import heapq
+import warnings
 from collections import deque
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Sequence
 
 from repro.errors import ConfigError, UnknownModelError
 from repro.obs import MetricsRegistry, Observability
 from repro.serve.gateway import BatchPlan, PasGateway
+from repro.serve.router import Router
 from repro.serve.scheduler import MicroBatcher, _percentile
 from repro.serve.traffic import TimedRequest
 from repro.serve.types import ServeRequest, ServeResponse
@@ -117,14 +128,25 @@ class EngineConfig:
                 f"expected one of {SHED_POLICIES}"
             )
 
+    def as_dict(self) -> dict:
+        """JSON-safe dict: ``EngineConfig.from_dict(c.as_dict()) == c``."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EngineConfig":
+        return cls(**data)
+
 
 @dataclass
 class EngineStats:
     """One run's accounting.  Invariant: ``arrived == served + failed``
     (shed rejects are ``failed`` responses with ``attempts=0``), and
-    ``shed`` counts rejects by reason (``queue`` / ``deadline``) while
-    ``degraded_on_shed`` counts deadline sheds the ``degrade`` policy
-    turned into unaugmented serves instead."""
+    ``shed`` counts rejects by reason (``queue`` / ``deadline`` /
+    ``quota`` / ``ratelimit`` / ``pool``) while ``degraded_on_shed``
+    counts deadline sheds the ``degrade`` policy turned into unaugmented
+    serves instead.  With multiple replicas, ``busy_ticks`` /
+    ``slot_limits`` / ``occupancy`` keys become ``model@rN``; one replica
+    keeps bare model names."""
 
     arrived: int = 0
     served: int = 0
@@ -218,22 +240,55 @@ class EngineResult:
 
 
 class ServingEngine:
-    """Drive a :class:`~repro.serve.gateway.PasGateway` through a timed trace.
+    """Drive gateway replicas through a timed trace, via a router.
 
-    The engine shares the gateway's observability bundle: engine metrics
+    ``target`` is either a :class:`~repro.serve.router.Router` or a bare
+    :class:`~repro.serve.gateway.PasGateway` (adopted as a trivial
+    single-replica router — the two spellings are bit-identical).
+    ``config`` is an :class:`EngineConfig`, or a full
+    :class:`~repro.serve.config.ServingConfig` whose ``engine`` section
+    is used; the historical flat kwargs (``max_inflight=...`` etc.) keep
+    working behind a :class:`DeprecationWarning`.
+
+    The engine shares the router's observability bundle: engine metrics
     (``pas_engine_inflight``, ``pas_request_latency_ticks``,
     ``pas_queue_wait_ticks``, ``pas_engine_shed_total``) land in the same
     registry as the gateway's counters, shed events join the gateway's
-    event log, and gateway spans keep their synchronous shape.  One
-    engine can :meth:`run` several traces; gateway state (caches,
-    breakers, clock) carries across runs exactly as it would across
-    ``ask_batch`` calls.
+    event log, and gateway spans keep their synchronous shape (parented
+    by ``router.route`` for non-trivial routers).  One engine can
+    :meth:`run` several traces; gateway state (caches, breakers, clocks)
+    carries across runs exactly as it would across ``ask_batch`` calls.
     """
 
-    def __init__(self, gateway: PasGateway, config: EngineConfig | None = None):
-        self.gateway = gateway
+    def __init__(
+        self,
+        target: Router | PasGateway,
+        config: "EngineConfig | object | None" = None,
+        **deprecated,
+    ):
+        unknown = set(deprecated) - {f.name for f in fields(EngineConfig)}
+        if unknown:
+            raise TypeError(
+                f"ServingEngine() got unexpected keyword arguments {sorted(unknown)}"
+            )
+        if config is not None and hasattr(config, "engine") and hasattr(config, "router"):
+            config = config.engine
+        if deprecated:
+            warnings.warn(
+                "ServingEngine flat kwargs "
+                f"({', '.join(sorted(deprecated))}) are deprecated; pass "
+                "ServingEngine(target, EngineConfig(...)) or a ServingConfig "
+                "instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = replace(config or EngineConfig(), **deprecated)
+        if isinstance(target, Router):
+            self.router = target
+        else:
+            self.router = Router(replicas=[target])
         self.config = config or EngineConfig()
-        self.obs: Observability = gateway.obs
+        self.obs: Observability = self.router.obs
         self._registry: MetricsRegistry = (
             self.obs.metrics if self.obs.metrics.enabled else MetricsRegistry()
         )
@@ -254,25 +309,43 @@ class ServingEngine:
             "pas_engine_shed_total", help="Requests shed by reason."
         )
 
+    @property
+    def gateway(self) -> PasGateway:
+        """The first (with one replica: the only) gateway replica."""
+        return self.router.replicas[0]
+
     # ------------------------------------------------------------------ #
     # helpers
     # ------------------------------------------------------------------ #
 
-    def _slot_limit(self, model: str, limits: dict[str, int]) -> int:
-        """Per-model in-flight slots.  Unknown models get one slot — their
-        requests fail at routing after a nominal 1-tick latency, which
-        keeps serve order identical to the synchronous path."""
-        if model not in limits:
+    def _slot_limit(
+        self, replica: int, model: str, limits: dict[tuple[int, str], int]
+    ) -> int:
+        """Per-(replica, model) in-flight slots.  Unknown models get one
+        slot — their requests fail at routing after a nominal 1-tick
+        latency, which keeps serve order identical to the synchronous
+        path."""
+        key = (replica, model)
+        if key not in limits:
             try:
-                client_limit = self.gateway.client_for(model).max_inflight
+                client_limit = (
+                    self.router.replicas[replica].client_for(model).max_inflight
+                )
             except UnknownModelError:
                 client_limit = 1
-            limits[model] = (
+            limits[key] = (
                 self.config.max_inflight
                 if self.config.max_inflight is not None
                 else client_limit
             )
-        return limits[model]
+        return limits[key]
+
+    def _stat_key(self, replica: int, model: str) -> str:
+        """Stats keys stay bare model names with one replica (the PR 7
+        shape); fleets annotate them with the replica index."""
+        if self.router.n_replicas == 1:
+            return model
+        return f"{model}@r{replica}"
 
     @staticmethod
     def _shed_response(request: ServeRequest, error: str) -> ServeResponse:
@@ -294,7 +367,7 @@ class ServingEngine:
             return timed.deadline_ticks
         if self.config.deadline_ticks is not None:
             return self.config.deadline_ticks
-        policy = self.gateway.config.retry_policy
+        policy = self.router.gateway_config.retry_policy
         return policy.deadline_ticks if policy is not None else None
 
     # ------------------------------------------------------------------ #
@@ -308,7 +381,7 @@ class ServingEngine:
         :meth:`~repro.serve.traffic.TrafficGenerator.trace` produces).
         """
         cfg = self.config
-        gateway = self.gateway
+        router = self.router
         trace = list(trace)
         for earlier, later in zip(trace, trace[1:]):
             if later.tick < earlier.tick:
@@ -329,12 +402,12 @@ class ServingEngine:
         )
         # Parallel FIFO of (trace index, TimedRequest) for the batcher queue.
         meta: deque[tuple[int, TimedRequest]] = deque()
-        # Planned requests waiting for their model's slot.
-        spill: deque[tuple[int, TimedRequest, ServeRequest, BatchPlan]] = deque()
+        # Planned requests waiting for a slot on their assigned replica.
+        spill: deque[tuple[int, TimedRequest, ServeRequest, BatchPlan, int]] = deque()
         heap: list[tuple[int, int, int, object]] = []
         seq = 0
-        limits: dict[str, int] = {}
-        busy: dict[str, int] = {}
+        limits: dict[tuple[int, str], int] = {}
+        busy: dict[tuple[int, str], int] = {}
         inflight = 0
         wake_at: int | None = None
 
@@ -360,12 +433,14 @@ class ServingEngine:
 
         def finish(tick: int, payload) -> None:
             nonlocal inflight
-            index, timed, request, plan, grant_tick = payload
-            response = gateway.serve_planned(request, plan)
-            busy[request.model] -= 1
+            index, timed, request, plan, replica, grant_tick = payload
+            response = router.serve_planned(replica, request, plan)
+            router.release(replica)
+            busy[(replica, request.model)] -= 1
             inflight -= 1
-            stats.busy_ticks[request.model] = (
-                stats.busy_ticks.get(request.model, 0) + tick - grant_tick
+            stat_key = self._stat_key(replica, request.model)
+            stats.busy_ticks[stat_key] = (
+                stats.busy_ticks.get(stat_key, 0) + tick - grant_tick
             )
             self._m_inflight.set(inflight)
             latency = tick - timed.tick
@@ -374,42 +449,47 @@ class ServingEngine:
             record(index, response)
 
         def start(index: int, timed: TimedRequest, request: ServeRequest,
-                  plan: BatchPlan, now: int) -> None:
+                  plan: BatchPlan, replica: int, now: int) -> None:
             nonlocal inflight, seq
             wait = now - timed.tick
             stats.queue_wait_ticks.append(wait)
             self._m_queue_wait.observe(wait)
             try:
-                latency = gateway.completion_latency(request, plan)
+                latency = router.completion_latency(replica, request, plan)
             except UnknownModelError:
                 latency = 1  # fails at routing when the finish event serves it
-            busy[request.model] = busy.get(request.model, 0) + 1
+            busy[(replica, request.model)] = busy.get((replica, request.model), 0) + 1
             inflight += 1
             stats.peak_inflight = max(stats.peak_inflight, inflight)
             self._m_inflight.set(inflight)
             heapq.heappush(
                 heap,
-                (now + latency, _FINISH, seq, (index, timed, request, plan, now)),
+                (
+                    now + latency,
+                    _FINISH,
+                    seq,
+                    (index, timed, request, plan, replica, now),
+                ),
             )
             seq += 1
 
         def capacity_free() -> bool:
             if not busy:
                 return True
-            return any(
-                count < limits[model] for model, count in busy.items()
-            )
+            return any(count < limits[key] for key, count in busy.items())
 
         def dispatch(now: int, force: bool) -> None:
             progressed = True
             while progressed:
                 progressed = False
                 while spill:
-                    index, timed, request, plan = spill[0]
-                    if busy.get(request.model, 0) >= self._slot_limit(request.model, limits):
+                    index, timed, request, plan, replica = spill[0]
+                    if busy.get((replica, request.model), 0) >= self._slot_limit(
+                        replica, request.model, limits
+                    ):
                         break
                     spill.popleft()
-                    start(index, timed, request, plan, now)
+                    start(index, timed, request, plan, replica, now)
                     progressed = True
                 if spill:
                     break
@@ -454,15 +534,49 @@ class ServingEngine:
                 if not kept:
                     progressed = True
                     continue
-                plan = gateway.plan_batch([request for _, _, request in kept])
+                # Route each request, then resolve pool-addressed models
+                # against the chosen replica's breakers.  The ``degrade``
+                # shed policy forces an all-open pool to draw anyway (the
+                # gateway breaker then fast-fails or admits the probe);
+                # ``reject`` sheds it with attempts=0.
+                routed: list[tuple[int, TimedRequest, ServeRequest, int]] = []
+                for index, timed, request in kept:
+                    replica = router.route(request, timed)
+                    resolved = router.resolve(
+                        request, timed, replica,
+                        force=(cfg.shed_policy == "degrade"),
+                    )
+                    if resolved is None:
+                        router.release(replica)
+                        shed(
+                            index,
+                            timed,
+                            "pool",
+                            "PoolExhaustedError: every model in pool "
+                            f"{request.model!r} has an open circuit breaker",
+                        )
+                        continue
+                    routed.append((index, timed, resolved, replica))
+                if not routed:
+                    progressed = True
+                    continue
+                # One plan per replica group, each in arrival order (with
+                # one replica this is exactly the single plan_batch call
+                # the PR 7 engine made).
+                plans: dict[int, BatchPlan] = {}
+                for replica in sorted({r for _, _, _, r in routed}):
+                    group = [req for _, _, req, r in routed if r == replica]
+                    plans[replica] = router.plan_batch(replica, group)
                 # Higher priority dispatches first; the sort is stable, so
                 # equal priorities keep arrival order (compat parity).
-                kept.sort(key=lambda item: -item[1].priority)
-                for index, timed, request in kept:
-                    if busy.get(request.model, 0) < self._slot_limit(request.model, limits):
-                        start(index, timed, request, plan, now)
+                routed.sort(key=lambda item: -router.effective_priority(item[1]))
+                for index, timed, request, replica in routed:
+                    if busy.get((replica, request.model), 0) < self._slot_limit(
+                        replica, request.model, limits
+                    ):
+                        start(index, timed, request, plans[replica], replica, now)
                     else:
-                        spill.append((index, timed, request, plan))
+                        spill.append((index, timed, request, plans[replica], replica))
                 progressed = True
 
         i = 0
@@ -487,11 +601,29 @@ class ServingEngine:
             while heap and heap[0][0] == now and heap[0][1] == _FINISH:
                 _, _, _, payload = heapq.heappop(heap)
                 finish(now, payload)
-            # 2. arrivals at this tick (admission control at the door)
+            # 2. arrivals at this tick (admission control at the door:
+            #    tenant policy first, then the queue bound)
             while i < n and trace[i].tick == now:
                 timed = trace[i]
                 queued = batcher.pending + len(spill)
-                if cfg.max_queue is not None and queued >= cfg.max_queue:
+                reason = router.admit(timed) if not router.trivial else None
+                if reason == "quota":
+                    shed(
+                        i,
+                        timed,
+                        "quota",
+                        f"QuotaExceededError: tenant {timed.tenant!r} is over "
+                        "its request quota for this window",
+                    )
+                elif reason == "ratelimit":
+                    shed(
+                        i,
+                        timed,
+                        "ratelimit",
+                        f"RateLimitedError: tenant {timed.tenant!r} token "
+                        "bucket is empty",
+                    )
+                elif cfg.max_queue is not None and queued >= cfg.max_queue:
                     shed(
                         i,
                         timed,
@@ -517,7 +649,12 @@ class ServingEngine:
                     wake_at = due
 
         self._m_inflight.set(0)
-        stats.slot_limits = dict(sorted(limits.items()))
+        stats.slot_limits = dict(
+            sorted(
+                (self._stat_key(replica, model), limit)
+                for (replica, model), limit in limits.items()
+            )
+        )
         return EngineResult(
             responses=responses if cfg.keep_responses else [],
             stats=stats,

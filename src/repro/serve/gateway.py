@@ -102,6 +102,56 @@ class GatewayConfig:
     latency_model: LatencyModel | None = None
     max_inflight: int = 1
 
+    def as_dict(self) -> dict:
+        """JSON-safe dict: ``GatewayConfig.from_dict(c.as_dict()) == c``."""
+        return {
+            "cache_size": self.cache_size,
+            "embed_cache_size": self.embed_cache_size,
+            "failure_rate": self.failure_rate,
+            "max_retries": self.max_retries,
+            "seed": self.seed,
+            "strict": self.strict,
+            "fault_plan": None if self.fault_plan is None else self.fault_plan.as_dict(),
+            "retry_policy": (
+                None if self.retry_policy is None else self.retry_policy.as_dict()
+            ),
+            "breaker_threshold": self.breaker_threshold,
+            "breaker_recovery_ticks": self.breaker_recovery_ticks,
+            "latency_model": (
+                None if self.latency_model is None else self.latency_model.as_dict()
+            ),
+            "max_inflight": self.max_inflight,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GatewayConfig":
+        return cls(
+            cache_size=int(data["cache_size"]),
+            embed_cache_size=int(data["embed_cache_size"]),
+            failure_rate=float(data["failure_rate"]),
+            max_retries=int(data["max_retries"]),
+            seed=int(data["seed"]),
+            strict=bool(data["strict"]),
+            fault_plan=(
+                None
+                if data["fault_plan"] is None
+                else FaultPlan.from_dict(data["fault_plan"])
+            ),
+            retry_policy=(
+                None
+                if data["retry_policy"] is None
+                else RetryPolicy.from_dict(data["retry_policy"])
+            ),
+            breaker_threshold=int(data["breaker_threshold"]),
+            breaker_recovery_ticks=int(data["breaker_recovery_ticks"]),
+            latency_model=(
+                None
+                if data["latency_model"] is None
+                else LatencyModel.from_dict(data["latency_model"])
+            ),
+            max_inflight=int(data["max_inflight"]),
+        )
+
 
 #: The flat ``PasGateway.__init__`` kwargs that pre-date :class:`GatewayConfig`.
 _DEPRECATED_KWARGS = ("cache_size", "embed_cache_size", "failure_rate", "max_retries", "seed")
@@ -374,6 +424,9 @@ class PasGateway:
         pas: PasModel,
         config: GatewayConfig | None = None,
         obs: Observability = NULL_OBS,
+        *,
+        complement_cache: LruCache | None = None,
+        embed_cache: LruCache | None = None,
         **deprecated,
     ):
         unknown = set(deprecated) - set(_DEPRECATED_KWARGS)
@@ -396,14 +449,22 @@ class PasGateway:
         self._clock = 0
         self._clients: dict[str, ChatClient] = {}
         self._breakers: dict[str, CircuitBreaker] = {}
-        self._complement_cache: LruCache[str, str] = LruCache(
-            capacity=self.config.cache_size
+        # Injected caches let a Router share one two-tier cache across
+        # replicas (``cache_scope="shared"``); ``None`` builds private
+        # tiers sized by the config, as before.
+        self._complement_cache: LruCache[str, str] = (
+            complement_cache
+            if complement_cache is not None
+            else LruCache(capacity=self.config.cache_size)
         )
-        self._embed_cache: LruCache[str, np.ndarray] | None = (
-            LruCache(capacity=self.config.embed_cache_size)
-            if self.config.embed_cache_size > 0
-            else None
-        )
+        if embed_cache is not None:
+            self._embed_cache: LruCache[str, np.ndarray] | None = embed_cache
+        else:
+            self._embed_cache = (
+                LruCache(capacity=self.config.embed_cache_size)
+                if self.config.embed_cache_size > 0
+                else None
+            )
         self.obs = obs
         self.obs.bind_clock(lambda: self._clock)
         # The stats source of truth is always a real registry — the user's
@@ -665,6 +726,8 @@ class PasGateway:
         with tracer.span("gateway.ask", model=request.model) as root:
             if request.request_id is not None:
                 root.set(request_id=request.request_id)
+            if request.tenant is not None:
+                root.set(tenant=request.tenant)
             try:
                 client = self.client_for(request.model)
             except UnknownModelError as error:

@@ -1,0 +1,726 @@
+"""Horizontal scale-out: a deterministic router over gateway replicas.
+
+One :class:`~repro.serve.gateway.PasGateway` is one process; the paper's
+deployment story (Figure 1a: PAS in front of *any* model fleet) implies
+many.  :class:`Router` owns N gateway replicas — same trained PAS model,
+same :class:`~repro.serve.gateway.GatewayConfig`, so any replica produces
+bit-identical completions for the same request — and places each request
+by a pluggable policy:
+
+* ``policy="hash"`` — **cache affinity**: consistent hashing over a
+  virtual-node ring keyed on the prompt (or tenant), so repeats of a
+  prompt always land on the replica whose complement cache already holds
+  it.  The ring is a pure function of ``(seed, n_replicas, vnodes)``;
+  adding a replica remaps only ~1/N of the key space.
+* ``policy="least_loaded"`` — **balance**: argmin over live per-replica
+  load (queued + in-flight assignments), lowest index breaking ties.
+
+Layered on top:
+
+* **multi-tenancy** — per-tenant :class:`TenantPolicy` enforced at
+  admission: a fixed-window request quota, a token-bucket rate limit,
+  and a priority override.  Both limiters run on *arrival ticks*, which
+  are a pure function of the traffic seed and independent of any fault
+  plan, so admission decisions are invariant across chaos-seed offsets.
+* **weighted model pools with failover** — a :class:`ModelPool` names a
+  virtual model backed by a weighted set of real models.  The weighted
+  draw is a pure function of ``(router seed, pool, arrival tick, request
+  key)``; members whose circuit breaker is hard-open on the target
+  replica drop out of the draw (a *failover*), and a pool with every
+  member open resolves to nothing — the engine sheds it (``reject``) or
+  draws over the full pool anyway (``degrade``: the gateway's own
+  breaker then fast-fails or admits the recovery probe).
+* **cache coherence as explicit policy** — ``cache_scope="replica"``
+  (default) gives every replica private cache tiers, which affinity
+  routing keeps effective; ``cache_scope="shared"`` threads one
+  lock-guarded two-tier cache through every replica.
+
+**The trivial router is invisible.**  One replica + hash policy + no
+tenant policies + no pools + replica-scoped caches adopts the single
+gateway unchanged: no ``router.route`` spans, no ``pas_router_*``
+metrics, no extra events — the engine driving it is bit-identical to the
+single-gateway engine, exports and all (the parity suite pins this).
+Non-trivial routers wrap each serve in a ``router.route`` span that
+parents the gateway's span tree and mirror their counters into
+``pas_router_routed_total``, ``pas_router_replica_load``,
+``pas_router_shed_total``, and ``pas_router_failovers_total``.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_right
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.pas import PasModel
+from repro.errors import ConfigError
+from repro.obs import NULL_OBS, MetricsRegistry, Observability
+from repro.serve.cache import LruCache
+from repro.serve.gateway import BatchPlan, GatewayConfig, PasGateway
+from repro.serve.traffic import TimedRequest
+from repro.serve.types import ServeRequest, ServeResponse
+from repro.utils.rng import stable_hash
+
+__all__ = [
+    "CACHE_SCOPES",
+    "HASH_KEYS",
+    "ROUTING_POLICIES",
+    "ModelPool",
+    "Router",
+    "RouterConfig",
+    "RouterStats",
+    "SharedLruCache",
+    "TenantPolicy",
+]
+
+#: Placement policies: ``hash`` — consistent-hash on the request key
+#: (cache affinity); ``least_loaded`` — argmin over live replica load.
+ROUTING_POLICIES = ("hash", "least_loaded")
+
+#: What the consistent hash keys on: the prompt text (dedupe-friendly —
+#: repeats of a prompt share a replica cache) or the tenant id (isolation-
+#: friendly — one tenant's traffic stays on one replica).
+HASH_KEYS = ("prompt", "tenant")
+
+#: Cache coherence policy across replicas (see the module docstring).
+CACHE_SCOPES = ("replica", "shared")
+
+_HASH_SPACE = float(1 << 64)
+
+
+def _unit_draw(*material: object) -> float:
+    """One deterministic U[0, 1) draw keyed by ``material``."""
+    return stable_hash("␞".join(str(m) for m in material)) / _HASH_SPACE
+
+
+class SharedLruCache(LruCache):
+    """An :class:`~repro.serve.cache.LruCache` safe to share across replicas.
+
+    ``cache_scope="shared"`` hands one instance of this to every replica;
+    the lock makes each get/put atomic.  Replica gateways are driven from
+    one event loop today, so the lock is cheap insurance for future
+    thread-per-replica execution rather than a hot-path cost.
+    """
+
+    def __init__(self, capacity: int = 1024):
+        super().__init__(capacity=capacity)
+        self._lock = threading.RLock()
+
+    def get(self, key, default=None):
+        with self._lock:
+            return super().get(key, default)
+
+    def peek(self, key, default=None):
+        with self._lock:
+            return super().peek(key, default)
+
+    def put(self, key, value) -> None:
+        with self._lock:
+            super().put(key, value)
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Admission and scheduling policy for one tenant.
+
+    ``quota`` bounds requests per fixed window of ``quota_window_ticks``
+    arrival ticks (``None`` — unlimited).  ``rate_tokens_per_tick`` is a
+    token bucket refilled on the arrival clock with headroom for
+    ``burst`` requests (``None`` — no rate limit).  ``priority``
+    overrides the trace's per-request priority at dispatch (``None`` —
+    keep the trace's).  Both limiters key on arrival ticks, which no
+    fault plan perturbs, so admission is chaos-offset-invariant.
+    """
+
+    tenant: str
+    quota: int | None = None
+    quota_window_ticks: int = 1024
+    rate_tokens_per_tick: float | None = None
+    burst: int = 8
+    priority: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.tenant:
+            raise ConfigError("TenantPolicy.tenant must be non-empty")
+        if self.quota is not None and self.quota < 1:
+            raise ConfigError(f"quota must be >= 1 or None, got {self.quota}")
+        if self.quota_window_ticks < 1:
+            raise ConfigError(
+                f"quota_window_ticks must be >= 1, got {self.quota_window_ticks}"
+            )
+        if self.rate_tokens_per_tick is not None and self.rate_tokens_per_tick <= 0:
+            raise ConfigError(
+                "rate_tokens_per_tick must be > 0 or None, "
+                f"got {self.rate_tokens_per_tick}"
+            )
+        if self.burst < 1:
+            raise ConfigError(f"burst must be >= 1, got {self.burst}")
+
+    def as_dict(self) -> dict:
+        """JSON-safe dict: ``TenantPolicy.from_dict(p.as_dict()) == p``."""
+        return {
+            "tenant": self.tenant,
+            "quota": self.quota,
+            "quota_window_ticks": self.quota_window_ticks,
+            "rate_tokens_per_tick": self.rate_tokens_per_tick,
+            "burst": self.burst,
+            "priority": self.priority,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TenantPolicy":
+        return cls(
+            tenant=data["tenant"],
+            quota=None if data["quota"] is None else int(data["quota"]),
+            quota_window_ticks=int(data["quota_window_ticks"]),
+            rate_tokens_per_tick=(
+                None
+                if data["rate_tokens_per_tick"] is None
+                else float(data["rate_tokens_per_tick"])
+            ),
+            burst=int(data["burst"]),
+            priority=None if data["priority"] is None else int(data["priority"]),
+        )
+
+
+@dataclass(frozen=True)
+class ModelPool:
+    """A virtual model backed by a weighted set of real models.
+
+    Requests addressed to ``name`` resolve to one member per request via
+    a deterministic weighted draw; members whose circuit breaker is
+    hard-open on the serving replica drop out of the draw (failover).
+    """
+
+    name: str
+    models: tuple[tuple[str, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("ModelPool.name must be non-empty")
+        if not isinstance(self.models, tuple):
+            object.__setattr__(
+                self, "models", tuple((m, float(w)) for m, w in self.models)
+            )
+        if not self.models:
+            raise ConfigError(f"pool {self.name!r} needs at least one model")
+        if any(weight <= 0 for _, weight in self.models):
+            raise ConfigError(f"pool {self.name!r} model weights must be > 0")
+        members = [model for model, _ in self.models]
+        if len(set(members)) != len(members):
+            raise ConfigError(f"pool {self.name!r} lists a model twice: {members}")
+
+    def as_dict(self) -> dict:
+        """JSON-safe dict: ``ModelPool.from_dict(p.as_dict()) == p``."""
+        return {
+            "name": self.name,
+            "models": [[model, weight] for model, weight in self.models],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ModelPool":
+        return cls(
+            name=data["name"],
+            models=tuple((model, float(weight)) for model, weight in data["models"]),
+        )
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Everything configurable about a :class:`Router`.
+
+    ``seed`` salts the hash ring and every pool draw; ``vnodes`` is the
+    number of ring points per replica (more points → smoother key
+    spread).  See the module docstring for ``policy`` / ``hash_key`` /
+    ``cache_scope`` semantics.
+    """
+
+    n_replicas: int = 1
+    policy: str = "hash"
+    hash_key: str = "prompt"
+    vnodes: int = 64
+    cache_scope: str = "replica"
+    seed: int = 0
+    tenants: tuple[TenantPolicy, ...] = ()
+    pools: tuple[ModelPool, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.n_replicas < 1:
+            raise ConfigError(f"n_replicas must be >= 1, got {self.n_replicas}")
+        if self.policy not in ROUTING_POLICIES:
+            raise ConfigError(
+                f"unknown routing policy {self.policy!r}; "
+                f"expected one of {ROUTING_POLICIES}"
+            )
+        if self.hash_key not in HASH_KEYS:
+            raise ConfigError(
+                f"unknown hash_key {self.hash_key!r}; expected one of {HASH_KEYS}"
+            )
+        if self.vnodes < 1:
+            raise ConfigError(f"vnodes must be >= 1, got {self.vnodes}")
+        if self.cache_scope not in CACHE_SCOPES:
+            raise ConfigError(
+                f"unknown cache_scope {self.cache_scope!r}; "
+                f"expected one of {CACHE_SCOPES}"
+            )
+        if not isinstance(self.tenants, tuple):
+            object.__setattr__(self, "tenants", tuple(self.tenants))
+        if not isinstance(self.pools, tuple):
+            object.__setattr__(self, "pools", tuple(self.pools))
+        tenant_names = [policy.tenant for policy in self.tenants]
+        if len(set(tenant_names)) != len(tenant_names):
+            raise ConfigError(f"duplicate tenant policies: {sorted(tenant_names)}")
+        pool_names = [pool.name for pool in self.pools]
+        if len(set(pool_names)) != len(pool_names):
+            raise ConfigError(f"duplicate pool names: {sorted(pool_names)}")
+        for pool in self.pools:
+            nested = [m for m, _ in pool.models if m in set(pool_names)]
+            if nested:
+                raise ConfigError(
+                    f"pool {pool.name!r} cannot contain other pools: {nested}"
+                )
+
+    def as_dict(self) -> dict:
+        """JSON-safe dict: ``RouterConfig.from_dict(c.as_dict()) == c``."""
+        return {
+            "n_replicas": self.n_replicas,
+            "policy": self.policy,
+            "hash_key": self.hash_key,
+            "vnodes": self.vnodes,
+            "cache_scope": self.cache_scope,
+            "seed": self.seed,
+            "tenants": [policy.as_dict() for policy in self.tenants],
+            "pools": [pool.as_dict() for pool in self.pools],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RouterConfig":
+        return cls(
+            n_replicas=int(data["n_replicas"]),
+            policy=data["policy"],
+            hash_key=data["hash_key"],
+            vnodes=int(data["vnodes"]),
+            cache_scope=data["cache_scope"],
+            seed=int(data["seed"]),
+            tenants=tuple(TenantPolicy.from_dict(t) for t in data["tenants"]),
+            pools=tuple(ModelPool.from_dict(p) for p in data["pools"]),
+        )
+
+
+class RouterStats:
+    """Live accounting view over one :class:`Router`.
+
+    ``routed`` counts placements per replica; ``sheds`` counts admission
+    rejections by reason (``quota`` / ``ratelimit``); ``failovers``
+    counts pool draws that excluded at least one breaker-open member,
+    per pool; ``load`` is the current queued + in-flight assignment count
+    per replica.
+    """
+
+    __slots__ = ("_router",)
+
+    def __init__(self, router: "Router"):
+        self._router = router
+
+    @property
+    def routed(self) -> list[int]:
+        return list(self._router._routed)
+
+    @property
+    def routed_total(self) -> int:
+        return sum(self._router._routed)
+
+    @property
+    def sheds(self) -> dict[str, int]:
+        return dict(self._router._sheds)
+
+    @property
+    def failovers(self) -> dict[str, int]:
+        return dict(self._router._failovers)
+
+    @property
+    def load(self) -> list[int]:
+        return list(self._router._load)
+
+    def as_dict(self) -> dict:
+        """JSON-safe dict with a stable key order."""
+        return {
+            "routed": self.routed,
+            "routed_total": self.routed_total,
+            "sheds": dict(sorted(self.sheds.items())),
+            "failovers": dict(sorted(self.failovers.items())),
+            "load": self.load,
+        }
+
+    def __repr__(self) -> str:
+        return f"RouterStats({self.as_dict()!r})"
+
+
+class Router:
+    """Place requests over N gateway replicas; see the module docstring.
+
+    Construct from a trained PAS model (``Router(pas, config)`` — the
+    router builds the replicas, each from ``config.gateway`` when given a
+    :class:`~repro.serve.config.ServingConfig`, or a default
+    :class:`~repro.serve.gateway.GatewayConfig` otherwise) or adopt
+    pre-built gateways (``Router(replicas=[gw, ...])`` — what the engine
+    does when handed a bare gateway).  The
+    :class:`~repro.serve.engine.ServingEngine` is the intended driver:
+    it calls :meth:`admit` at arrival, :meth:`route` / :meth:`resolve`
+    at dispatch, and :meth:`serve_planned` / :meth:`release` at finish.
+    """
+
+    def __init__(
+        self,
+        pas: PasModel | None = None,
+        config: object = None,
+        obs: Observability = NULL_OBS,
+        *,
+        replicas: Sequence[PasGateway] | None = None,
+    ):
+        if config is None:
+            router_cfg, gateway_cfg = RouterConfig(), None
+        elif isinstance(config, RouterConfig):
+            router_cfg, gateway_cfg = config, None
+        elif hasattr(config, "router") and hasattr(config, "gateway"):
+            router_cfg, gateway_cfg = config.router, config.gateway
+        else:
+            raise TypeError(
+                "config must be a RouterConfig or a ServingConfig, "
+                f"got {type(config).__name__}"
+            )
+
+        if replicas is not None:
+            if pas is not None:
+                raise TypeError("pass either pas or replicas, not both")
+            if not replicas:
+                raise ConfigError("replicas must be non-empty when given")
+            if router_cfg.n_replicas != len(replicas):
+                # The default n_replicas=1 means "infer from the gateways";
+                # an explicit mismatch is a configuration error.
+                if router_cfg.n_replicas == 1:
+                    router_cfg = replace(router_cfg, n_replicas=len(replicas))
+                else:
+                    raise ConfigError(
+                        f"config names {router_cfg.n_replicas} replicas but "
+                        f"{len(replicas)} gateways were given"
+                    )
+            self.replicas: list[PasGateway] = list(replicas)
+            if obs is NULL_OBS:
+                obs = self.replicas[0].obs
+            self.gateway_config = self.replicas[0].config
+        else:
+            if pas is None:
+                raise TypeError("Router() needs a PasModel (or replicas=...)")
+            self.gateway_config = gateway_cfg or GatewayConfig()
+            self.replicas = self._build_replicas(pas, router_cfg, obs)
+
+        self.config = router_cfg
+        self.obs = obs
+        n = len(self.replicas)
+
+        #: Trivial mode: the identity router.  It adds no spans, metrics,
+        #: or events, so the 1-replica engine stays bit-identical to the
+        #: single-gateway engine (the headline parity contract).
+        self.trivial = (
+            n == 1
+            and router_cfg.policy == "hash"
+            and not router_cfg.tenants
+            and not router_cfg.pools
+            and router_cfg.cache_scope == "replica"
+        )
+
+        # Each gateway bound the shared obs clock to its own counter at
+        # construction (last one wins); rebind to the fleet-wide request
+        # count, which collapses to the single gateway's clock at n=1.
+        if not self.trivial:
+            gateways = self.replicas
+            obs.bind_clock(lambda: sum(g._clock for g in gateways))
+
+        self._policies = {policy.tenant: policy for policy in router_cfg.tenants}
+        self._pools = {pool.name: pool for pool in router_cfg.pools}
+        self._ring = self._build_ring(router_cfg.seed, n, router_cfg.vnodes)
+        self._load = [0] * n
+        self._routed = [0] * n
+        self._sheds: dict[str, int] = {}
+        self._failovers: dict[str, int] = {}
+        # tenant -> (window index, count) / (last refill tick, tokens)
+        self._quota: dict[str, tuple[int, int]] = {}
+        self._buckets: dict[str, tuple[int, float]] = {}
+
+        # The trivial router must not register instruments either: an
+        # empty registered series still appears in metrics snapshots,
+        # which would break byte-parity with the single-gateway engine.
+        if self.trivial:
+            self._registry = MetricsRegistry()
+        else:
+            self._registry = obs.metrics if obs.metrics.enabled else MetricsRegistry()
+        self._m_routed = self._registry.counter(
+            "pas_router_routed_total", help="Requests placed, by replica."
+        )
+        self._m_load = self._registry.gauge(
+            "pas_router_replica_load",
+            help="Live queued + in-flight assignments, by replica.",
+        )
+        self._m_shed = self._registry.counter(
+            "pas_router_shed_total",
+            help="Requests shed at admission, by reason (quota/ratelimit).",
+        )
+        self._m_failover = self._registry.counter(
+            "pas_router_failovers_total",
+            help="Pool draws that excluded a breaker-open member, by pool.",
+        )
+        self.stats = RouterStats(self)
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _build_ring(seed: int, n: int, vnodes: int) -> list[tuple[int, int]]:
+        """The consistent-hash ring: sorted (point, replica) pairs."""
+        points = [
+            (stable_hash(f"router.ring␞{seed}␞{replica}␞{vnode}"), replica)
+            for replica in range(n)
+            for vnode in range(vnodes)
+        ]
+        points.sort()
+        return points
+
+    def _build_replicas(
+        self, pas: PasModel, cfg: RouterConfig, obs: Observability
+    ) -> list[PasGateway]:
+        gateway_cfg = self.gateway_config
+        complement_cache: LruCache[str, str] | None = None
+        embed_cache: LruCache[str, np.ndarray] | None = None
+        if cfg.cache_scope == "shared":
+            complement_cache = SharedLruCache(capacity=gateway_cfg.cache_size)
+            if gateway_cfg.embed_cache_size > 0:
+                embed_cache = SharedLruCache(capacity=gateway_cfg.embed_cache_size)
+        return [
+            PasGateway(
+                pas,
+                config=gateway_cfg,
+                obs=obs,
+                complement_cache=complement_cache,
+                embed_cache=embed_cache,
+            )
+            for _ in range(cfg.n_replicas)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # admission (quotas and rate limits on the arrival clock)
+    # ------------------------------------------------------------------ #
+
+    def admit(self, timed: TimedRequest) -> str | None:
+        """Admission-check one arrival; returns the shed reason or ``None``.
+
+        Quota first (a tenant over its window quota is not charged bucket
+        tokens), then the token bucket.  Both key on ``timed.tick`` — the
+        arrival clock — so the decision sequence is identical across
+        fault-plan variations of the same trace.
+        """
+        policy = self._policies.get(timed.tenant)
+        if policy is None:
+            return None
+        if policy.quota is not None:
+            window = timed.tick // policy.quota_window_ticks
+            seen_window, count = self._quota.get(timed.tenant, (window, 0))
+            if seen_window != window:
+                count = 0
+            if count >= policy.quota:
+                self._shed(timed, "quota")
+                return "quota"
+            self._quota[timed.tenant] = (window, count + 1)
+        if policy.rate_tokens_per_tick is not None:
+            last, tokens = self._buckets.get(
+                timed.tenant, (timed.tick, float(policy.burst))
+            )
+            tokens = min(
+                float(policy.burst),
+                tokens + (timed.tick - last) * policy.rate_tokens_per_tick,
+            )
+            if tokens < 1.0:
+                self._buckets[timed.tenant] = (timed.tick, tokens)
+                self._shed(timed, "ratelimit")
+                return "ratelimit"
+            self._buckets[timed.tenant] = (timed.tick, tokens - 1.0)
+        return None
+
+    def _shed(self, timed: TimedRequest, reason: str) -> None:
+        self._sheds[reason] = self._sheds.get(reason, 0) + 1
+        self._m_shed.inc(reason=reason)
+        self.obs.events.emit(
+            "router.shed", tick=timed.tick, reason=reason, tenant=timed.tenant
+        )
+
+    def effective_priority(self, timed: TimedRequest) -> int:
+        """The trace priority, unless the tenant's policy overrides it."""
+        policy = self._policies.get(timed.tenant)
+        if policy is not None and policy.priority is not None:
+            return policy.priority
+        return timed.priority
+
+    # ------------------------------------------------------------------ #
+    # placement
+    # ------------------------------------------------------------------ #
+
+    def route(self, request: ServeRequest, timed: TimedRequest) -> int:
+        """Pick the replica for one request and take a load assignment.
+
+        Hash mode is a pure function of ``(ring, key)``; least-loaded
+        reads the live load vector (argmin, lowest index on ties), which
+        is itself deterministic because the event loop is.  Balance the
+        assignment with :meth:`release` when the request finishes (or is
+        shed after routing).
+        """
+        if self.trivial:
+            return 0
+        if self.config.policy == "hash":
+            if self.config.hash_key == "tenant":
+                key = timed.tenant if request.tenant is None else request.tenant
+            else:
+                key = request.prompt
+            point = stable_hash(f"router.key␞{key}")
+            index = bisect_right(self._ring, (point, len(self.replicas)))
+            if index == len(self._ring):
+                index = 0
+            replica = self._ring[index][1]
+        else:
+            replica = min(range(len(self.replicas)), key=lambda i: (self._load[i], i))
+        self._load[replica] += 1
+        self._routed[replica] += 1
+        self._m_routed.inc(replica=str(replica))
+        self._m_load.set(self._load[replica], replica=str(replica))
+        return replica
+
+    def release(self, replica: int) -> None:
+        """Return one load assignment (request finished or shed)."""
+        if self.trivial:
+            return
+        self._load[replica] -= 1
+        self._m_load.set(self._load[replica], replica=str(replica))
+
+    # ------------------------------------------------------------------ #
+    # pool resolution (failover over circuit breakers)
+    # ------------------------------------------------------------------ #
+
+    def resolve(
+        self,
+        request: ServeRequest,
+        timed: TimedRequest,
+        replica: int,
+        *,
+        force: bool = False,
+    ) -> ServeRequest | None:
+        """Resolve a pool-addressed request to a concrete member model.
+
+        Non-pool models pass through untouched.  The weighted draw is a
+        pure function of ``(router seed, pool, arrival tick, request
+        key)``; members whose breaker is hard-open on ``replica`` (a
+        side-effect-free peek — recovery probes are never consumed here)
+        drop out first.  An all-open pool returns ``None`` unless
+        ``force=True`` (the engine's ``degrade`` shed policy), which
+        draws over the full membership and lets the gateway's breaker
+        fast-fail or probe.
+        """
+        pool = self._pools.get(request.model)
+        if pool is None:
+            return request
+        gateway = self.replicas[replica]
+        # The breaker clock is the gateway's request counter; the serve
+        # this draw feeds will run at clock + 1 or later, so peek there.
+        probe_tick = gateway.clock + 1
+        eligible = [
+            (model, weight)
+            for model, weight in pool.models
+            if model not in gateway._breakers
+            or gateway._breakers[model].would_allow(probe_tick)
+        ]
+        if len(eligible) < len(pool.models) and eligible:
+            self._failovers[pool.name] = self._failovers.get(pool.name, 0) + 1
+            self._m_failover.inc(pool=pool.name)
+        if not eligible:
+            if not force:
+                return None
+            eligible = list(pool.models)
+        key = request.request_id if request.request_id is not None else request.prompt
+        draw = _unit_draw("router.pool", self.config.seed, pool.name, timed.tick, key)
+        total = sum(weight for _, weight in eligible)
+        threshold = draw * total
+        acc = 0.0
+        chosen = eligible[-1][0]
+        for model, weight in eligible:
+            acc += weight
+            if threshold < acc:
+                chosen = model
+                break
+        return replace(request, model=chosen)
+
+    # ------------------------------------------------------------------ #
+    # serving (the engine's per-replica gateway surface)
+    # ------------------------------------------------------------------ #
+
+    def plan_batch(self, replica: int, requests: Sequence[ServeRequest]) -> BatchPlan:
+        """Plan one drained batch group on its target replica."""
+        return self.replicas[replica].plan_batch(requests)
+
+    def completion_latency(
+        self, replica: int, request: ServeRequest, plan: BatchPlan | None = None
+    ) -> int:
+        """Price one completion on its target replica (pure)."""
+        return self.replicas[replica].completion_latency(request, plan)
+
+    def serve_planned(
+        self, replica: int, request: ServeRequest, plan: BatchPlan
+    ) -> ServeResponse:
+        """Serve one planned request on its replica.
+
+        Non-trivial routers wrap the serve in a ``router.route`` span, so
+        the gateway's ``gateway.ask`` tree hangs off the routing decision
+        in trace exports; the trivial router stays invisible.
+        """
+        gateway = self.replicas[replica]
+        if self.trivial:
+            return gateway.serve_planned(request, plan)
+        with self.obs.tracer.span(
+            "router.route", replica=replica, policy=self.config.policy
+        ) as span:
+            if request.tenant is not None:
+                span.set(tenant=request.tenant)
+            response = gateway.serve_planned(request, plan)
+            span.status = response.status
+        return response
+
+    # ------------------------------------------------------------------ #
+    # fleet views
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_replicas(self) -> int:
+        return len(self.replicas)
+
+    @property
+    def clock(self) -> int:
+        """Fleet-wide logical time: requests attempted across replicas."""
+        return sum(gateway._clock for gateway in self.replicas)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fleet complement-cache hit rate (shared scope: the one cache's)."""
+        hits = sum(g._complement_cache.hits for g in self._distinct_caches())
+        misses = sum(g._complement_cache.misses for g in self._distinct_caches())
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def _distinct_caches(self) -> list[PasGateway]:
+        seen: list[PasGateway] = []
+        cache_ids: set[int] = set()
+        for gateway in self.replicas:
+            if id(gateway._complement_cache) not in cache_ids:
+                cache_ids.add(id(gateway._complement_cache))
+                seen.append(gateway)
+        return seen

@@ -27,7 +27,8 @@ The batcher runs in one of two modes:
 
 * **handler mode** (a drain handler was given): ready batches drain
   immediately into the handler — the pre-engine shape, still what
-  :meth:`run_arrivals` and the deprecated :meth:`run` use;
+  :meth:`run_arrivals` uses (the one-shot ``run()`` shim it deprecated
+  is gone; submit timed traces);
 * **continuous mode** (``handler=None``): nothing drains by itself.
   The serving engine *pulls* with :meth:`take` as in-flight completion
   slots free up, so a ready batch can leave in capacity-sized slices
@@ -42,7 +43,6 @@ when an :class:`~repro.obs.Observability` bundle is attached.
 
 from __future__ import annotations
 
-import warnings
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
 from math import ceil
@@ -363,26 +363,6 @@ class MicroBatcher:
         if not self._pending:
             return []
         return self._drain("flush")
-
-    def run(self, requests: Iterable[ServeRequest]) -> list[ServeResponse]:
-        """Deprecated: submit a one-shot list and flush.
-
-        Use :meth:`run_arrivals` with explicit ticks (or the event-loop
-        :class:`~repro.serve.engine.ServingEngine` for overlapped
-        serving); this shim keeps the historical one-tick-per-request
-        behaviour, bit-identical to before.
-        """
-        warnings.warn(
-            "MicroBatcher.run(requests) is deprecated; submit a timed trace "
-            "via run_arrivals([(tick, request), ...]) or serve it through "
-            "repro.serve.engine.ServingEngine",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        base = self._clock
-        return self.run_arrivals(
-            (base + 1 + i, request) for i, request in enumerate(requests)
-        )
 
     def run_arrivals(
         self, arrivals: Iterable[tuple[int, ServeRequest]]

@@ -103,6 +103,30 @@ class TenantProfile:
                 f"deadline_ticks must be >= 1 or None, got {self.deadline_ticks}"
             )
 
+    def as_dict(self) -> dict:
+        """JSON-safe dict: ``TenantProfile.from_dict(t.as_dict()) == t``."""
+        return {
+            "name": self.name,
+            "weight": self.weight,
+            "models": [[name, weight] for name, weight in self.models],
+            "augment_rate": self.augment_rate,
+            "priority": self.priority,
+            "deadline_ticks": self.deadline_ticks,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TenantProfile":
+        return cls(
+            name=data["name"],
+            weight=float(data["weight"]),
+            models=tuple((name, float(weight)) for name, weight in data["models"]),
+            augment_rate=float(data["augment_rate"]),
+            priority=int(data["priority"]),
+            deadline_ticks=(
+                None if data["deadline_ticks"] is None else int(data["deadline_ticks"])
+            ),
+        )
+
 
 @dataclass(frozen=True)
 class TrafficConfig:
@@ -162,6 +186,38 @@ class TrafficConfig:
         names = [tenant.name for tenant in self.tenants]
         if len(set(names)) != len(names):
             raise ConfigError(f"duplicate tenant names: {sorted(names)}")
+
+    def as_dict(self) -> dict:
+        """JSON-safe dict: ``TrafficConfig.from_dict(c.as_dict()) == c``."""
+        return {
+            "n_requests": self.n_requests,
+            "seed": self.seed,
+            "process": self.process,
+            "mean_gap_ticks": self.mean_gap_ticks,
+            "zipf_exponent": self.zipf_exponent,
+            "burst_factor": self.burst_factor,
+            "burst_len": self.burst_len,
+            "idle_len": self.idle_len,
+            "period_ticks": self.period_ticks,
+            "amplitude": self.amplitude,
+            "tenants": [tenant.as_dict() for tenant in self.tenants],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TrafficConfig":
+        return cls(
+            n_requests=int(data["n_requests"]),
+            seed=int(data["seed"]),
+            process=data["process"],
+            mean_gap_ticks=float(data["mean_gap_ticks"]),
+            zipf_exponent=float(data["zipf_exponent"]),
+            burst_factor=float(data["burst_factor"]),
+            burst_len=int(data["burst_len"]),
+            idle_len=int(data["idle_len"]),
+            period_ticks=int(data["period_ticks"]),
+            amplitude=float(data["amplitude"]),
+            tenants=tuple(TenantProfile.from_dict(t) for t in data["tenants"]),
+        )
 
 
 class TrafficGenerator:
@@ -266,6 +322,7 @@ class TrafficGenerator:
                         model=model,
                         augment=bool(augment_draw[i] < tenant.augment_rate),
                         request_id=f"{tenant.name}-{i:07d}",
+                        tenant=tenant.name,
                     ),
                     tenant=tenant.name,
                     priority=tenant.priority,

@@ -17,12 +17,18 @@ STATUSES = ("ok", "degraded", "failed")
 
 @dataclass(frozen=True, slots=True)
 class ServeRequest:
-    """One augmentation-and-completion request."""
+    """One augmentation-and-completion request.
+
+    ``tenant`` is the requester's stable identity (``None`` for anonymous
+    traffic): quotas, rate limits, and routing affinity key on it, and the
+    gateway stamps it onto the request's trace span.
+    """
 
     prompt: str
     model: str
     augment: bool = True
     request_id: str | None = None
+    tenant: str | None = None
 
     def __post_init__(self) -> None:
         if not self.prompt.strip():

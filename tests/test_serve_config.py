@@ -1,0 +1,146 @@
+"""The unified ServingConfig surface: lossless round-trips, validation,
+and the deprecation path off flat engine kwargs (ISSUE 8)."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.llm.api import LatencyModel
+from repro.resilience import FaultPlan, OutageWindow, RetryPolicy
+from repro.serve import (
+    EngineConfig,
+    GatewayConfig,
+    ModelPool,
+    PasGateway,
+    RouterConfig,
+    ServingConfig,
+    ServingEngine,
+    TenantPolicy,
+    TenantProfile,
+    TrafficConfig,
+)
+
+FULL = ServingConfig(
+    router=RouterConfig(
+        n_replicas=4,
+        policy="least_loaded",
+        hash_key="tenant",
+        vnodes=32,
+        cache_scope="shared",
+        seed=7,
+        tenants=(
+            TenantPolicy("free", quota=50, quota_window_ticks=128),
+            TenantPolicy("paid", rate_tokens_per_tick=0.5, burst=4, priority=3),
+        ),
+        pools=(
+            ModelPool("mix", (("gpt-4-0613", 3.0), ("gpt-3.5-turbo-1106", 1.0))),
+        ),
+    ),
+    gateway=GatewayConfig(
+        cache_size=64,
+        embed_cache_size=32,
+        max_retries=2,
+        seed=5,
+        strict=True,
+        fault_plan=FaultPlan(
+            seed=11,
+            completion_failure_rate=0.2,
+            augment_failure_rate=0.1,
+            latency_spike_rate=0.05,
+            latency_spike_ticks=8,
+            outages=(OutageWindow("gpt-4-0613", 10, 20),),
+        ),
+        retry_policy=RetryPolicy(
+            max_retries=2, base_backoff=2.0, jitter=0.1, deadline_ticks=64.0
+        ),
+        breaker_threshold=3,
+        breaker_recovery_ticks=24,
+        latency_model=LatencyModel(base_ticks=3, per_token_ticks=0.02, jitter=0.1),
+        max_inflight=4,
+    ),
+    engine=EngineConfig(
+        max_inflight=8, max_batch=16, max_wait=2, shed_policy="degrade"
+    ),
+    traffic=TrafficConfig(
+        n_requests=500,
+        seed=13,
+        process="diurnal",
+        mean_gap_ticks=1.5,
+        zipf_exponent=1.1,
+        tenants=(
+            TenantProfile("free", weight=3.0, priority=0, deadline_ticks=32),
+            TenantProfile("paid", weight=1.0, priority=2, models=(("mix", 1.0),)),
+        ),
+    ),
+)
+
+
+class TestRoundTrips:
+    def test_serving_config_survives_json(self):
+        payload = json.dumps(FULL.as_dict())
+        assert ServingConfig.from_dict(json.loads(payload)) == FULL
+
+    def test_default_serving_config_survives_json(self):
+        config = ServingConfig()
+        payload = json.dumps(config.as_dict())
+        assert ServingConfig.from_dict(json.loads(payload)) == config
+
+    @pytest.mark.parametrize(
+        "section", ["router", "gateway", "engine", "traffic"]
+    )
+    def test_each_section_round_trips_alone(self, section):
+        config = getattr(FULL, section)
+        assert type(config).from_dict(json.loads(json.dumps(config.as_dict()))) == config
+
+    def test_nested_policies_round_trip(self):
+        for obj in (
+            FaultPlan(seed=2, outages=(OutageWindow("gpt-4-0613", 1, 9),)),
+            RetryPolicy(max_retries=4, deadline_ticks=128),
+            LatencyModel(base_ticks=2, per_token_ticks=0.05, jitter=0.2),
+            TenantPolicy("t", quota=9, rate_tokens_per_tick=1.5, priority=1),
+            ModelPool("p", (("gpt-4-0613", 1.0),)),
+            TenantProfile("t", weight=2.0, models=(("gpt-4-0613", 1.0),)),
+        ):
+            assert type(obj).from_dict(json.loads(json.dumps(obj.as_dict()))) == obj
+
+
+class TestValidation:
+    def test_unknown_policy_tenant_is_rejected(self):
+        config = ServingConfig(
+            router=RouterConfig(tenants=(TenantPolicy("ghost", quota=1),)),
+            traffic=TrafficConfig(tenants=(TenantProfile("real"),)),
+        )
+        with pytest.raises(ConfigError, match="ghost"):
+            config.validate()
+
+    def test_matching_tenants_validate(self):
+        FULL.validate()
+
+
+class TestEngineConfigSurface:
+    def test_engine_accepts_serving_config(self, trained_pas):
+        gateway = PasGateway(trained_pas, config=GatewayConfig(seed=5))
+        config = ServingConfig(engine=EngineConfig(max_inflight=8, max_queue=32))
+        engine = ServingEngine(gateway, config)
+        assert engine.config == config.engine
+
+    def test_flat_kwargs_warn_and_still_apply(self, trained_pas):
+        gateway = PasGateway(trained_pas, config=GatewayConfig(seed=5))
+        with pytest.warns(DeprecationWarning, match="EngineConfig"):
+            engine = ServingEngine(gateway, max_inflight=8, shed_policy="degrade")
+        assert engine.config.max_inflight == 8
+        assert engine.config.shed_policy == "degrade"
+
+    def test_flat_kwargs_override_config(self, trained_pas):
+        gateway = PasGateway(trained_pas, config=GatewayConfig(seed=5))
+        with pytest.warns(DeprecationWarning):
+            engine = ServingEngine(
+                gateway, EngineConfig(max_inflight=2), max_inflight=16
+            )
+        assert engine.config.max_inflight == 16
+
+    def test_unknown_kwargs_raise(self, trained_pas):
+        gateway = PasGateway(trained_pas, config=GatewayConfig(seed=5))
+        with pytest.raises(TypeError, match="max_velocity"):
+            ServingEngine(gateway, max_velocity=3)

@@ -1,0 +1,573 @@
+"""Parity, placement, tenancy, and failover tests for the Router (ISSUE 8).
+
+The headline contract: a 1-replica consistent-hash router with no tenant
+policies, no pools, and replica-scoped caches is **invisible** — the
+engine driving it is bit-identical to the single-gateway engine of PR 7,
+responses, stats, event/trace exports, and metrics snapshots included,
+clean and under injected faults alike.  Everything the router *adds*
+(placement policies, quotas/rate limits, weighted pool failover) is a
+pure function of seeds and arrival ticks, so it is pinned deterministic
+and chaos-offset-invariant here.
+
+``PAS_CHAOS_SEED`` offsets every fault seed, as in the engine suite.
+"""
+
+import os
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import Observability
+from repro.serve import (
+    EngineConfig,
+    FaultPlan,
+    GatewayConfig,
+    ModelPool,
+    OutageWindow,
+    PasGateway,
+    Router,
+    RouterConfig,
+    ServingConfig,
+    ServingEngine,
+    TenantPolicy,
+    TenantProfile,
+    TimedRequest,
+    TrafficConfig,
+    TrafficGenerator,
+)
+from repro.serve.types import ServeRequest
+
+CHAOS_OFFSET = int(os.environ.get("PAS_CHAOS_SEED", "0"))
+CHAOS_SEEDS = tuple(CHAOS_OFFSET + base for base in (0, 1))
+
+POOL = [
+    "how do i parse csv files? show me how.",
+    "how do i bake bread? walk me through it.",
+    "why does my regex backtrack so much? be concise.",
+    "how do i profile python code? please explain it in detail.",
+    "how do i sort a csv by two columns? show me how.",
+    "what is a good chess opening for beginners? be concise.",
+    "how do i write a binary search? please explain it in detail.",
+    "why is my sourdough dense? walk me through it.",
+]
+
+
+def _trace(n=120, seed=0, process="poisson", mean_gap=2.0, **kwargs):
+    config = TrafficConfig(
+        n_requests=n, seed=seed, process=process, mean_gap_ticks=mean_gap, **kwargs
+    )
+    return TrafficGenerator(POOL, config).trace()
+
+
+def _serving_config(router=None, engine=None, **gateway_kwargs):
+    return ServingConfig(
+        router=router or RouterConfig(),
+        gateway=GatewayConfig(seed=5, **gateway_kwargs),
+        engine=engine or EngineConfig(max_inflight=4),
+    )
+
+
+def _timed(tick, prompt, model="gpt-4-0613", tenant="default", **kwargs):
+    rid = kwargs.pop("request_id", None)
+    return TimedRequest(
+        tick=tick,
+        request=ServeRequest(prompt=prompt, model=model, tenant=tenant, request_id=rid),
+        tenant=tenant,
+        **kwargs,
+    )
+
+
+class TestTrivialParity:
+    """1 replica + hash + no tenants/pools == the bare single-gateway engine."""
+
+    def _run(self, trained_pas, tmp_path, tag, *, routed, fault_plan=None):
+        obs = Observability.enabled(trace_capacity=4096, event_capacity=65536)
+        config = _serving_config(fault_plan=fault_plan, max_retries=2)
+        if routed:
+            target = Router(trained_pas, config, obs)
+        else:
+            target = PasGateway(trained_pas, config=config.gateway, obs=obs)
+        result = ServingEngine(target, config).run(
+            _trace(n=100, seed=3, process="diurnal")
+        )
+        events = tmp_path / f"events-{tag}.jsonl"
+        spans = tmp_path / f"spans-{tag}.jsonl"
+        obs.events.export_jsonl(events)
+        obs.tracer.store.export_jsonl(spans)
+        return result, events.read_bytes(), spans.read_bytes(), obs.metrics.snapshot()
+
+    def test_clean_trace_byte_identical(self, trained_pas, tmp_path):
+        bare, events_a, spans_a, metrics_a = self._run(
+            trained_pas, tmp_path, "bare", routed=False
+        )
+        routed, events_b, spans_b, metrics_b = self._run(
+            trained_pas, tmp_path, "routed", routed=True
+        )
+        assert routed.responses == bare.responses
+        assert routed.stats.as_dict() == bare.stats.as_dict()
+        assert events_a == events_b
+        assert spans_a == spans_b
+        assert metrics_a == metrics_b
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_faulty_trace_byte_identical(self, trained_pas, tmp_path, seed):
+        plan = FaultPlan(
+            seed=seed, completion_failure_rate=0.2, augment_failure_rate=0.1
+        )
+        bare, events_a, spans_a, metrics_a = self._run(
+            trained_pas, tmp_path, f"bare-{seed}", routed=False, fault_plan=plan
+        )
+        routed, events_b, spans_b, metrics_b = self._run(
+            trained_pas, tmp_path, f"routed-{seed}", routed=True, fault_plan=plan
+        )
+        assert routed.responses == bare.responses
+        assert routed.stats.as_dict() == bare.stats.as_dict()
+        assert events_a == events_b
+        assert spans_a == spans_b
+        assert metrics_a == metrics_b
+
+    def test_engine_adopts_bare_gateway_as_trivial_router(self, trained_pas):
+        gateway = PasGateway(trained_pas, config=GatewayConfig(seed=5))
+        engine = ServingEngine(gateway)
+        assert engine.router.trivial
+        assert engine.router.n_replicas == 1
+        assert engine.gateway is gateway
+
+    def test_trivial_router_registers_no_metrics(self, trained_pas):
+        obs = Observability.enabled()
+        router = Router(trained_pas, _serving_config(), obs)
+        assert router.trivial
+        assert "pas_router_routed_total" not in obs.metrics
+        fleet = Router(
+            trained_pas, _serving_config(router=RouterConfig(n_replicas=2)), obs
+        )
+        assert not fleet.trivial
+        assert "pas_router_routed_total" in obs.metrics
+
+
+class TestPlacement:
+    def test_ring_is_pure_and_seed_salted(self):
+        assert Router._build_ring(0, 4, 64) == Router._build_ring(0, 4, 64)
+        assert Router._build_ring(0, 4, 64) != Router._build_ring(1, 4, 64)
+        # Growing the fleet keeps every old replica's points in place.
+        small = set(Router._build_ring(0, 3, 64))
+        grown = set(Router._build_ring(0, 4, 64))
+        assert small < grown
+
+    def test_hash_routing_is_sticky_per_prompt(self, trained_pas):
+        router = Router(
+            trained_pas, _serving_config(router=RouterConfig(n_replicas=4))
+        )
+        placements = {}
+        for tick in range(1, 4):
+            for prompt in POOL:
+                timed = _timed(tick, prompt)
+                replica = router.route(timed.request, timed)
+                assert placements.setdefault(prompt, replica) == replica
+        assert len(set(placements.values())) > 1  # keys actually spread
+
+    def test_tenant_hash_key_isolates_tenants(self, trained_pas):
+        router = Router(
+            trained_pas,
+            _serving_config(
+                router=RouterConfig(n_replicas=4, hash_key="tenant")
+            ),
+        )
+        for tenant in ("free", "paid", "trial"):
+            seen = {
+                router.route(t.request, t)
+                for t in (_timed(i, POOL[i % 8], tenant=tenant) for i in range(1, 9))
+            }
+            assert len(seen) == 1  # all of a tenant's traffic on one replica
+
+    def test_least_loaded_balances_live_load(self, trained_pas):
+        router = Router(
+            trained_pas,
+            _serving_config(
+                router=RouterConfig(n_replicas=3, policy="least_loaded")
+            ),
+        )
+        timed = [_timed(i, POOL[0]) for i in range(1, 7)]
+        replicas = [router.route(t.request, t) for t in timed]
+        assert replicas == [0, 1, 2, 0, 1, 2]  # round-robin while nothing frees
+        router.release(1)
+        assert router.route(timed[0].request, timed[0]) == 1  # argmin follows load
+        assert router.stats.routed_total == 7
+
+    def test_hash_affinity_beats_balance_on_cache_hits(self, trained_pas):
+        trace = _trace(n=150, seed=9, zipf_exponent=1.2, mean_gap=1.0)
+
+        def hit_rate(policy):
+            config = _serving_config(
+                router=RouterConfig(n_replicas=4, policy=policy),
+                engine=EngineConfig(max_inflight=16),
+            )
+            router = Router(trained_pas, config)
+            ServingEngine(router, config).run(trace)
+            return router.cache_hit_rate
+
+        assert hit_rate("hash") >= hit_rate("least_loaded")
+
+    def test_fleet_run_is_deterministic(self, trained_pas):
+        trace = _trace(n=100, seed=4, process="bursty")
+        config = _serving_config(
+            router=RouterConfig(n_replicas=4, policy="least_loaded")
+        )
+
+        def run():
+            router = Router(trained_pas, config)
+            result = ServingEngine(router, config).run(trace)
+            return result.responses, result.stats.as_dict(), router.stats.as_dict()
+
+        assert run() == run()
+
+
+class TestCacheScope:
+    def test_shared_scope_threads_one_cache_through_the_fleet(self, trained_pas):
+        router = Router(
+            trained_pas,
+            _serving_config(
+                router=RouterConfig(n_replicas=4, cache_scope="shared")
+            ),
+        )
+        caches = {id(g._complement_cache) for g in router.replicas}
+        embeds = {id(g._embed_cache) for g in router.replicas}
+        assert len(caches) == 1 and len(embeds) == 1
+
+    def test_replica_scope_keeps_caches_private(self, trained_pas):
+        router = Router(
+            trained_pas, _serving_config(router=RouterConfig(n_replicas=4))
+        )
+        assert len({id(g._complement_cache) for g in router.replicas}) == 4
+
+    def test_scopes_serve_identical_responses(self, trained_pas):
+        trace = _trace(n=100, seed=11, zipf_exponent=1.2)
+        results = {}
+        for scope in ("replica", "shared"):
+            config = _serving_config(
+                router=RouterConfig(
+                    n_replicas=4, policy="least_loaded", cache_scope=scope
+                )
+            )
+            router = Router(trained_pas, config)
+            results[scope] = (
+                ServingEngine(router, config).run(trace).responses,
+                router.cache_hit_rate,
+            )
+
+        # Identical content either way: only the *cached* marker may move
+        # (a repeat scattered to a cold replica hits the shared cache).
+        def normalized(responses):
+            return [replace(r, complement_cached=False) for r in responses]
+
+        assert normalized(results["replica"][0]) == normalized(results["shared"][0])
+        # Balance routing scatters repeats; the shared cache still catches
+        # them while private caches miss.
+        assert results["shared"][1] > results["replica"][1]
+
+
+class TestTenancy:
+    TENANTS = (
+        TenantProfile("free", weight=3.0),
+        TenantProfile("paid", weight=1.0, priority=2),
+    )
+
+    def _run(self, trained_pas, router_cfg, *, fault_plan=None, n=150):
+        config = ServingConfig(
+            router=router_cfg,
+            gateway=GatewayConfig(seed=5, fault_plan=fault_plan, max_retries=2),
+            engine=EngineConfig(max_inflight=4),
+            traffic=TrafficConfig(
+                n_requests=n, seed=13, mean_gap_ticks=1.0, tenants=self.TENANTS
+            ),
+        )
+        config.validate()
+        trace = TrafficGenerator(POOL, config.traffic).trace()
+        router = Router(trained_pas, config)
+        return ServingEngine(router, config).run(trace), router, trace
+
+    def test_quota_sheds_are_failed_responses_with_zero_attempts(self, trained_pas):
+        policy = TenantPolicy("free", quota=20, quota_window_ticks=64)
+        result, router, trace = self._run(
+            trained_pas, RouterConfig(tenants=(policy,))
+        )
+        assert router.stats.sheds.get("quota", 0) > 0
+        assert result.stats.shed["quota"] == router.stats.sheds["quota"]
+        shed = [
+            r
+            for r in result.responses
+            if r.failed and r.error and "QuotaExceededError" in r.error
+        ]
+        assert len(shed) == result.stats.shed["quota"]
+        assert all(r.attempts == 0 for r in shed)
+        # Only the quota'd tenant was shed.
+        free_ids = {t.request.request_id for t in trace if t.tenant == "free"}
+        assert {r.request_id for r in shed} <= free_ids
+        assert result.stats.arrived == result.stats.served + result.stats.failed
+
+    def test_rate_limit_spends_burst_then_sheds(self, trained_pas):
+        policy = TenantPolicy("free", rate_tokens_per_tick=0.25, burst=4)
+        result, router, trace = self._run(
+            trained_pas, RouterConfig(tenants=(policy,))
+        )
+        assert router.stats.sheds.get("ratelimit", 0) > 0
+        shed = [
+            r
+            for r in result.responses
+            if r.failed and r.error and "RateLimitedError" in r.error
+        ]
+        assert len(shed) == result.stats.shed["ratelimit"]
+        # The first burst of "free" arrivals is always admitted.
+        first_free = [t for t in trace if t.tenant == "free"][: policy.burst]
+        shed_ids = {r.request_id for r in shed}
+        assert not shed_ids & {t.request.request_id for t in first_free}
+
+    @pytest.mark.parametrize("limiter", ["quota", "ratelimit"])
+    def test_admission_is_chaos_offset_invariant(self, trained_pas, limiter):
+        # Admission keys on arrival ticks, which no fault plan perturbs:
+        # the exact set of shed request ids must not move across fault
+        # seeds, even though completions fail differently.
+        if limiter == "quota":
+            policy = TenantPolicy("free", quota=20, quota_window_ticks=64)
+        else:
+            policy = TenantPolicy("free", rate_tokens_per_tick=0.25, burst=4)
+        marker = "QuotaExceededError" if limiter == "quota" else "RateLimitedError"
+        shed_sets = []
+        for seed in CHAOS_SEEDS:
+            plan = FaultPlan(seed=seed, completion_failure_rate=0.2)
+            result, _, _ = self._run(
+                trained_pas, RouterConfig(tenants=(policy,)), fault_plan=plan
+            )
+            shed_sets.append(
+                sorted(
+                    r.request_id
+                    for r in result.responses
+                    if r.error and marker in r.error
+                )
+            )
+        assert shed_sets[0] == shed_sets[1]
+        assert shed_sets[0]  # the limiter actually fired
+
+    def test_priority_override_outranks_trace_priority(self, trained_pas):
+        # Two same-tick arrivals: the trace says "low" outranks "vip", the
+        # tenant policy flips it, so "vip" dispatches first and waits less.
+        trace = [
+            _timed(1, POOL[0], tenant="low", request_id="low", priority=1),
+            _timed(1, POOL[1], tenant="vip", request_id="vip", priority=0),
+        ]
+        config = ServingConfig(
+            router=RouterConfig(tenants=(TenantPolicy("vip", priority=9),)),
+            gateway=GatewayConfig(seed=5),
+            engine=EngineConfig(max_inflight=1, max_batch=2),
+            traffic=TrafficConfig(
+                tenants=(TenantProfile("low"), TenantProfile("vip"))
+            ),
+        )
+        config.validate()
+        obs = Observability.enabled()
+        router = Router(trained_pas, config, obs)
+        result = ServingEngine(router, config).run(trace)
+        assert result.stats.served == 2
+        assert [r.request_id for r in result.responses] == ["low", "vip"]
+        # Traces land in dispatch order: the override dispatched vip first.
+        serves = obs.tracer.store.by_root("router.route")
+        assert len(serves) == 2
+        dispatched = [t.first("gateway.ask").attrs["request_id"] for t in serves]
+        assert dispatched == ["vip", "low"]
+        # The router span roots each serve tree and carries the tenant.
+        assert [t.root.attrs["tenant"] for t in serves] == ["vip", "low"]
+
+
+class TestModelPools:
+    MIX = ModelPool(
+        "mix", models=(("gpt-4-0613", 3.0), ("gpt-3.5-turbo-1106", 1.0))
+    )
+
+    def _pool_trace(self, n=120):
+        return [
+            _timed(i, POOL[i % len(POOL)], model="mix", request_id=str(i))
+            for i in range(1, n + 1)
+        ]
+
+    def test_weighted_draw_mixes_members(self, trained_pas):
+        config = _serving_config(router=RouterConfig(pools=(self.MIX,)))
+        router = Router(trained_pas, config)
+        result = ServingEngine(router, config).run(self._pool_trace())
+        served = [r for r in result.responses if r.ok or r.degraded]
+        models = {r.model for r in served}
+        assert models == {"gpt-4-0613", "gpt-3.5-turbo-1106"}
+        heavy = sum(1 for r in served if r.model == "gpt-4-0613")
+        assert heavy > len(served) / 2  # the 3:1 weight shows
+
+    def test_draw_is_deterministic(self, trained_pas):
+        config = _serving_config(router=RouterConfig(pools=(self.MIX,)))
+
+        def models():
+            router = Router(trained_pas, config)
+            result = ServingEngine(router, config).run(self._pool_trace())
+            return [r.model for r in result.responses]
+
+        assert models() == models()
+
+    def test_failover_drops_open_member_from_the_draw(self, trained_pas):
+        # An outage hard-fails gpt-4-0613 until its breaker opens; from
+        # then on every draw excludes it (a counted failover) and the pool
+        # serves exclusively from the healthy member.
+        plan = FaultPlan(
+            seed=CHAOS_OFFSET, outages=(OutageWindow("gpt-4-0613", 0, 100000),)
+        )
+        config = _serving_config(
+            router=RouterConfig(pools=(self.MIX,)),
+            fault_plan=plan,
+            max_retries=1,
+            breaker_threshold=2,
+            breaker_recovery_ticks=10000,
+        )
+        router = Router(trained_pas, config)
+        result = ServingEngine(router, config).run(self._pool_trace())
+        assert router.stats.failovers.get("mix", 0) > 0
+        gateway = router.replicas[0]
+        assert gateway.stats.breaker_state["gpt-4-0613"] == "open"
+        # After the breaker opened, nothing else was sent to the dead model.
+        post_failover = [r for r in result.responses if r.ok]
+        assert post_failover
+        assert all(r.model == "gpt-3.5-turbo-1106" for r in post_failover)
+
+    def test_failover_is_deterministic(self, trained_pas):
+        plan = FaultPlan(
+            seed=CHAOS_OFFSET, outages=(OutageWindow("gpt-4-0613", 0, 100000),)
+        )
+        config = _serving_config(
+            router=RouterConfig(pools=(self.MIX,)),
+            fault_plan=plan,
+            max_retries=1,
+            breaker_threshold=2,
+            breaker_recovery_ticks=10000,
+        )
+
+        def run():
+            router = Router(trained_pas, config)
+            result = ServingEngine(router, config).run(self._pool_trace())
+            return result.responses, router.stats.as_dict()
+
+        assert run() == run()
+
+    def test_all_open_pool_sheds_with_reject_policy(self, trained_pas):
+        solo = ModelPool("solo", models=(("gpt-4-0613", 1.0),))
+        plan = FaultPlan(
+            seed=CHAOS_OFFSET, outages=(OutageWindow("gpt-4-0613", 0, 100000),)
+        )
+        config = _serving_config(
+            router=RouterConfig(pools=(solo,)),
+            fault_plan=plan,
+            max_retries=1,
+            breaker_threshold=2,
+            breaker_recovery_ticks=10000,
+        )
+        trace = [
+            _timed(i, POOL[i % len(POOL)], model="solo", request_id=str(i))
+            for i in range(1, 41)
+        ]
+        router = Router(trained_pas, config)
+        result = ServingEngine(router, config).run(trace)
+        assert result.stats.shed.get("pool", 0) > 0
+        shed = [
+            r
+            for r in result.responses
+            if r.error and "PoolExhaustedError" in r.error
+        ]
+        assert len(shed) == result.stats.shed["pool"]
+        assert all(r.attempts == 0 for r in shed)
+        assert result.stats.arrived == result.stats.served + result.stats.failed
+
+    def test_all_open_pool_degrades_to_a_forced_draw(self, trained_pas):
+        solo = ModelPool("solo", models=(("gpt-4-0613", 1.0),))
+        plan = FaultPlan(
+            seed=CHAOS_OFFSET, outages=(OutageWindow("gpt-4-0613", 0, 100000),)
+        )
+        config = _serving_config(
+            router=RouterConfig(pools=(solo,)),
+            engine=EngineConfig(max_inflight=4, shed_policy="degrade"),
+            fault_plan=plan,
+            max_retries=1,
+            breaker_threshold=2,
+            breaker_recovery_ticks=10000,
+        )
+        trace = [
+            _timed(i, POOL[i % len(POOL)], model="solo", request_id=str(i))
+            for i in range(1, 41)
+        ]
+        router = Router(trained_pas, config)
+        result = ServingEngine(router, config).run(trace)
+        # Degrade never sheds on "pool": the forced draw reaches the
+        # gateway, whose own breaker fast-fails it instead.
+        assert result.stats.shed.get("pool", 0) == 0
+        assert any(
+            r.error and "CircuitOpenError" in r.error for r in result.responses
+        )
+        assert result.stats.arrived == result.stats.served + result.stats.failed
+
+
+class TestConfigAndAdoption:
+    def test_router_config_validation(self):
+        with pytest.raises(ConfigError):
+            RouterConfig(n_replicas=0)
+        with pytest.raises(ConfigError):
+            RouterConfig(policy="psychic")
+        with pytest.raises(ConfigError):
+            RouterConfig(hash_key="vibes")
+        with pytest.raises(ConfigError):
+            RouterConfig(vnodes=0)
+        with pytest.raises(ConfigError):
+            RouterConfig(cache_scope="global")
+        with pytest.raises(ConfigError):
+            RouterConfig(tenants=(TenantPolicy("a"), TenantPolicy("a")))
+        with pytest.raises(ConfigError):
+            RouterConfig(
+                pools=(
+                    ModelPool("a", (("gpt-4-0613", 1.0),)),
+                    ModelPool("a", (("gpt-3.5-turbo-1106", 1.0),)),
+                )
+            )
+        with pytest.raises(ConfigError):
+            RouterConfig(
+                pools=(
+                    ModelPool("a", (("gpt-4-0613", 1.0),)),
+                    ModelPool("b", (("a", 1.0),)),
+                )
+            )
+
+    def test_policy_validation(self):
+        with pytest.raises(ConfigError):
+            TenantPolicy("")
+        with pytest.raises(ConfigError):
+            TenantPolicy("t", quota=0)
+        with pytest.raises(ConfigError):
+            TenantPolicy("t", rate_tokens_per_tick=0.0)
+        with pytest.raises(ConfigError):
+            TenantPolicy("t", burst=0)
+        with pytest.raises(ConfigError):
+            ModelPool("p", models=())
+        with pytest.raises(ConfigError):
+            ModelPool("p", models=(("m", 0.0),))
+        with pytest.raises(ConfigError):
+            ModelPool("p", models=(("m", 1.0), ("m", 2.0)))
+
+    def test_adoption_rules(self, trained_pas):
+        gateways = [
+            PasGateway(trained_pas, config=GatewayConfig(seed=5)) for _ in range(3)
+        ]
+        router = Router(replicas=gateways)
+        assert router.n_replicas == 3  # n_replicas=1 default means "infer"
+        assert router.gateway_config is gateways[0].config
+        with pytest.raises(ConfigError):
+            Router(config=RouterConfig(n_replicas=2), replicas=gateways)
+        with pytest.raises(TypeError):
+            Router(trained_pas, replicas=gateways)
+        with pytest.raises(ConfigError):
+            Router(replicas=[])
+        with pytest.raises(TypeError):
+            Router()
+        with pytest.raises(TypeError):
+            Router(trained_pas, config="yaml, obviously")

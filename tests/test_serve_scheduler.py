@@ -168,18 +168,12 @@ class TestContinuousMode:
             mb.flush()
 
 
-class TestDeprecatedRun:
-    def test_run_warns_and_matches_run_arrivals(self, trained_pas):
-        reqs = _requests()
-        old = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=8))
-        new = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=8))
-        mb_old = MicroBatcher(old.ask_batch, max_batch=3, max_wait=2)
-        mb_new = MicroBatcher(new.ask_batch, max_batch=3, max_wait=2)
-        with pytest.warns(DeprecationWarning, match="run_arrivals"):
-            responses = mb_old.run(reqs)
-        assert responses == mb_new.run_arrivals((i + 1, r) for i, r in enumerate(reqs))
-        assert old.stats == new.stats
-        assert [r.trigger for r in mb_old.records] == [r.trigger for r in mb_new.records]
+class TestRemovedRun:
+    def test_run_shim_is_gone(self):
+        # The deprecated one-shot MicroBatcher.run() was removed after its
+        # call sites migrated to run_arrivals()/ServingEngine; it must not
+        # quietly come back.
+        assert not hasattr(MicroBatcher(None), "run")
 
 
 class TestGatewayParity:
