@@ -27,6 +27,12 @@ The gate also walks ``overhead``-named keys the other way: values like
 over its pre-instrumentation baseline) must stay **at or below** 1.05 —
 observability left off must be within noise of free.
 
+``uplift``-named keys carry the adaptive-policy contract: the bandit's
+judged win-rate minus static PAS's on its best workload family
+(``policy.uplift``, written by ``test_bench_policy.py``) must stay **at
+or above** 0.0 — learned strategy selection never loses to serving the
+static complement blindly.
+
 Usage::
 
     python benchmarks/check_bench_regression.py BENCH_serving.json
@@ -43,10 +49,14 @@ THRESHOLD = 1.0
 #: Ratio ceiling for ``*_overhead`` keys (instrumented-off vs baseline).
 OVERHEAD_THRESHOLD = 1.05
 
+#: Floor for ``uplift``-named keys (adaptive-minus-static win-rate gaps).
+UPLIFT_THRESHOLD = 0.0
+
 __all__ = [
     "collect_overheads",
     "collect_speedups",
     "collect_trends",
+    "collect_uplifts",
     "deep_merge",
     "main",
     "merge_write",
@@ -105,6 +115,19 @@ def collect_overheads(node: object, prefix: str = "") -> list[tuple[str, float]]
     )
 
 
+def collect_uplifts(node: object, prefix: str = "") -> list[tuple[str, float]]:
+    """All ``(dotted.path, value)`` pairs for uplift-named keys in ``node``.
+
+    ``uplift`` keys record adaptive-minus-static judged win-rate gaps
+    (:mod:`repro.experiments.policy_ablation`); learning which strategy to
+    serve must never lose to serving the static complement blindly, so
+    these are gated **at or above** :data:`UPLIFT_THRESHOLD`.
+    """
+    return _collect(
+        node, lambda key: key == "uplift" or key.endswith("_uplift"), prefix
+    )
+
+
 def collect_trends(node: object, prefix: str = "") -> list[tuple[str, float]]:
     """All latency-percentile keys — reported, never gated."""
     return _collect(
@@ -136,6 +159,13 @@ def main(argv: list[str]) -> int:
     for key, value in sorted(overheads):
         marker = "FAIL" if value > OVERHEAD_THRESHOLD else "ok"
         print(f"  {marker:>4}  {key} = {value:.3f} (ceiling {OVERHEAD_THRESHOLD})")
+    uplifts = collect_uplifts(payload)
+    uplift_offenders = [
+        (key, value) for key, value in uplifts if value < UPLIFT_THRESHOLD
+    ]
+    for key, value in sorted(uplifts):
+        marker = "FAIL" if value < UPLIFT_THRESHOLD else "ok"
+        print(f"  {marker:>4}  {key} = {value:+.3f} (floor {UPLIFT_THRESHOLD})")
     failed = False
     if offenders:
         names = ", ".join(key for key, _ in offenders)
@@ -151,6 +181,13 @@ def main(argv: list[str]) -> int:
             file=sys.stderr,
         )
         failed = True
+    if uplift_offenders:
+        names = ", ".join(key for key, _ in uplift_offenders)
+        print(
+            f"{len(uplift_offenders)} uplift(s) below {UPLIFT_THRESHOLD}: {names}",
+            file=sys.stderr,
+        )
+        failed = True
     trends = collect_trends(payload)
     if trends:
         print(f"  trend (not gated): {len(trends)} latency percentile(s)")
@@ -161,6 +198,8 @@ def main(argv: list[str]) -> int:
     summary = f"all {len(speedups)} speedups >= {THRESHOLD}"
     if overheads:
         summary += f"; all {len(overheads)} overheads <= {OVERHEAD_THRESHOLD}"
+    if uplifts:
+        summary += f"; all {len(uplifts)} uplifts >= {UPLIFT_THRESHOLD}"
     print(summary)
     return 0
 

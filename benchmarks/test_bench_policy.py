@@ -1,0 +1,74 @@
+"""Adaptive-policy quality benchmark: the ``policy.uplift`` gate.
+
+Runs the serving-loop ablation (:mod:`repro.experiments.policy_ablation`)
+at quick scale: per workload family, the bandit learns over the family's
+traffic, then its exploit-only choice is judged pairwise against the
+no-augment control alongside static PAS.  Two numbers merge into
+``BENCH_serving.json``:
+
+* ``policy.uplift`` — best family's (adaptive − static) judged win-rate,
+  **gated >= 0** by ``check_bench_regression.py``: learning which
+  augmentation strategy to serve must never lose to serving the static
+  complement blindly;
+* per-family ``adaptive_minus_static`` — trend-only (a family where
+  static is genuinely near-optimal is allowed to show a small negative
+  parity cost; the contract is on the best family).
+
+The whole ablation is seed-pure, so the benchmark also asserts two runs
+at one seed produce identical tables::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_policy.py -q
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from check_bench_regression import merge_write
+
+from repro.experiments.policy_ablation import run_ablation
+
+SEED = 0
+
+RESULTS: dict[str, object] = {}
+
+
+@pytest.fixture(scope="module")
+def ablation(ctx):
+    return run_ablation(ctx.pas, seed=SEED)
+
+
+def test_policy_uplift(benchmark, ctx, ablation):
+    result = benchmark.pedantic(
+        run_ablation, args=(ctx.pas,), kwargs={"seed": SEED}, rounds=1, iterations=1
+    )
+    assert result.as_dict() == ablation.as_dict()  # seed-pure: reruns agree
+    assert result.uplift >= 0.0
+    best = next(row for row in result.rows if row.family == result.best_family)
+    RESULTS["policy"] = {
+        "uplift": result.uplift,
+        "best_family": result.best_family,
+        "win_adaptive": best.win_adaptive,
+        "win_static": best.win_static,
+        "families": {
+            row.family: {
+                "adaptive_minus_static": row.uplift,
+                "win_adaptive": row.win_adaptive,
+                "win_static": row.win_static,
+            }
+            for row in result.rows
+        },
+    }
+
+
+def test_every_family_learns_an_arm(ablation):
+    for row in ablation.rows:
+        assert row.arm_shares, f"{row.family}: no arms pulled at evaluation"
+        assert abs(sum(row.arm_shares.values()) - 1.0) < 1e-9
+
+
+def teardown_module(module) -> None:
+    if RESULTS:
+        merge_write(Path(__file__).parent.parent / "BENCH_serving.json", RESULTS)

@@ -19,6 +19,7 @@ from repro.experiments import (
     fig1b,
     fig6,
     fig7,
+    policy_ablation,
     significance,
     table1,
     table2,
@@ -43,6 +44,7 @@ EXPERIMENTS = {
     "casestudies": (casestudies.run, casestudies.render),
     "significance": (significance.run, significance.render),
     "breakdown": (breakdown.run, breakdown.render),
+    "policy": (policy_ablation.run, policy_ablation.render),
 }
 
 

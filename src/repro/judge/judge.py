@@ -16,6 +16,7 @@ margin.
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -81,6 +82,29 @@ class LlmJudge:
         true_score = assess_response(prompt, response).score
         noisy = true_score + self._noise("abs", prompt.text, response)
         return float(min(max(noisy, 0.0), 5.0))
+
+    def absolute_score_batch(
+        self, prompt: SyntheticPrompt, responses: Sequence[str]
+    ) -> list[float]:
+        """Absolute grades for many responses to one prompt.
+
+        One oracle pass and one vectorised clip over the batch; the noise
+        draws are the same per-``(prompt, response)`` pure functions the
+        scalar path uses, so the result is bit-identical to
+        ``[self.absolute_score(prompt, r) for r in responses]`` (the
+        parity test pins it).  This is the policy scorer's hot path —
+        grading k candidates must not pay k scalar judge calls.
+        """
+        responses = list(responses)
+        if not responses:
+            return []
+        true_scores = np.array(
+            [assess_response(prompt, response).score for response in responses]
+        )
+        noise = np.array(
+            [self._noise("abs", prompt.text, response) for response in responses]
+        )
+        return [float(x) for x in np.clip(true_scores + noise, 0.0, 5.0)]
 
     def _one_order(
         self, prompt: SyntheticPrompt, first: str, second: str, tag: str

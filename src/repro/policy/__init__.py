@@ -1,0 +1,46 @@
+"""Adaptive augmentation policies: the serve→judge→select loop.
+
+PAS emits one complement per prompt; this package makes that a *choice*.
+Per request, a :class:`~repro.policy.candidates.CandidateGenerator`
+renders k deterministic strategy variants (the PAS complement itself, a
+salt-perturbed re-phrasing, an aspect-subset hedge, and the no-augment
+control), a :class:`~repro.policy.scoring.PolicyScorer` turns the LLM
+judge into a seed-pure reward signal, a
+:class:`~repro.policy.bandit.ContextualBandit` learns per
+``(category, tenant)`` which strategy wins, and a
+:class:`~repro.policy.feedback.GoldenRefresh` promotes gated winners back
+into the pipeline's golden exemplars.  :class:`~repro.policy.policy
+.AugmentationPolicy` is the bundle the serving stack plugs in
+(``PasGateway(..., policy=...)``); with no policy the gateway is
+byte-identical to the unpoliced stack.
+
+Everything here is replay-deterministic: decisions are pure functions of
+``(config, corpus, logical clock)``, rewards are pure functions of
+``(judge seed, prompt, response)``, and the bandit's exact integer /
+rational state serializes losslessly for bit-identical resume.
+"""
+
+from repro.policy.bandit import BANDIT_ALGORITHMS, ContextualBandit
+from repro.policy.candidates import (
+    STRATEGIES,
+    Candidate,
+    CandidateGenerator,
+    CandidateSet,
+)
+from repro.policy.feedback import GoldenRefresh
+from repro.policy.policy import AugmentationPolicy, PolicyConfig
+from repro.policy.scoring import PolicyScorer, PromptResolver
+
+__all__ = [
+    "AugmentationPolicy",
+    "BANDIT_ALGORITHMS",
+    "Candidate",
+    "CandidateGenerator",
+    "CandidateSet",
+    "ContextualBandit",
+    "GoldenRefresh",
+    "PolicyConfig",
+    "PolicyScorer",
+    "PromptResolver",
+    "STRATEGIES",
+]

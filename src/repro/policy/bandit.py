@@ -1,0 +1,284 @@
+"""Deterministic contextual bandits on the logical clock.
+
+The policy layer's selection problem is a classic multi-armed bandit —
+which augmentation strategy wins for *this* kind of prompt — with one
+twist: the whole serving stack is replay-deterministic, so the bandit
+must be too.  Three choices make it so:
+
+* **no wall clock, no global RNG** — every exploration decision is a pure
+  function of ``(seed, context, tick)`` via :func:`~repro.utils.rng
+  .stable_hash`; the tick is the gateway's logical clock, which a replay
+  reproduces exactly;
+* **integer/rational arithmetic** — pull counts are ints and reward sums
+  are exact :class:`fractions.Fraction`\\ s, so the exploit argmax never
+  depends on float summation order and ties break stably on arm order;
+* **full state serialization** — :meth:`ContextualBandit.as_dict` /
+  :meth:`ContextualBandit.from_dict` round-trip every context's counts
+  and exact reward sums, so a checkpointed policy resumes bit-identically
+  (the same contract :class:`~repro.pipeline.runner.PipelineRunner`
+  stages keep).
+
+Contexts are ``(category, tenant)`` pairs: the same strategy can win for
+``code_generation`` prompts and lose for ``casual_chat``, and two tenants
+with different traffic mixes learn independently.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+from repro.errors import ConfigError
+from repro.utils.rng import stable_hash
+
+__all__ = ["BANDIT_ALGORITHMS", "ContextualBandit"]
+
+#: Selection rules: ``epsilon_greedy`` — explore with probability epsilon
+#: (a deterministic hash draw), exploit the exact-mean argmax otherwise;
+#: ``ucb1`` — optimism under uncertainty, the classic
+#: ``mean + c * sqrt(ln t / n)`` index (self-exploring, ignores epsilon).
+BANDIT_ALGORITHMS = ("epsilon_greedy", "ucb1")
+
+#: The hash draw space: ``stable_hash`` yields 64-bit integers.
+_HASH_SPACE = 1 << 64
+
+#: Serialized context keys join category and tenant with the library-wide
+#: record separator (neither field may contain it).
+_SEP = "␞"
+
+
+class _ContextState:
+    """Per-(category, tenant) accounting: exact pulls and reward sums."""
+
+    __slots__ = ("pulls", "rewards")
+
+    def __init__(self, n_arms: int):
+        self.pulls: list[int] = [0] * n_arms
+        self.rewards: list[Fraction] = [Fraction(0)] * n_arms
+
+    @property
+    def total_pulls(self) -> int:
+        return sum(self.pulls)
+
+
+class ContextualBandit:
+    """Learn which arm wins per ``(category, tenant)`` context.
+
+    ``select`` is read-only (decisions are keyed on the caller's logical
+    tick, so a failed serve never desynchronises the learner) and
+    ``observe`` records one reward for one pulled arm.  Rewards are
+    stored as exact :class:`~fractions.Fraction` sums — ``Fraction(x)``
+    of a float is exact — so two bandits fed the same history agree on
+    every argmax bit for bit, regardless of accumulation order.
+    """
+
+    def __init__(
+        self,
+        arms: tuple[str, ...] | list[str],
+        *,
+        algorithm: str = "epsilon_greedy",
+        epsilon: float = 0.1,
+        ucb_c: float = 2.0,
+        seed: int = 0,
+    ):
+        arms = tuple(arms)
+        if not arms:
+            raise ConfigError("bandit needs at least one arm")
+        if len(set(arms)) != len(arms):
+            raise ConfigError(f"duplicate arms: {sorted(arms)}")
+        if algorithm not in BANDIT_ALGORITHMS:
+            raise ConfigError(
+                f"unknown bandit algorithm {algorithm!r}; "
+                f"expected one of {BANDIT_ALGORITHMS}"
+            )
+        if not 0.0 <= epsilon <= 1.0:
+            raise ConfigError(f"epsilon must be in [0, 1], got {epsilon}")
+        if ucb_c < 0:
+            raise ConfigError(f"ucb_c must be >= 0, got {ucb_c}")
+        self.arms = arms
+        self.algorithm = algorithm
+        #: Exact rational epsilon: the explore-or-exploit comparison below
+        #: is pure integer arithmetic, never a float compare.
+        self._epsilon = Fraction(epsilon)
+        self.ucb_c = float(ucb_c)
+        self.seed = int(seed)
+        self._contexts: dict[tuple[str, str], _ContextState] = {}
+
+    # ------------------------------------------------------------------ #
+    # selection
+    # ------------------------------------------------------------------ #
+
+    def _state(self, context: tuple[str, str]) -> _ContextState:
+        state = self._contexts.get(context)
+        if state is None:
+            state = _ContextState(len(self.arms))
+            self._contexts[context] = state
+        return state
+
+    def _ctx_key(self, context: tuple[str, str]) -> str:
+        category, tenant = context
+        return f"{category}{_SEP}{tenant}"
+
+    def select(self, context: tuple[str, str], tick: int, *, explore: bool = True) -> str:
+        """Pick one arm for ``context`` at logical time ``tick`` (pure).
+
+        ``explore=False`` forces pure exploitation (the evaluation mode of
+        the ablation harness); UCB1 has no explore flag to honour — its
+        index term *is* the exploration.
+        """
+        state = self._contexts.get(context)
+        pulls = state.pulls if state is not None else [0] * len(self.arms)
+        # Every arm gets pulled once before any policy kicks in, lowest
+        # index first — a deterministic initialisation round.
+        for i, n in enumerate(pulls):
+            if n == 0:
+                return self.arms[i]
+        if self.algorithm == "ucb1":
+            return self.arms[self._ucb_index(state)]
+        if explore and self._epsilon > 0:
+            key = self._ctx_key(context)
+            draw = stable_hash(f"bandit.explore{_SEP}{self.seed}{_SEP}{key}{_SEP}{tick}")
+            # draw / 2^64 < epsilon, cross-multiplied into exact integers.
+            if draw * self._epsilon.denominator < self._epsilon.numerator * _HASH_SPACE:
+                pick = stable_hash(f"bandit.arm{_SEP}{self.seed}{_SEP}{key}{_SEP}{tick}")
+                return self.arms[pick % len(self.arms)]
+        return self.arms[self._exploit_index(state)]
+
+    def _exploit_index(self, state: _ContextState) -> int:
+        """Argmax over exact mean rewards, lowest arm index on ties."""
+        best = 0
+        best_mean = state.rewards[0] / state.pulls[0]
+        for i in range(1, len(self.arms)):
+            mean = state.rewards[i] / state.pulls[i]
+            if mean > best_mean:
+                best, best_mean = i, mean
+        return best
+
+    def _ucb_index(self, state: _ContextState) -> int:
+        """UCB1 argmax.  The bonus term needs ``sqrt``/``log`` so the
+        index is a float, but floats are pure functions of their inputs;
+        ties still break on the lowest arm index."""
+        log_t = math.log(state.total_pulls)
+        best = 0
+        best_index = -math.inf
+        for i in range(len(self.arms)):
+            index = float(state.rewards[i] / state.pulls[i]) + self.ucb_c * math.sqrt(
+                log_t / state.pulls[i]
+            )
+            if index > best_index:
+                best, best_index = i, index
+        return best
+
+    def best_arm(self, context: tuple[str, str]) -> str:
+        """The pure-exploitation choice (unseen contexts: the first arm)."""
+        state = self._contexts.get(context)
+        if state is None or any(n == 0 for n in state.pulls):
+            # Not every arm has data yet; fall back to the initialisation
+            # order so the answer is still deterministic.
+            if state is not None:
+                for i, n in enumerate(state.pulls):
+                    if n == 0:
+                        return self.arms[i]
+            return self.arms[0]
+        return self.arms[self._exploit_index(state)]
+
+    # ------------------------------------------------------------------ #
+    # learning
+    # ------------------------------------------------------------------ #
+
+    def observe(self, context: tuple[str, str], arm: str, reward: float) -> None:
+        """Record one reward for one pulled arm in one context."""
+        if arm not in self.arms:
+            raise ConfigError(f"unknown arm {arm!r}; expected one of {self.arms}")
+        index = self.arms.index(arm)
+        state = self._state(context)
+        state.pulls[index] += 1
+        state.rewards[index] += Fraction(float(reward))
+
+    # ------------------------------------------------------------------ #
+    # views
+    # ------------------------------------------------------------------ #
+
+    @property
+    def contexts(self) -> list[tuple[str, str]]:
+        return sorted(self._contexts)
+
+    def pulls(self, context: tuple[str, str]) -> dict[str, int]:
+        state = self._contexts.get(context)
+        if state is None:
+            return {arm: 0 for arm in self.arms}
+        return dict(zip(self.arms, state.pulls))
+
+    def mean_reward(self, context: tuple[str, str], arm: str) -> float:
+        state = self._contexts.get(context)
+        index = self.arms.index(arm)
+        if state is None or state.pulls[index] == 0:
+            return 0.0
+        return float(state.rewards[index] / state.pulls[index])
+
+    @property
+    def total_pulls(self) -> int:
+        return sum(state.total_pulls for state in self._contexts.values())
+
+    # ------------------------------------------------------------------ #
+    # serialization (bit-identical resume)
+    # ------------------------------------------------------------------ #
+
+    def as_dict(self) -> dict:
+        """JSON-safe dict: ``ContextualBandit.from_dict(b.as_dict())``
+        selects and learns bit-identically to ``b`` from here on."""
+        return {
+            "arms": list(self.arms),
+            "algorithm": self.algorithm,
+            "epsilon": [self._epsilon.numerator, self._epsilon.denominator],
+            "ucb_c": self.ucb_c,
+            "seed": self.seed,
+            "contexts": {
+                self._ctx_key(context): {
+                    "pulls": list(state.pulls),
+                    "rewards": [
+                        [r.numerator, r.denominator] for r in state.rewards
+                    ],
+                }
+                for context, state in sorted(self._contexts.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ContextualBandit":
+        """Inverse of :meth:`as_dict` (lossless — exact fractions)."""
+        bandit = cls(
+            tuple(data["arms"]),
+            algorithm=data["algorithm"],
+            ucb_c=float(data["ucb_c"]),
+            seed=int(data["seed"]),
+        )
+        num, den = data["epsilon"]
+        bandit._epsilon = Fraction(int(num), int(den))
+        if not 0 <= bandit._epsilon <= 1:
+            raise ConfigError(f"epsilon must be in [0, 1], got {bandit._epsilon}")
+        for key, ctx_data in data["contexts"].items():
+            category, _, tenant = key.partition(_SEP)
+            state = _ContextState(len(bandit.arms))
+            state.pulls = [int(n) for n in ctx_data["pulls"]]
+            state.rewards = [
+                Fraction(int(num), int(den)) for num, den in ctx_data["rewards"]
+            ]
+            if len(state.pulls) != len(bandit.arms) or len(state.rewards) != len(
+                bandit.arms
+            ):
+                raise ConfigError(
+                    f"context {key!r} state does not match {len(bandit.arms)} arms"
+                )
+            bandit._contexts[(category, tenant)] = state
+        return bandit
+
+    @property
+    def epsilon(self) -> float:
+        return float(self._epsilon)
+
+    def __repr__(self) -> str:
+        return (
+            f"ContextualBandit(arms={self.arms!r}, algorithm={self.algorithm!r}, "
+            f"contexts={len(self._contexts)}, pulls={self.total_pulls})"
+        )

@@ -1,0 +1,236 @@
+"""Online curation: promote winning pairs into the golden exemplars.
+
+The paper's ``D_golden`` (§3.2) is a tiny hand-curated seed set.  The
+policy loop produces exactly the evidence needed to grow it online: every
+``ok`` serve yields a ``(prompt, complement, judged reward)`` triple.
+:class:`GoldenRefresh` buffers those observations and, behind a quality
+gate, promotes the best per category into a new
+:class:`~repro.core.golden.GoldenData` — the serve→judge→select loop
+feeding back into the pipeline's few-shot exemplars.
+
+The refresh is checkpointed the way :class:`~repro.pipeline.runner
+.PipelineRunner` stages are: the promoted payload is written with a
+content hash under a run key derived from the *inputs* (gate, cap,
+observation buffer, and the golden data being refreshed).  A re-run with
+the same inputs reloads the checkpoint and rebuilds the identical
+GoldenData without recomputing; a payload that doesn't match its recorded
+hash raises :class:`~repro.pipeline.runner.CheckpointError` (a corrupted
+checkpoint must never silently alter the exemplar set the whole pipeline
+conditions on).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.golden import GoldenData, GoldenPair
+from repro.errors import ConfigError
+from repro.pipeline.runner import CheckpointError
+from repro.utils.rng import stable_hash
+from repro.world.prompts import SyntheticPrompt
+
+__all__ = ["GoldenRefresh"]
+
+_CHECKPOINT_NAME = "golden_refresh.json"
+
+
+def _content_hash(payload: object) -> str:
+    material = json.dumps(payload, sort_keys=True, ensure_ascii=False)
+    return f"{stable_hash(material):016x}"
+
+
+class GoldenRefresh:
+    """Quality-gated promotion of policy winners into golden exemplars.
+
+    ``quality_gate`` is the minimum judged reward (0–5) a pair must have
+    earned; ``max_per_category`` caps how many promotions one refresh may
+    add per category (golden stays a *tiny* curated set — that is the
+    paper's point).  ``checkpoint_dir=None`` keeps the refresh in memory
+    (same semantics, no cross-process resume).
+    """
+
+    def __init__(
+        self,
+        *,
+        quality_gate: float = 4.0,
+        max_per_category: int = 3,
+        checkpoint_dir: str | Path | None = None,
+    ):
+        if not 0.0 <= quality_gate <= 5.0:
+            raise ConfigError(f"quality_gate must be in [0, 5], got {quality_gate}")
+        if max_per_category < 1:
+            raise ConfigError(
+                f"max_per_category must be >= 1, got {max_per_category}"
+            )
+        self.quality_gate = float(quality_gate)
+        self.max_per_category = int(max_per_category)
+        self.checkpoint_dir = None if checkpoint_dir is None else Path(checkpoint_dir)
+        # (uid, complement) -> observation; repeats keep the best reward,
+        # so the buffer is order-insensitive up to max() ties.
+        self._records: dict[tuple[int, str], dict] = {}
+
+    # ------------------------------------------------------------------ #
+    # observation buffer
+    # ------------------------------------------------------------------ #
+
+    def record(self, prompt: SyntheticPrompt, complement: str, reward: float) -> None:
+        """Buffer one judged serve (empty complements are never exemplars)."""
+        if not complement:
+            return
+        key = (prompt.uid, complement)
+        existing = self._records.get(key)
+        if existing is None or float(reward) > existing["reward"]:
+            self._records[key] = {
+                "prompt": prompt,
+                "complement": complement,
+                "reward": float(reward),
+            }
+
+    @property
+    def n_records(self) -> int:
+        return len(self._records)
+
+    def as_dict(self) -> dict:
+        """JSON-safe observation buffer (for policy checkpointing)."""
+        return {
+            "quality_gate": self.quality_gate,
+            "max_per_category": self.max_per_category,
+            "records": [
+                {
+                    "prompt": record["prompt"].as_dict(),
+                    "complement": record["complement"],
+                    "reward": record["reward"],
+                }
+                for _, record in sorted(self._records.items())
+            ],
+        }
+
+    @classmethod
+    def from_dict(
+        cls, data: dict, checkpoint_dir: str | Path | None = None
+    ) -> "GoldenRefresh":
+        """Inverse of :meth:`as_dict` (lossless)."""
+        refresh = cls(
+            quality_gate=float(data["quality_gate"]),
+            max_per_category=int(data["max_per_category"]),
+            checkpoint_dir=checkpoint_dir,
+        )
+        for record in data["records"]:
+            refresh.record(
+                SyntheticPrompt.from_dict(record["prompt"]),
+                record["complement"],
+                float(record["reward"]),
+            )
+        return refresh
+
+    # ------------------------------------------------------------------ #
+    # promotion
+    # ------------------------------------------------------------------ #
+
+    def promoted(self) -> dict[str, list[dict]]:
+        """Gated winners per category, best first (pure, no checkpoint).
+
+        Ranking is exact and tie-stable: reward descending, then prompt
+        uid, then complement text.
+        """
+        by_category: dict[str, list[dict]] = {}
+        for _, record in self._records.items():
+            if record["reward"] >= self.quality_gate:
+                by_category.setdefault(record["prompt"].category, []).append(record)
+        out: dict[str, list[dict]] = {}
+        for category in sorted(by_category):
+            ranked = sorted(
+                by_category[category],
+                key=lambda r: (-r["reward"], r["prompt"].uid, r["complement"]),
+            )
+            out[category] = ranked[: self.max_per_category]
+        return out
+
+    def _run_key(self, golden: GoldenData) -> str:
+        """Content hash of every input the refresh outcome depends on."""
+        golden_digest = {
+            category: [
+                [pair.prompt.as_dict(), pair.complement]
+                for pair in golden.exemplars(category)
+            ]
+            for category in golden.categories()
+        }
+        return _content_hash({"buffer": self.as_dict(), "golden": golden_digest})
+
+    def refresh(self, golden: GoldenData) -> GoldenData:
+        """A new :class:`GoldenData` with the gated winners appended.
+
+        Existing exemplars are preserved verbatim; a winner whose exact
+        ``(prompt uid, complement)`` is already an exemplar in its
+        category is skipped (refresh is idempotent).  With a
+        ``checkpoint_dir``, the promotion payload is checkpointed and a
+        re-run with identical inputs rebuilds the identical GoldenData
+        from disk.
+        """
+        run_key = self._run_key(golden)
+        payload = self._load_checkpoint(run_key)
+        if payload is None:
+            payload = {
+                category: [
+                    {
+                        "prompt": record["prompt"].as_dict(),
+                        "complement": record["complement"],
+                        "reward": record["reward"],
+                    }
+                    for record in records
+                ]
+                for category, records in self.promoted().items()
+            }
+            self._write_checkpoint(run_key, payload)
+        by_category = {
+            category: list(golden.exemplars(category))
+            for category in golden.categories()
+        }
+        for category in sorted(payload):
+            pairs = by_category.setdefault(category, [])
+            existing = {(pair.prompt.uid, pair.complement) for pair in pairs}
+            for item in payload[category]:
+                prompt = SyntheticPrompt.from_dict(item["prompt"])
+                if (prompt.uid, item["complement"]) in existing:
+                    continue
+                pairs.append(GoldenPair(prompt=prompt, complement=item["complement"]))
+        return GoldenData(by_category)
+
+    # ------------------------------------------------------------------ #
+    # checkpointing
+    # ------------------------------------------------------------------ #
+
+    def _checkpoint_path(self) -> Path | None:
+        if self.checkpoint_dir is None:
+            return None
+        return self.checkpoint_dir / _CHECKPOINT_NAME
+
+    def _write_checkpoint(self, run_key: str, payload: dict) -> None:
+        path = self._checkpoint_path()
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record = {
+            "run_key": run_key,
+            "payload_hash": _content_hash(payload),
+            "payload": payload,
+        }
+        path.write_text(json.dumps(record, sort_keys=True) + "\n")
+
+    def _load_checkpoint(self, run_key: str) -> dict | None:
+        path = self._checkpoint_path()
+        if path is None or not path.is_file():
+            return None
+        record = json.loads(path.read_text())
+        if record.get("run_key") != run_key:
+            # Different inputs: a stale checkpoint is simply ignored (and
+            # overwritten by the fresh write).
+            return None
+        payload = record["payload"]
+        if _content_hash(payload) != record.get("payload_hash"):
+            raise CheckpointError(
+                f"golden-refresh checkpoint at {path} does not match its "
+                "recorded content hash"
+            )
+        return payload

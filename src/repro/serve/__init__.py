@@ -26,6 +26,15 @@ open circuit breakers; one nested
 :class:`~repro.serve.config.ServingConfig` describes the whole deployment
 and round-trips losslessly through dicts.
 
+Serving can be *adaptive*: plug an
+:class:`~repro.policy.AugmentationPolicy` into the gateway (or thread one
+through ``Router(pas, config, policy=...)``) and every augmentable serve
+routes through candidate → select → complete → judge → bandit update —
+the policy learns per ``(category, tenant)`` which augmentation strategy
+wins and records its choice in :attr:`ServeResponse.strategy
+<repro.serve.types.ServeResponse.strategy>`.  Policy off is byte-identical
+to the unpoliced stack.
+
 Observability is woven through the whole path: pass
 ``obs=Observability.enabled()`` to the gateway (and scheduler) to get
 per-request span traces on the logical clock, a shared metrics registry,
@@ -35,6 +44,7 @@ when left at the :data:`~repro.obs.NULL_OBS` default.
 
 from repro.llm.types import build_messages
 from repro.obs import NULL_OBS, Observability
+from repro.policy import AugmentationPolicy, PolicyConfig
 from repro.resilience import CircuitBreaker, FaultPlan, OutageWindow, RetryPolicy
 from repro.serve.cache import LruCache
 from repro.serve.config import ServingConfig
@@ -75,6 +85,7 @@ from repro.serve.types import STATUSES, ServeRequest, ServeResponse
 
 __all__ = [
     "ARRIVAL_PROCESSES",
+    "AugmentationPolicy",
     "BatchPlan",
     "BatchRecord",
     "CACHE_SCOPES",
@@ -93,6 +104,7 @@ __all__ = [
     "Observability",
     "OutageWindow",
     "PasGateway",
+    "PolicyConfig",
     "ROUTING_POLICIES",
     "RetryPolicy",
     "Router",

@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
+from repro.policy.policy import PolicyConfig
 from repro.serve.engine import EngineConfig
 from repro.serve.gateway import GatewayConfig
 from repro.serve.router import RouterConfig
@@ -52,6 +53,7 @@ class ServingConfig:
     gateway: GatewayConfig = field(default_factory=GatewayConfig)
     engine: EngineConfig = field(default_factory=EngineConfig)
     traffic: TrafficConfig = field(default_factory=TrafficConfig)
+    policy: PolicyConfig = field(default_factory=PolicyConfig)
 
     def validate(self) -> None:
         """Cross-section consistency checks (sections self-validate).
@@ -59,7 +61,9 @@ class ServingConfig:
         A :class:`~repro.serve.router.TenantPolicy` for a tenant the
         traffic section never emits is almost certainly a typo'd name, as
         is a traffic model mix naming a pool the router doesn't define
-        while pools are in play.
+        while pools are in play.  An enabled ``policy`` section must pin
+        its reward judge's seed
+        (:meth:`~repro.policy.PolicyConfig.validate`).
         """
         tenant_names = {profile.name for profile in self.traffic.tenants}
         for policy in self.router.tenants:
@@ -68,6 +72,7 @@ class ServingConfig:
                     f"router has a TenantPolicy for {policy.tenant!r} but the "
                     f"traffic section only emits tenants {sorted(tenant_names)}"
                 )
+        self.policy.validate()
 
     def as_dict(self) -> dict:
         """JSON-safe dict: ``ServingConfig.from_dict(c.as_dict()) == c``."""
@@ -76,14 +81,21 @@ class ServingConfig:
             "gateway": self.gateway.as_dict(),
             "engine": self.engine.as_dict(),
             "traffic": self.traffic.as_dict(),
+            "policy": self.policy.as_dict(),
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "ServingConfig":
-        """Inverse of :meth:`as_dict` (lossless, JSON-safe)."""
+        """Inverse of :meth:`as_dict` (lossless, JSON-safe).  ``policy``
+        is optional on the way in — pre-policy dicts load as policy-off."""
         return cls(
             router=RouterConfig.from_dict(data["router"]),
             gateway=GatewayConfig.from_dict(data["gateway"]),
             engine=EngineConfig.from_dict(data["engine"]),
             traffic=TrafficConfig.from_dict(data["traffic"]),
+            policy=(
+                PolicyConfig()
+                if data.get("policy") is None
+                else PolicyConfig.from_dict(data["policy"])
+            ),
         )

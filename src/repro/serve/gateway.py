@@ -37,8 +37,12 @@ from __future__ import annotations
 import warnings
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # the policy layer is optional; never imported at runtime
+    from repro.policy.policy import AugmentationPolicy
 
 from repro.core.pas import PasModel
 from repro.errors import AugmentationError, CircuitOpenError, ReproError, UnknownModelError
@@ -66,6 +70,9 @@ STAGES = ("augment", "cache", "completion", "stats")
 
 #: Attempt-count buckets for the per-request ``pas_attempts`` histogram.
 _ATTEMPT_BUCKETS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0)
+
+#: Judged-reward buckets for the ``pas_policy_reward`` histogram (0-5 grades).
+_REWARD_BUCKETS = (1.0, 2.0, 3.0, 3.5, 4.0, 4.5, 5.0)
 
 
 @dataclass(frozen=True)
@@ -427,6 +434,7 @@ class PasGateway:
         *,
         complement_cache: LruCache | None = None,
         embed_cache: LruCache | None = None,
+        policy: "AugmentationPolicy | None" = None,
         **deprecated,
     ):
         unknown = set(deprecated) - set(_DEPRECATED_KWARGS)
@@ -490,6 +498,24 @@ class PasGateway:
             buckets=_ATTEMPT_BUCKETS,
             help="Completion attempts per served request.",
         )
+        # Policy instruments exist only when a policy does: a registered-
+        # but-empty series would still appear in metrics snapshots and
+        # break byte-parity with the unpoliced gateway (the same rule the
+        # trivial Router follows).
+        self._policy = policy
+        if policy is not None:
+            self._m_policy_pulls = self._registry.counter(
+                "pas_policy_pulls_total",
+                help="Policy arm pulls by strategy and context category.",
+            )
+            self._m_policy_reward = self._registry.histogram(
+                "pas_policy_reward",
+                buckets=_REWARD_BUCKETS,
+                help="Judged reward (0-5) per policy-served request.",
+            )
+        else:
+            self._m_policy_pulls = None
+            self._m_policy_reward = None
         if self.obs.active:
             self._complement_cache.observer = self._cache_observer("complement")
             if self._embed_cache is not None:
@@ -503,6 +529,20 @@ class PasGateway:
     def clock(self) -> int:
         """Logical time: how many requests this gateway has attempted."""
         return self._clock
+
+    @property
+    def policy(self) -> "AugmentationPolicy | None":
+        """The adaptive augmentation policy, when one is plugged in.
+
+        With ``policy=None`` (the default) the gateway is byte-identical
+        to the pre-policy gateway: no ``policy.select`` spans, no
+        ``pas_policy_*`` metric series, no ``strategy`` key in response
+        exports.  With a policy, each augmentable ``ok`` serve routes
+        through candidate → select → complete → judge → bandit update,
+        and the chosen arm lands in :attr:`ServeResponse.strategy
+        <repro.serve.types.ServeResponse.strategy>`.
+        """
+        return self._policy
 
     # ------------------------------------------------------------------ #
     # observability wiring
@@ -771,6 +811,35 @@ class PasGateway:
             else:
                 complement, was_cached = "", False
 
+            # The policy decision: pick a strategy arm and swap in its
+            # complement.  The static complement was already computed
+            # through the cache tiers above — so cache state, hits, and
+            # scalar/batch parity are exactly what they are without a
+            # policy — and the ``static`` arm serves it verbatim.
+            strategy: str | None = None
+            policy_context: tuple[str, str] | None = None
+            if (
+                self._policy is not None
+                and request.augment
+                and degraded_error is None
+            ):
+                with tracer.span("policy.select") as policy_span:
+                    policy_context = self._policy.context_for(
+                        request.prompt, request.tenant
+                    )
+                    strategy = self._policy.select(policy_context, self._clock)
+                    complement = self._policy.complement_for(
+                        request.prompt,
+                        strategy,
+                        static=complement,
+                        embed_cache=self._embed_cache,
+                    )
+                    policy_span.set(
+                        strategy=strategy,
+                        category=policy_context[0],
+                        tenant=policy_context[1],
+                    )
+
             try:
                 completion = client.complete(build_messages(request.prompt, complement))
             except ReproError as error:
@@ -789,6 +858,22 @@ class PasGateway:
             self._m_tokens.inc(completion.prompt_tokens, kind="prompt")
             self._m_tokens.inc(completion.completion_tokens, kind="completion")
             self._m_attempts.observe(completion.retries + 1, model=request.model)
+            if strategy is not None:
+                # Close the loop: judge the served answer, pay the bandit.
+                # Off-corpus prompts yield no reward and no update.
+                reward = self._policy.observe(
+                    request.prompt,
+                    policy_context,
+                    strategy,
+                    complement,
+                    completion.content,
+                )
+                self._m_policy_pulls.inc(
+                    strategy=strategy, category=policy_context[0]
+                )
+                if reward is not None:
+                    self._m_policy_reward.observe(reward, strategy=strategy)
+                root.set(strategy=strategy)
             root.status = status
             root.set(
                 attempts=completion.retries + 1,
@@ -808,6 +893,7 @@ class PasGateway:
                 status=status,
                 error=degraded_error,
                 attempts=completion.retries + 1,
+                strategy=strategy,
             )
 
     def ask_batch(

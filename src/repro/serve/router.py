@@ -380,6 +380,7 @@ class Router:
         obs: Observability = NULL_OBS,
         *,
         replicas: Sequence[PasGateway] | None = None,
+        policy: object = None,
     ):
         if config is None:
             router_cfg, gateway_cfg = RouterConfig(), None
@@ -396,6 +397,11 @@ class Router:
         if replicas is not None:
             if pas is not None:
                 raise TypeError("pass either pas or replicas, not both")
+            if policy is not None:
+                raise TypeError(
+                    "pass policy= only when the router builds the replicas; "
+                    "adopted gateways already own their policies"
+                )
             if not replicas:
                 raise ConfigError("replicas must be non-empty when given")
             if router_cfg.n_replicas != len(replicas):
@@ -416,7 +422,7 @@ class Router:
             if pas is None:
                 raise TypeError("Router() needs a PasModel (or replicas=...)")
             self.gateway_config = gateway_cfg or GatewayConfig()
-            self.replicas = self._build_replicas(pas, router_cfg, obs)
+            self.replicas = self._build_replicas(pas, router_cfg, obs, policy)
 
         self.config = router_cfg
         self.obs = obs
@@ -491,7 +497,7 @@ class Router:
         return points
 
     def _build_replicas(
-        self, pas: PasModel, cfg: RouterConfig, obs: Observability
+        self, pas: PasModel, cfg: RouterConfig, obs: Observability, policy: object = None
     ) -> list[PasGateway]:
         gateway_cfg = self.gateway_config
         complement_cache: LruCache[str, str] | None = None
@@ -500,6 +506,9 @@ class Router:
             complement_cache = SharedLruCache(capacity=gateway_cfg.cache_size)
             if gateway_cfg.embed_cache_size > 0:
                 embed_cache = SharedLruCache(capacity=gateway_cfg.embed_cache_size)
+        # One policy object is shared across every replica: the bandit
+        # learns fleet-wide (its contexts key on (category, tenant), not
+        # on replicas), exactly like a shared cache tier.
         return [
             PasGateway(
                 pas,
@@ -507,6 +516,7 @@ class Router:
                 obs=obs,
                 complement_cache=complement_cache,
                 embed_cache=embed_cache,
+                policy=policy,
             )
             for _ in range(cfg.n_replicas)
         ]
@@ -702,6 +712,11 @@ class Router:
     @property
     def n_replicas(self) -> int:
         return len(self.replicas)
+
+    @property
+    def policy(self) -> object:
+        """The fleet's shared augmentation policy (``None`` when unpoliced)."""
+        return self.replicas[0].policy
 
     @property
     def clock(self) -> int:

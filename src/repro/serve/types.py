@@ -44,6 +44,10 @@ class ServeResponse:
     :attr:`error` carries the failure description for ``degraded``/``failed``
     outcomes, and :attr:`attempts` counts completion attempts actually made
     (0 when a circuit breaker rejected the request before trying).
+    :attr:`strategy` records which policy arm served the request when the
+    gateway ran with an :class:`~repro.policy.AugmentationPolicy`
+    (``None`` on unpoliced gateways and on requests the policy never saw
+    — unaugmented, degraded, or failed serves).
     """
 
     request_id: str | None
@@ -56,6 +60,7 @@ class ServeResponse:
     status: str = "ok"
     error: str | None = None
     attempts: int = 1
+    strategy: str | None = None
 
     def __post_init__(self) -> None:
         if self.status not in STATUSES:
@@ -75,8 +80,12 @@ class ServeResponse:
         return self.status == "failed"
 
     def as_dict(self) -> dict:
-        """JSON-safe dict with a stable key order (for structured export)."""
-        return {
+        """JSON-safe dict with a stable key order (for structured export).
+
+        ``strategy`` appears only when set — unpoliced exports stay
+        byte-identical to the pre-policy format.
+        """
+        data = {
             "request_id": self.request_id,
             "model": self.model,
             "status": self.status,
@@ -89,6 +98,9 @@ class ServeResponse:
             "attempts": self.attempts,
             "error": self.error,
         }
+        if self.strategy is not None:
+            data["strategy"] = self.strategy
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "ServeResponse":
@@ -105,4 +117,5 @@ class ServeResponse:
             status=data["status"],
             error=data["error"],
             attempts=data["attempts"],
+            strategy=data.get("strategy"),
         )

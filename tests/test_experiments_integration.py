@@ -130,7 +130,7 @@ class TestRunner:
         assert set(EXPERIMENTS) == {
             "table1", "table2", "table3", "table4", "table5",
             "fig1b", "fig6", "fig7", "casestudies", "significance",
-            "breakdown",
+            "breakdown", "policy",
         }
 
     def test_unknown_experiment_rejected(self, quick_ctx):

@@ -125,6 +125,19 @@ class TestJudge:
         a, b = "response alpha text", "response beta text"
         assert judge.pairwise(prompt, a, b) == judge.pairwise(prompt, a, b)
 
+    def test_absolute_score_batch_bit_parity(self, factory):
+        # The policy layer scores candidate fan-outs through the batch
+        # path; it must agree with the scalar grader bit for bit.
+        judge = LlmJudge()
+        engine = SimulatedLLM("gpt-3.5-turbo-1106")
+        prompt = factory.make_prompt()
+        responses = [engine.respond(prompt.text) for _ in range(8)]
+        responses.append("")  # degenerate response grades too
+        batch = judge.absolute_score_batch(prompt, responses)
+        assert batch == [judge.absolute_score(prompt, r) for r in responses]
+        assert all(0.0 <= score <= 5.0 for score in batch)
+        assert judge.absolute_score_batch(prompt, []) == []
+
 
 class TestBenchmarks:
     @pytest.fixture(scope="class")

@@ -1,0 +1,207 @@
+"""Deterministic contextual bandit: selection, learning, serialization.
+
+The bandit is the policy layer's decision core, and its contract is the
+serving stack's: every ``select`` is a pure function of ``(seed, context,
+tick)``, reward accounting is exact (integer pulls, Fraction sums), and a
+JSON round trip of its state resumes it bit-identically.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.policy import BANDIT_ALGORITHMS, ContextualBandit
+
+ARMS = ("static", "salted", "subset", "none")
+CTX = ("code_generation", "acme")
+
+
+def _reward(arm: str, tick: int) -> float:
+    """A planted deterministic reward stream: ``salted`` is the best arm."""
+    base = {"static": 3.0, "salted": 3.8, "subset": 2.0, "none": 1.0}[arm]
+    return base + 0.3 * ((tick * 2654435761) % 7 - 3) / 3.0
+
+
+def _drive(bandit: ContextualBandit, n: int, start: int = 0) -> list[str]:
+    picks = []
+    for tick in range(start, start + n):
+        arm = bandit.select(CTX, tick)
+        bandit.observe(CTX, arm, _reward(arm, tick))
+        picks.append(arm)
+    return picks
+
+
+# --------------------------------------------------------------------- #
+# selection semantics
+# --------------------------------------------------------------------- #
+
+
+def test_initialisation_round_pulls_every_arm_lowest_index_first():
+    bandit = ContextualBandit(ARMS, epsilon=0.0)
+    picks = []
+    for tick in range(len(ARMS)):
+        arm = bandit.select(CTX, tick)
+        bandit.observe(CTX, arm, 1.0)
+        picks.append(arm)
+    assert picks == list(ARMS)
+
+
+def test_select_is_read_only():
+    bandit = ContextualBandit(ARMS, epsilon=0.3)
+    for tick in range(50):
+        bandit.select(CTX, tick)
+    assert bandit.total_pulls == 0
+    assert bandit.pulls(CTX) == {arm: 0 for arm in ARMS}
+
+
+def test_select_pure_in_seed_context_tick():
+    a = ContextualBandit(ARMS, epsilon=0.3, seed=5)
+    b = ContextualBandit(ARMS, epsilon=0.3, seed=5)
+    _drive(a, 200)
+    _drive(b, 200)
+    assert [a.select(CTX, t) for t in range(500)] == [
+        b.select(CTX, t) for t in range(500)
+    ]
+    # A different seed explores differently somewhere in 500 ticks.
+    c = ContextualBandit(ARMS, epsilon=0.3, seed=6)
+    _drive(c, 200)
+    assert [a.select(CTX, t) for t in range(500)] != [
+        c.select(CTX, t) for t in range(500)
+    ]
+
+
+def test_epsilon_greedy_converges_to_planted_best_arm():
+    bandit = ContextualBandit(ARMS, epsilon=0.2, seed=0)
+    _drive(bandit, 400)
+    assert bandit.best_arm(CTX) == "salted"
+    assert bandit.pulls(CTX)["salted"] > max(
+        n for arm, n in bandit.pulls(CTX).items() if arm != "salted"
+    )
+
+
+def test_ucb1_converges_and_ignores_epsilon():
+    bandit = ContextualBandit(ARMS, algorithm="ucb1", epsilon=1.0, seed=0)
+    _drive(bandit, 400)
+    assert bandit.best_arm(CTX) == "salted"
+
+
+def test_epsilon_zero_never_explores():
+    bandit = ContextualBandit(ARMS, epsilon=0.0, seed=0)
+    picks = _drive(bandit, 300)
+    # After the initialisation round, pure exploitation on exact means.
+    replay = ContextualBandit.from_dict(bandit.as_dict())
+    assert set(picks[len(ARMS) :]) == {"salted"}
+    assert replay.best_arm(CTX) == "salted"
+
+
+def test_epsilon_one_always_explores():
+    bandit = ContextualBandit(ARMS, epsilon=1.0, seed=0)
+    picks = _drive(bandit, 600)
+    counts = {arm: picks.count(arm) for arm in ARMS}
+    # Uniform hash-modulo exploration touches every arm substantially.
+    assert min(counts.values()) > 600 / len(ARMS) / 2
+
+
+def test_explore_false_forces_exploitation():
+    bandit = ContextualBandit(ARMS, epsilon=1.0, seed=0)
+    _drive(bandit, 100)
+    assert all(
+        bandit.select(CTX, tick, explore=False) == bandit.best_arm(CTX)
+        for tick in range(100, 200)
+    )
+
+
+def test_exploit_argmax_breaks_ties_on_lowest_arm_index():
+    bandit = ContextualBandit(ARMS, epsilon=0.0)
+    for arm in ARMS:
+        bandit.observe(CTX, arm, 2.5)  # all means exactly equal
+    assert bandit.select(CTX, 99) == ARMS[0]
+    assert bandit.best_arm(CTX) == ARMS[0]
+
+
+def test_exact_means_are_order_independent():
+    a = ContextualBandit(ARMS, epsilon=0.0)
+    b = ContextualBandit(ARMS, epsilon=0.0)
+    rewards = [0.1, 0.7, 0.3, 0.30000000000000004, 2.2]
+    for r in rewards:
+        a.observe(CTX, "static", r)
+    for r in reversed(rewards):
+        b.observe(CTX, "static", r)
+    assert a.mean_reward(CTX, "static") == b.mean_reward(CTX, "static")
+    assert a.as_dict() == b.as_dict()
+
+
+def test_contexts_learn_independently():
+    bandit = ContextualBandit(ARMS, epsilon=0.0)
+    other = ("casual_chat", "acme")
+    for arm in ARMS:
+        bandit.observe(CTX, arm, 5.0 if arm == "none" else 1.0)
+        bandit.observe(other, arm, 5.0 if arm == "subset" else 1.0)
+    assert bandit.best_arm(CTX) == "none"
+    assert bandit.best_arm(other) == "subset"
+    assert bandit.contexts == sorted([CTX, other])
+
+
+def test_best_arm_on_unseen_or_partial_context_is_deterministic():
+    bandit = ContextualBandit(ARMS)
+    assert bandit.best_arm(("never", "seen")) == ARMS[0]
+    bandit.observe(CTX, "static", 5.0)
+    # Not every arm has data: fall back to initialisation order.
+    assert bandit.best_arm(CTX) == "salted"
+
+
+# --------------------------------------------------------------------- #
+# serialization
+# --------------------------------------------------------------------- #
+
+
+def test_json_round_trip_resumes_bit_identically():
+    bandit = ContextualBandit(ARMS, epsilon=0.25, seed=9)
+    _drive(bandit, 150)
+    blob = json.dumps(bandit.as_dict(), sort_keys=True)
+    resumed = ContextualBandit.from_dict(json.loads(blob))
+    assert resumed.as_dict() == bandit.as_dict()
+    # Both continue identically: same decisions, same state, forever.
+    assert _drive(bandit, 150, start=150) == _drive(resumed, 150, start=150)
+    assert resumed.as_dict() == bandit.as_dict()
+
+
+def test_round_trip_preserves_exact_fractions():
+    bandit = ContextualBandit(ARMS, epsilon=0.1)
+    bandit.observe(CTX, "static", 0.1)  # Fraction(0.1) is not 1/10
+    data = bandit.as_dict()
+    num, den = data["contexts"][f"{CTX[0]}␞{CTX[1]}"]["rewards"][0]
+    assert Fraction(num, den) == Fraction(0.1)
+    assert ContextualBandit.from_dict(data).as_dict() == data
+
+
+def test_from_dict_rejects_mismatched_arm_counts():
+    data = ContextualBandit(ARMS).as_dict()
+    data["contexts"]["code_generation␞acme"] = {"pulls": [1, 2], "rewards": [[1, 1], [1, 1]]}
+    with pytest.raises(ConfigError, match="does not match"):
+        ContextualBandit.from_dict(data)
+
+
+# --------------------------------------------------------------------- #
+# validation
+# --------------------------------------------------------------------- #
+
+
+def test_constructor_validation():
+    with pytest.raises(ConfigError, match="at least one arm"):
+        ContextualBandit(())
+    with pytest.raises(ConfigError, match="duplicate arms"):
+        ContextualBandit(("static", "static"))
+    with pytest.raises(ConfigError, match="unknown bandit algorithm"):
+        ContextualBandit(ARMS, algorithm="thompson")
+    with pytest.raises(ConfigError, match="epsilon"):
+        ContextualBandit(ARMS, epsilon=1.5)
+    with pytest.raises(ConfigError, match="ucb_c"):
+        ContextualBandit(ARMS, ucb_c=-1.0)
+    with pytest.raises(ConfigError, match="unknown arm"):
+        ContextualBandit(ARMS).observe(CTX, "rewrite", 1.0)
+    assert set(BANDIT_ALGORITHMS) == {"epsilon_greedy", "ucb1"}

@@ -1,0 +1,181 @@
+"""Golden-refresh feedback hook: gating, ranking, checkpointed promotion.
+
+The serve→judge→select loop's last leg: judged winners flow back into the
+golden exemplar set behind a quality gate, with the same checkpoint
+discipline the pipeline runner keeps — identical inputs reload the
+checkpoint bit-identically, corrupted checkpoints refuse loudly, stale
+ones are ignored.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.golden import GoldenData, GoldenPair
+from repro.errors import ConfigError
+from repro.pipeline.runner import CheckpointError
+from repro.policy import GoldenRefresh
+from repro.world.prompts import PromptFactory
+
+
+@pytest.fixture()
+def prompts(factory):
+    return [factory.make_prompt(category="coding") for _ in range(6)] + [
+        factory.make_prompt(category="chitchat") for _ in range(4)
+    ]
+
+
+@pytest.fixture()
+def golden(prompts):
+    return GoldenData({"coding": [GoldenPair(prompts[0], "seed exemplar.")]})
+
+
+def _filled(prompts, **kwargs) -> GoldenRefresh:
+    refresh = GoldenRefresh(**kwargs)
+    for i, prompt in enumerate(prompts):
+        refresh.record(prompt, f"complement {i}.", 3.0 + 0.25 * i)
+    return refresh
+
+
+class TestBufferAndGate:
+    def test_empty_complements_are_never_buffered(self, prompts):
+        refresh = GoldenRefresh()
+        refresh.record(prompts[0], "", 5.0)
+        assert refresh.n_records == 0
+
+    def test_repeats_keep_the_best_reward(self, prompts):
+        refresh = GoldenRefresh()
+        refresh.record(prompts[0], "c.", 2.0)
+        refresh.record(prompts[0], "c.", 4.5)
+        refresh.record(prompts[0], "c.", 3.0)
+        assert refresh.n_records == 1
+        [record] = refresh.as_dict()["records"]
+        assert record["reward"] == 4.5
+
+    def test_gate_and_per_category_cap(self, prompts):
+        refresh = _filled(prompts, quality_gate=4.0, max_per_category=2)
+        promoted = refresh.promoted()
+        assert all(
+            record["reward"] >= 4.0
+            for records in promoted.values()
+            for record in records
+        )
+        assert all(len(records) <= 2 for records in promoted.values())
+        # Ranking is reward-descending and tie-stable.
+        for records in promoted.values():
+            rewards = [record["reward"] for record in records]
+            assert rewards == sorted(rewards, reverse=True)
+
+    def test_round_trip_is_lossless(self, prompts):
+        refresh = _filled(prompts)
+        blob = json.dumps(refresh.as_dict(), sort_keys=True)
+        restored = GoldenRefresh.from_dict(json.loads(blob))
+        assert restored.as_dict() == refresh.as_dict()
+        assert restored.promoted() == refresh.promoted()
+
+    def test_validation(self):
+        with pytest.raises(ConfigError, match="quality_gate"):
+            GoldenRefresh(quality_gate=6.0)
+        with pytest.raises(ConfigError, match="max_per_category"):
+            GoldenRefresh(max_per_category=0)
+
+
+class TestRefresh:
+    def test_refresh_appends_without_touching_existing(self, prompts, golden):
+        refresh = _filled(prompts, quality_gate=4.0)
+        refreshed = refresh.refresh(golden)
+        # The seed exemplar survives verbatim, first.
+        assert refreshed.exemplars("coding")[0].complement == "seed exemplar."
+        assert len(refreshed.exemplars("coding")) > 1
+        # The input GoldenData is untouched.
+        assert len(golden.exemplars("coding")) == 1
+
+    def test_refresh_is_idempotent(self, prompts, golden):
+        refresh = _filled(prompts, quality_gate=4.0)
+        once = refresh.refresh(golden)
+        twice = refresh.refresh(once)
+        assert [
+            (pair.prompt.uid, pair.complement)
+            for category in twice.categories()
+            for pair in twice.exemplars(category)
+        ] == [
+            (pair.prompt.uid, pair.complement)
+            for category in once.categories()
+            for pair in once.exemplars(category)
+        ]
+
+    def test_refresh_is_deterministic_across_buffer_orders(self, golden):
+        factory_a = PromptFactory(rng=np.random.default_rng(5))
+        prompts = [factory_a.make_prompt() for _ in range(8)]
+        a, b = GoldenRefresh(quality_gate=3.0), GoldenRefresh(quality_gate=3.0)
+        for i, prompt in enumerate(prompts):
+            a.record(prompt, f"c {i}.", 3.0 + 0.2 * i)
+        for i, prompt in reversed(list(enumerate(prompts))):
+            b.record(prompt, f"c {i}.", 3.0 + 0.2 * i)
+        assert a.as_dict() == b.as_dict()
+        assert [
+            (pair.prompt.uid, pair.complement)
+            for category in a.refresh(golden).categories()
+            for pair in a.refresh(golden).exemplars(category)
+        ] == [
+            (pair.prompt.uid, pair.complement)
+            for category in b.refresh(golden).categories()
+            for pair in b.refresh(golden).exemplars(category)
+        ]
+
+
+class TestCheckpointing:
+    def test_rerun_reloads_checkpoint_bit_identically(
+        self, prompts, golden, tmp_path
+    ):
+        refresh = _filled(prompts, quality_gate=4.0, checkpoint_dir=tmp_path)
+        first = refresh.refresh(golden)
+        checkpoint = (tmp_path / "golden_refresh.json").read_text()
+        resumed = GoldenRefresh.from_dict(
+            refresh.as_dict(), checkpoint_dir=tmp_path
+        )
+        second = resumed.refresh(golden)
+        assert (tmp_path / "golden_refresh.json").read_text() == checkpoint
+        assert [
+            (pair.prompt.uid, pair.complement)
+            for category in second.categories()
+            for pair in second.exemplars(category)
+        ] == [
+            (pair.prompt.uid, pair.complement)
+            for category in first.categories()
+            for pair in first.exemplars(category)
+        ]
+
+    def test_stale_run_key_is_ignored_and_overwritten(
+        self, prompts, golden, tmp_path
+    ):
+        refresh = _filled(prompts, quality_gate=4.0, checkpoint_dir=tmp_path)
+        refresh.refresh(golden)
+        # New observation → new run key → the old checkpoint is stale.
+        refresh.record(prompts[1], "a late winner.", 5.0)
+        refreshed = refresh.refresh(golden)
+        record = json.loads((tmp_path / "golden_refresh.json").read_text())
+        payload_complements = {
+            item["complement"]
+            for records in record["payload"].values()
+            for item in records
+        }
+        assert "a late winner." in payload_complements
+        assert any(
+            pair.complement == "a late winner."
+            for category in refreshed.categories()
+            for pair in refreshed.exemplars(category)
+        )
+
+    def test_corrupted_checkpoint_raises(self, prompts, golden, tmp_path):
+        refresh = _filled(prompts, quality_gate=4.0, checkpoint_dir=tmp_path)
+        refresh.refresh(golden)
+        path = tmp_path / "golden_refresh.json"
+        record = json.loads(path.read_text())
+        record["payload"]["coding"] = []  # tamper, keep run_key
+        path.write_text(json.dumps(record))
+        with pytest.raises(CheckpointError, match="content hash"):
+            refresh.refresh(golden)

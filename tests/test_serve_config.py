@@ -7,12 +7,14 @@ import pytest
 
 from repro.errors import ConfigError
 from repro.llm.api import LatencyModel
+from repro.policy import ContextualBandit
 from repro.resilience import FaultPlan, OutageWindow, RetryPolicy
 from repro.serve import (
     EngineConfig,
     GatewayConfig,
     ModelPool,
     PasGateway,
+    PolicyConfig,
     RouterConfig,
     ServingConfig,
     ServingEngine,
@@ -20,6 +22,16 @@ from repro.serve import (
     TenantProfile,
     TrafficConfig,
 )
+
+
+def _bandit_state() -> dict:
+    """A non-trivial serialized bandit: exact fractions, two contexts."""
+    bandit = ContextualBandit(("static", "salted", "none"), epsilon=0.25, seed=3)
+    for tick, reward in enumerate((0.1, 4.3, 2.2, 3.7)):
+        arm = bandit.select(("coding", "acme"), tick)
+        bandit.observe(("coding", "acme"), arm, reward)
+    bandit.observe(("chitchat", "anonymous"), "none", 4.9)
+    return bandit.as_dict()
 
 FULL = ServingConfig(
     router=RouterConfig(
@@ -73,6 +85,19 @@ FULL = ServingConfig(
             TenantProfile("paid", weight=1.0, priority=2, models=(("mix", 1.0),)),
         ),
     ),
+    policy=PolicyConfig(
+        enabled=True,
+        strategies=("static", "salted", "none"),
+        algorithm="ucb1",
+        epsilon=0.25,
+        ucb_c=1.5,
+        salt=2,
+        seed=3,
+        judge_seed=17,
+        quality_gate=4.25,
+        max_promoted_per_category=2,
+        state=_bandit_state(),
+    ),
 )
 
 
@@ -87,7 +112,7 @@ class TestRoundTrips:
         assert ServingConfig.from_dict(json.loads(payload)) == config
 
     @pytest.mark.parametrize(
-        "section", ["router", "gateway", "engine", "traffic"]
+        "section", ["router", "gateway", "engine", "traffic", "policy"]
     )
     def test_each_section_round_trips_alone(self, section):
         config = getattr(FULL, section)
@@ -116,6 +141,62 @@ class TestValidation:
 
     def test_matching_tenants_validate(self):
         FULL.validate()
+
+
+class TestPolicySection:
+    """The ``policy`` section added with the adaptive augmentation layer."""
+
+    def test_bandit_state_round_trips_losslessly(self):
+        # The serialized bandit carries exact Fractions as [num, den]
+        # pairs; a JSON round trip must preserve them bit for bit.
+        config = ServingConfig.from_dict(json.loads(json.dumps(FULL.as_dict())))
+        assert config.policy == FULL.policy
+        resumed = ContextualBandit.from_dict(config.policy.state)
+        assert resumed.as_dict() == FULL.policy.state
+
+    def test_unknown_keys_raise_type_error(self):
+        data = FULL.policy.as_dict()
+        data["explore_rate"] = 0.5
+        with pytest.raises(TypeError, match="explore_rate"):
+            PolicyConfig.from_dict(data)
+
+    def test_enabled_policy_requires_judge_seed(self):
+        config = ServingConfig(policy=PolicyConfig(enabled=True, judge_seed=None))
+        with pytest.raises(ConfigError, match="judge_seed"):
+            config.validate()
+        # Disabled sections may leave the judge seed unset.
+        ServingConfig(policy=PolicyConfig(enabled=False)).validate()
+
+    def test_section_validation_at_construction(self):
+        with pytest.raises(ConfigError, match="at least one strategy"):
+            PolicyConfig(strategies=())
+        with pytest.raises(ConfigError, match="unknown strategies"):
+            PolicyConfig(strategies=("static", "rewrite"))
+        with pytest.raises(ConfigError, match="epsilon"):
+            PolicyConfig(epsilon=-0.1)
+        with pytest.raises(ConfigError, match="epsilon"):
+            PolicyConfig(epsilon=1.0001)
+        with pytest.raises(ConfigError, match="quality_gate"):
+            PolicyConfig(quality_gate=5.5)
+        with pytest.raises(ConfigError, match="algorithm"):
+            PolicyConfig(algorithm="thompson")
+
+    def test_pre_policy_dicts_load_as_policy_off(self):
+        data = ServingConfig().as_dict()
+        del data["policy"]
+        config = ServingConfig.from_dict(data)
+        assert config.policy == PolicyConfig()
+        assert not config.policy.enabled
+
+    def test_policy_off_default_parity(self):
+        # The section's existence must not change the rest of the config:
+        # a default ServingConfig exports the pre-policy sections
+        # byte-identically, plus one self-contained "policy" key.
+        exported = ServingConfig().as_dict()
+        policy = exported.pop("policy")
+        assert set(exported) == {"router", "gateway", "engine", "traffic"}
+        assert policy == PolicyConfig().as_dict()
+        assert policy["enabled"] is False and policy["state"] is None
 
 
 class TestEngineConfigSurface:
