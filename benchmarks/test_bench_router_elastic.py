@@ -1,0 +1,172 @@
+"""Elastic-fleet bench: hedged retries under latency spikes, remap cost.
+
+``test_bench_router.py`` measures what replicas buy over one gateway;
+this module measures the two elastic-fleet numbers on top (ISSUE 10).
+
+The headline number is ``router_elastic.speedup``: makespan of a
+4-replica fleet under injected latency spikes *without* hedging over the
+same fleet *with* tail hedging enabled, on the same trace.  A hedge
+launches the straggling request on a second replica after a seed-pure
+deadline and takes whichever completion lands first, so the hedged run
+can only finish earlier — ``check_bench_regression.py`` gates the ratio
+at >= 1.0 like every other ``speedup`` key.
+
+``router_elastic.remap_fraction`` is an un-gated trend key: the fraction
+of hash-affine keys that move when the fleet grows 4 -> 5.  Consistent
+hashing pins this near 1/N (0.2 here); CI logs carry the trajectory so a
+ring regression (e.g. a rehash-everything bug reading ~0.8) is visible
+PR over PR without turning ring tuning into a hard failure.
+
+Quick tier::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_router_elastic.py -q
+
+Results deep-merge into ``BENCH_serving.json`` under ``router_elastic``.
+"""
+
+from __future__ import annotations
+
+import platform
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from check_bench_regression import merge_write
+from repro import build_default_dataset
+from repro.core.pas import PasModel
+from repro.serve.config import ServingConfig
+from repro.serve.engine import EngineConfig, ServingEngine
+from repro.serve.gateway import GatewayConfig
+from repro.serve.router import FleetPlan, HedgePolicy, Router, RouterConfig
+from repro.serve.traffic import TimedRequest, TrafficConfig, TrafficGenerator
+from repro.serve.types import ServeRequest
+from repro.world.prompts import PromptFactory
+
+N_REQUESTS = 200
+N_UNIQUE_PROMPTS = 32
+N_REPLICAS = 4
+MAX_INFLIGHT = 8  # per replica
+SPIKE_RATE = 0.3
+SPIKE_TICKS = 64
+HEDGE_AFTER_TICKS = 4
+N_REMAP_KEYS = 400
+
+RESULTS: dict[str, object] = {}
+
+
+@pytest.fixture(scope="module")
+def trained_pas():
+    dataset = build_default_dataset(n_prompts=150, seed=3, curate=True)
+    return PasModel(base_model="qwen2-7b-chat", seed=3).train(dataset)
+
+
+def _prompt_pool(n: int, seed: int) -> list[str]:
+    factory = PromptFactory(rng=np.random.default_rng(seed))
+    return [factory.make_prompt().text for _ in range(n)]
+
+
+def _config(fleet: FleetPlan) -> ServingConfig:
+    return ServingConfig(
+        router=RouterConfig(n_replicas=N_REPLICAS, seed=7),
+        gateway=GatewayConfig(seed=5),
+        engine=EngineConfig(max_inflight=MAX_INFLIGHT),
+        fleet=fleet,
+    )
+
+
+@pytest.fixture(scope="module")
+def spiky_trace():
+    """Bursty arrivals; the spikes themselves come from the FleetPlan."""
+    config = TrafficConfig(
+        n_requests=N_REQUESTS, seed=11, process="bursty", mean_gap_ticks=1.0
+    )
+    return TrafficGenerator(_prompt_pool(N_UNIQUE_PROMPTS, 2), config).trace()
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_bench_json():
+    """Persist everything RESULTS accumulated once the module finishes."""
+    yield
+    payload = {
+        "scale": {
+            "quick": {
+                "elastic_n_requests": N_REQUESTS,
+                "elastic_n_replicas": N_REPLICAS,
+                "elastic_spike_rate": SPIKE_RATE,
+                "elastic_spike_ticks": SPIKE_TICKS,
+            },
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        **RESULTS,
+    }
+    merge_write(Path(__file__).resolve().parents[1] / "BENCH_serving.json", payload)
+
+
+def test_hedged_fleet_speedup(trained_pas, spiky_trace):
+    """The gated number: hedging beats eating the spikes on the same fleet."""
+    spiky = FleetPlan(spike_rate=SPIKE_RATE, spike_ticks=SPIKE_TICKS)
+    hedged = FleetPlan(
+        hedge=HedgePolicy(after_ticks=HEDGE_AFTER_TICKS),
+        spike_rate=SPIKE_RATE,
+        spike_ticks=SPIKE_TICKS,
+    )
+
+    def run(fleet: FleetPlan):
+        config = _config(fleet)
+        router = Router(trained_pas, config)
+        return ServingEngine(router, config).run(spiky_trace), router
+
+    slow, _ = run(spiky)
+    fast, router = run(hedged)
+
+    ratio = slow.stats.makespan_ticks / fast.stats.makespan_ticks
+    hedges = dict(router.stats.hedges)
+    RESULTS["router_elastic"] = {
+        "speedup": ratio,
+        "n_replicas": N_REPLICAS,
+        "hedge_after_ticks": HEDGE_AFTER_TICKS,
+        "unhedged_makespan_ticks": slow.stats.makespan_ticks,
+        "hedged_makespan_ticks": fast.stats.makespan_ticks,
+        "unhedged_latency_p99": slow.stats.latency_p99,
+        "hedged_latency_p99": fast.stats.latency_p99,
+        "hedges_launched": sum(hedges.values()),
+        "hedge_wins": hedges.get("win", 0),
+    }
+    # First completion wins, so hedging can only shorten the schedule.
+    assert ratio >= 1.0
+    assert fast.stats.latency_p99 <= slow.stats.latency_p99
+    assert fast.stats.served == N_REQUESTS
+    assert hedges.get("win", 0) > 0
+
+
+def test_remap_fraction_trend(trained_pas):
+    """Un-gated trend key: growing 4 -> 5 moves ~1/5 of hash-affine keys."""
+    config = _config(FleetPlan())
+    router = Router(trained_pas, config)
+    keys = [f"synthetic prompt number {i}? show me how." for i in range(N_REMAP_KEYS)]
+
+    def placements() -> dict[str, int]:
+        out = {}
+        for key in keys:
+            request = ServeRequest(prompt=key, model="gpt-4-0613")
+            timed = TimedRequest(tick=1, request=request, tenant="default")
+            rid = router.route(request, timed)
+            router.release(rid)
+            out[key] = rid
+        return out
+
+    before = placements()
+    newcomer = router.add_replica()
+    after = placements()
+    moved = [key for key in keys if before[key] != after[key]]
+    fraction = len(moved) / len(keys)
+    RESULTS.setdefault("router_elastic", {})
+    RESULTS["router_elastic"]["remap_fraction"] = fraction
+    RESULTS["router_elastic"]["remap_ideal_fraction"] = 1 / (N_REPLICAS + 1)
+    # Every moved key lands on the newcomer, and the share stays ~1/N.
+    assert all(after[key] == newcomer for key in moved)
+    assert 0.0 < fraction < 0.5

@@ -1,0 +1,169 @@
+"""Elastic fleets: scale out, hedge the tail, drain back — by JSON plan.
+
+One :class:`Router` lives through a whole synthetic day; every sizing
+and policy decision arrives as a declarative :class:`FleetPlan` JSON
+document that :meth:`Router.apply` reconciles against live state:
+
+1. **Quiet morning** — one replica serves the off-peak trace alone.
+2. **Peak scale-out** — a plan with ``replicas=4`` grows the fleet
+   live; consistent hashing moves only ~1/N of the key space onto each
+   newcomer (measured here by re-routing the same keys before/after).
+3. **A straggling replica** — the afternoon plan injects seed-pure
+   latency spikes and arms a hedge: after 4 ticks of silence the same
+   request races on a second replica and the first completion wins.
+   Tail latency drops; losers are cancelled and counted.
+4. **Evening drain** — ``replicas=1`` again: draining replicas take no
+   new placements, finish their in-flight work, retire their clocks
+   into the fleet clock, and discard their replica-scope caches under
+   ``pas_router_cache_evicted_total``.
+
+Everything runs on the logical clock at fixed seeds, so the whole day
+replays bit-identically.
+
+Run:  python examples/elastic_fleet.py
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro import PasModel, build_default_dataset
+from repro.obs import Observability
+from repro.serve import (
+    EngineConfig,
+    GatewayConfig,
+    Router,
+    RouterConfig,
+    ServingConfig,
+    ServingEngine,
+    TimedRequest,
+    TrafficConfig,
+    TrafficGenerator,
+)
+from repro.serve.types import ServeRequest
+from repro.utils.serialize import deserialize
+from repro.world.prompts import PromptFactory
+
+#: The day's sizing decisions, as they would live in a config store:
+#: versioned JSON documents, one per phase, applied in order.
+PLANS = {
+    "peak": """
+        {"schema": "FleetPlan/1", "replicas": 4}
+    """,
+    "spiky afternoon": """
+        {"schema": "FleetPlan/1", "replicas": 4,
+         "hedge": {"after_ticks": 4},
+         "spike_rate": 0.3, "spike_ticks": 64}
+    """,
+    "evening drain": """
+        {"schema": "FleetPlan/1", "replicas": 1}
+    """,
+}
+
+
+def _pool() -> list[str]:
+    factory = PromptFactory(rng=np.random.default_rng(4))
+    return [factory.make_prompt().text for _ in range(32)]
+
+
+def _trace(n: int, seed: int, gap: float):
+    config = TrafficConfig(
+        n_requests=n, seed=seed, process="bursty", mean_gap_ticks=gap
+    )
+    return TrafficGenerator(_pool(), config).trace()
+
+
+def report(label: str, stats) -> None:
+    print(f"  {label}: makespan {stats.makespan_ticks} ticks, "
+          f"latency p50/p99 {stats.latency_p50:.0f}/{stats.latency_p99:.0f}, "
+          f"served {stats.served}")
+
+
+def placements(router: Router, keys: list[str]) -> dict[str, int]:
+    """Where each key routes right now (returning every assignment)."""
+    out = {}
+    for key in keys:
+        request = ServeRequest(prompt=key, model="gpt-4-0613")
+        timed = TimedRequest(tick=1, request=request, tenant="default")
+        rid = router.route(request, timed)
+        router.release(rid)
+        out[key] = rid
+    return out
+
+
+def main() -> None:
+    dataset = build_default_dataset(n_prompts=120, seed=5, curate=True)
+    pas = PasModel(base_model="qwen2-7b-chat", seed=5).train(dataset)
+
+    obs = Observability.enabled(event_capacity=65536)
+    config = ServingConfig(
+        router=RouterConfig(n_replicas=1, policy="hash", seed=7),
+        gateway=GatewayConfig(seed=5),
+        engine=EngineConfig(max_inflight=8),
+    )
+    router = Router(pas, config, obs)
+
+    # --- act 1: the quiet morning, one replica ---------------------------
+    print("=== act 1: quiet morning on one replica ===\n")
+    morning = ServingEngine(router, config).run(_trace(80, seed=21, gap=4.0))
+    report("1 replica", morning.stats)
+
+    # --- act 2: peak scale-out, ~1/N remap -------------------------------
+    print("\n=== act 2: apply the peak plan (replicas=4) ===\n")
+    keys = [f"synthetic prompt number {i}? show me how." for i in range(300)]
+    before = placements(router, keys)
+    diff = router.apply(deserialize(json.loads(PLANS["peak"])))
+    after = placements(router, keys)
+    moved = sum(before[key] != after[key] for key in keys)
+    print(f"  diff: {diff}")
+    print(f"  remapped {moved}/{len(keys)} hash keys "
+          f"({moved / len(keys):.2f}; 3 new replicas of 4 ~= 0.75 — each "
+          f"newcomer took only its own ~1/4 share)")
+    peak_trace = _trace(300, seed=22, gap=0.5)
+    peak = ServingEngine(router, config).run(peak_trace)
+    report("4 replicas at peak", peak.stats)
+    print(f"  placements per replica: {router.stats.routed}")
+
+    # --- act 3: spikes arrive, the hedge races them ----------------------
+    print("\n=== act 3: latency spikes -> hedged retries ===\n")
+    spiky_plan = deserialize(json.loads(PLANS["spiky afternoon"]))
+    unhedged = dict(json.loads(PLANS["spiky afternoon"]), hedge=None)
+    unhedged_plan = deserialize(unhedged)
+    afternoon = _trace(200, seed=23, gap=1.0)
+    router.apply(unhedged_plan)
+    slow = ServingEngine(router, config).run(afternoon)
+    report("spiky, no hedge", slow.stats)
+    router.apply(spiky_plan)
+    fast = ServingEngine(router, config).run(afternoon)
+    report("spiky, hedged  ", fast.stats)
+    hedges = router.stats.hedges
+    print(f"  hedges {hedges} -> p99 "
+          f"{slow.stats.latency_p99:.0f} -> {fast.stats.latency_p99:.0f} ticks "
+          f"({slow.stats.makespan_ticks / fast.stats.makespan_ticks:.2f}x "
+          f"makespan)")
+
+    # --- act 4: drain back down, gracefully ------------------------------
+    print("\n=== act 4: apply the evening plan (replicas=1) ===\n")
+    diff = router.apply(deserialize(json.loads(PLANS["evening drain"])))
+    print(f"  diff: {diff}")
+    evening = ServingEngine(router, config).run(_trace(60, seed=24, gap=4.0))
+    report("drained to 1", evening.stats)
+    counters = obs.metrics.snapshot()["counters"]
+    scale_events = [
+        (e["attrs"]["action"], e["attrs"]["replica"])
+        for e in obs.events.as_dicts()
+        if e["kind"] == "router.scale"
+    ]
+    evicted = sum(
+        series["value"]
+        for series in counters.get("pas_router_cache_evicted_total", [])
+    )
+    print(f"  cache entries evicted at retirement: {evicted}")
+    print(f"  scale events: {scale_events}")
+    print(f"  live replicas: {router.live_rids} (rids are never reused)")
+
+
+if __name__ == "__main__":
+    main()

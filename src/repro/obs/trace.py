@@ -11,10 +11,11 @@ root closes the finished trace lands in a :class:`TraceStore` ring buffer.
 Timestamps come from the logical clock bound via :meth:`Tracer.bind_clock`
 (the gateway binds its per-request tick counter), never from wall time, so
 **identical seeds yield byte-identical trace exports** — ``as_dict()``
-emits sorted attributes and no wall-clock fields.  Wall-clock stage
-attribution is available separately: ``Tracer(wall=True)`` mirrors every
-span into a :class:`~repro.utils.timing.StageTimer`, which is what the
-deprecated ``enable_stage_timings`` shim reads.
+emits sorted attributes and no wall-clock fields, and
+:meth:`Trace.from_dict` restores the exact span tree, so archived trace
+exports reload losslessly.  Wall-clock stage attribution is available
+separately: ``Tracer(wall=True)`` mirrors every span into a
+:class:`~repro.utils.timing.StageTimer` exposed as ``tracer.timer``.
 """
 
 from __future__ import annotations
@@ -24,6 +25,7 @@ from collections.abc import Callable, Iterator
 from pathlib import Path
 
 from repro.utils.io import dump_jsonl
+from repro.utils.serialize import register
 from repro.utils.timing import StageTimer
 
 __all__ = [
@@ -147,11 +149,42 @@ class Trace:
             "spans": [span.as_dict() for span in self.spans],
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "Trace":
+        """Rebuild a trace from its :meth:`as_dict` export.
+
+        The span tree is restored exactly — ids, parents, ticks, statuses,
+        attributes — so ``from_dict(t.as_dict()).as_dict() == t.as_dict()``
+        holds for every exported trace.
+        """
+        trace = cls(int(data["trace_id"]))
+        for entry in data["spans"]:
+            parent = entry["parent_id"]
+            span = trace.new_span(
+                entry["name"],
+                None if parent is None else int(parent),
+                int(entry["start_tick"]),
+            )
+            if span.span_id != int(entry["span_id"]):
+                raise ValueError(
+                    f"span ids must be dense and in creation order; expected "
+                    f"{span.span_id}, got {entry['span_id']}"
+                )
+            span.end_tick = None if entry["end_tick"] is None else int(entry["end_tick"])
+            span.status = entry["status"]
+            span.attrs.update(entry["attrs"])
+        if not trace.spans:
+            raise ValueError("a serialized trace must contain at least one span")
+        return trace
+
     def waterfall(self, width: int = 32) -> str:
         return render_waterfall(self, width=width)
 
     def __repr__(self) -> str:
         return f"Trace(id={self.trace_id}, status={self.status!r}, spans={len(self.spans)})"
+
+
+register(Trace)
 
 
 def render_waterfall(trace: Trace, width: int = 32) -> str:

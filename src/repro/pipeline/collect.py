@@ -15,8 +15,7 @@ An optional k-center-greedy diversity stage caps the output size.
 
 from __future__ import annotations
 
-import warnings
-from dataclasses import dataclass, field, fields, replace
+from dataclasses import dataclass, field, fields
 
 from repro.classify.model import CategoryClassifier
 from repro.cluster.dedup import deduplicate
@@ -160,10 +159,10 @@ class CollectionResult:
         )
 
 
-#: The flat ``PromptCollector.__init__`` kwargs unified under
-#: :class:`~repro.pipeline.config.PipelineConfig` (same shim pattern as
-#: ``PasGateway``'s ``_DEPRECATED_KWARGS``).
-_DEPRECATED_KWARGS = tuple(f.name for f in fields(CollectionConfig))
+#: The flat ``PromptCollector.__init__`` kwargs removed with the
+#: elastic-fleet API redesign; each raises a :class:`TypeError` naming
+#: the :class:`CollectionConfig` field that replaced it.
+_REMOVED_KWARGS = tuple(f.name for f in fields(CollectionConfig))
 
 
 class PromptCollector:
@@ -171,9 +170,10 @@ class PromptCollector:
 
     Configure with a :class:`CollectionConfig` — or pass a whole
     :class:`~repro.pipeline.config.PipelineConfig`, whose ``collection``
-    section (and ``seed``, unless given explicitly) is used.  The flat
-    stage kwargs (``dedup_threshold=...`` etc.) still work but emit a
-    :class:`DeprecationWarning`.
+    section (and ``seed``, unless given explicitly) is used.  Those are
+    the only construction paths; the pre-config flat stage kwargs
+    (``dedup_threshold=...`` etc.) raise a :class:`TypeError` naming the
+    config field to use.
     """
 
     def __init__(
@@ -183,12 +183,18 @@ class PromptCollector:
         classifier: CategoryClassifier | None = None,
         config=None,
         seed: int | None = None,
-        **deprecated,
+        **rejected,
     ):
-        unknown = set(deprecated) - set(_DEPRECATED_KWARGS)
-        if unknown:
+        if rejected:
+            flat = sorted(set(rejected) & set(_REMOVED_KWARGS))
+            if flat:
+                raise TypeError(
+                    f"PromptCollector() no longer accepts flat kwargs {flat}; "
+                    "pass the matching CollectionConfig field instead — "
+                    "config=PipelineConfig(collection=CollectionConfig(...))"
+                )
             raise TypeError(
-                f"PromptCollector() got unexpected keyword arguments {sorted(unknown)}"
+                f"PromptCollector() got unexpected keyword arguments {sorted(rejected)}"
             )
         # A PipelineConfig carries the collection section plus the run seed
         # (duck-typed to keep this module import-cycle free).
@@ -196,15 +202,6 @@ class PromptCollector:
             if seed is None:
                 seed = config.seed
             config = config.collection
-        if deprecated:
-            warnings.warn(
-                "PromptCollector flat kwargs "
-                f"({', '.join(sorted(deprecated))}) are deprecated; pass "
-                "config=PipelineConfig(collection=CollectionConfig(...)) instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            config = replace(config or CollectionConfig(), **deprecated)
         self.embedder = embedder or EmbeddingModel()
         self.grader = grader or SimulatedLLM("baichuan-13b")
         self.classifier = classifier

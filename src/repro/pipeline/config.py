@@ -12,8 +12,8 @@ so a checkpointed run can re-validate that it resumes under the exact
 configuration it started with.
 
 ``PromptCollector`` and ``PairGenerator`` both accept a ``PipelineConfig``
-directly (they read their own section); their old flat kwargs keep working
-behind a :class:`DeprecationWarning`.
+directly (they read their own section); that nested surface is the only
+construction path — the old flat kwargs raise a :class:`TypeError`.
 """
 
 from __future__ import annotations
@@ -24,30 +24,12 @@ from repro.errors import ConfigError
 from repro.pipeline.collect import CollectionConfig
 from repro.pipeline.generate import GenerationConfig
 from repro.resilience import FaultPlan, RetryPolicy
+from repro.utils.serialize import register
 
 __all__ = ["RunnerConfig", "PipelineConfig"]
 
 #: Stage order of the industrial pipeline; ``fail_after_stage`` must name one.
 PIPELINE_STAGES = ("dedup", "quality", "classify", "generate", "dataset")
-
-
-# Serialization now lives on the resilience types themselves (they are
-# shared with the serving side's ServingConfig); these thin wrappers keep
-# the historical private names importable.
-def _fault_plan_as_dict(plan: FaultPlan) -> dict:
-    return plan.as_dict()
-
-
-def _fault_plan_from_dict(data: dict) -> FaultPlan:
-    return FaultPlan.from_dict(data)
-
-
-def _retry_policy_as_dict(policy: RetryPolicy) -> dict:
-    return policy.as_dict()
-
-
-def _retry_policy_from_dict(data: dict) -> RetryPolicy:
-    return RetryPolicy.from_dict(data)
 
 
 @dataclass(frozen=True)
@@ -99,12 +81,10 @@ class RunnerConfig:
             "critic_model": self.critic_model,
             "grader_model": self.grader_model,
             "fault_plan": (
-                None if self.fault_plan is None else _fault_plan_as_dict(self.fault_plan)
+                None if self.fault_plan is None else self.fault_plan.as_dict()
             ),
             "retry_policy": (
-                None
-                if self.retry_policy is None
-                else _retry_policy_as_dict(self.retry_policy)
+                None if self.retry_policy is None else self.retry_policy.as_dict()
             ),
             "fail_after_stage": self.fail_after_stage,
             "fail_after_pairs": self.fail_after_pairs,
@@ -121,12 +101,12 @@ class RunnerConfig:
             fault_plan=(
                 None
                 if data["fault_plan"] is None
-                else _fault_plan_from_dict(data["fault_plan"])
+                else FaultPlan.from_dict(data["fault_plan"])
             ),
             retry_policy=(
                 None
                 if data["retry_policy"] is None
-                else _retry_policy_from_dict(data["retry_policy"])
+                else RetryPolicy.from_dict(data["retry_policy"])
             ),
             fail_after_stage=data["fail_after_stage"],
             fail_after_pairs=data["fail_after_pairs"],
@@ -172,3 +152,6 @@ class PipelineConfig:
             runner=RunnerConfig.from_dict(data["runner"]),
             seed=int(data["seed"]),
         )
+
+
+register(PipelineConfig)

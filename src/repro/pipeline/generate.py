@@ -19,9 +19,8 @@ critic implements each listed criterion.
 
 from __future__ import annotations
 
-import warnings
 from collections.abc import Callable
-from dataclasses import dataclass, field, fields, replace
+from dataclasses import dataclass, field, fields
 
 from repro.core.golden import MAX_DIRECTIVES, GoldenData, build_golden_data, render_complement
 from repro.errors import ConfigError
@@ -265,10 +264,10 @@ class PairCritic:
         return [self.critique(prompt, ape) for prompt, ape in pairs]
 
 
-#: The flat ``PairGenerator.__init__`` kwargs unified under
-#: :class:`~repro.pipeline.config.PipelineConfig` (same shim pattern as
-#: ``PasGateway``'s ``_DEPRECATED_KWARGS``).
-_DEPRECATED_KWARGS = tuple(f.name for f in fields(GenerationConfig))
+#: The flat ``PairGenerator.__init__`` kwargs removed with the
+#: elastic-fleet API redesign; each raises a :class:`TypeError` naming
+#: the :class:`GenerationConfig` field that replaced it.
+_REMOVED_KWARGS = tuple(f.name for f in fields(GenerationConfig))
 
 
 class PairGenerator:
@@ -276,8 +275,9 @@ class PairGenerator:
 
     Configure with a :class:`GenerationConfig` — or pass a whole
     :class:`~repro.pipeline.config.PipelineConfig`, whose ``generation``
-    section is used.  The flat loop kwargs (``max_rounds=...`` etc.) still
-    work but emit a :class:`DeprecationWarning`.
+    section is used.  Those are the only construction paths; the
+    pre-config flat loop kwargs (``max_rounds=...`` etc.) raise a
+    :class:`TypeError` naming the config field to use.
     """
 
     def __init__(
@@ -286,24 +286,21 @@ class PairGenerator:
         critic: SimulatedLLM | None = None,
         golden: GoldenData | None = None,
         config=None,
-        **deprecated,
+        **rejected,
     ):
-        unknown = set(deprecated) - set(_DEPRECATED_KWARGS)
-        if unknown:
+        if rejected:
+            flat = sorted(set(rejected) & set(_REMOVED_KWARGS))
+            if flat:
+                raise TypeError(
+                    f"PairGenerator() no longer accepts flat kwargs {flat}; "
+                    "pass the matching GenerationConfig field instead — "
+                    "config=PipelineConfig(generation=GenerationConfig(...))"
+                )
             raise TypeError(
-                f"PairGenerator() got unexpected keyword arguments {sorted(unknown)}"
+                f"PairGenerator() got unexpected keyword arguments {sorted(rejected)}"
             )
         if config is not None and hasattr(config, "generation"):
             config = config.generation
-        if deprecated:
-            warnings.warn(
-                "PairGenerator flat kwargs "
-                f"({', '.join(sorted(deprecated))}) are deprecated; pass "
-                "config=PipelineConfig(generation=GenerationConfig(...)) instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            config = replace(config or GenerationConfig(), **deprecated)
         self.config = config or GenerationConfig()
         self.config.validate()
         self.teacher = teacher or SimulatedLLM("teacher-gpt-4")

@@ -30,6 +30,7 @@ from fractions import Fraction
 
 from repro.errors import ConfigError
 from repro.utils.rng import stable_hash
+from repro.utils.serialize import register
 
 __all__ = ["BANDIT_ALGORITHMS", "ContextualBandit"]
 
@@ -282,3 +283,6 @@ class ContextualBandit:
             f"ContextualBandit(arms={self.arms!r}, algorithm={self.algorithm!r}, "
             f"contexts={len(self._contexts)}, pulls={self.total_pulls})"
         )
+
+
+register(ContextualBandit)

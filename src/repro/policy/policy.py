@@ -32,6 +32,7 @@ from repro.policy.bandit import BANDIT_ALGORITHMS, ContextualBandit
 from repro.policy.candidates import STRATEGIES, CandidateGenerator, CandidateSet
 from repro.policy.feedback import GoldenRefresh
 from repro.policy.scoring import PolicyScorer, PromptResolver
+from repro.utils.serialize import register
 from repro.world.prompts import SyntheticPrompt
 
 __all__ = ["PolicyConfig", "AugmentationPolicy"]
@@ -134,6 +135,9 @@ class PolicyConfig:
     def from_dict(cls, data: dict) -> "PolicyConfig":
         """Inverse of :meth:`as_dict`; unknown keys raise ``TypeError``."""
         return cls(**data)
+
+
+register(PolicyConfig)
 
 
 class AugmentationPolicy:

@@ -17,14 +17,32 @@ shaped by a :class:`~repro.resilience.RetryPolicy`, and per-model
 :class:`~repro.resilience.CircuitBreaker`\\ s fail fast while a backend
 misbehaves.
 
-The stack scales horizontally: a deterministic
+The stack scales horizontally *and elastically*: a deterministic
 :class:`~repro.serve.router.Router` places requests over N gateway
 replicas (consistent-hash affinity or least-loaded balance), enforces
 per-tenant quotas/rate limits via :class:`~repro.serve.router.TenantPolicy`,
 and fails over weighted :class:`~repro.serve.router.ModelPool`\\ s around
-open circuit breakers; one nested
+open circuit breakers.  Fleets change size while serving —
+:meth:`Router.add_replica <repro.serve.router.Router.add_replica>` /
+:meth:`Router.drain_replica <repro.serve.router.Router.drain_replica>`
+move only ~1/N of hash-affine keys per membership change — and a
+declarative :class:`~repro.serve.router.FleetPlan` (replica count,
+:class:`~repro.serve.router.HedgePolicy` tail-latency hedging,
+:class:`~repro.serve.router.FairnessPolicy` weighted-fair queueing)
+reconciles against the live fleet via :meth:`Router.apply
+<repro.serve.router.Router.apply>`.  One nested
 :class:`~repro.serve.config.ServingConfig` describes the whole deployment
-and round-trips losslessly through dicts.
+and round-trips losslessly through dicts:
+
+    >>> from repro.serve import FleetPlan, HedgePolicy, ServingConfig
+    >>> config = ServingConfig(
+    ...     fleet=FleetPlan(replicas=2, hedge=HedgePolicy(after_ticks=12))
+    ... )
+    >>> restored = ServingConfig.from_dict(config.as_dict())
+    >>> restored.fleet.replicas, restored.fleet.hedge.after_ticks
+    (2, 12)
+    >>> restored == config
+    True
 
 Serving can be *adaptive*: plug an
 :class:`~repro.policy.AugmentationPolicy` into the gateway (or thread one
@@ -64,8 +82,12 @@ from repro.serve.gateway import (
 )
 from repro.serve.router import (
     CACHE_SCOPES,
+    FAIRNESS_MODES,
     HASH_KEYS,
     ROUTING_POLICIES,
+    FairnessPolicy,
+    FleetPlan,
+    HedgePolicy,
     ModelPool,
     Router,
     RouterConfig,
@@ -93,8 +115,12 @@ __all__ = [
     "EngineConfig",
     "EngineResult",
     "EngineStats",
+    "FAIRNESS_MODES",
+    "FairnessPolicy",
     "FaultPlan",
+    "FleetPlan",
     "GatewayConfig",
+    "HedgePolicy",
     "GatewayStats",
     "HASH_KEYS",
     "LruCache",

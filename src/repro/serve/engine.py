@@ -34,6 +34,25 @@ planning.  Per-slot accounting is keyed ``(replica, model)``; with one
 replica the stats keys stay bare model names, so single-gateway callers
 see exactly the PR 7 shapes.
 
+Two fleet policies thread through from the router's installed
+:class:`~repro.serve.router.FleetPlan`:
+
+* **hedged retries** — when a :class:`~repro.serve.router.HedgePolicy`
+  is installed and a started completion's priced latency exceeds the
+  hedge deadline, a rank-1 *hedge launch* event fires mid-flight: the
+  same planned request starts on a deterministic second replica (the
+  :class:`~repro.serve.gateway.BatchPlan` is replica-independent pure
+  data, so no re-planning), the first finish wins, and the loser's
+  pending finish event is lazily cancelled — its slot and load free at
+  the winner's tick and its tombstone never advances the clock, so
+  ``makespan_ticks`` reflects the raced outcome.  Ties go to the
+  primary (smaller event seq).  Hedging disabled is bit-identical to
+  the pre-hedging engine.
+* **weighted fair queueing** — with ``fairness.mode="wfq"`` each
+  drained batch dispatches in virtual-time finish-tag order (exact
+  Fractions, see :meth:`~repro.serve.router.Router.wfq_tags`) instead
+  of the priority sort, so no tenant starves under bursty load.
+
 **Compatibility mode**: at ``max_inflight=1`` completions serialize, the
 gateway sees the same request order as the synchronous path, and — by the
 partition-invariance the batch-parity suite pins — the responses are
@@ -46,7 +65,6 @@ responses, traces, events, and metrics.
 from __future__ import annotations
 
 import heapq
-import warnings
 from collections import deque
 from dataclasses import dataclass, field, fields, replace
 from typing import Sequence
@@ -58,6 +76,7 @@ from repro.serve.router import Router
 from repro.serve.scheduler import MicroBatcher, _percentile
 from repro.serve.traffic import TimedRequest
 from repro.serve.types import ServeRequest, ServeResponse
+from repro.utils.serialize import register
 
 __all__ = [
     "SHED_POLICIES",
@@ -75,9 +94,33 @@ SHED_POLICIES = ("reject", "degrade")
 _LATENCY_BUCKETS = (8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0)
 _QUEUE_WAIT_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
 
-# Heap-event ranks: completions land before expiry wake-ups on a tick
-# (arrivals are merged from the sorted trace between the two).
-_FINISH, _EXPIRE = 0, 2
+# Heap-event ranks: completions land first on a tick, then hedge
+# launches, then expiry wake-ups (arrivals are merged from the sorted
+# trace between finishes and hedge launches).
+_FINISH, _HEDGE, _EXPIRE = 0, 1, 2
+
+
+class _HedgeState:
+    """The shared race state of one hedged request's two legs."""
+
+    __slots__ = (
+        "primary",
+        "primary_seq",
+        "primary_grant",
+        "hedge",
+        "hedge_seq",
+        "hedge_grant",
+        "done",
+    )
+
+    def __init__(self, primary: int, primary_seq: int, primary_grant: int):
+        self.primary = primary
+        self.primary_seq = primary_seq
+        self.primary_grant = primary_grant
+        self.hedge: int | None = None
+        self.hedge_seq: int | None = None
+        self.hedge_grant: int | None = None
+        self.done = False
 
 
 @dataclass(frozen=True)
@@ -135,6 +178,9 @@ class EngineConfig:
     @classmethod
     def from_dict(cls, data: dict) -> "EngineConfig":
         return cls(**data)
+
+
+register(EngineConfig)
 
 
 @dataclass
@@ -247,8 +293,9 @@ class ServingEngine:
     single-replica router — the two spellings are bit-identical).
     ``config`` is an :class:`EngineConfig`, or a full
     :class:`~repro.serve.config.ServingConfig` whose ``engine`` section
-    is used; the historical flat kwargs (``max_inflight=...`` etc.) keep
-    working behind a :class:`DeprecationWarning`.
+    is used; those are the only construction paths — the historical flat
+    kwargs (``max_inflight=...`` etc.) were removed with the elastic-fleet
+    redesign and now raise a :class:`TypeError` naming the config field.
 
     The engine shares the router's observability bundle: engine metrics
     (``pas_engine_inflight``, ``pas_request_latency_ticks``,
@@ -264,30 +311,27 @@ class ServingEngine:
         self,
         target: Router | PasGateway,
         config: "EngineConfig | object | None" = None,
-        **deprecated,
+        **rejected,
     ):
-        unknown = set(deprecated) - {f.name for f in fields(EngineConfig)}
-        if unknown:
+        if rejected:
+            flat = sorted(set(rejected) & {f.name for f in fields(EngineConfig)})
+            if flat:
+                raise TypeError(
+                    f"ServingEngine() no longer accepts flat kwargs {flat}; "
+                    "pass the matching EngineConfig field instead — "
+                    "ServingEngine(target, EngineConfig(...)) or a ServingConfig"
+                )
             raise TypeError(
-                f"ServingEngine() got unexpected keyword arguments {sorted(unknown)}"
+                f"ServingEngine() got unexpected keyword arguments {sorted(rejected)}"
             )
         if config is not None and hasattr(config, "engine") and hasattr(config, "router"):
             config = config.engine
-        if deprecated:
-            warnings.warn(
-                "ServingEngine flat kwargs "
-                f"({', '.join(sorted(deprecated))}) are deprecated; pass "
-                "ServingEngine(target, EngineConfig(...)) or a ServingConfig "
-                "instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            config = replace(config or EngineConfig(), **deprecated)
         if isinstance(target, Router):
             self.router = target
         else:
             self.router = Router(replicas=[target])
         self.config = config or EngineConfig()
+        self._multi = self.router.n_replicas > 1
         self.obs: Observability = self.router.obs
         self._registry: MetricsRegistry = (
             self.obs.metrics if self.obs.metrics.enabled else MetricsRegistry()
@@ -329,7 +373,7 @@ class ServingEngine:
         if key not in limits:
             try:
                 client_limit = (
-                    self.router.replicas[replica].client_for(model).max_inflight
+                    self.router.gateway_for(replica).client_for(model).max_inflight
                 )
             except UnknownModelError:
                 client_limit = 1
@@ -342,8 +386,9 @@ class ServingEngine:
 
     def _stat_key(self, replica: int, model: str) -> str:
         """Stats keys stay bare model names with one replica (the PR 7
-        shape); fleets annotate them with the replica index."""
-        if self.router.n_replicas == 1:
+        shape); fleets annotate them with the replica id.  The shape is
+        snapshotted at run start, so a drain mid-run cannot flip keys."""
+        if not self._multi:
             return model
         return f"{model}@r{replica}"
 
@@ -382,6 +427,8 @@ class ServingEngine:
         """
         cfg = self.config
         router = self.router
+        self._multi = router.n_replicas > 1
+        hedge_cfg = router.hedge_policy if not router.trivial else None
         trace = list(trace)
         for earlier, later in zip(trace, trace[1:]):
             if later.tick < earlier.tick:
@@ -410,6 +457,26 @@ class ServingEngine:
         busy: dict[tuple[int, str], int] = {}
         inflight = 0
         wake_at: int | None = None
+        # Lazily-deleted finish events (hedge losers): their seqs land
+        # here and the tombstones are pruned before every heap peek, so
+        # a cancelled completion can never advance the clock or inflate
+        # the makespan.
+        cancelled: set[int] = set()
+
+        def prune() -> None:
+            while heap and heap[0][2] in cancelled:
+                cancelled.discard(heap[0][2])
+                heapq.heappop(heap)
+
+        def hedge_deadline() -> int | None:
+            """The tick budget before a hedge launches (seed-pure)."""
+            if hedge_cfg is None:
+                return None
+            if hedge_cfg.after_ticks is not None:
+                return hedge_cfg.after_ticks
+            if len(stats.latency_ticks) < hedge_cfg.min_samples:
+                return None
+            return max(1, int(_percentile(stats.latency_ticks, hedge_cfg.percentile)))
 
         def record(index: int, response: ServeResponse) -> None:
             if cfg.keep_responses:
@@ -433,7 +500,34 @@ class ServingEngine:
 
         def finish(tick: int, payload) -> None:
             nonlocal inflight
-            index, timed, request, plan, replica, grant_tick = payload
+            index, timed, request, plan, replica, grant_tick, race, leg = payload
+            if race is not None and not race.done:
+                # This leg won; settle the race before serving.  The
+                # loser's slot and load free *now* (the winner's tick),
+                # and its pending finish event becomes a tombstone.
+                race.done = True
+                if leg == "hedge":
+                    loser, loser_seq, loser_grant = (
+                        race.primary, race.primary_seq, race.primary_grant,
+                    )
+                    outcome = "win"
+                else:
+                    loser, loser_seq, loser_grant = (
+                        race.hedge, race.hedge_seq, race.hedge_grant,
+                    )
+                    outcome = "loss"
+                if loser_seq is not None:
+                    cancelled.add(loser_seq)
+                    router.release(loser)
+                    busy[(loser, request.model)] -= 1
+                    inflight -= 1
+                    loser_key = self._stat_key(loser, request.model)
+                    stats.busy_ticks[loser_key] = (
+                        stats.busy_ticks.get(loser_key, 0) + tick - loser_grant
+                    )
+                    router.resolve_hedge(
+                        outcome, tick=tick, primary=race.primary, hedge=race.hedge
+                    )
             response = router.serve_planned(replica, request, plan)
             router.release(replica)
             busy[(replica, request.model)] -= 1
@@ -462,16 +556,36 @@ class ServingEngine:
             inflight += 1
             stats.peak_inflight = max(stats.peak_inflight, inflight)
             self._m_inflight.set(inflight)
+            race: _HedgeState | None = None
+            deadline = hedge_deadline()
+            if (
+                deadline is not None
+                and deadline < latency
+                and router.n_replicas > 1
+            ):
+                # Arm the hedge only when it could launch strictly before
+                # the primary finishes; otherwise the race is unwinnable
+                # and arming it would burn a slot for nothing.
+                race = _HedgeState(replica, seq, now)
+                heapq.heappush(
+                    heap,
+                    (
+                        now + deadline,
+                        _HEDGE,
+                        seq + 1,
+                        (race, index, timed, request, plan),
+                    ),
+                )
             heapq.heappush(
                 heap,
                 (
                     now + latency,
                     _FINISH,
                     seq,
-                    (index, timed, request, plan, replica, now),
+                    (index, timed, request, plan, replica, now, race, "primary"),
                 ),
             )
-            seq += 1
+            seq += 2 if race is not None else 1
 
         def capacity_free() -> bool:
             if not busy:
@@ -567,9 +681,17 @@ class ServingEngine:
                 for replica in sorted({r for _, _, _, r in routed}):
                     group = [req for _, _, req, r in routed if r == replica]
                     plans[replica] = router.plan_batch(replica, group)
-                # Higher priority dispatches first; the sort is stable, so
-                # equal priorities keep arrival order (compat parity).
-                routed.sort(key=lambda item: -router.effective_priority(item[1]))
+                # Order the batch for dispatch.  WFQ mode assigns exact-
+                # Fraction virtual-time finish tags (weighted tenants
+                # first, zero-weight background last); priority mode keeps
+                # the historical highest-priority-first sort.  Both sorts
+                # are stable, so ties keep arrival order (compat parity).
+                if router.fairness_mode == "wfq":
+                    tags = router.wfq_tags([timed for _, timed, _, _ in routed])
+                    order = sorted(range(len(routed)), key=lambda pos: tags[pos])
+                    routed = [routed[pos] for pos in order]
+                else:
+                    routed.sort(key=lambda item: -router.effective_priority(item[1]))
                 for index, timed, request, replica in routed:
                     if busy.get((replica, request.model), 0) < self._slot_limit(
                         replica, request.model, limits
@@ -582,6 +704,7 @@ class ServingEngine:
         i = 0
         now = trace[0].tick
         while True:
+            prune()
             next_arrival = trace[i].tick if i < n else None
             next_event = heap[0][0] if heap else None
             if next_arrival is None and next_event is None:
@@ -597,9 +720,14 @@ class ServingEngine:
                 now = next_arrival
             stats.last_tick = max(stats.last_tick, now)
 
-            # 1. completion finishes at this tick (heap rank 0)
+            # 1. completion finishes at this tick (heap rank 0); a finish
+            #    can tombstone its hedge sibling later in the same tick,
+            #    so re-prune between pops
             while heap and heap[0][0] == now and heap[0][1] == _FINISH:
-                _, _, _, payload = heapq.heappop(heap)
+                _, _, fseq, payload = heapq.heappop(heap)
+                if fseq in cancelled:
+                    cancelled.discard(fseq)
+                    continue
                 finish(now, payload)
             # 2. arrivals at this tick (admission control at the door:
             #    tenant policy first, then the queue bound)
@@ -634,13 +762,58 @@ class ServingEngine:
                     batcher.submit_at(timed.tick, timed.request)
                     meta.append((i, timed))
                 i += 1
-            # 3. expiry wake-ups are pure wake-ups — just pop them
+            # 3. hedge launches at this tick (heap rank 1): start the
+            #    armed request's second leg on a deterministic sibling
+            #    replica if a slot is free, else count the skip
+            while heap and heap[0][0] == now and heap[0][1] == _HEDGE:
+                _, _, _, payload = heapq.heappop(heap)
+                race, index, timed, request, plan = payload
+                if race.done:
+                    continue
+                candidate = router.hedge_candidate(request, timed, race.primary)
+                if candidate is None:
+                    router.resolve_hedge("skipped", tick=now, primary=race.primary)
+                    continue
+                if busy.get((candidate, request.model), 0) >= self._slot_limit(
+                    candidate, request.model, limits
+                ):
+                    router.resolve_hedge(
+                        "skipped", tick=now, primary=race.primary, hedge=candidate
+                    )
+                    continue
+                router.take_hedge(candidate)
+                try:
+                    hedge_latency = router.completion_latency(
+                        candidate, request, plan
+                    )
+                except UnknownModelError:
+                    hedge_latency = 1
+                busy[(candidate, request.model)] = (
+                    busy.get((candidate, request.model), 0) + 1
+                )
+                inflight += 1
+                stats.peak_inflight = max(stats.peak_inflight, inflight)
+                self._m_inflight.set(inflight)
+                race.hedge = candidate
+                race.hedge_seq = seq
+                race.hedge_grant = now
+                heapq.heappush(
+                    heap,
+                    (
+                        now + hedge_latency,
+                        _FINISH,
+                        seq,
+                        (index, timed, request, plan, candidate, now, race, "hedge"),
+                    ),
+                )
+                seq += 1
+            # 4. expiry wake-ups are pure wake-ups — just pop them
             while heap and heap[0][0] == now:
                 heapq.heappop(heap)
                 wake_at = None
-            # 4. dispatch whatever is ready into free capacity
+            # 5. dispatch whatever is ready into free capacity
             dispatch(now, force=(i == n))
-            # 5. make sure a parked queue's wait trigger can still fire
+            # 6. make sure a parked queue's wait trigger can still fire
             if batcher.pending and batcher.ready(now) is None:
                 due = batcher.oldest_tick + batcher.max_wait
                 if wake_at != due:

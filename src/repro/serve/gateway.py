@@ -34,9 +34,8 @@ turn, complement as a preceding ``system`` turn).
 
 from __future__ import annotations
 
-import warnings
 from collections.abc import Mapping, Sequence
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -49,10 +48,11 @@ from repro.errors import AugmentationError, CircuitOpenError, ReproError, Unknow
 from repro.llm.api import ChatClient, LatencyModel
 from repro.llm.engine import SimulatedLLM
 from repro.llm.types import build_messages
-from repro.obs import NULL_OBS, MetricsRegistry, Observability, Tracer, TraceStore
+from repro.obs import NULL_OBS, MetricsRegistry, Observability
 from repro.resilience import CircuitBreaker, FaultPlan, RetryPolicy, augment_fault
 from repro.serve.cache import LruCache
 from repro.serve.types import ServeRequest, ServeResponse
+from repro.utils.serialize import register
 from repro.utils.timing import StageTimer
 
 __all__ = [
@@ -64,8 +64,7 @@ __all__ = [
     "derive_stage_timings",
 ]
 
-#: Stage keys reported by the deprecated :meth:`PasGateway.enable_stage_timings`
-#: shim (and by :func:`derive_stage_timings`).
+#: Stage keys reported by :func:`derive_stage_timings`.
 STAGES = ("augment", "cache", "completion", "stats")
 
 #: Attempt-count buckets for the per-request ``pas_attempts`` histogram.
@@ -160,8 +159,13 @@ class GatewayConfig:
         )
 
 
-#: The flat ``PasGateway.__init__`` kwargs that pre-date :class:`GatewayConfig`.
-_DEPRECATED_KWARGS = ("cache_size", "embed_cache_size", "failure_rate", "max_retries", "seed")
+register(GatewayConfig)
+
+
+#: The flat ``PasGateway.__init__`` kwargs removed with the elastic-fleet
+#: API redesign; each now raises a :class:`TypeError` naming the
+#: :class:`GatewayConfig` field that replaced it.
+_REMOVED_KWARGS = ("cache_size", "embed_cache_size", "failure_rate", "max_retries", "seed")
 
 
 @dataclass(frozen=True)
@@ -378,42 +382,17 @@ def derive_stage_timings(tracer) -> dict[str, float]:
     }
 
 
-class _StageTimingsView(Mapping):
-    """Live ``{stage: seconds}`` mapping over :func:`derive_stage_timings`.
-
-    Returned by the deprecated :meth:`PasGateway.enable_stage_timings` so
-    old callers that kept the returned dict around still see timings
-    accumulate.
-    """
-
-    __slots__ = ("_tracer",)
-
-    def __init__(self, tracer):
-        self._tracer = tracer
-
-    def __getitem__(self, stage: str) -> float:
-        return derive_stage_timings(self._tracer)[stage]
-
-    def __iter__(self):
-        return iter(STAGES)
-
-    def __len__(self) -> int:
-        return len(STAGES)
-
-    def __repr__(self) -> str:
-        return repr(derive_stage_timings(self._tracer))
-
-
 _EMPTY: frozenset[str] = frozenset()
 
 
 class PasGateway:
     """Serve augmented completions for any registered target model.
 
-    Configure with a :class:`GatewayConfig` (``PasGateway(pas, config=...)``).
-    The pre-config flat kwargs (``cache_size``, ``embed_cache_size``,
-    ``failure_rate``, ``max_retries``, ``seed``) still work but emit a
-    :class:`DeprecationWarning`.
+    Configure with a :class:`GatewayConfig` (``PasGateway(pas, config=...)``)
+    — the single construction path.  The pre-config flat kwargs
+    (``cache_size``, ``embed_cache_size``, ``failure_rate``,
+    ``max_retries``, ``seed``) were removed with the elastic-fleet API
+    redesign and raise a :class:`TypeError` naming the config field.
 
     ``obs`` takes an :class:`~repro.obs.Observability` bundle; the gateway
     binds its logical clock into it, threads it through every client and
@@ -435,22 +414,19 @@ class PasGateway:
         complement_cache: LruCache | None = None,
         embed_cache: LruCache | None = None,
         policy: "AugmentationPolicy | None" = None,
-        **deprecated,
+        **rejected,
     ):
-        unknown = set(deprecated) - set(_DEPRECATED_KWARGS)
-        if unknown:
+        if rejected:
+            flat = sorted(set(rejected) & set(_REMOVED_KWARGS))
+            if flat:
+                raise TypeError(
+                    f"PasGateway() no longer accepts flat kwargs {flat}; "
+                    "pass the matching GatewayConfig field instead — "
+                    "PasGateway(pas, config=GatewayConfig(...))"
+                )
             raise TypeError(
-                f"PasGateway() got unexpected keyword arguments {sorted(unknown)}"
+                f"PasGateway() got unexpected keyword arguments {sorted(rejected)}"
             )
-        if deprecated:
-            warnings.warn(
-                "PasGateway flat kwargs "
-                f"({', '.join(sorted(deprecated))}) are deprecated; pass "
-                "PasGateway(pas, config=GatewayConfig(...)) instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            config = replace(config or GatewayConfig(), **deprecated)
         self.config = config or GatewayConfig()
         self.pas = pas
         self.seed = int(self.config.seed)
@@ -523,7 +499,6 @@ class PasGateway:
             if self.config.fault_plan is not None:
                 self.config.fault_plan.attach_observer(self._fault_observer)
         self.stats = GatewayStats(self)
-        self._stage_view: _StageTimingsView | None = None
 
     @property
     def clock(self) -> int:
@@ -577,41 +552,6 @@ class PasGateway:
             self.obs.events.emit("breaker.transition", model=model, state=state)
 
         return observe
-
-    @property
-    def stage_timings(self) -> _StageTimingsView | None:
-        """Deprecated stage-timing view (None until the shim enables it)."""
-        return self._stage_view
-
-    def enable_stage_timings(self) -> _StageTimingsView:
-        """Deprecated: use ``obs=Observability.enabled(wall=True)`` and
-        :func:`derive_stage_timings` (the span hierarchy carries strictly
-        more information).  This shim turns on wall-clock tracing and
-        returns a live mapping with the legacy
-        ``{"augment", "cache", "completion", "stats"}`` buckets derived
-        from span timings; timing never touches results.
-        """
-        warnings.warn(
-            "PasGateway.enable_stage_timings() is deprecated; construct the "
-            "gateway with obs=Observability.enabled(wall=True) and derive "
-            "stage buckets via repro.serve.gateway.derive_stage_timings()",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        if self._stage_view is None:
-            tracer = self.obs.tracer
-            if not tracer.enabled:
-                tracer = Tracer(store=TraceStore(), wall=True)
-                self.obs = Observability(
-                    tracer=tracer, metrics=self.obs.metrics, events=self.obs.events
-                )
-                self.obs.bind_clock(lambda: self._clock)
-                for client in self._clients.values():
-                    client.obs = self.obs
-            elif tracer.timer is None:
-                tracer.timer = StageTimer()
-            self._stage_view = _StageTimingsView(tracer)
-        return self._stage_view
 
     # ------------------------------------------------------------------ #
     # components

@@ -25,6 +25,7 @@ import numpy as np
 from repro.errors import ConfigError
 from repro.serve.types import ServeRequest
 from repro.utils.rng import derive_rng
+from repro.utils.serialize import register
 
 __all__ = [
     "ARRIVAL_PROCESSES",
@@ -218,6 +219,11 @@ class TrafficConfig:
             amplitude=float(data["amplitude"]),
             tenants=tuple(TenantProfile.from_dict(t) for t in data["tenants"]),
         )
+
+
+for _serializable in (TenantProfile, TrafficConfig):
+    register(_serializable)
+del _serializable
 
 
 class TrafficGenerator:

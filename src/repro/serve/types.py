@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.utils.serialize import register
+
 __all__ = ["ServeRequest", "ServeResponse", "STATUSES"]
 
 #: The outcome vocabulary of one served request.  ``ok`` — augmented (or
@@ -119,3 +121,6 @@ class ServeResponse:
             attempts=data["attempts"],
             strategy=data.get("strategy"),
         )
+
+
+register(ServeResponse)

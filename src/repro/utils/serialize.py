@@ -1,0 +1,129 @@
+"""One serialization protocol for every checkpointable object.
+
+The repo-wide convention is per-class ``as_dict()`` / ``from_dict()``
+pairs that round-trip losslessly through JSON.  This module names that
+convention (:class:`Serializable`) and adds the one thing the bare
+convention cannot express: a payload that says *what it is*.
+
+:func:`serialize` wraps ``obj.as_dict()`` with a versioned ``"schema"``
+key (``"ClassName/1"``); :func:`deserialize` dispatches on that key
+through a registry and hands the rest of the payload to the registered
+class's ``from_dict``.  Classes opt in with :func:`register` at
+definition time — :class:`~repro.serve.config.ServingConfig`,
+:class:`~repro.pipeline.config.PipelineConfig`,
+:class:`~repro.serve.types.ServeResponse`,
+:class:`~repro.obs.trace.Trace`, and the
+:class:`~repro.policy.bandit.ContextualBandit` state all do, so one
+loader can restore a mixed checkpoint stream without guessing shapes.
+
+The envelope is additive: ``as_dict()`` outputs are untouched (pinned
+byte-parity exports stay byte-identical), and ``deserialize`` strips the
+schema key before calling ``from_dict``, so every registered class keeps
+its plain round trip too.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+__all__ = [
+    "SCHEMA_KEY",
+    "Serializable",
+    "deserialize",
+    "register",
+    "registered_schemas",
+    "schema_id",
+    "serialize",
+]
+
+#: The envelope's discriminator key.  No ``as_dict()`` payload may use it.
+SCHEMA_KEY = "schema"
+
+_REGISTRY: dict[str, type] = {}
+_IDS: dict[type, str] = {}
+
+
+@runtime_checkable
+class Serializable(Protocol):
+    """The repo-wide serialization contract.
+
+    ``as_dict()`` returns a JSON-safe dict and ``from_dict(data)`` is its
+    lossless inverse: ``type(obj).from_dict(obj.as_dict())`` must equal
+    ``obj`` (or, for classes without ``__eq__``, re-export identically).
+    """
+
+    def as_dict(self) -> dict: ...
+
+    @classmethod
+    def from_dict(cls, data: dict) -> Any: ...
+
+
+def register(cls: type, *, version: int = 1) -> type:
+    """Register ``cls`` under ``"{cls.__name__}/{version}"``.
+
+    Callable at class-definition sites (``register(MyClass)`` after the
+    class body); returns the class so it also works as a decorator.
+    Registering a name twice is a programming error unless it is the
+    same class re-imported (idempotent for module reloads).
+    """
+    if not callable(getattr(cls, "as_dict", None)) or not callable(
+        getattr(cls, "from_dict", None)
+    ):
+        raise TypeError(
+            f"{cls.__name__} is not Serializable: it needs as_dict() and "
+            "from_dict() to register"
+        )
+    key = f"{cls.__name__}/{int(version)}"
+    existing = _REGISTRY.get(key)
+    if existing is not None and existing is not cls:
+        if existing.__qualname__ != cls.__qualname__ or existing.__module__ != cls.__module__:
+            raise ValueError(f"schema {key!r} is already registered to {existing!r}")
+    _REGISTRY[key] = cls
+    _IDS[cls] = key
+    return cls
+
+
+def schema_id(cls: type) -> str:
+    """The registered schema id of ``cls`` (raises for unregistered)."""
+    try:
+        return _IDS[cls]
+    except KeyError:
+        raise KeyError(f"{cls.__name__} is not a registered Serializable") from None
+
+
+def registered_schemas() -> dict[str, type]:
+    """A copy of the registry: ``{"ClassName/version": class}``."""
+    return dict(_REGISTRY)
+
+
+def serialize(obj: Serializable) -> dict:
+    """``obj.as_dict()`` wrapped with the versioned ``"schema"`` key."""
+    key = schema_id(type(obj))
+    data = obj.as_dict()
+    if not isinstance(data, dict):
+        raise TypeError(
+            f"{type(obj).__name__}.as_dict() must return a dict to serialize, "
+            f"got {type(data).__name__}"
+        )
+    if SCHEMA_KEY in data:
+        raise ValueError(
+            f"{type(obj).__name__}.as_dict() already uses the reserved "
+            f"{SCHEMA_KEY!r} key"
+        )
+    return {SCHEMA_KEY: key, **data}
+
+
+def deserialize(data: dict) -> Any:
+    """Inverse of :func:`serialize`: dispatch on ``data["schema"]``."""
+    if not isinstance(data, dict) or SCHEMA_KEY not in data:
+        raise ValueError(
+            f"payload has no {SCHEMA_KEY!r} key; was it produced by serialize()?"
+        )
+    key = data[SCHEMA_KEY]
+    cls = _REGISTRY.get(key)
+    if cls is None:
+        raise ValueError(
+            f"unknown schema {key!r}; registered: {sorted(_REGISTRY)}"
+        )
+    payload = {k: v for k, v in data.items() if k != SCHEMA_KEY}
+    return cls.from_dict(payload)

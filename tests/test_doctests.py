@@ -5,6 +5,7 @@ import doctest
 import pytest
 
 import repro.obs.metrics
+import repro.serve
 import repro.serve.cache
 import repro.utils.rng
 import repro.utils.textproc
@@ -16,6 +17,7 @@ _MODULES = [
     repro.utils.textproc,
     repro.utils.unionfind,
     repro.text.tokenizer,
+    repro.serve,
     repro.serve.cache,
     repro.obs.metrics,
 ]

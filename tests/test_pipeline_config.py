@@ -102,27 +102,18 @@ class TestValidation:
             CollectionConfig(dedup_shards=0).validate()
 
 
-class TestDeprecationShims:
-    def test_collector_flat_kwargs_warn_but_work(self):
-        with pytest.warns(DeprecationWarning, match="quality_threshold"):
-            collector = PromptCollector(quality_threshold=0.5, skip_dedup=True)
-        assert collector.config.quality_threshold == 0.5
-        assert collector.config.skip_dedup
+class TestRemovedFlatKwargs:
+    def test_collector_flat_kwargs_raise_naming_field(self):
+        with pytest.raises(TypeError, match="quality_threshold"):
+            PromptCollector(quality_threshold=0.5, skip_dedup=True)
 
-    def test_collector_flat_kwargs_fold_into_config(self):
-        base = CollectionConfig(dedup_threshold=0.9)
-        with pytest.warns(DeprecationWarning):
-            collector = PromptCollector(config=base, quality_threshold=0.4)
-        assert collector.config.dedup_threshold == 0.9
-        assert collector.config.quality_threshold == 0.4
+    def test_collector_flat_kwargs_error_points_at_config(self):
+        with pytest.raises(TypeError, match="CollectionConfig"):
+            PromptCollector(config=CollectionConfig(), quality_threshold=0.4)
 
     def test_collector_unknown_kwarg_raises(self):
         with pytest.raises(TypeError, match="nonsense"):
             PromptCollector(nonsense=1)
-
-    def test_collector_section_config_is_silent(self, recwarn):
-        PromptCollector(config=CollectionConfig(quality_threshold=0.5))
-        assert not [w for w in recwarn if w.category is DeprecationWarning]
 
     def test_collector_accepts_pipeline_config(self):
         config = PipelineConfig(
@@ -136,11 +127,9 @@ class TestDeprecationShims:
         collector = PromptCollector(config=PipelineConfig(seed=9), seed=2)
         assert collector.seed == 2
 
-    def test_generator_flat_kwargs_warn_but_work(self):
-        with pytest.warns(DeprecationWarning, match="max_rounds"):
-            generator = PairGenerator(max_rounds=1, curate=False)
-        assert generator.config.max_rounds == 1
-        assert not generator.config.curate
+    def test_generator_flat_kwargs_raise_naming_field(self):
+        with pytest.raises(TypeError, match="max_rounds"):
+            PairGenerator(max_rounds=1, curate=False)
 
     def test_generator_unknown_kwarg_raises(self):
         with pytest.raises(TypeError, match="nonsense"):

@@ -1,0 +1,189 @@
+"""The unified Serializable protocol (ISSUE 10).
+
+One registry, one envelope: every config/state class that round-trips
+through dicts registers under a versioned ``"schema"`` key, and
+:func:`repro.utils.serialize.serialize` /
+:func:`repro.utils.serialize.deserialize` dispatch on it.  The pinned
+contracts:
+
+* the envelope is **additive** — ``serialize(obj)`` is ``as_dict()``
+  plus the schema key, so every pre-existing byte-pinned ``as_dict``
+  export is untouched;
+* round-trip parity holds for **every registered class** (the sample
+  table below must stay complete — adding a registration without a
+  sample fails the completeness check);
+* unknown or missing schemas fail loudly.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.trace import Trace, Tracer, TraceStore
+from repro.pipeline.config import PipelineConfig, RunnerConfig
+from repro.pipeline.collect import CollectionConfig
+from repro.pipeline.generate import GenerationConfig
+from repro.policy import ContextualBandit, PolicyConfig
+from repro.resilience import FaultPlan, RetryPolicy
+from repro.serve import (
+    EngineConfig,
+    FairnessPolicy,
+    FleetPlan,
+    GatewayConfig,
+    HedgePolicy,
+    ModelPool,
+    RouterConfig,
+    ServeResponse,
+    ServingConfig,
+    TenantPolicy,
+    TenantProfile,
+    TrafficConfig,
+)
+from repro.utils.serialize import (
+    SCHEMA_KEY,
+    Serializable,
+    deserialize,
+    registered_schemas,
+    schema_id,
+    serialize,
+)
+
+
+def _trace() -> Trace:
+    tracer = Tracer(store=TraceStore())
+    with tracer.span("gateway.ask", model="gpt-4-0613"):
+        with tracer.span("augment") as span:
+            span.set(cached=True)
+    return tracer.store.traces[0]
+
+
+def _bandit() -> ContextualBandit:
+    bandit = ContextualBandit(("static", "none"), epsilon=0.25, seed=3)
+    for tick, reward in enumerate((0.5, 2.75, 4.0)):
+        arm = bandit.select(("coding", "acme"), tick)
+        bandit.observe(("coding", "acme"), arm, reward)
+    return bandit
+
+
+#: One representative (non-default where it matters) instance per
+#: registered schema.  The completeness test keeps this table honest.
+SAMPLES = {
+    "TenantPolicy/1": TenantPolicy("paid", quota=5, priority=2),
+    "ModelPool/1": ModelPool("mix", (("gpt-4-0613", 3.0), ("gpt-3.5-turbo-1106", 1.0))),
+    "HedgePolicy/1": HedgePolicy(percentile=95.0, min_samples=8),
+    "FairnessPolicy/1": FairnessPolicy(mode="wfq", weights=(("paid", 2.0),)),
+    "FleetPlan/1": FleetPlan(
+        replicas=3, hedge=HedgePolicy(after_ticks=6), spike_rate=0.1, spike_ticks=8
+    ),
+    "RouterConfig/1": RouterConfig(
+        n_replicas=2, policy="least_loaded", tenants=(TenantPolicy("t", quota=2),)
+    ),
+    "GatewayConfig/1": GatewayConfig(
+        cache_size=16,
+        seed=5,
+        fault_plan=FaultPlan(seed=2, completion_failure_rate=0.1),
+        retry_policy=RetryPolicy(max_retries=3),
+    ),
+    "EngineConfig/1": EngineConfig(max_inflight=8, shed_policy="degrade"),
+    "TenantProfile/1": TenantProfile("paid", weight=2.0, priority=1),
+    "TrafficConfig/1": TrafficConfig(n_requests=32, process="bursty"),
+    "PolicyConfig/1": PolicyConfig(enabled=True, judge_seed=17),
+    "ServingConfig/1": ServingConfig(
+        router=RouterConfig(n_replicas=2),
+        fleet=FleetPlan(replicas=2, hedge=HedgePolicy(after_ticks=4)),
+    ),
+    "PipelineConfig/1": PipelineConfig(
+        collection=CollectionConfig(quality_threshold=0.5),
+        generation=GenerationConfig(max_rounds=2),
+        runner=RunnerConfig(checkpoint_every=8),
+        seed=9,
+    ),
+    "ServeResponse/1": ServeResponse(
+        request_id="r1",
+        model="gpt-4-0613",
+        response="answer",
+        complement="context",
+        complement_cached=True,
+        prompt_tokens=12,
+        completion_tokens=20,
+        status="ok",
+        strategy="static",
+    ),
+    "ContextualBandit/1": _bandit(),
+    "Trace/1": _trace(),
+}
+
+
+class TestRegistry:
+    def test_sample_table_is_complete(self):
+        assert set(SAMPLES) == set(registered_schemas())
+
+    def test_every_registered_class_satisfies_the_protocol(self):
+        for key, cls in registered_schemas().items():
+            assert isinstance(SAMPLES[key], cls)
+            assert isinstance(SAMPLES[key], Serializable)
+            assert schema_id(cls) == key
+
+    @pytest.mark.parametrize("key", sorted(SAMPLES))
+    def test_round_trip_through_json(self, key):
+        obj = SAMPLES[key]
+        payload = serialize(obj)
+        assert payload[SCHEMA_KEY] == key
+        restored = deserialize(json.loads(json.dumps(payload)))
+        assert type(restored) is type(obj)
+        # Compare re-serialized envelopes: classes without __eq__ (the
+        # bandit, traces) still pin lossless round-trips this way.
+        assert serialize(restored) == payload
+
+    @pytest.mark.parametrize("key", sorted(SAMPLES))
+    def test_envelope_is_as_dict_plus_schema(self, key):
+        obj = SAMPLES[key]
+        payload = serialize(obj)
+        body = dict(payload)
+        del body[SCHEMA_KEY]
+        assert body == obj.as_dict()  # byte-pinned exports untouched
+
+
+class TestFailureModes:
+    def test_missing_schema_key_raises(self):
+        with pytest.raises(ValueError, match="schema"):
+            deserialize({"tenant": "t"})
+
+    def test_unknown_schema_raises(self):
+        with pytest.raises(ValueError, match="Ghost/9"):
+            deserialize({SCHEMA_KEY: "Ghost/9"})
+
+    def test_non_dict_payload_raises(self):
+        with pytest.raises(ValueError):
+            deserialize(["not", "a", "dict"])
+
+
+class TestTraceRoundTrip:
+    def test_span_tree_is_restored_exactly(self):
+        trace = _trace()
+        restored = Trace.from_dict(trace.as_dict())
+        assert restored.as_dict() == trace.as_dict()
+        assert restored.root.name == "gateway.ask"
+        assert restored.spans[1].parent_id == 0
+        assert restored.spans[1].attrs == {"cached": True}
+        assert restored.depth_of(restored.spans[1]) == 1
+
+    def test_empty_trace_is_rejected(self):
+        with pytest.raises(ValueError, match="at least one span"):
+            Trace.from_dict({"trace_id": 0, "spans": []})
+
+    def test_out_of_order_span_ids_are_rejected(self):
+        data = _trace().as_dict()
+        data["spans"][0]["span_id"] = 5
+        with pytest.raises(ValueError, match="creation order"):
+            Trace.from_dict(data)
+
+
+class TestBanditRoundTrip:
+    def test_resumed_bandit_selects_identically(self):
+        bandit = _bandit()
+        resumed = deserialize(json.loads(json.dumps(serialize(bandit))))
+        for tick in range(10, 16):
+            assert resumed.select(("coding", "acme"), tick) == bandit.select(
+                ("coding", "acme"), tick
+            )

@@ -214,27 +214,22 @@ class TestGatewayFailureAccounting:
         assert served == {"gpt-4-0613": 1}
 
 
-class TestDeprecatedFlatKwargs:
-    def test_flat_kwargs_warn_and_fold_into_config(self, trained_pas):
-        with pytest.warns(DeprecationWarning, match="flat kwargs"):
-            gateway = PasGateway(pas=trained_pas, cache_size=8, seed=4)
-        assert gateway.config.cache_size == 8
-        assert gateway.config.seed == 4
-        assert gateway.config.embed_cache_size == GatewayConfig().embed_cache_size
-        assert gateway._complement_cache.capacity == 8
+class TestRemovedFlatKwargs:
+    def test_flat_kwargs_raise_naming_field(self, trained_pas):
+        with pytest.raises(TypeError, match="cache_size") as excinfo:
+            PasGateway(pas=trained_pas, cache_size=8, seed=4)
+        assert "GatewayConfig" in str(excinfo.value)
 
-    def test_flat_kwargs_override_explicit_config(self, trained_pas):
-        with pytest.warns(DeprecationWarning):
-            gateway = PasGateway(
+    def test_flat_kwargs_rejected_even_with_config(self, trained_pas):
+        with pytest.raises(TypeError, match="no longer accepts flat kwargs"):
+            PasGateway(
                 pas=trained_pas,
                 config=GatewayConfig(cache_size=4, failure_rate=0.1),
                 cache_size=16,
             )
-        assert gateway.config.cache_size == 16
-        assert gateway.config.failure_rate == 0.1
 
     def test_unknown_kwargs_rejected(self, trained_pas):
-        with pytest.raises(TypeError):
+        with pytest.raises(TypeError, match="cache_sze"):
             PasGateway(pas=trained_pas, cache_sze=8)
 
     def test_config_only_path_does_not_warn(self, trained_pas, recwarn):
@@ -289,34 +284,6 @@ class TestEmbeddingCacheTier:
             gateway.ask_text(filler, "gpt-4-0613")  # evicts the complement
             answers.append(gateway.ask(ServeRequest(prompt=prompt, model="gpt-4-0613")))
         assert answers[0] == answers[1]
-
-
-class TestStageTimings:
-    def test_disabled_by_default(self, trained_pas):
-        gateway = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=8))
-        gateway.ask_text("how do i parse csv files? show me how.", "gpt-4-0613")
-        assert gateway.stage_timings is None
-
-    def test_buckets_accumulate(self, trained_pas):
-        gateway = PasGateway(pas=trained_pas, config=GatewayConfig(cache_size=8))
-        with pytest.warns(DeprecationWarning, match="enable_stage_timings"):
-            timings = gateway.enable_stage_timings()
-        assert set(timings) == {"augment", "cache", "completion", "stats"}
-        gateway.ask_batch(
-            [
-                ServeRequest(prompt=p, model="gpt-4-0613")
-                for p in (
-                    "how do i bake bread? walk me through it.",
-                    "how do i parse csv files? show me how.",
-                )
-            ]
-        )
-        assert all(v >= 0.0 for v in timings.values())
-        assert timings["completion"] > 0.0
-        assert timings["augment"] > 0.0
-        # enabling twice keeps the same accumulator
-        with pytest.warns(DeprecationWarning):
-            assert gateway.enable_stage_timings() is timings
 
 
 class TestGatewayBatch:

@@ -1,5 +1,6 @@
 """The unified ServingConfig surface: lossless round-trips, validation,
-and the deprecation path off flat engine kwargs (ISSUE 8)."""
+the fleet section added with the elastic-fleet redesign (ISSUE 10), and
+the removal of the flat engine kwargs."""
 
 import json
 
@@ -11,7 +12,10 @@ from repro.policy import ContextualBandit
 from repro.resilience import FaultPlan, OutageWindow, RetryPolicy
 from repro.serve import (
     EngineConfig,
+    FairnessPolicy,
+    FleetPlan,
     GatewayConfig,
+    HedgePolicy,
     ModelPool,
     PasGateway,
     PolicyConfig,
@@ -98,6 +102,15 @@ FULL = ServingConfig(
         max_promoted_per_category=2,
         state=_bandit_state(),
     ),
+    fleet=FleetPlan(
+        replicas=4,
+        hedge=HedgePolicy(percentile=95.0, min_samples=8),
+        fairness=FairnessPolicy(
+            mode="wfq", weights=(("free", 1.0), ("paid", 3.0))
+        ),
+        spike_rate=0.05,
+        spike_ticks=12,
+    ),
 )
 
 
@@ -112,7 +125,7 @@ class TestRoundTrips:
         assert ServingConfig.from_dict(json.loads(payload)) == config
 
     @pytest.mark.parametrize(
-        "section", ["router", "gateway", "engine", "traffic", "policy"]
+        "section", ["router", "gateway", "engine", "traffic", "policy", "fleet"]
     )
     def test_each_section_round_trips_alone(self, section):
         config = getattr(FULL, section)
@@ -194,9 +207,87 @@ class TestPolicySection:
         # byte-identically, plus one self-contained "policy" key.
         exported = ServingConfig().as_dict()
         policy = exported.pop("policy")
+        fleet = exported.pop("fleet")
         assert set(exported) == {"router", "gateway", "engine", "traffic"}
         assert policy == PolicyConfig().as_dict()
         assert policy["enabled"] is False and policy["state"] is None
+        assert fleet == FleetPlan().as_dict()
+        assert fleet["replicas"] is None and fleet["hedge"] is None
+
+
+class TestFleetSection:
+    """The ``fleet`` section added with the elastic-fleet redesign."""
+
+    def test_pre_fleet_dicts_load_as_default_plan(self):
+        data = ServingConfig().as_dict()
+        del data["fleet"]
+        config = ServingConfig.from_dict(data)
+        assert config.fleet == FleetPlan()
+        assert config.fleet.replicas is None
+
+    def test_hedge_needs_two_replicas(self):
+        config = ServingConfig(fleet=FleetPlan(hedge=HedgePolicy(after_ticks=8)))
+        with pytest.raises(ConfigError, match="at least 2 replicas"):
+            config.validate()
+        # The router section's replica count satisfies an unset plan count.
+        ServingConfig(
+            router=RouterConfig(n_replicas=2),
+            fleet=FleetPlan(hedge=HedgePolicy(after_ticks=8)),
+        ).validate()
+        # An explicit plan count overrides the router section.
+        ServingConfig(
+            fleet=FleetPlan(replicas=3, hedge=HedgePolicy(after_ticks=8))
+        ).validate()
+
+    def test_hedge_policy_needs_exactly_one_trigger(self):
+        with pytest.raises(ConfigError, match="exactly one"):
+            HedgePolicy()
+        with pytest.raises(ConfigError, match="exactly one"):
+            HedgePolicy(after_ticks=4, percentile=95.0)
+        with pytest.raises(ConfigError):
+            HedgePolicy(after_ticks=0)
+        with pytest.raises(ConfigError):
+            HedgePolicy(percentile=0.0)
+
+    def test_wfq_weights_must_name_traffic_tenants(self):
+        config = ServingConfig(
+            traffic=TrafficConfig(tenants=(TenantProfile("real"),)),
+            fleet=FleetPlan(
+                fairness=FairnessPolicy(mode="wfq", weights=(("ghost", 2.0),))
+            ),
+        )
+        with pytest.raises(ConfigError, match="ghost"):
+            config.validate()
+
+    def test_wfq_weights_naming_real_tenants_validate(self):
+        ServingConfig(
+            traffic=TrafficConfig(
+                tenants=(TenantProfile("free"), TenantProfile("paid"))
+            ),
+            fleet=FleetPlan(
+                fairness=FairnessPolicy(
+                    mode="wfq", weights=(("free", 1.0), ("paid", 3.0))
+                )
+            ),
+        ).validate()
+
+    def test_fairness_validation(self):
+        with pytest.raises(ConfigError, match="mode"):
+            FairnessPolicy(mode="lottery")
+        with pytest.raises(ConfigError, match="duplicate"):
+            FairnessPolicy(weights=(("t", 1.0), ("t", 2.0)))
+        with pytest.raises(ConfigError):
+            FairnessPolicy(weights=(("t", -1.0),))
+        with pytest.raises(ConfigError):
+            FairnessPolicy(default_weight=0.0)
+
+    def test_spike_knobs_validate(self):
+        with pytest.raises(ConfigError):
+            FleetPlan(spike_rate=1.0)
+        with pytest.raises(ConfigError):
+            FleetPlan(spike_rate=0.1, spike_ticks=0)
+        with pytest.raises(ConfigError):
+            FleetPlan(replicas=0)
 
 
 class TestEngineConfigSurface:
@@ -206,20 +297,16 @@ class TestEngineConfigSurface:
         engine = ServingEngine(gateway, config)
         assert engine.config == config.engine
 
-    def test_flat_kwargs_warn_and_still_apply(self, trained_pas):
+    def test_flat_kwargs_raise_naming_field(self, trained_pas):
         gateway = PasGateway(trained_pas, config=GatewayConfig(seed=5))
-        with pytest.warns(DeprecationWarning, match="EngineConfig"):
-            engine = ServingEngine(gateway, max_inflight=8, shed_policy="degrade")
-        assert engine.config.max_inflight == 8
-        assert engine.config.shed_policy == "degrade"
+        with pytest.raises(TypeError, match="max_inflight") as excinfo:
+            ServingEngine(gateway, max_inflight=8, shed_policy="degrade")
+        assert "EngineConfig" in str(excinfo.value)
 
-    def test_flat_kwargs_override_config(self, trained_pas):
+    def test_flat_kwargs_rejected_even_with_config(self, trained_pas):
         gateway = PasGateway(trained_pas, config=GatewayConfig(seed=5))
-        with pytest.warns(DeprecationWarning):
-            engine = ServingEngine(
-                gateway, EngineConfig(max_inflight=2), max_inflight=16
-            )
-        assert engine.config.max_inflight == 16
+        with pytest.raises(TypeError, match="no longer accepts flat kwargs"):
+            ServingEngine(gateway, EngineConfig(max_inflight=2), max_inflight=16)
 
     def test_unknown_kwargs_raise(self, trained_pas):
         gateway = PasGateway(trained_pas, config=GatewayConfig(seed=5))

@@ -1,0 +1,495 @@
+"""Elastic fleets, hedged retries, and weighted-fair dispatch (ISSUE 10).
+
+The pinned contracts:
+
+* **~1/N remap** — :meth:`Router.add_replica` / :meth:`Router.drain_replica`
+  move only the arriving/departing rid's share of the hash-key space;
+  every other key keeps its placement.
+* **Graceful drain** — a draining replica takes no new placements,
+  finishes its in-flight work, and only then retires (clock ticks folded
+  into the fleet clock, replica-scope caches discarded under
+  ``pas_router_cache_evicted_total``).
+* **Invisibility when off** — a never-firing hedge policy is
+  byte-identical to no hedge policy, and a fleet drained to one replica
+  serves byte-identically to the single-gateway engine, chaos included.
+* **Determinism** — hedged runs, WFQ dispatch, and membership changes
+  replay byte-identically at a fixed seed.
+
+``PAS_CHAOS_SEED`` offsets every fault seed, as in the engine suite.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import Observability
+from repro.serve import (
+    EngineConfig,
+    FairnessPolicy,
+    FaultPlan,
+    FleetPlan,
+    GatewayConfig,
+    HedgePolicy,
+    PasGateway,
+    Router,
+    RouterConfig,
+    ServingConfig,
+    ServingEngine,
+    TenantProfile,
+    TimedRequest,
+    TrafficConfig,
+    TrafficGenerator,
+)
+from repro.serve.types import ServeRequest
+
+CHAOS_OFFSET = int(os.environ.get("PAS_CHAOS_SEED", "0"))
+CHAOS_SEEDS = tuple(CHAOS_OFFSET + base for base in (0, 1))
+
+POOL = [
+    "how do i parse csv files? show me how.",
+    "how do i bake bread? walk me through it.",
+    "why does my regex backtrack so much? be concise.",
+    "how do i profile python code? please explain it in detail.",
+    "how do i sort a csv by two columns? show me how.",
+    "what is a good chess opening for beginners? be concise.",
+    "how do i write a binary search? please explain it in detail.",
+    "why is my sourdough dense? walk me through it.",
+]
+
+
+def _trace(n=120, seed=0, process="poisson", mean_gap=2.0, **kwargs):
+    config = TrafficConfig(
+        n_requests=n, seed=seed, process=process, mean_gap_ticks=mean_gap, **kwargs
+    )
+    return TrafficGenerator(POOL, config).trace()
+
+
+def _timed(tick, prompt, model="gpt-4-0613", tenant="default", **kwargs):
+    rid = kwargs.pop("request_id", None)
+    return TimedRequest(
+        tick=tick,
+        request=ServeRequest(prompt=prompt, model=model, tenant=tenant, request_id=rid),
+        tenant=tenant,
+        **kwargs,
+    )
+
+
+def _config(n_replicas, fleet=None, engine=None, **gateway_kwargs):
+    return ServingConfig(
+        router=RouterConfig(n_replicas=n_replicas, seed=7),
+        gateway=GatewayConfig(seed=5, **gateway_kwargs),
+        engine=engine or EngineConfig(max_inflight=4),
+        fleet=fleet or FleetPlan(),
+    )
+
+
+def _placements(router, keys):
+    """Map each key to its replica (balancing every assignment back)."""
+    out = {}
+    for key in keys:
+        timed = _timed(1, key)
+        rid = router.route(timed.request, timed)
+        router.release(rid)
+        out[key] = rid
+    return out
+
+
+KEYS = [f"synthetic prompt number {i}? show me how." for i in range(400)]
+
+
+class TestElasticMembership:
+    def test_add_remaps_only_one_share(self, trained_pas):
+        router = Router(trained_pas, _config(3))
+        before = _placements(router, KEYS)
+        rid = router.add_replica()
+        assert rid == 3
+        after = _placements(router, KEYS)
+        moved = [key for key in KEYS if before[key] != after[key]]
+        # Every moved key lands on the newcomer — nothing else reshuffles.
+        assert all(after[key] == rid for key in moved)
+        # ~1/N of the key space (N = 4 after the add), vnode-smoothed.
+        assert 0.10 < len(moved) / len(KEYS) < 0.45
+
+    def test_drain_remaps_only_departed_share(self, trained_pas):
+        router = Router(trained_pas, _config(4))
+        before = _placements(router, KEYS)
+        departed = 2
+        assert router.drain_replica(departed)  # idle: retires immediately
+        after = _placements(router, KEYS)
+        for key in KEYS:
+            if before[key] != departed:
+                assert after[key] == before[key]
+            else:
+                assert after[key] != departed
+        share = sum(1 for key in KEYS if before[key] == departed) / len(KEYS)
+        assert 0.10 < share < 0.45
+
+    def test_rids_are_stable_and_never_reused(self, trained_pas):
+        router = Router(trained_pas, _config(2))
+        assert router.drain_replica(0)
+        rid = router.add_replica()
+        assert rid == 2  # rid 0 is never reused
+        assert router.live_rids == [1, 2]
+
+    def test_drain_waits_for_inflight(self, trained_pas):
+        router = Router(trained_pas, _config(2))
+        timed = _timed(1, POOL[0])
+        # Park one in-flight assignment on whichever replica hash picks.
+        rid = router.route(timed.request, timed)
+        assert not router.drain_replica(rid)  # still busy: not retired
+        assert rid not in router.live_rids  # but takes no new placements
+        assert router.n_replicas == 2  # gateway still alive for the serve
+        plan = router.plan_batch(rid, [timed.request])
+        response = router.serve_planned(rid, timed.request, plan)
+        assert response.status == "ok"
+        router.release(rid)  # last assignment back -> retirement
+        assert router.n_replicas == 1
+        assert rid not in router.live_rids
+
+    def test_retirement_discards_replica_caches(self, trained_pas):
+        obs = Observability.enabled()
+        router = Router(trained_pas, _config(2), obs)
+        timed = _timed(1, POOL[0])
+        rid = router.route(timed.request, timed)
+        plan = router.plan_batch(rid, [timed.request])
+        router.serve_planned(rid, timed.request, plan)  # warms the caches
+        router.release(rid)
+        assert router.drain_replica(rid)
+        assert router.stats.evicted > 0
+        snapshot = obs.metrics.snapshot()
+        assert snapshot["counters"]["pas_router_cache_evicted_total"]
+        actions = [
+            event["attrs"]["action"]
+            for event in obs.events.as_dicts()
+            if event["kind"] == "router.scale"
+        ]
+        assert actions == ["drain", "retired"]
+
+    def test_shared_cache_survives_membership_change(self, trained_pas):
+        config = ServingConfig(
+            router=RouterConfig(n_replicas=2, seed=7, cache_scope="shared"),
+            gateway=GatewayConfig(seed=5),
+        )
+        router = Router(trained_pas, config)
+        timed = _timed(1, POOL[0])
+        rid = router.route(timed.request, timed)
+        plan = router.plan_batch(rid, [timed.request])
+        router.serve_planned(rid, timed.request, plan)
+        router.release(rid)
+        shared = router.gateway_for(router.live_rids[0])._complement_cache
+        warm = len(shared)
+        assert warm > 0
+        assert router.drain_replica(rid)
+        assert router.stats.evicted == 0  # shared tiers are never discarded
+        survivor = router.live_rids[0]
+        assert router.gateway_for(survivor)._complement_cache is shared
+        assert len(shared) == warm
+        newcomer = router.add_replica()
+        assert router.gateway_for(newcomer)._complement_cache is shared
+
+    def test_cannot_drain_last_live_replica(self, trained_pas):
+        router = Router(trained_pas, _config(2))
+        assert router.drain_replica(1)
+        with pytest.raises(ConfigError, match="last live replica"):
+            router.drain_replica(0)
+        with pytest.raises(ConfigError, match="unknown replica"):
+            router.drain_replica(9)
+
+    def test_adopted_fleets_cannot_scale(self, trained_pas):
+        gateway = PasGateway(trained_pas, config=GatewayConfig(seed=5))
+        router = Router(replicas=[gateway])
+        with pytest.raises(ConfigError, match="adopted"):
+            router.add_replica()
+
+    def test_retired_clock_ticks_keep_counting(self, trained_pas):
+        router = Router(trained_pas, _config(2))
+        timed = _timed(1, POOL[0])
+        rid = router.route(timed.request, timed)
+        plan = router.plan_batch(rid, [timed.request])
+        router.serve_planned(rid, timed.request, plan)
+        router.release(rid)
+        before = router.clock
+        assert before > 0
+        assert router.drain_replica(rid)
+        assert router.clock == before  # the retired replica's ticks remain
+
+
+class TestApply:
+    def test_scale_out_and_back(self, trained_pas):
+        router = Router(trained_pas, _config(1))
+        diff = router.apply(FleetPlan(replicas=4))
+        assert diff == {"added": [1, 2, 3], "draining": [], "removed": []}
+        assert router.live_rids == [0, 1, 2, 3]
+        diff = router.apply(FleetPlan(replicas=2))
+        assert diff == {"added": [], "draining": [], "removed": [3, 2]}
+        assert router.live_rids == [0, 1]
+
+    def test_constructor_honors_plan_count(self, trained_pas):
+        # One ServingConfig is one deployment: the fleet section's target
+        # count wins over router.n_replicas at construction, as it does
+        # in validate() and apply().
+        router = Router(trained_pas, _config(2, fleet=FleetPlan(replicas=3)))
+        assert router.live_rids == [0, 1, 2]
+
+    def test_adopted_fleet_rejects_conflicting_plan_count(self, trained_pas):
+        gateway = PasGateway(trained_pas, config=GatewayConfig(seed=5))
+        config = _config(1, fleet=FleetPlan(replicas=3))
+        with pytest.raises(ConfigError, match="3 replicas but 1 gateways"):
+            Router(config=config, replicas=[gateway])
+
+    def test_replicas_none_leaves_membership_alone(self, trained_pas):
+        router = Router(trained_pas, _config(3))
+        diff = router.apply(FleetPlan(hedge=HedgePolicy(after_ticks=8)))
+        assert diff == {"added": [], "draining": [], "removed": []}
+        assert router.live_rids == [0, 1, 2]
+        assert router.hedge_policy == HedgePolicy(after_ticks=8)
+
+    def test_apply_installs_policies(self, trained_pas):
+        router = Router(trained_pas, _config(2))
+        assert router.hedge_policy is None
+        assert router.fairness_mode == "priority"
+        router.apply(
+            FleetPlan(
+                hedge=HedgePolicy(percentile=95.0),
+                fairness=FairnessPolicy(mode="wfq", weights=(("paid", 3.0),)),
+                spike_rate=0.2,
+                spike_ticks=16,
+            )
+        )
+        assert router.hedge_policy.percentile == 95.0
+        assert router.fairness_mode == "wfq"
+
+    def test_busy_drain_reports_draining_not_removed(self, trained_pas):
+        router = Router(trained_pas, _config(2))
+        timed = _timed(1, POOL[0])
+        busy = router.route(timed.request, timed)
+        target = FleetPlan(replicas=1)
+        diff = router.apply(target)
+        # Whichever rid drains, the busy one cannot retire synchronously
+        # unless it was the survivor; rid 1 drains first by construction.
+        if busy == 1:
+            assert diff == {"added": [], "draining": [1], "removed": []}
+        else:
+            assert diff == {"added": [], "draining": [], "removed": [1]}
+
+
+class TestHedging:
+    def _run(self, trained_pas, fleet, n=80, fault_plan=None):
+        config = _config(
+            3,
+            fleet=fleet,
+            engine=EngineConfig(max_inflight=8),
+            fault_plan=fault_plan,
+        )
+        router = Router(trained_pas, config)
+        return ServingEngine(router, config).run(
+            _trace(n=n, seed=3, process="bursty")
+        ), router
+
+    def test_never_firing_hedge_is_invisible(self, trained_pas):
+        baseline, _ = self._run(trained_pas, FleetPlan())
+        hedged, router = self._run(
+            trained_pas, FleetPlan(hedge=HedgePolicy(after_ticks=100_000))
+        )
+        assert hedged.responses == baseline.responses
+        assert hedged.stats.as_dict() == baseline.stats.as_dict()
+        assert router.stats.hedges == {}
+
+    def test_hedges_fire_and_win_under_spikes(self, trained_pas):
+        fleet = FleetPlan(
+            hedge=HedgePolicy(after_ticks=4), spike_rate=0.3, spike_ticks=64
+        )
+        result, router = self._run(trained_pas, fleet)
+        assert result.stats.served == result.stats.arrived
+        hedges = router.stats.hedges
+        assert sum(hedges.values()) > 0
+        assert hedges.get("win", 0) > 0
+
+    def test_hedging_cuts_spiked_tail(self, trained_pas):
+        spiky = FleetPlan(spike_rate=0.3, spike_ticks=64)
+        hedged = FleetPlan(
+            hedge=HedgePolicy(after_ticks=4), spike_rate=0.3, spike_ticks=64
+        )
+        slow, _ = self._run(trained_pas, spiky)
+        fast, _ = self._run(trained_pas, hedged)
+        assert fast.stats.makespan_ticks <= slow.stats.makespan_ticks
+        assert fast.stats.latency_p99 < slow.stats.latency_p99
+
+    def test_hedged_run_is_deterministic(self, trained_pas):
+        fleet = FleetPlan(
+            hedge=HedgePolicy(percentile=90.0, min_samples=8),
+            spike_rate=0.2,
+            spike_ticks=48,
+        )
+        a, router_a = self._run(trained_pas, fleet)
+        b, router_b = self._run(trained_pas, fleet)
+        assert a.responses == b.responses
+        assert a.stats.as_dict() == b.stats.as_dict()
+        assert router_a.stats.as_dict() == router_b.stats.as_dict()
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_hedging_under_chaos_stays_deterministic(self, trained_pas, seed):
+        fleet = FleetPlan(
+            hedge=HedgePolicy(after_ticks=4), spike_rate=0.2, spike_ticks=48
+        )
+        plan = FaultPlan(
+            seed=seed, completion_failure_rate=0.15, augment_failure_rate=0.1
+        )
+        a, _ = self._run(trained_pas, fleet, fault_plan=plan)
+        b, _ = self._run(trained_pas, fleet, fault_plan=plan)
+        assert a.responses == b.responses
+        assert a.stats.as_dict() == b.stats.as_dict()
+
+    def test_hedge_spans_and_metrics_land(self, trained_pas):
+        obs = Observability.enabled(event_capacity=65536)
+        config = _config(
+            3,
+            fleet=FleetPlan(
+                hedge=HedgePolicy(after_ticks=4), spike_rate=0.3, spike_ticks=64
+            ),
+            engine=EngineConfig(max_inflight=8),
+        )
+        router = Router(trained_pas, config, obs)
+        ServingEngine(router, config).run(_trace(n=60, seed=3, process="bursty"))
+        snapshot = obs.metrics.snapshot()
+        assert snapshot["counters"]["pas_router_hedges_total"]
+        hedge_events = [
+            e for e in obs.events.as_dicts() if e["kind"] == "router.hedge"
+        ]
+        assert hedge_events
+        raced = [
+            e for e in hedge_events if e["attrs"]["outcome"] in ("win", "loss")
+        ]
+        spans = obs.tracer.store.by_root("router.hedge")
+        assert len(spans) == len(raced)
+
+
+class TestDrainToOneParity:
+    """A fleet drained to one replica serves like the bare gateway."""
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_byte_identical_to_single_gateway(self, trained_pas, seed):
+        plan = FaultPlan(
+            seed=seed, completion_failure_rate=0.2, augment_failure_rate=0.1
+        )
+        config = _config(3, fault_plan=plan, max_retries=2)
+        router = Router(trained_pas, config)
+        router.apply(FleetPlan(replicas=1))
+        assert router.n_replicas == 1
+        routed = ServingEngine(router, config).run(
+            _trace(n=80, seed=3, process="diurnal")
+        )
+        gateway = PasGateway(trained_pas, config=config.gateway)
+        bare = ServingEngine(gateway, config).run(
+            _trace(n=80, seed=3, process="diurnal")
+        )
+        assert routed.responses == bare.responses
+        assert routed.stats.as_dict() == bare.stats.as_dict()
+
+
+class TestWeightedFairQueueing:
+    TENANTS = (
+        TenantProfile("free", weight=1.0),
+        TenantProfile("paid", weight=1.0),
+    )
+
+    def test_tags_order_by_inverse_weight(self, trained_pas):
+        config = _config(
+            2,
+            fleet=FleetPlan(
+                fairness=FairnessPolicy(
+                    mode="wfq", weights=(("paid", 2.0), ("free", 1.0))
+                )
+            ),
+        )
+        router = Router(trained_pas, config)
+        batch = [
+            _timed(1, POOL[0], tenant="free"),
+            _timed(1, POOL[1], tenant="paid"),
+            _timed(1, POOL[2], tenant="paid"),
+            _timed(1, POOL[3], tenant="free"),
+        ]
+        tags = router.wfq_tags(batch)
+        order = sorted(range(len(batch)), key=lambda i: tags[i])
+        # paid (weight 2) finishes at 1/2 and 1; free at 1 and 2.  The
+        # stable sort keeps the free request ahead of paid's second slot
+        # on the tie at finish tag 1.
+        assert [batch[i].tenant for i in order] == ["paid", "free", "paid", "free"]
+
+    def test_zero_weight_tenant_is_background_class(self, trained_pas):
+        config = _config(
+            2,
+            fleet=FleetPlan(
+                fairness=FairnessPolicy(mode="wfq", weights=(("batch", 0.0),))
+            ),
+        )
+        router = Router(trained_pas, config)
+        batch = [
+            _timed(1, POOL[0], tenant="batch"),
+            _timed(1, POOL[1], tenant="interactive"),
+            _timed(1, POOL[2], tenant="batch"),
+        ]
+        tags = router.wfq_tags(batch)
+        order = sorted(range(len(batch)), key=lambda i: tags[i])
+        assert [batch[i].tenant for i in order] == [
+            "interactive",
+            "batch",
+            "batch",
+        ]
+
+    def test_wfq_run_is_deterministic(self, trained_pas):
+        fleet = FleetPlan(
+            fairness=FairnessPolicy(
+                mode="wfq", weights=(("free", 1.0), ("paid", 4.0))
+            )
+        )
+        config = ServingConfig(
+            router=RouterConfig(n_replicas=2, seed=7),
+            gateway=GatewayConfig(seed=5),
+            engine=EngineConfig(max_inflight=2, max_batch=8),
+            traffic=TrafficConfig(
+                n_requests=100,
+                seed=3,
+                process="bursty",
+                mean_gap_ticks=0.5,
+                tenants=self.TENANTS,
+            ),
+            fleet=fleet,
+        )
+        config.validate()
+
+        def run():
+            router = Router(trained_pas, config)
+            return ServingEngine(router, config).run(
+                TrafficGenerator(POOL, config.traffic).trace()
+            )
+
+        a, b = run(), run()
+        assert a.responses == b.responses
+        assert a.stats.as_dict() == b.stats.as_dict()
+
+    def test_virtual_time_carries_across_batches(self, trained_pas):
+        from fractions import Fraction
+
+        config = _config(
+            2,
+            fleet=FleetPlan(
+                fairness=FairnessPolicy(
+                    mode="wfq", weights=(("paid", 2.0), ("free", 1.0))
+                )
+            ),
+        )
+        router = Router(trained_pas, config)
+        first = router.wfq_tags(
+            [_timed(1, POOL[0], tenant="free"), _timed(1, POOL[1], tenant="paid")]
+        )
+        assert first == [(0, Fraction(1)), (0, Fraction(1, 2))]
+        # Finish tags accumulate per tenant across batches: the heavier
+        # tenant accrues virtual time half as fast, so it keeps sorting
+        # ahead in every later batch too.
+        second = router.wfq_tags(
+            [_timed(2, POOL[2], tenant="free"), _timed(2, POOL[3], tenant="paid")]
+        )
+        assert second == [(0, Fraction(2)), (0, Fraction(1))]
+        assert second[1] < second[0]

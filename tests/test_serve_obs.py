@@ -424,29 +424,8 @@ class TestAnnObservability:
         }
 
 
-class TestStageTimingsShim:
-    def test_warns_and_derives_from_spans(self, trained_pas):
-        gateway = PasGateway(pas=trained_pas, config=GatewayConfig())
-        with pytest.warns(DeprecationWarning, match="derive_stage_timings"):
-            timings = gateway.enable_stage_timings()
-        gateway.ask_text(PROMPTS[0], "gpt-4-0613")
-        assert set(timings) == set(STAGES)
-        assert timings["completion"] > 0.0
-        assert timings["augment"] > 0.0
-        # the shim's numbers ARE derive_stage_timings over the live tracer
-        assert dict(timings) == derive_stage_timings(gateway.obs.tracer)
-
-    def test_shim_on_an_already_live_tracer_adds_a_wall_timer(self, trained_pas):
-        obs = Observability.enabled()  # wall=False: no timer
-        gateway = PasGateway(pas=trained_pas, config=GatewayConfig(), obs=obs)
-        assert obs.tracer.timer is None
-        with pytest.warns(DeprecationWarning):
-            timings = gateway.enable_stage_timings()
-        assert obs.tracer.timer is not None
-        gateway.ask_text(PROMPTS[0], "gpt-4-0613")
-        assert timings["completion"] > 0.0
-
-    def test_modern_path_needs_no_shim(self, trained_pas):
+class TestStageTimings:
+    def test_wall_tracer_drives_derive(self, trained_pas):
         obs = Observability.enabled(wall=True)
         gateway = PasGateway(pas=trained_pas, config=GatewayConfig(), obs=obs)
         with warnings.catch_warnings():
@@ -455,7 +434,7 @@ class TestStageTimingsShim:
             timings = derive_stage_timings(obs.tracer)
         assert set(timings) == set(STAGES)
         assert timings["completion"] > 0.0
-        assert gateway.stage_timings is None  # the legacy view stays off
+        assert timings["augment"] > 0.0
 
     def test_derive_without_wall_timer_is_all_zero(self):
         tracer = Tracer(store=TraceStore())
